@@ -1,0 +1,66 @@
+"""Ablation benchmark: OFFRAMPS lossless counts vs an emulated side-channel.
+
+The paper's related-platforms discussion claims its direct-signal access is
+"uniquely able to modify or analyze prints with no loss of data" compared to
+acoustic/power/EM side-channel detectors. This benchmark quantifies the gap
+on the Table II extremes:
+
+* the gross attack (50 % reduction) — both detectors catch it;
+* the stealthy attack (2 % reduction) — only the lossless pipeline catches
+  it, via the final 0 %-margin check the side-channel's noise floor can
+  never support.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.detection.baselines import SideChannelDetector, SideChannelModel
+from repro.detection.comparator import CaptureComparator
+from repro.experiments.runner import run_print
+from repro.experiments.workloads import sliced_program, standard_part
+from repro.gcode.transforms.flaw3d import apply_reduction
+
+
+def _run_experiment():
+    program = sliced_program(standard_part())
+    golden = run_print(program, noise_sigma=0.0005, noise_seed=8801)
+    control = run_print(program, noise_sigma=0.0005, noise_seed=8802)
+    gross = run_print(apply_reduction(program, 0.5), noise_sigma=0.0005, noise_seed=8803)
+    stealthy = run_print(apply_reduction(program, 0.98), noise_sigma=0.0005, noise_seed=8804)
+
+    offramps = CaptureComparator()
+    side_channel = SideChannelDetector(SideChannelModel(seed=42))
+    side_channel.calibrate_threshold(
+        golden.capture.transactions, control.capture.transactions
+    )
+
+    rows = {}
+    for name, suspect in (("control", control), ("reduce0.5", gross), ("reduce0.98", stealthy)):
+        lossless = offramps.compare_captures(golden.capture, suspect.capture)
+        lossy = side_channel.compare(
+            golden.capture.transactions, suspect.capture.transactions
+        )
+        rows[name] = (lossless, lossy)
+    return side_channel.threshold, rows
+
+
+def test_lossless_vs_lossy_detection(benchmark, out_dir):
+    threshold, rows = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+
+    lines = [f"side-channel calibrated threshold: {threshold * 100:.1f}%", ""]
+    lines.append(f"{'case':<12} {'OFFRAMPS (lossless)':<52} side-channel (lossy)")
+    for name, (lossless, lossy) in rows.items():
+        lines.append(f"{name:<12} {lossless.summary():<52} {lossy.summary()}")
+    text = "\n".join(lines)
+    write_artifact(out_dir, "baseline_sidechannel.txt", text)
+    print("\n" + text)
+
+    # Neither detector false-positives on the clean control.
+    assert not rows["control"][0].trojan_likely
+    assert not rows["control"][1].trojan_likely
+    # Both catch the gross 50% reduction.
+    assert rows["reduce0.5"][0].trojan_likely
+    assert rows["reduce0.5"][1].trojan_likely
+    # Only the lossless pipeline catches the stealthy 2% reduction.
+    assert rows["reduce0.98"][0].trojan_likely
+    assert not rows["reduce0.98"][1].trojan_likely
+    # The side-channel's noise floor forces a far coarser threshold than 5%.
+    assert threshold > 0.05

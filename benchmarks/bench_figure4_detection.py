@@ -1,0 +1,29 @@
+"""Benchmark: regenerate **Figure 4** — golden/Trojan excerpts + tool output.
+
+Paper shape: the relocation Trojan produces transactions whose X values
+diverge sharply from the golden at the same index; the tool prints the
+mismatching rows, the largest percent difference, transaction totals, and
+"Trojan likely!".
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_relocation_detection(benchmark, out_dir):
+    output = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    text = output.render()
+    write_artifact(out_dir, "figure4.txt", text)
+    print("\n" + text)
+
+    report = output.report
+    assert report.trojan_likely
+    assert report.mismatch_count > 0
+    # Figure 4's mismatches are on motion axes (the timeline shift).
+    assert any(m.column in ("X", "Y") for m in report.mismatches)
+    # The rendered panels carry the paper's formats.
+    assert output.golden_excerpt.startswith("Index, X, Y, Z, E")
+    assert "Trojan likely!" in output.detector_output
+    assert "Largest percent difference found:" in output.detector_output
+    # Large divergence at matched indices, like the paper's 93.19%.
+    assert report.largest_percent_diff > 20.0

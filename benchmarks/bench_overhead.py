@@ -1,0 +1,29 @@
+"""Benchmark: regenerate the **Section V-B overhead** analysis.
+
+Paper shape: signals between the boards stay under 20 kHz with >= 1 µs pulse
+widths, so the MITM's 12.923 ns worst-case propagation delay is negligible,
+and running the monitoring hardware has no effect on the print (identical
+step totals through the FPGA vs bypass).
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.overhead import run_overhead
+
+
+def test_overhead_is_negligible(benchmark, out_dir):
+    experiment = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    text = experiment.render()
+    write_artifact(out_dir, "overhead.txt", text)
+    print("\n" + text)
+
+    report = experiment.report
+    # The signal envelope matches the paper's measurements.
+    assert report.max_signal_frequency_hz < 20_000.0
+    assert report.min_pulse_width_ns >= 1_000
+    # The delay budget verdict.
+    assert report.propagation_delay_ns < 13.0
+    assert report.negligible
+    assert report.delay_fraction_of_pulse < 0.02
+    # "No effect on print quality while running our detection hardware."
+    assert experiment.no_quality_effect
+    assert experiment.bypass_counts == experiment.mitm_counts

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate **Table II** — Flaw3D Trojans, all detected.
+
+Paper shape: all eight test cases (reduction 0.5/0.85/0.9/0.98, relocation
+5/10/20/100) are detected; a clean control print is not flagged. The
+stealthiest cases (4 and 8) are the interesting ones: case 4 survives the
+5 % per-transaction margin and falls to the final 0 %-margin check; case 8
+relocates rarely but its timeline shift still produces mismatches.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_flaw3d_detection(benchmark, out_dir):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    text = result.render()
+    write_artifact(out_dir, "table2.txt", text)
+    print("\n" + text)
+
+    # Headline: all eight Trojans detected, no false positives.
+    assert result.all_detected
+    assert not result.false_positive
+
+    by_case = {row.case: row for row in result.rows}
+    # Case 4 (2% reduction): stealthy — caught by the final exact check.
+    assert by_case[4].report.final_check_failed
+    # Case 1 (50% reduction): blatant — floods per-transaction mismatches.
+    assert by_case[1].report.mismatch_count > 10
+    # Relocation preserves total filament: final totals equal, detection via
+    # transient mismatches instead.
+    for case in (5, 6, 7):
+        assert by_case[case].report.mismatch_count > 0
+
+    # Clean control drift stays inside the margin (the 5% justification).
+    assert result.control_report.largest_percent_diff < 5.0

@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index), asserts the reproduced *shape* of the
+result, and writes the rendered artifact to ``benchmarks/out/`` for
+inspection. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(out_dir: str, name: str, text: str) -> str:
+    path = os.path.join(out_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return path

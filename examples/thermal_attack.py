@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Thermal attacks: the T6 denial-of-service and the T7 destructive Trojan.
+
+Shows the cyber-physical loop that makes these two Trojans interesting:
+
+* T6 cuts MOSFET power below the firmware — Marlin's heating watchdog
+  notices the temperature never rises and kills the print (a safe failure).
+* T7 forces the MOSFET on below the firmware — Marlin panics on MAXTEMP and
+  calls kill(), but its kill only drives the *upstream* signal; the FPGA
+  keeps the gate closed and the hotend heats past its damage threshold.
+
+Run:  python examples/thermal_attack.py
+"""
+
+from repro import make_trojan, run_print, sliced_program, tiny_part
+
+
+def main() -> None:
+    program = sliced_program(tiny_part())
+
+    print("=== T6: heater denial of service")
+    t6 = run_print(program, trojan=make_trojan("T6"))
+    print(f"  firmware status : {t6.status.value}")
+    print(f"  kill reason     : {t6.kill_reason}")
+    print(f"  material printed: {t6.plant.trace.total_extruded_mm:.2f} mm")
+    print(f"  hotend peak     : {t6.plant.hotend.peak_temp_c:.0f} C")
+    print(f"  hardware damage : {t6.plant.damaged}")
+
+    print("\n=== T7: forced thermal runaway (destructive)")
+    # grace_s keeps physics running after the firmware dies — that is when
+    # the damage happens.
+    t7 = run_print(program, trojan=make_trojan("T7"), grace_s=40.0)
+    print(f"  firmware status : {t7.status.value}")
+    print(f"  kill reason     : {t7.kill_reason}")
+    print(f"  hotend peak     : {t7.plant.hotend.peak_temp_c:.0f} C "
+          f"(spec max 260 C, damage at 290 C)")
+    for line in t7.plant.damage_summary():
+        print(f"  HARDWARE DAMAGE : {line}")
+    print("  note: the firmware DID panic and call kill() — the Trojan simply "
+          "ignored it, exactly the paper's observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Trojan gallery: run every Table I Trojan and report its physical effect.
+
+This is the example form of the Table I experiment: T0 (golden) plus T1-T9,
+each printed on the simulated machine with the Trojan loaded into the
+OFFRAMPS FPGA fabric, scored by part-quality metrics instead of photographs.
+
+Run:  python examples/trojan_gallery.py            (full suite, ~30 s)
+      python examples/trojan_gallery.py T2 T7      (just those Trojans)
+"""
+
+import sys
+
+from repro.experiments.table1 import (
+    render_table1,
+    run_table1,
+    run_trojan_session,
+    _score,  # noqa: F401 (re-exported for API illustration)
+)
+from repro.experiments.workloads import sliced_program, table1_part
+from repro.physics.quality import compare_traces
+
+
+def run_selected(trojan_ids) -> None:
+    program = sliced_program(table1_part())
+    golden = run_trojan_session(None, program=program)
+    print(f"T0 golden: {golden.status.value}, {golden.duration_s:.0f}s simulated")
+    for trojan_id in trojan_ids:
+        result = run_trojan_session(trojan_id, program=program)
+        quality = compare_traces(golden.plant.trace, result.plant.trace)
+        print(f"\n=== {trojan_id}: {result.trojan.describe()}")
+        print(f"  print status: {result.status.value}"
+              + (f" ({result.kill_reason})" if result.kill_reason else ""))
+        anomalies = quality.anomalies()
+        print("  part anomalies:", "; ".join(anomalies) if anomalies else "none")
+        if result.plant.damaged:
+            for line in result.plant.damage_summary():
+                print(f"  HARDWARE DAMAGE: {line}")
+        if result.missed_steps:
+            print(f"  {result.missed_steps} step pulses lost at disabled drivers")
+
+
+def main() -> None:
+    selected = [arg.upper() for arg in sys.argv[1:]]
+    if selected:
+        run_selected(selected)
+        return
+    rows = run_table1()
+    print(render_table1(rows))
+    confirmed = sum(1 for row in rows if row.manifested)
+    print(f"\n{confirmed}/{len(rows)} rows manifested their designed effect")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work offline."""
+from setuptools import setup
+
+setup()

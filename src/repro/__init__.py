@@ -1,0 +1,107 @@
+"""OFFRAMPS reproduction: FPGA machine-in-the-middle analysis of 3D printers.
+
+A full-stack simulation of the platform from "OFFRAMPS: An FPGA-based
+Intermediary for Analysis and Modification of Additive Manufacturing Control
+Systems" (Blocklove et al., DSN 2024): a Marlin-like firmware, the RAMPS 1.4
+electronics, printer physics, and -- in the middle of the harness -- the
+OFFRAMPS board with its Trojan suite and pulse-capture detection pipeline.
+
+Quick start::
+
+    from repro import (
+        run_print, sliced_program, standard_part,
+        CaptureComparator, apply_reduction,
+    )
+
+    program = sliced_program(standard_part())
+    golden = run_print(program, noise_sigma=0.002, noise_seed=1)
+    suspect = run_print(apply_reduction(program, 0.5),
+                        noise_sigma=0.002, noise_seed=2)
+    report = CaptureComparator().compare_captures(golden.capture,
+                                                  suspect.capture)
+    print(report.render())  # -> "Trojan likely!"
+"""
+
+from repro.core import (
+    AxisTracker,
+    FpgaFabric,
+    HomingDetector,
+    JumperMode,
+    OfframpsBoard,
+    PulseCapture,
+    Transaction,
+    UartExporter,
+    load_capture_csv,
+    make_trojan,
+    save_capture_csv,
+)
+from repro.detection import (
+    CaptureComparator,
+    DetectionReport,
+    GoldenStore,
+    StreamingDetector,
+)
+from repro.electronics import RampsBoard, SignalHarness
+from repro.experiments import PrintSession, SessionResult
+from repro.experiments.runner import run_print
+from repro.experiments.workloads import (
+    detection_profile,
+    sliced_program,
+    standard_part,
+    table1_part,
+    tiny_part,
+)
+from repro.firmware import MarlinConfig, MarlinFirmware, SerialHost
+from repro.gcode import GcodeProgram, parse_program, write_program
+from repro.gcode.slicer import Box, Cylinder, PrintProfile, Slicer, slice_shape
+from repro.gcode.transforms import apply_reduction, apply_relocation
+from repro.physics import PlantProfile, PrinterPlant, compare_traces
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AxisTracker",
+    "Box",
+    "CaptureComparator",
+    "Cylinder",
+    "DetectionReport",
+    "FpgaFabric",
+    "GcodeProgram",
+    "GoldenStore",
+    "HomingDetector",
+    "JumperMode",
+    "MarlinConfig",
+    "MarlinFirmware",
+    "OfframpsBoard",
+    "PlantProfile",
+    "PrintProfile",
+    "PrintSession",
+    "PrinterPlant",
+    "PulseCapture",
+    "RampsBoard",
+    "SerialHost",
+    "SessionResult",
+    "SignalHarness",
+    "Simulator",
+    "Slicer",
+    "StreamingDetector",
+    "Transaction",
+    "UartExporter",
+    "apply_reduction",
+    "apply_relocation",
+    "compare_traces",
+    "detection_profile",
+    "load_capture_csv",
+    "make_trojan",
+    "parse_program",
+    "run_print",
+    "save_capture_csv",
+    "slice_shape",
+    "sliced_program",
+    "standard_part",
+    "table1_part",
+    "tiny_part",
+    "write_program",
+    "__version__",
+]

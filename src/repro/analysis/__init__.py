@@ -1,0 +1,30 @@
+"""Analysis utilities backing the paper's quantitative claims.
+
+* :mod:`repro.analysis.overhead` — Section V-B's propagation-delay budget:
+  the MITM's worst-case delay against the measured signal frequencies and
+  pulse widths.
+* :mod:`repro.analysis.drift` — the "time noise" statistics motivating the
+  5 % detection margin (Section V-C).
+* :mod:`repro.analysis.reconstruct` — toolpath recovery from captured
+  signals (the "reverse-engineering printed parts" future-work direction).
+"""
+
+from repro.analysis.drift import DriftStats, drift_between
+from repro.analysis.overhead import OverheadReport, analyze_overhead
+from repro.analysis.reconstruct import (
+    ReconstructedPart,
+    dimensional_error_mm,
+    reconstruct_from_trace,
+    reconstruct_from_transactions,
+)
+
+__all__ = [
+    "DriftStats",
+    "OverheadReport",
+    "ReconstructedPart",
+    "analyze_overhead",
+    "dimensional_error_mm",
+    "drift_between",
+    "reconstruct_from_trace",
+    "reconstruct_from_transactions",
+]

@@ -1,0 +1,74 @@
+"""Time-noise drift statistics (the basis of the 5 % margin).
+
+"Additive manufacturing systems are asynchronous, so an instruction can take
+a slightly different amount of time when executed multiple times or across
+multiple prints. This variation, referred to as 'time noise', means that some
+drift in the step counts will occur over the course of even known-good test
+prints. This drift was, however, always less than a 5% difference in our
+testing."
+
+:func:`drift_between` quantifies that drift between two known-good captures
+of the same part (different noise realizations): the distribution of
+per-transaction relative differences and whether the end totals still match
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.capture import COLUMNS, Transaction
+from repro.detection.comparator import DEFAULT_FLOOR_STEPS
+from repro.errors import DetectionError
+
+
+@dataclass(frozen=True)
+class DriftStats:
+    """Distribution of per-transaction drift between two golden prints."""
+
+    transactions_compared: int
+    max_percent: float
+    mean_percent: float
+    p99_percent: float
+    final_totals_equal: bool
+
+    def within_margin(self, margin_percent: float = 5.0) -> bool:
+        return self.max_percent <= margin_percent
+
+    def render(self) -> str:
+        return (
+            f"drift over {self.transactions_compared} transactions: "
+            f"max {self.max_percent:.3f}%, mean {self.mean_percent:.3f}%, "
+            f"p99 {self.p99_percent:.3f}%, final totals "
+            f"{'equal' if self.final_totals_equal else 'DIFFER'}"
+        )
+
+
+def drift_between(
+    first: Sequence[Transaction],
+    second: Sequence[Transaction],
+    floor_steps: int = DEFAULT_FLOOR_STEPS,
+) -> DriftStats:
+    """Per-transaction drift between two captures of the same good print."""
+    a, b = list(first), list(second)
+    if not a or not b:
+        raise DetectionError("cannot compute drift over an empty capture")
+    compared = min(len(a), len(b))
+    diffs: List[float] = []
+    for g, s in zip(a[:compared], b[:compared]):
+        for column in COLUMNS:
+            gv, sv = g.value(column), s.value(column)
+            denom = max(abs(gv), floor_steps)
+            diffs.append(abs(sv - gv) / denom * 100.0)
+    diffs.sort()
+    final_equal = all(
+        a[-1].value(column) == b[-1].value(column) for column in COLUMNS
+    )
+    return DriftStats(
+        transactions_compared=compared,
+        max_percent=diffs[-1],
+        mean_percent=sum(diffs) / len(diffs),
+        p99_percent=diffs[min(len(diffs) - 1, int(len(diffs) * 0.99))],
+        final_totals_equal=final_equal,
+    )

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the workflows of the paper's tooling:
+
+* ``slice``    — shape → G-code (the Cura role);
+* ``print``    — execute G-code on the simulated machine, capture the
+  OFFRAMPS transaction stream to CSV (the print + capture role);
+* ``attack``   — apply a Flaw3D/dr0wned transform to a G-code file (the
+  malicious-bootloader role);
+* ``detect``   — compare two capture CSVs with the 5 % margin + final check
+  (the paper's Python detection script);
+* ``table1`` / ``table2`` / ``figure4`` / ``overhead`` / ``drift`` /
+  ``ablation`` — regenerate the corresponding paper artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.capture import load_capture_csv, save_capture_csv
+from repro.detection.comparator import CaptureComparator
+from repro.experiments.runner import run_print
+from repro.gcode.parser import parse_file
+from repro.gcode.slicer import Box, Cylinder, Slicer
+from repro.gcode.transforms.edits import insert_void, scale_moves
+from repro.gcode.transforms.flaw3d import Flaw3dReduction, Flaw3dRelocation
+from repro.gcode.writer import write_file
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    if args.shape == "box":
+        shape = Box(width_mm=args.width, depth_mm=args.depth, height=args.height)
+    else:
+        shape = Cylinder(radius_mm=args.width / 2, height=args.height)
+    result = Slicer().slice(shape)
+    write_file(result.program, args.out)
+    print(
+        f"sliced {shape.name}: {result.layer_count} layers, "
+        f"{result.command_count} commands, {result.filament_mm:.1f} mm filament "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_print(args: argparse.Namespace) -> int:
+    program = parse_file(args.gcode)
+    result = run_print(
+        program,
+        noise_sigma=args.noise,
+        noise_seed=args.seed,
+        uart_period_ms=args.uart_period_ms,
+    )
+    print(
+        f"print {args.gcode}: {result.status.value}"
+        + (f" ({result.kill_reason})" if result.kill_reason else "")
+    )
+    print(
+        f"  {result.duration_s:.0f} simulated seconds, "
+        f"{len(result.capture)} transactions, final counts {result.final_counts()}"
+    )
+    if args.capture:
+        save_capture_csv(result.capture, args.capture)
+        print(f"  capture -> {args.capture}")
+    return 0 if result.completed else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    program = parse_file(args.gcode)
+    if args.reduction is not None:
+        program = Flaw3dReduction(args.reduction).apply(program)
+        label = f"flaw3d reduction x{args.reduction}"
+    elif args.relocation is not None:
+        program = Flaw3dRelocation(args.relocation).apply(program)
+        label = f"flaw3d relocation every {args.relocation} moves"
+    elif args.void is not None:
+        program = insert_void(program, tuple(args.void))
+        label = f"dr0wned void {args.void}"
+    else:
+        program = scale_moves(program, args.scale)
+        label = f"scale x{args.scale}"
+    write_file(program, args.out)
+    print(f"applied {label}: {args.gcode} -> {args.out}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    golden = load_capture_csv(args.golden)
+    suspect = load_capture_csv(args.suspect)
+    comparator = CaptureComparator(margin=args.margin)
+    report = comparator.compare_captures(golden, suspect)
+    print(report.render())
+    return 1 if report.trojan_likely else 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    print(render_table1(run_table1()))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import run_table2
+
+    result = run_table2()
+    print(result.render())
+    return 0 if result.all_detected and not result.false_positive else 1
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.experiments.figure4 import run_figure4
+
+    print(run_figure4().render())
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.experiments.overhead import run_overhead
+
+    experiment = run_overhead()
+    print(experiment.render())
+    return 0 if experiment.no_quality_effect else 1
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.experiments.drift import run_drift
+
+    experiment = run_drift()
+    print(experiment.render())
+    return 0 if experiment.within_margin(5.0) else 1
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import run_ablation
+
+    print(run_ablation().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OFFRAMPS reproduction: simulate, attack, capture, detect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("slice", help="slice a shape to G-code")
+    p.add_argument("--shape", choices=("box", "cylinder"), default="box")
+    p.add_argument("--width", type=float, default=16.0, help="width / diameter (mm)")
+    p.add_argument("--depth", type=float, default=16.0)
+    p.add_argument("--height", type=float, default=1.5)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_slice)
+
+    p = sub.add_parser("print", help="print G-code on the simulated machine")
+    p.add_argument("gcode")
+    p.add_argument("--noise", type=float, default=0.0005, help="time-noise sigma")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--uart-period-ms", type=int, default=100)
+    p.add_argument("--capture", help="write the transaction stream to this CSV")
+    p.set_defaults(func=_cmd_print)
+
+    p = sub.add_parser("attack", help="apply a malicious transform to G-code")
+    p.add_argument("gcode")
+    p.add_argument("--out", required=True)
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--reduction", type=float, help="Flaw3D reduction factor")
+    group.add_argument("--relocation", type=int, help="Flaw3D relocation period")
+    group.add_argument(
+        "--void", type=float, nargs=6, metavar=("XMIN", "YMIN", "ZMIN", "XMAX", "YMAX", "ZMAX")
+    )
+    group.add_argument("--scale", type=float, default=0.95, help="XY scale factor")
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("detect", help="compare two captures (exit 1 on Trojan)")
+    p.add_argument("golden")
+    p.add_argument("suspect")
+    p.add_argument("--margin", type=float, default=0.05)
+    p.set_defaults(func=_cmd_detect)
+
+    for name, func, help_text in (
+        ("table1", _cmd_table1, "regenerate Table I (Trojan suite)"),
+        ("table2", _cmd_table2, "regenerate Table II (Flaw3D detection)"),
+        ("figure4", _cmd_figure4, "regenerate Figure 4 (detection output)"),
+        ("overhead", _cmd_overhead, "regenerate the Section V-B overhead analysis"),
+        ("drift", _cmd_drift, "regenerate the Section V-C drift analysis"),
+        ("ablation", _cmd_ablation, "run the UART-period/margin ablation"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

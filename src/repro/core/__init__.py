@@ -1,0 +1,43 @@
+"""The OFFRAMPS platform: an FPGA machine-in-the-middle for 3D printers.
+
+This package is the paper's primary contribution, reproduced in simulation:
+
+* :class:`~repro.core.board.OfframpsBoard` — the PCB with its jumper banks:
+  every harness signal can run in BYPASS (straight through) or FPGA mode
+  (routed through the fabric), matching Figure 3's three signal paths
+  (bypass, modification, recording — recording is passive taps, available in
+  both modes).
+* :class:`~repro.core.fpga.FpgaFabric` — the Cmod-A7 stand-in: a 100 MHz
+  clock quantum, a propagation-delay model (the paper measured 12.923 ns
+  worst case), and the module registry.
+* :mod:`repro.core.modules` — the paper's VHDL sub-modules re-created:
+  edge detection, pulse generation, homing detection, axis tracking, UART
+  export, and the Trojan control mux.
+* :mod:`repro.core.trojans` — the nine Table I Trojans.
+* :mod:`repro.core.capture` — transaction recording in the Figure 4 format.
+"""
+
+from repro.core.board import JumperMode, OfframpsBoard
+from repro.core.capture import PulseCapture, Transaction, load_capture_csv, save_capture_csv
+from repro.core.fpga import FPGA_CLOCK_HZ, FpgaFabric
+from repro.core.modules.axis_tracker import AxisTracker
+from repro.core.modules.homing_detect import HomingDetector
+from repro.core.modules.uart_export import UartExporter
+from repro.core.trojans import TROJAN_CLASSES, TrojanCategory, make_trojan
+
+__all__ = [
+    "AxisTracker",
+    "FPGA_CLOCK_HZ",
+    "FpgaFabric",
+    "HomingDetector",
+    "JumperMode",
+    "OfframpsBoard",
+    "PulseCapture",
+    "TROJAN_CLASSES",
+    "Transaction",
+    "TrojanCategory",
+    "UartExporter",
+    "load_capture_csv",
+    "make_trojan",
+    "save_capture_csv",
+]

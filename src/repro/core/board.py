@@ -1,0 +1,170 @@
+"""The OFFRAMPS board: jumper banks and the Trojan-control signal mux.
+
+Per signal, the jumpers select one of the paper's Figure 3 paths:
+
+* **BYPASS** — the harness forwards directly (Figure 3a). Passive capture
+  taps still see everything (Figure 3c), since recording never claims a
+  signal.
+* **FPGA** — the signal is intercepted and re-driven by the fabric
+  (Figure 3b): every upstream event is offered to the enabled Trojans in
+  registration order; the first one that claims it decides (drop / replace /
+  pass), and the result is forwarded downstream after the propagation delay.
+  Trojans may also *inject* events the Arduino never produced.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.electronics.harness import SignalHarness, SignalPath
+from repro.electronics.pins import SIGNALS, SignalKind
+from repro.errors import OfframpsError
+from repro.core.fpga import FpgaFabric
+from repro.sim.kernel import Simulator
+
+_OWNER = "offramps"
+
+
+class JumperMode(enum.Enum):
+    """Position of one signal's jumper bank."""
+
+    BYPASS = "bypass"
+    FPGA = "fpga"
+
+
+class TrojanAction:
+    """What a Trojan wants done with one intercepted event."""
+
+    __slots__ = ("kind", "value")
+
+    PASS = "pass"
+    DROP = "drop"
+    REPLACE = "replace"
+
+    def __init__(self, kind: str, value: Optional[float] = None) -> None:
+        self.kind = kind
+        self.value = value
+
+    @classmethod
+    def passthrough(cls) -> "TrojanAction":
+        return cls(cls.PASS)
+
+    @classmethod
+    def drop(cls) -> "TrojanAction":
+        return cls(cls.DROP)
+
+    @classmethod
+    def replace(cls, value: float) -> "TrojanAction":
+        return cls(cls.REPLACE, value)
+
+
+class OfframpsBoard:
+    """The MITM platform, installed in a harness."""
+
+    def __init__(self, sim: Simulator, harness: SignalHarness, fabric: Optional[FpgaFabric] = None) -> None:
+        self.sim = sim
+        self.harness = harness
+        self.fabric = fabric or FpgaFabric(sim)
+        self._modes: Dict[str, JumperMode] = {name: JumperMode.BYPASS for name in harness.paths}
+        self._interceptors: Dict[str, List[Callable]] = {}
+        self.events_intercepted = 0
+        self.events_dropped = 0
+        self.events_replaced = 0
+        self.events_injected = 0
+
+    # ------------------------------------------------------------------
+    # Jumper configuration
+    # ------------------------------------------------------------------
+    def mode(self, signal: str) -> JumperMode:
+        try:
+            return self._modes[signal]
+        except KeyError:
+            raise OfframpsError(f"no such signal on the board: {signal!r}") from None
+
+    def set_mode(self, signal: str, mode: JumperMode) -> None:
+        """Move one signal's jumpers (only while that signal is quiescent)."""
+        current = self.mode(signal)
+        if current is mode:
+            return
+        path = self.harness.path(signal)
+        if mode is JumperMode.FPGA:
+            path.install_interceptor(_OWNER, self._on_intercepted)
+        else:
+            path.remove_interceptor(_OWNER)
+        self._modes[signal] = mode
+
+    def route_through_fpga(self, signals: Iterable[str]) -> None:
+        for signal in signals:
+            self.set_mode(signal, JumperMode.FPGA)
+
+    def intercepted_signals(self) -> List[str]:
+        return sorted(
+            name for name, mode in self._modes.items() if mode is JumperMode.FPGA
+        )
+
+    # ------------------------------------------------------------------
+    # Trojan-control mux
+    # ------------------------------------------------------------------
+    def register_interceptor(
+        self, signal: str, handler: Callable[[SignalPath, str, float, int], TrojanAction]
+    ) -> None:
+        """Attach Trojan logic to an FPGA-routed signal.
+
+        ``handler(path, kind, value, time_ns)`` returns a
+        :class:`TrojanAction`. Handlers are consulted in registration order;
+        the first non-PASS action wins (the paper's output mux).
+        """
+        self._interceptors.setdefault(signal, []).append(handler)
+
+    def unregister_interceptor(self, signal: str, handler: Callable) -> None:
+        handlers = self._interceptors.get(signal, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def _on_intercepted(self, path: SignalPath, kind: str, value: float, time_ns: int) -> None:
+        self.events_intercepted += 1
+        action = TrojanAction.passthrough()
+        for handler in self._interceptors.get(path.spec.name, []):
+            candidate = handler(path, kind, value, time_ns)
+            if candidate is not None and candidate.kind != TrojanAction.PASS:
+                action = candidate
+                break
+        if action.kind == TrojanAction.DROP:
+            self.events_dropped += 1
+            return
+        out_value = value if action.kind == TrojanAction.PASS else action.value
+        if action.kind == TrojanAction.REPLACE:
+            self.events_replaced += 1
+        self._drive_downstream(path, kind, out_value)
+
+    def _drive_downstream(self, path: SignalPath, kind: str, value: float) -> None:
+        if kind == "pulse":
+            self.fabric.forward(lambda: path.downstream.pulse(int(value)))
+        else:
+            self.fabric.forward(lambda: path.downstream.drive(value))
+
+    # ------------------------------------------------------------------
+    # Injection (events the Arduino never sent)
+    # ------------------------------------------------------------------
+    def inject_pulse(self, signal: str, width_ns: int = 2_000) -> None:
+        """Emit one pulse on the downstream side of a step signal."""
+        path = self.harness.path(signal)
+        if path.spec.kind is not SignalKind.STEP:
+            raise OfframpsError(f"inject_pulse on non-step signal {signal!r}")
+        self.events_injected += 1
+        path.downstream.pulse(width_ns)
+
+    def inject_level(self, signal: str, value: float) -> None:
+        """Drive a level/duty value on the downstream side of a signal."""
+        path = self.harness.path(signal)
+        if path.spec.kind is SignalKind.STEP:
+            raise OfframpsError(f"inject_level on step signal {signal!r}")
+        self.events_injected += 1
+        path.downstream.drive(value)
+
+    def downstream_level(self, signal: str) -> float:
+        """Read a downstream wire's current level/duty (for Trojan logic)."""
+        path = self.harness.path(signal)
+        wire = path.downstream
+        return wire.duty if path.spec.kind is SignalKind.PWM else wire.value

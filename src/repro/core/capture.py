@@ -1,0 +1,116 @@
+"""Pulse capture: recording the UART transaction stream (Figure 4 format).
+
+A :class:`PulseCapture` listens on the UART bus, decodes each 16-byte frame
+into a :class:`Transaction`, and assigns sequential indices. CSV I/O uses the
+exact column layout of the paper's Figure 4 excerpts::
+
+    Index, X, Y, Z, E
+    5113, 6060, 8266, 960, 52843
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.electronics.uart import UartBus, unpack_step_counts
+from repro.errors import CaptureError
+
+COLUMNS = ("X", "Y", "Z", "E")
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One exported step-count snapshot."""
+
+    index: int
+    x: int
+    y: int
+    z: int
+    e: int
+    time_ns: int = 0
+
+    def value(self, column: str) -> int:
+        try:
+            return {"X": self.x, "Y": self.y, "Z": self.z, "E": self.e}[column.upper()]
+        except KeyError:
+            raise CaptureError(f"unknown column {column!r}") from None
+
+    def as_row(self) -> str:
+        return f"{self.index}, {self.x}, {self.y}, {self.z}, {self.e}"
+
+
+class PulseCapture:
+    """Accumulates the transaction stream of one print."""
+
+    def __init__(self, bus: Optional[UartBus] = None, start_index: int = 1) -> None:
+        self.transactions: List[Transaction] = []
+        self._next_index = start_index
+        if bus is not None:
+            bus.on_frame(self._on_frame)
+
+    def _on_frame(self, time_ns: int, frame: bytes) -> None:
+        x, y, z, e = unpack_step_counts(frame)
+        self.transactions.append(
+            Transaction(self._next_index, x, y, z, e, time_ns=time_ns)
+        )
+        self._next_index += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self):
+        return iter(self.transactions)
+
+    def __getitem__(self, i):
+        return self.transactions[i]
+
+    @property
+    def final(self) -> Optional[Transaction]:
+        """The last transaction (the end-of-print totals)."""
+        return self.transactions[-1] if self.transactions else None
+
+    def excerpt(self, start_index: int, count: int) -> List[Transaction]:
+        """Transactions with ``index`` in [start_index, start_index+count)."""
+        return [
+            t
+            for t in self.transactions
+            if start_index <= t.index < start_index + count
+        ]
+
+    def render(self, transactions: Optional[Iterable[Transaction]] = None) -> str:
+        """Figure-4-style text rendering."""
+        rows = ["Index, X, Y, Z, E"]
+        rows.extend(t.as_row() for t in (transactions if transactions is not None else self))
+        return "\n".join(rows)
+
+
+def save_capture_csv(capture: PulseCapture, path) -> None:
+    """Write a capture to disk in the Figure 4 CSV layout."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(capture.render())
+        handle.write("\n")
+
+
+def load_capture_csv(path) -> PulseCapture:
+    """Read a capture previously written by :func:`save_capture_csv`."""
+    capture = PulseCapture()
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    if not lines:
+        raise CaptureError(f"empty capture file: {path}")
+    header = [col.strip().upper() for col in lines[0].split(",")]
+    if header != ["INDEX", "X", "Y", "Z", "E"]:
+        raise CaptureError(f"unexpected capture header {lines[0]!r}")
+    for line in lines[1:]:
+        fields = [field.strip() for field in line.split(",")]
+        if len(fields) != 5:
+            raise CaptureError(f"malformed capture row {line!r}")
+        try:
+            index, x, y, z, e = (int(field) for field in fields)
+        except ValueError as exc:
+            raise CaptureError(f"non-integer capture row {line!r}") from exc
+        capture.transactions.append(Transaction(index, x, y, z, e))
+    return capture

@@ -1,0 +1,23 @@
+"""The paper's VHDL sub-modules, re-created as event-driven components.
+
+Section IV-B names the framework's building blocks: a pulse-generation
+module, an edge-detection module, a homing-detection state machine, and a
+Trojan control module; Section V adds the axis-tracking counters and the
+UART export unit. Each lives in its own file here with the same role.
+"""
+
+from repro.core.modules.axis_tracker import AxisTracker
+from repro.core.modules.edge_detect import EdgeDetector
+from repro.core.modules.homing_detect import HomingDetector
+from repro.core.modules.pulse_gen import PulseGenerator
+from repro.core.modules.trojan_ctrl import TrojanControl
+from repro.core.modules.uart_export import UartExporter
+
+__all__ = [
+    "AxisTracker",
+    "EdgeDetector",
+    "HomingDetector",
+    "PulseGenerator",
+    "TrojanControl",
+    "UartExporter",
+]

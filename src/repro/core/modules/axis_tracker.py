@@ -1,0 +1,68 @@
+"""Axis-tracking module: signed step counters per motor.
+
+"This consists of a set of rising edge detectors and counters, which
+increment for each STEP rising edge when DIR dictated that the motors were
+moving in the positive direction and decrement when they moved negatively"
+(Section V-B). Counters are zeroed when the homing detector fires, so they
+represent absolute position within the build volume (in steps) and total
+extruded filament — the columns of Figure 4.
+
+The tracker taps the *upstream* (Arduino-side) wires: it records what the
+firmware commanded, which is exactly why it detects Trojans acting at or
+before the firmware (Flaw3D, dr0wned) — their edits are visible in the
+command stream itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.electronics.harness import SignalHarness
+from repro.electronics.pins import AXES
+
+
+class AxisTracker:
+    """Signed step counters for X/Y/Z/E, synchronised to homing."""
+
+    def __init__(self, harness: SignalHarness) -> None:
+        self.counts: Dict[str, int] = dict.fromkeys(AXES, 0)
+        self.armed = False
+        self.first_step_ns: int = -1
+        self._dir_wires = {axis: harness.upstream(f"{axis}_DIR") for axis in AXES}
+        self._first_step_listeners: List[Callable[[int], None]] = []
+        for axis in AXES:
+            harness.upstream(f"{axis}_STEP").on_pulse(self._make_handler(axis))
+
+    def _make_handler(self, axis: str):
+        dir_wire = self._dir_wires[axis]
+
+        def handle(_wire, time_ns: int, _width_ns: int) -> None:
+            if not self.armed:
+                return
+            self.counts[axis] += 1 if dir_wire.value else -1
+            if self.first_step_ns < 0:
+                self.first_step_ns = time_ns
+                for listener in list(self._first_step_listeners):
+                    listener(time_ns)
+
+        return handle
+
+    # ------------------------------------------------------------------
+    def arm(self, _time_ns: int = 0) -> None:
+        """Zero the counters and start counting (wired to the homed event)."""
+        self.counts = dict.fromkeys(AXES, 0)
+        self.first_step_ns = -1
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def on_first_step(self, callback: Callable[[int], None]) -> None:
+        """Subscribe to the first STEP edge after arming (UART sync point)."""
+        self._first_step_listeners.append(callback)
+        if self.first_step_ns >= 0:
+            callback(self.first_step_ns)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the current counters."""
+        return dict(self.counts)

@@ -1,0 +1,44 @@
+"""Edge-detection module.
+
+"Implements an edge detector to identify events such as print head movements
+or extrusions via observation of the STEP and DIR stepper motor driver
+signals ... or endstop actuation for homing detection" (Section IV-B). In
+this reproduction it is the uniform tap other modules build on: it counts
+rising edges / pulses on any wire and fans events out to listeners.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Union
+
+from repro.sim.signals import DigitalWire, Edge, StepWire
+
+
+class EdgeDetector:
+    """Counts and re-publishes rising events on one wire (STEP or level)."""
+
+    def __init__(self, wire: Union[StepWire, DigitalWire]) -> None:
+        self.wire = wire
+        self.rising_edges = 0
+        self.last_event_ns: int = -1
+        self._listeners: List[Callable[[int], None]] = []
+        if isinstance(wire, StepWire):
+            wire.on_pulse(self._on_pulse)
+        else:
+            wire.on_edge(self._on_edge, Edge.RISING)
+
+    def on_rising(self, callback: Callable[[int], None]) -> None:
+        """Subscribe ``callback(time_ns)`` to each rising event."""
+        self._listeners.append(callback)
+
+    def _on_pulse(self, _wire: StepWire, time_ns: int, _width_ns: int) -> None:
+        self._record(time_ns)
+
+    def _on_edge(self, _wire: DigitalWire, _value: int, time_ns: int) -> None:
+        self._record(time_ns)
+
+    def _record(self, time_ns: int) -> None:
+        self.rising_edges += 1
+        self.last_event_ns = time_ns
+        for listener in list(self._listeners):
+            listener(time_ns)

@@ -1,0 +1,64 @@
+"""Homing-detection state machine.
+
+"A state machine which tracks actuation of the endstops in a defined order to
+determine when the print head has homed. This is the first action taken at
+the start of print and can determine when to activate Trojans" (Section
+IV-B). The FSM expects the Marlin homing order X → Y → Z on the endstop
+signals; repeated actuations of an already-passed axis (back-off re-bumps)
+are ignored. Reaching the Z actuation declares the machine homed, which arms
+Trojans and resets the axis-tracking counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.electronics.harness import SignalHarness
+from repro.sim.signals import Edge
+
+_ORDER = ("X_MIN", "Y_MIN", "Z_MIN")
+
+
+class HomingDetector:
+    """Watches the endstop signals from the middle of the harness."""
+
+    def __init__(self, harness: SignalHarness) -> None:
+        self._stage = 0
+        self.homed = False
+        self.homed_at_ns: int = -1
+        self.homing_count = 0
+        self._listeners: List[Callable[[int], None]] = []
+        for index, name in enumerate(_ORDER):
+            harness.upstream(name).on_edge(
+                self._make_handler(index), Edge.RISING
+            )
+
+    def _make_handler(self, index: int):
+        def handle(_wire, _value: int, time_ns: int) -> None:
+            if self.homed:
+                return
+            if index == self._stage:
+                self._stage += 1
+                if self._stage == len(_ORDER):
+                    self._declare_homed(time_ns)
+
+        return handle
+
+    def _declare_homed(self, time_ns: int) -> None:
+        self.homed = True
+        self.homed_at_ns = time_ns
+        self.homing_count += 1
+        for listener in list(self._listeners):
+            listener(time_ns)
+
+    def on_homed(self, callback: Callable[[int], None]) -> None:
+        """Subscribe ``callback(time_ns)`` to the homed event."""
+        self._listeners.append(callback)
+        if self.homed:
+            callback(self.homed_at_ns)
+
+    def reset(self) -> None:
+        """Re-arm for the next print's homing sequence."""
+        self._stage = 0
+        self.homed = False
+        self.homed_at_ns = -1

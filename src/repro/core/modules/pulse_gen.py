@@ -1,0 +1,71 @@
+"""Pulse-generation module.
+
+"Handles the generation of pulses for the stepper motor drivers, and allows
+for the customization of both frequency and pulse width" (Section IV-B).
+Trojan T1 uses it to inject extra step pulses between the original control
+pulses; tests use it as a deterministic stimulus source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import OfframpsError
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class PulseGenerator:
+    """Emits a programmable train of pulses through a callback."""
+
+    def __init__(self, sim: Simulator, emit: Callable[[int], None]) -> None:
+        """``emit(width_ns)`` is invoked once per generated pulse."""
+        self.sim = sim
+        self._emit = emit
+        self._handle: Optional[EventHandle] = None
+        self._remaining = 0
+        self._interval_ns = 0
+        self._width_ns = 0
+        self.pulses_generated = 0
+        self.on_done: Optional[Callable[[], None]] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._remaining > 0
+
+    def burst(
+        self,
+        count: int,
+        frequency_hz: float,
+        width_ns: int = 2_000,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Generate ``count`` pulses at ``frequency_hz``."""
+        if self.busy:
+            raise OfframpsError("pulse generator is already running a burst")
+        if count <= 0 or frequency_hz <= 0:
+            raise OfframpsError("burst needs a positive count and frequency")
+        self._remaining = count
+        self._interval_ns = max(1, int(1e9 / frequency_hz))
+        self._width_ns = width_ns
+        self.on_done = on_done
+        self._handle = self.sim.schedule(self._interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        if self._remaining <= 0:
+            return
+        self._emit(self._width_ns)
+        self.pulses_generated += 1
+        self._remaining -= 1
+        if self._remaining > 0:
+            self._handle = self.sim.schedule(self._interval_ns, self._tick)
+        else:
+            self._handle = None
+            if self.on_done is not None:
+                self.on_done()
+
+    def stop(self) -> None:
+        """Abort an in-flight burst."""
+        self._remaining = 0
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

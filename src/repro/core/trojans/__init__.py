@@ -1,0 +1,61 @@
+"""The Table I Trojan suite.
+
+Nine Trojans spanning part modification (PM), denial of service (DoS), and
+destructive (D) classes — "the largest suite ever supported by a single
+platform". :data:`TROJAN_CLASSES` maps Table I identifiers to classes;
+:func:`make_trojan` builds one by id with optional parameter overrides.
+"""
+
+from typing import Dict, Type
+
+from repro.core.trojans.base import Trojan, TrojanCategory, TrojanContext
+from repro.core.trojans.t1_axis_shift import AxisShiftTrojan
+from repro.core.trojans.t2_extrusion_scale import ExtrusionScaleTrojan
+from repro.core.trojans.t3_retraction import RetractionTrojan
+from repro.core.trojans.t4_zwobble import ZWobbleTrojan
+from repro.core.trojans.t5_zshift import ZShiftTrojan
+from repro.core.trojans.t6_heater_dos import HeaterDosTrojan
+from repro.core.trojans.t7_thermal_runaway import ThermalRunawayTrojan
+from repro.core.trojans.t8_stepper_disable import StepperDisableTrojan
+from repro.core.trojans.t9_fan_control import FanControlTrojan
+
+TROJAN_CLASSES: Dict[str, Type[Trojan]] = {
+    "T1": AxisShiftTrojan,
+    "T2": ExtrusionScaleTrojan,
+    "T3": RetractionTrojan,
+    "T4": ZWobbleTrojan,
+    "T5": ZShiftTrojan,
+    "T6": HeaterDosTrojan,
+    "T7": ThermalRunawayTrojan,
+    "T8": StepperDisableTrojan,
+    "T9": FanControlTrojan,
+}
+
+
+def make_trojan(trojan_id: str, **params) -> Trojan:
+    """Instantiate a Table I Trojan by its identifier."""
+    try:
+        cls = TROJAN_CLASSES[trojan_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown trojan {trojan_id!r}; expected one of {sorted(TROJAN_CLASSES)}"
+        ) from None
+    return cls(**params)
+
+
+__all__ = [
+    "AxisShiftTrojan",
+    "ExtrusionScaleTrojan",
+    "FanControlTrojan",
+    "HeaterDosTrojan",
+    "RetractionTrojan",
+    "StepperDisableTrojan",
+    "TROJAN_CLASSES",
+    "ThermalRunawayTrojan",
+    "Trojan",
+    "TrojanCategory",
+    "TrojanContext",
+    "ZShiftTrojan",
+    "ZWobbleTrojan",
+    "make_trojan",
+]

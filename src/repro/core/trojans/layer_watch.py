@@ -1,0 +1,48 @@
+"""Layer-change watcher: shared trigger logic for the Z-keyed Trojans.
+
+A layer change, seen from the harness, is the first upward Z step that
+follows meaningful X/Y activity since the previous Z motion — a 0.3 mm layer
+move is ~120 Z steps, but it must count as *one* event. T4 (Z-wobble) and
+T5 (Z shift) both trigger on these events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.electronics.harness import SignalHarness
+
+_MIN_XY_STEPS_BETWEEN_LAYERS = 400  # ~4 mm of motion: filters micro-jogs
+
+
+class LayerChangeWatcher:
+    """Fires a callback once per observed layer change."""
+
+    def __init__(self, harness: SignalHarness, gate: Callable[[], bool]) -> None:
+        """``gate()`` must return True for events to fire (e.g. homed)."""
+        self._gate = gate
+        self._xy_steps_since_z = 0
+        self.layer_events = 0
+        self._listeners: List[Callable[[int], None]] = []
+        self._z_dir = harness.upstream("Z_DIR")
+        harness.upstream("Z_STEP").on_pulse(self._on_z_step)
+        harness.upstream("X_STEP").on_pulse(self._on_xy_step)
+        harness.upstream("Y_STEP").on_pulse(self._on_xy_step)
+
+    def on_layer_change(self, callback: Callable[[int], None]) -> None:
+        """Subscribe ``callback(time_ns)`` to layer-change events."""
+        self._listeners.append(callback)
+
+    def _on_xy_step(self, _wire, _time_ns: int, _width_ns: int) -> None:
+        self._xy_steps_since_z += 1
+
+    def _on_z_step(self, _wire, time_ns: int, _width_ns: int) -> None:
+        moved_enough = self._xy_steps_since_z >= _MIN_XY_STEPS_BETWEEN_LAYERS
+        self._xy_steps_since_z = 0
+        if not moved_enough or not self._gate():
+            return
+        if self._z_dir.value != 1:
+            return  # layer changes go up
+        self.layer_events += 1
+        for listener in list(self._listeners):
+            listener(time_ns)

@@ -1,0 +1,81 @@
+"""Trojan T1 — random X/Y axis shifts ("Loose Belt").
+
+"Implements an arbitrary shift along the X and Y axes every ten seconds ...
+The FPGA allows injection of stepper motor pulses in between the original
+control pulses, causing longer travel motions of the print head. This effect
+is used by the Trojan to add extra steps without adding extra print time."
+
+The Trojan is pure *injection*: the original pulse stream passes untouched
+while a pulse-generator burst adds extra steps in whatever direction the DIR
+line currently holds — so the shift direction is effectively arbitrary, as
+in the paper's print.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.modules.pulse_gen import PulseGenerator
+from repro.core.trojans.base import Trojan, TrojanCategory
+from repro.sim.kernel import PeriodicTask
+from repro.sim.time import S
+
+
+class AxisShiftTrojan(Trojan):
+    """Inject extra X/Y step pulses on a fixed period after homing."""
+
+    trojan_id = "T1"
+    category = TrojanCategory.PART_MODIFICATION
+    scenario = "Loose Belt"
+    effect = "Randomly changes steps from X or Y axis during print"
+
+    def __init__(
+        self,
+        period_s: float = 10.0,
+        min_shift_steps: int = 30,
+        max_shift_steps: int = 90,
+        injection_rate_hz: float = 20_000.0,
+    ) -> None:
+        super().__init__()
+        self.period_s = period_s
+        self.min_shift_steps = min_shift_steps
+        self.max_shift_steps = max_shift_steps
+        self.injection_rate_hz = injection_rate_hz
+        self.shifts_injected = 0
+        self.steps_injected = 0
+        self._task: Optional[PeriodicTask] = None
+        self._generator: Optional[PulseGenerator] = None
+
+    def _on_attach(self) -> None:
+        self.ctx.homing.on_homed(self._homed)
+
+    def _homed(self, _time_ns: int) -> None:
+        if self.active and self._task is None:
+            self._task = self.ctx.sim.every(int(self.period_s * S), self._fire)
+
+    def _on_activate(self) -> None:
+        if self.ctx.homing.homed and self._task is None:
+            self._task = self.ctx.sim.every(int(self.period_s * S), self._fire)
+
+    def _on_deactivate(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        if self._generator is not None:
+            self._generator.stop()
+
+    def _fire(self) -> None:
+        if not self.active:
+            return
+        if self._generator is not None and self._generator.busy:
+            return  # previous burst still draining
+        axis = self.rng.choice(("X", "Y"))
+        count = self.rng.randint(self.min_shift_steps, self.max_shift_steps)
+        signal = f"{axis}_STEP"
+        board = self.ctx.board
+        self._generator = PulseGenerator(
+            self.ctx.sim, lambda width: board.inject_pulse(signal, width)
+        )
+        self._generator.burst(count, self.injection_rate_hz)
+        self.shifts_injected += 1
+        self.steps_injected += count

@@ -1,0 +1,78 @@
+"""Trojan T4 — emulated Z-wobble.
+
+"Z-wobble is a common build issue with 3D printers, where the frame holding
+the Z-axis is not rigid; thus, the print head can shift during printing.
+Trojan T4 emulates this error by adding steps on one axis during printing
+causing layer shifts" — "small shift along X and Y axis on random Z layer
+increments" (Table I).
+
+A :class:`~repro.core.trojans.layer_watch.LayerChangeWatcher` detects layer
+changes from the Z/XY step streams; on each one the Trojan flips a (seeded)
+coin and, on success, injects a small X or Y burst.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.modules.pulse_gen import PulseGenerator
+from repro.core.trojans.base import Trojan, TrojanCategory
+from repro.core.trojans.layer_watch import LayerChangeWatcher
+
+
+class ZWobbleTrojan(Trojan):
+    """Random small X/Y shifts at layer changes."""
+
+    trojan_id = "T4"
+    category = TrojanCategory.PART_MODIFICATION
+    scenario = "Z-Wobble"
+    effect = "Small Shift along X and Y axis on random Z layer increments"
+
+    def __init__(
+        self,
+        probability: float = 0.5,
+        min_shift_steps: int = 25,
+        max_shift_steps: int = 60,
+        injection_rate_hz: float = 20_000.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.min_shift_steps = min_shift_steps
+        self.max_shift_steps = max_shift_steps
+        self.injection_rate_hz = injection_rate_hz
+        self.shifts_injected = 0
+        self._watcher: Optional[LayerChangeWatcher] = None
+        self._generator: Optional[PulseGenerator] = None
+
+    @property
+    def layer_events_seen(self) -> int:
+        return self._watcher.layer_events if self._watcher is not None else 0
+
+    def _on_attach(self) -> None:
+        self._watcher = LayerChangeWatcher(
+            self.ctx.harness, gate=lambda: self.ctx.homing.homed
+        )
+        self._watcher.on_layer_change(self._layer_change)
+
+    def _layer_change(self, _time_ns: int) -> None:
+        if not self.active:
+            return
+        if self.rng.random() >= self.probability:
+            return
+        if self._generator is not None and self._generator.busy:
+            return
+        axis = self.rng.choice(("X", "Y"))
+        count = self.rng.randint(self.min_shift_steps, self.max_shift_steps)
+        signal = f"{axis}_STEP"
+        board = self.ctx.board
+        self._generator = PulseGenerator(
+            self.ctx.sim, lambda width: board.inject_pulse(signal, width)
+        )
+        self._generator.burst(count, self.injection_rate_hz)
+        self.shifts_injected += 1
+
+    def _on_deactivate(self) -> None:
+        if self._generator is not None:
+            self._generator.stop()

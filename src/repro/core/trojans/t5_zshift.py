@@ -1,0 +1,83 @@
+"""Trojan T5 — Z-layer shift / delamination.
+
+"Causes an arbitrarily sized shift on the Z-axis, causing poor layer adhesion
+or, in severe cases, layer delamination. This mimics improper slicing
+settings if the layer spacing is modified throughout the print, and poor
+hardware setup if a shift is done at the start of print."
+
+At the configured layer change the Trojan injects extra upward Z pulses: the
+physical nozzle rises above where the firmware believes it is, so the layer
+deposited after the shift sits above an opened gap — delamination.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.modules.pulse_gen import PulseGenerator
+from repro.core.trojans.base import Trojan, TrojanCategory
+from repro.core.trojans.layer_watch import LayerChangeWatcher
+
+
+class ZShiftTrojan(Trojan):
+    """Inject an extra Z rise at one (or every Nth) layer change."""
+
+    trojan_id = "T5"
+    category = TrojanCategory.PART_MODIFICATION
+    scenario = "Incorrect Slicing"
+    effect = "Layer delamination via Z-layer shift"
+
+    def __init__(
+        self,
+        at_layer: int = 2,
+        extra_z_mm: float = 0.35,
+        repeat_every: Optional[int] = None,
+        injection_rate_hz: float = 2_000.0,
+    ) -> None:
+        super().__init__()
+        if at_layer < 1:
+            raise ValueError("at_layer must be >= 1")
+        if extra_z_mm <= 0:
+            raise ValueError("extra_z_mm must be positive")
+        self.at_layer = at_layer
+        self.extra_z_mm = extra_z_mm
+        self.repeat_every = repeat_every
+        self.injection_rate_hz = injection_rate_hz
+        self.shifts_injected = 0
+        self._watcher: Optional[LayerChangeWatcher] = None
+        self._generator: Optional[PulseGenerator] = None
+
+    @property
+    def layer_events_seen(self) -> int:
+        return self._watcher.layer_events if self._watcher is not None else 0
+
+    def _on_attach(self) -> None:
+        self._watcher = LayerChangeWatcher(
+            self.ctx.harness, gate=lambda: self.ctx.homing.homed
+        )
+        self._watcher.on_layer_change(self._layer_change)
+
+    def _layer_change(self, _time_ns: int) -> None:
+        if not self.active:
+            return
+        layer = self._watcher.layer_events
+        fire = layer == self.at_layer
+        if self.repeat_every and layer > self.at_layer:
+            fire = (layer - self.at_layer) % self.repeat_every == 0
+        if not fire:
+            return
+        if self._generator is not None and self._generator.busy:
+            return
+        # DIR is already "up" at a layer change; the injected pulses ride it.
+        # 400 steps/mm is the Z drivetrain fact shared with the plant profile.
+        count = max(1, int(self.extra_z_mm * 400))
+        board = self.ctx.board
+        self._generator = PulseGenerator(
+            self.ctx.sim, lambda width: board.inject_pulse("Z_STEP", width)
+        )
+        self._generator.burst(count, self.injection_rate_hz)
+        self.shifts_injected += 1
+
+    def _on_deactivate(self) -> None:
+        if self._generator is not None:
+            self._generator.stop()

@@ -1,0 +1,50 @@
+"""Trojan T6 — heater denial of service.
+
+"This Trojan was observed to successfully turn off the PID controlled
+MOSFETs employed in providing power to the heating elements, causing the
+Marlin firmware to enter an error state and end the print prematurely."
+
+The D10 (hotend) and/or D8 (bed) gate signals are intercepted and forced to
+zero duty. The firmware keeps commanding heat, sees no temperature rise, and
+its heating watchdog kills the print — the denial of service.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.board import TrojanAction
+from repro.core.trojans.base import Trojan, TrojanCategory
+from repro.electronics.harness import SignalPath
+
+_SIGNAL_FOR = {"hotend": "D10_HOTEND", "bed": "D8_BED"}
+
+
+class HeaterDosTrojan(Trojan):
+    """Force heater MOSFET gates off regardless of firmware commands."""
+
+    trojan_id = "T6"
+    category = TrojanCategory.DENIAL_OF_SERVICE
+    scenario = "Hardware Failure"
+    effect = "Denial of service via disabling D8/D10 heating element power"
+
+    def __init__(self, targets: Tuple[str, ...] = ("hotend",)) -> None:
+        super().__init__()
+        for target in targets:
+            if target not in _SIGNAL_FOR:
+                raise ValueError(f"unknown heater target {target!r}")
+        self.targets = tuple(targets)
+        self.signals_intercepted = tuple(_SIGNAL_FOR[t] for t in targets)
+        self.duty_updates_blocked = 0
+
+    def _on_activate(self) -> None:
+        for signal in self.signals_intercepted:
+            self.ctx.board.inject_level(signal, 0.0)
+
+    def on_event(
+        self, path: SignalPath, kind: str, value: float, time_ns: int
+    ) -> Optional[TrojanAction]:
+        if not self.active:
+            return None
+        self.duty_updates_blocked += 1
+        return TrojanAction.replace(0.0)

@@ -1,0 +1,64 @@
+"""Trojan T7 — forced thermal runaway (destructive).
+
+"Trojan T7 forces the heated elements to continue heating regardless of the
+firmware temperature control. By implementing this Trojan in hardware we are
+not only able to force overheating, but also able to ignore the firmware's
+thermal runaway panic and continue heating the elements. ... the MOSFETs are
+fully turned on at a 100% duty cycle, the temperature of the hot-end was
+observed to rise extremely fast, passing the intended temperature within a
+few seconds of activation."
+
+Every firmware duty update on the intercepted gate is replaced with 100%,
+and activation immediately drives the gate on. The firmware's MAXTEMP panic
+fires and *its* kill() zeroes the upstream signal — which this Trojan also
+replaces, so the physical heater never turns off and the plant records a
+damage event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.board import TrojanAction
+from repro.core.trojans.base import Trojan, TrojanCategory
+from repro.electronics.harness import SignalPath
+
+_SIGNAL_FOR = {"hotend": "D10_HOTEND", "bed": "D8_BED"}
+
+
+class ThermalRunawayTrojan(Trojan):
+    """Permanently enable heater MOSFETs at 100% duty."""
+
+    trojan_id = "T7"
+    category = TrojanCategory.DESTRUCTIVE
+    scenario = "Hardware Failure"
+    effect = (
+        "Forcing thermal runaway and permanently enabling heating elements"
+    )
+
+    def __init__(self, targets: Tuple[str, ...] = ("hotend",)) -> None:
+        super().__init__()
+        for target in targets:
+            if target not in _SIGNAL_FOR:
+                raise ValueError(f"unknown heater target {target!r}")
+        self.targets = tuple(targets)
+        self.signals_intercepted = tuple(_SIGNAL_FOR[t] for t in targets)
+        self.firmware_commands_overridden = 0
+
+    def _on_activate(self) -> None:
+        for signal in self.signals_intercepted:
+            self.ctx.board.inject_level(signal, 1.0)
+
+    def _on_deactivate(self) -> None:
+        # Restore whatever the firmware is currently commanding.
+        for signal in self.signals_intercepted:
+            upstream = self.ctx.harness.upstream(signal)
+            self.ctx.board.inject_level(signal, upstream.duty)
+
+    def on_event(
+        self, path: SignalPath, kind: str, value: float, time_ns: int
+    ) -> Optional[TrojanAction]:
+        if not self.active:
+            return None
+        self.firmware_commands_overridden += 1
+        return TrojanAction.replace(1.0)

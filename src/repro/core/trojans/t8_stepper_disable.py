@@ -1,0 +1,94 @@
+"""Trojan T8 — stepper driver denial of service.
+
+"Each stepper motor driver has an input signal *_EN which determines if the
+motor is engaged and able to be moved. By actuating this signal throughout
+the print we can disable stepper motor movements strategically to fail a
+print."
+
+After homing, the Trojan periodically forces the targeted axes' EN lines
+high (A4988 enable is active low) for a window; step pulses arriving during
+the window are lost by the physical driver, desynchronising the true head
+position from the firmware's and wrecking the part.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.board import TrojanAction
+from repro.core.trojans.base import Trojan, TrojanCategory
+from repro.electronics.harness import SignalPath
+from repro.sim.kernel import PeriodicTask
+from repro.sim.time import S
+
+
+class StepperDisableTrojan(Trojan):
+    """Periodically disable selected stepper drivers mid-print."""
+
+    trojan_id = "T8"
+    category = TrojanCategory.DENIAL_OF_SERVICE
+    scenario = "Hardware Failure"
+    effect = "Arbitrarily deactivating stepper motors via EN signals"
+
+    def __init__(
+        self,
+        axes: Tuple[str, ...] = ("X", "Y"),
+        period_s: float = 8.0,
+        outage_s: float = 1.5,
+    ) -> None:
+        super().__init__()
+        if outage_s >= period_s:
+            raise ValueError("outage must be shorter than the period")
+        self.axes = tuple(axes)
+        self.signals_intercepted = tuple(f"{axis}_EN" for axis in axes)
+        self.period_s = period_s
+        self.outage_s = outage_s
+        self.outages = 0
+        self._override = False
+        self._task: Optional[PeriodicTask] = None
+
+    def _on_attach(self) -> None:
+        self.ctx.homing.on_homed(self._homed)
+
+    def _homed(self, _time_ns: int) -> None:
+        self._maybe_start()
+
+    def _on_activate(self) -> None:
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self.active and self.ctx.homing.homed and self._task is None:
+            self._task = self.ctx.sim.every(int(self.period_s * S), self._begin_outage)
+
+    def _begin_outage(self) -> None:
+        if not self.active:
+            return
+        self._override = True
+        self.outages += 1
+        for signal in self.signals_intercepted:
+            self.ctx.board.inject_level(signal, 1.0)  # disable (active low)
+        self.ctx.sim.schedule(int(self.outage_s * S), self._end_outage)
+
+    def _end_outage(self) -> None:
+        self._override = False
+        if not self.active:
+            return
+        for signal in self.signals_intercepted:
+            upstream = self.ctx.harness.upstream(signal)
+            self.ctx.board.inject_level(signal, upstream.value)
+
+    def _on_deactivate(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        if self._override:
+            self._end_outage()
+
+    def on_event(
+        self, path: SignalPath, kind: str, value: float, time_ns: int
+    ) -> Optional[TrojanAction]:
+        if not self.active:
+            return None
+        if self._override:
+            return TrojanAction.replace(1.0)  # hold disabled during an outage
+        return None

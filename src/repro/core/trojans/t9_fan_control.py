@@ -1,0 +1,70 @@
+"""Trojan T9 — part-cooling fan sabotage.
+
+"Trojan T9 affects the part-cooling fan on the printer and causes either
+over- or under-cooling during printing. ... Print quality can be degraded by
+either over- or under-cooling. It can fail if excessively cooled at the first
+layer causing it to pull off the build plate." Table I's variant arbitrarily
+*reduces* fan speed mid-print.
+
+After an arm delay following homing, every firmware duty update on D9 is
+scaled by ``scale`` (< 1 under-cools, > 1 over-cools, clamped to 1.0 by the
+wire), and the current duty is rewritten at engagement so the sabotage takes
+effect immediately, not only at the next M106.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.board import TrojanAction
+from repro.core.trojans.base import Trojan, TrojanCategory
+from repro.electronics.harness import SignalPath
+from repro.sim.time import S
+
+
+class FanControlTrojan(Trojan):
+    """Scale the part-cooling fan duty mid-print."""
+
+    trojan_id = "T9"
+    category = TrojanCategory.PART_MODIFICATION
+    scenario = "Hardware Failure"
+    effect = "Arbitrarily reducing part fan speed mid-print"
+    signals_intercepted = ("D9_FAN",)
+
+    def __init__(self, scale: float = 0.15, arm_delay_s: float = 15.0) -> None:
+        super().__init__()
+        if scale < 0:
+            raise ValueError("scale cannot be negative")
+        self.scale = scale
+        self.arm_delay_s = arm_delay_s
+        self.engaged = False
+        self.engagements = 0  # persists across deactivation (for scoring)
+        self.duty_updates_scaled = 0
+
+    def _on_attach(self) -> None:
+        self.ctx.homing.on_homed(self._homed)
+
+    def _homed(self, _time_ns: int) -> None:
+        self.ctx.sim.schedule(int(self.arm_delay_s * S), self._engage)
+
+    def _engage(self) -> None:
+        if not self.active or self.engaged:
+            return
+        self.engaged = True
+        self.engagements += 1
+        current = self.ctx.harness.upstream("D9_FAN").duty
+        self.ctx.board.inject_level("D9_FAN", current * self.scale)
+
+    def _on_deactivate(self) -> None:
+        if self.engaged:
+            current = self.ctx.harness.upstream("D9_FAN").duty
+            self.ctx.board.inject_level("D9_FAN", current)
+            self.engaged = False
+
+    def on_event(
+        self, path: SignalPath, kind: str, value: float, time_ns: int
+    ) -> Optional[TrojanAction]:
+        if not self.active or not self.engaged:
+            return None
+        self.duty_updates_scaled += 1
+        return TrojanAction.replace(value * self.scale)

@@ -1,0 +1,36 @@
+"""Trojan detection: golden-model comparison of pulse captures.
+
+Implements the paper's Section V-C strategy: compare each transaction of a
+captured print against a known-good ("golden") capture with a 5 % margin of
+error (absorbing the "time noise" of asynchronous execution), then apply a
+final end-of-print check with a 0 % margin — the correct total number of
+steps must have been counted on each axis. A streaming variant raises the
+alarm mid-print so a job can be halted early.
+
+Also provided: goldens derived from simulation (:mod:`simgolden`) and an
+emulated lossy side-channel baseline (:mod:`baselines`) for comparing the
+platform against the prior detection literature.
+"""
+
+from repro.detection.baselines import (
+    SideChannelDetector,
+    SideChannelModel,
+    SideChannelReport,
+)
+from repro.detection.comparator import CaptureComparator, Mismatch
+from repro.detection.golden import GoldenStore
+from repro.detection.realtime import StreamingDetector
+from repro.detection.report import DetectionReport
+from repro.detection.simgolden import golden_from_simulation
+
+__all__ = [
+    "CaptureComparator",
+    "DetectionReport",
+    "GoldenStore",
+    "Mismatch",
+    "SideChannelDetector",
+    "SideChannelModel",
+    "SideChannelReport",
+    "StreamingDetector",
+    "golden_from_simulation",
+]

@@ -1,0 +1,212 @@
+"""Baseline detector: an emulated lossy side-channel.
+
+The paper positions OFFRAMPS against prior detection work built on lossy
+side-channels (acoustic, power, electromagnetic): "The OFFRAMPS, by
+connecting directly to control signals, is uniquely able to modify or analyze
+prints with no loss of data." This module makes that comparison quantitative
+by emulating what a power-style side-channel sees (per-motor current shunts,
+as in the actuator-power-signature work the paper cites) and running the same
+golden-comparison strategy over it.
+
+The emulation degrades the lossless transaction stream the way the physical
+channel does:
+
+* **magnitude only** — power scales with motor *activity*; direction is
+  lost, so the per-window observable per motor is its unsigned step count;
+* **additive noise** — sensor and ambient noise proportional to the signal
+  plus a floor. The cited power-side-channel study needed *forty repetitions
+  of each print* to average this out; :class:`SideChannelModel.repetitions`
+  models that averaging (and its cost);
+* **quantisation** — bounded effective resolution.
+
+The resulting detector catches gross attacks (50 % flow reduction shows up
+as a halved E-channel signature) but cannot reach the margins the lossless
+counts support — the stealthy 2 % reduction hides below its calibrated
+threshold, while OFFRAMPS' exact counts catch it with the 0 %-margin final
+check. The benchmark asserts exactly that separation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.capture import COLUMNS, Transaction
+from repro.errors import DetectionError
+
+
+@dataclass(frozen=True)
+class SideChannelModel:
+    """Fidelity parameters of the emulated side-channel."""
+
+    noise_fraction: float = 0.05  # sigma as a fraction of window activity
+    noise_floor: float = 5.0  # sigma floor, in step-equivalents
+    quantization_steps: float = 10.0  # effective resolution
+    repetitions: int = 8  # prints averaged per observation (noise / sqrt(n))
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.noise_fraction < 0 or self.noise_floor < 0:
+            raise DetectionError("side-channel noise parameters must be >= 0")
+        if self.quantization_steps <= 0:
+            raise DetectionError("quantization must be positive")
+        if self.repetitions < 1:
+            raise DetectionError("repetitions must be >= 1")
+
+
+def activity_profiles(
+    transactions: Sequence[Transaction],
+) -> Dict[str, List[float]]:
+    """Per-motor unsigned step activity per window.
+
+    This is the *ideal* observable a per-shunt power channel could hope to
+    recover: |delta counts| for each motor in each transaction window.
+    """
+    txns = list(transactions)
+    if not txns:
+        raise DetectionError("cannot profile an empty capture")
+    profiles: Dict[str, List[float]] = {column: [] for column in COLUMNS}
+    prev = Transaction(0, 0, 0, 0, 0)
+    for txn in txns:
+        for column in COLUMNS:
+            profiles[column].append(float(abs(txn.value(column) - prev.value(column))))
+        prev = txn
+    return profiles
+
+
+def observe(
+    transactions: Sequence[Transaction], model: SideChannelModel
+) -> Dict[str, List[float]]:
+    """Degrade the ideal activity profiles through the side-channel model.
+
+    Each window value is the average of ``model.repetitions`` independent
+    noisy measurements, then quantised — the repetition-averaging workflow of
+    the power-signature detection the paper discusses.
+    """
+    rng = random.Random(model.seed)
+    observed: Dict[str, List[float]] = {}
+    for column, profile in activity_profiles(transactions).items():
+        channel: List[float] = []
+        for activity in profile:
+            sigma = max(model.noise_floor, activity * model.noise_fraction)
+            total = 0.0
+            for _ in range(model.repetitions):
+                total += activity + rng.gauss(0.0, sigma)
+            mean = total / model.repetitions
+            quantised = (
+                round(mean / model.quantization_steps) * model.quantization_steps
+            )
+            channel.append(max(0.0, quantised))
+        observed[column] = channel
+    return observed
+
+
+@dataclass
+class SideChannelReport:
+    """Outcome of a side-channel golden comparison."""
+
+    windows_compared: int
+    anomalous_windows: int
+    largest_relative_diff: float
+    threshold: float
+    worst_channel: str = ""
+
+    @property
+    def trojan_likely(self) -> bool:
+        return self.anomalous_windows > 0
+
+    def summary(self) -> str:
+        verdict = "TROJAN" if self.trojan_likely else "clean"
+        return (
+            f"{verdict}: {self.anomalous_windows}/{self.windows_compared} anomalous "
+            f"windows, max diff {self.largest_relative_diff * 100:.1f}% "
+            f"on {self.worst_channel or '-'} (threshold {self.threshold * 100:.0f}%)"
+        )
+
+
+class SideChannelDetector:
+    """Golden-comparison detection over the emulated side-channel.
+
+    Only windows where the golden channel shows meaningful activity are
+    compared (idle windows are pure noise). The threshold must sit above the
+    channel's own noise — calibrate with :meth:`calibrate_threshold` on two
+    clean observations — which is exactly why this baseline cannot reach the
+    margins the lossless counts allow.
+    """
+
+    def __init__(
+        self,
+        model: SideChannelModel = SideChannelModel(),
+        threshold: float = 0.3,
+        min_activity: float = 50.0,
+    ) -> None:
+        self.model = model
+        self.threshold = threshold
+        self.min_activity = min_activity
+
+    def _with_seed(self, seed: int) -> SideChannelModel:
+        return SideChannelModel(
+            self.model.noise_fraction,
+            self.model.noise_floor,
+            self.model.quantization_steps,
+            self.model.repetitions,
+            seed,
+        )
+
+    def calibrate_threshold(
+        self,
+        golden: Sequence[Transaction],
+        control: Sequence[Transaction],
+        headroom: float = 1.5,
+    ) -> float:
+        """Set the threshold from the clean-vs-clean observation noise."""
+        worst, _ = self._worst_diff(
+            observe(golden, self.model),
+            observe(control, self._with_seed(self.model.seed + 1)),
+        )
+        self.threshold = worst * headroom
+        return self.threshold
+
+    def compare(
+        self,
+        golden: Sequence[Transaction],
+        suspect: Sequence[Transaction],
+        suspect_seed_offset: int = 7,
+    ) -> SideChannelReport:
+        golden_obs = observe(golden, self.model)
+        suspect_obs = observe(suspect, self._with_seed(self.model.seed + suspect_seed_offset))
+        compared = min(len(golden_obs["X"]), len(suspect_obs["X"]))
+        anomalous = 0
+        largest = 0.0
+        worst_channel = ""
+        for column in COLUMNS:
+            for g, s in zip(
+                golden_obs[column][:compared], suspect_obs[column][:compared]
+            ):
+                if g < self.min_activity:
+                    continue
+                diff = abs(s - g) / g
+                if diff > largest:
+                    largest, worst_channel = diff, column
+                if diff > self.threshold:
+                    anomalous += 1
+        return SideChannelReport(
+            windows_compared=compared,
+            anomalous_windows=anomalous,
+            largest_relative_diff=largest,
+            threshold=self.threshold,
+            worst_channel=worst_channel,
+        )
+
+    def _worst_diff(self, golden_obs, suspect_obs) -> tuple:
+        worst = 0.0
+        channel = ""
+        for column in COLUMNS:
+            for g, s in zip(golden_obs[column], suspect_obs[column]):
+                if g < self.min_activity:
+                    continue
+                diff = abs(s - g) / g
+                if diff > worst:
+                    worst, channel = diff, column
+        return worst, channel

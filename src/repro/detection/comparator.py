@@ -1,0 +1,141 @@
+"""The transaction comparator: 5 % margin + final 0 % check.
+
+"A Python script compares a newly captured print against a 'golden' model.
+Should a mismatch outside of the 5% margin of error occur the transaction
+number and mismatching values are printed. At the termination of the capture
+file the script then gives a report stating the total number of mismatches,
+the greatest error found, and the total number of captured transactions."
+
+The per-transaction relative difference uses the golden value as reference
+with a small absolute floor, so early transactions (tiny counts) do not
+produce spurious percentage blow-ups. The end-of-print check compares final
+totals exactly — the 0 % margin that catches arbitrarily small reductions
+(Table II case 4's 2 % starvation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.capture import COLUMNS, PulseCapture, Transaction
+from repro.detection.report import DetectionReport
+from repro.errors import DetectionError
+
+DEFAULT_MARGIN = 0.05
+"""The paper's 5 % margin of error."""
+
+DEFAULT_FLOOR_STEPS = 400
+"""Absolute denominator floor (steps) for the relative comparison."""
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One out-of-margin transaction entry."""
+
+    index: int
+    column: str
+    golden_value: int
+    suspect_value: int
+    percent_diff: float
+
+    def render(self) -> str:
+        return (
+            f"Index: {self.index}, Column: {self.column}, "
+            f"Values: {self.golden_value}, {self.suspect_value}"
+        )
+
+
+class CaptureComparator:
+    """Compares a suspect capture against a golden capture."""
+
+    def __init__(
+        self,
+        margin: float = DEFAULT_MARGIN,
+        floor_steps: int = DEFAULT_FLOOR_STEPS,
+        final_check: bool = True,
+    ) -> None:
+        if not 0.0 <= margin < 1.0:
+            raise DetectionError(f"margin must be in [0, 1), got {margin}")
+        if floor_steps < 1:
+            raise DetectionError("floor_steps must be >= 1")
+        self.margin = margin
+        self.floor_steps = floor_steps
+        self.final_check = final_check
+
+    # ------------------------------------------------------------------
+    def percent_diff(self, golden_value: int, suspect_value: int) -> float:
+        """Relative difference against the golden reference (floored)."""
+        denom = max(abs(golden_value), self.floor_steps)
+        return abs(suspect_value - golden_value) / denom
+
+    def compare_transaction(
+        self, golden: Transaction, suspect: Transaction
+    ) -> List[Mismatch]:
+        """Out-of-margin columns for one aligned transaction pair."""
+        mismatches: List[Mismatch] = []
+        for column in COLUMNS:
+            g, s = golden.value(column), suspect.value(column)
+            diff = self.percent_diff(g, s)
+            if diff > self.margin:
+                mismatches.append(Mismatch(golden.index, column, g, s, diff * 100.0))
+        return mismatches
+
+    # ------------------------------------------------------------------
+    def compare(
+        self,
+        golden: Sequence[Transaction],
+        suspect: Sequence[Transaction],
+    ) -> DetectionReport:
+        """Full comparison: per-transaction margin pass + final exact check."""
+        golden_list = list(golden)
+        suspect_list = list(suspect)
+        if not golden_list:
+            raise DetectionError("golden capture is empty")
+        if not suspect_list:
+            raise DetectionError("suspect capture is empty")
+
+        compared = min(len(golden_list), len(suspect_list))
+        mismatches: List[Mismatch] = []
+        largest = 0.0
+        for g, s in zip(golden_list[:compared], suspect_list[:compared]):
+            for column in COLUMNS:
+                diff = self.percent_diff(g.value(column), s.value(column))
+                largest = max(largest, diff * 100.0)
+                if diff > self.margin:
+                    mismatches.append(
+                        Mismatch(g.index, column, g.value(column), s.value(column), diff * 100.0)
+                    )
+
+        final_mismatches: List[Mismatch] = []
+        if self.final_check:
+            g_final, s_final = golden_list[-1], suspect_list[-1]
+            for column in COLUMNS:
+                if g_final.value(column) != s_final.value(column):
+                    final_mismatches.append(
+                        Mismatch(
+                            g_final.index,
+                            column,
+                            g_final.value(column),
+                            s_final.value(column),
+                            self.percent_diff(
+                                g_final.value(column), s_final.value(column)
+                            )
+                            * 100.0,
+                        )
+                    )
+
+        return DetectionReport(
+            margin_percent=self.margin * 100.0,
+            transactions_compared=compared,
+            mismatches=mismatches,
+            final_mismatches=final_mismatches,
+            largest_percent_diff=largest,
+            golden_length=len(golden_list),
+            suspect_length=len(suspect_list),
+        )
+
+    def compare_captures(
+        self, golden: PulseCapture, suspect: PulseCapture
+    ) -> DetectionReport:
+        return self.compare(golden.transactions, suspect.transactions)

@@ -1,0 +1,57 @@
+"""Golden-model store: validated reference captures.
+
+"(1) a 'golden' model is captured by verifying a set of g-code ... (2) Once
+assured, the pulse profile can be used as a point of comparison for future
+prints." The store keys golden captures by part name and persists them in
+the Figure 4 CSV layout so goldens survive across sessions (or can come from
+a separately validated simulation run, as the paper notes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.core.capture import PulseCapture, load_capture_csv, save_capture_csv
+from repro.errors import DetectionError
+
+
+class GoldenStore:
+    """In-memory (and optionally on-disk) registry of golden captures."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._captures: Dict[str, PulseCapture] = {}
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._load_existing(directory)
+
+    def _load_existing(self, directory: str) -> None:
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".golden.csv"):
+                key = name[: -len(".golden.csv")]
+                self._captures[key] = load_capture_csv(os.path.join(directory, name))
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, capture: PulseCapture) -> None:
+        """Store a validated capture as the golden model for ``name``."""
+        if not len(capture):
+            raise DetectionError(f"refusing to register empty golden capture {name!r}")
+        self._captures[name] = capture
+        if self.directory is not None:
+            save_capture_csv(capture, self._path(name))
+
+    def get(self, name: str) -> PulseCapture:
+        try:
+            return self._captures[name]
+        except KeyError:
+            raise DetectionError(f"no golden capture registered for {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._captures
+
+    def names(self) -> List[str]:
+        return sorted(self._captures)
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, f"{name}.golden.csv")

@@ -1,0 +1,63 @@
+"""Streaming detection: flag Trojans while the print is still running.
+
+"This analysis can also be done in real-time while printing, enabling a user
+to halt a print as soon as a Trojan is suspected." The streaming detector
+subscribes to the live UART bus, compares each arriving transaction against
+the aligned golden transaction, and invokes an alarm callback (typically
+wired to an abort) on the first out-of-margin entry — saving "machine time
+and material cost" on large malicious divergences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.capture import Transaction
+from repro.detection.comparator import CaptureComparator, Mismatch
+from repro.electronics.uart import UartBus, unpack_step_counts
+
+
+class StreamingDetector:
+    """Live golden comparison over the UART transaction stream."""
+
+    def __init__(
+        self,
+        golden: Sequence[Transaction],
+        bus: UartBus,
+        comparator: Optional[CaptureComparator] = None,
+        alarm_after_mismatches: int = 1,
+        on_alarm: Optional[Callable[[Mismatch], None]] = None,
+    ) -> None:
+        self.golden = list(golden)
+        self.comparator = comparator or CaptureComparator()
+        self.alarm_after_mismatches = max(1, alarm_after_mismatches)
+        self.on_alarm = on_alarm
+        self.mismatches: List[Mismatch] = []
+        self.transactions_seen = 0
+        self.alarmed = False
+        self.alarmed_at_index: Optional[int] = None
+        bus.on_frame(self._on_frame)
+
+    def _on_frame(self, time_ns: int, frame: bytes) -> None:
+        index = self.transactions_seen + 1
+        self.transactions_seen = index
+        if index > len(self.golden):
+            # The suspect print is running longer than the golden: everything
+            # past the golden's end is itself suspicious.
+            overrun = Mismatch(index, "X", 0, 0, 100.0)
+            self._record(overrun)
+            return
+        x, y, z, e = unpack_step_counts(frame)
+        suspect = Transaction(index, x, y, z, e, time_ns=time_ns)
+        for mismatch in self.comparator.compare_transaction(
+            self.golden[index - 1], suspect
+        ):
+            self._record(mismatch)
+
+    def _record(self, mismatch: Mismatch) -> None:
+        self.mismatches.append(mismatch)
+        if not self.alarmed and len(self.mismatches) >= self.alarm_after_mismatches:
+            self.alarmed = True
+            self.alarmed_at_index = mismatch.index
+            if self.on_alarm is not None:
+                self.on_alarm(mismatch)

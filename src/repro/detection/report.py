@@ -1,0 +1,84 @@
+"""Detection report: the tool output of Figure 4c.
+
+Carries the mismatch list and summary statistics, and renders them in the
+same shape as the paper's tool::
+
+    ...
+    Index: 5115, Column: X, Values: 7218, 6489
+    Index: 5116, Column: X, Values: 8166, 7437
+    ...
+    Largest percent difference found: 93.19%
+    Number of transactions compared: 12416
+    Number of mismatches: 952
+    Trojan likely!
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.detection.comparator import Mismatch
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of one golden-vs-suspect comparison."""
+
+    margin_percent: float
+    transactions_compared: int
+    mismatches: List["Mismatch"] = field(default_factory=list)
+    final_mismatches: List["Mismatch"] = field(default_factory=list)
+    largest_percent_diff: float = 0.0
+    golden_length: int = 0
+    suspect_length: int = 0
+
+    @property
+    def mismatch_count(self) -> int:
+        return len(self.mismatches)
+
+    @property
+    def final_check_failed(self) -> bool:
+        """End-of-print totals differed (the 0 % margin check)."""
+        return bool(self.final_mismatches)
+
+    @property
+    def trojan_likely(self) -> bool:
+        """The tool's verdict: any margin violation or final-total mismatch."""
+        return self.mismatch_count > 0 or self.final_check_failed
+
+    # ------------------------------------------------------------------
+    def render(self, max_mismatch_lines: int = 10) -> str:
+        """Figure-4c-style text output."""
+        lines: List[str] = []
+        shown = self.mismatches[:max_mismatch_lines]
+        if len(self.mismatches) > len(shown):
+            lines.append("...")
+        for mismatch in shown:
+            lines.append(mismatch.render())
+        if len(self.mismatches) > len(shown):
+            lines.append("...")
+        lines.append(
+            f"Largest percent difference found: {self.largest_percent_diff:.2f}%"
+        )
+        lines.append(f"Number of transactions compared: {self.transactions_compared}")
+        lines.append(f"Number of mismatches: {self.mismatch_count}")
+        if self.final_check_failed:
+            for mismatch in self.final_mismatches:
+                lines.append(
+                    f"Final-total mismatch on {mismatch.column}: "
+                    f"{mismatch.golden_value} != {mismatch.suspect_value}"
+                )
+        lines.append("Trojan likely!" if self.trojan_likely else "No Trojan suspected.")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line summary for tables."""
+        verdict = "TROJAN" if self.trojan_likely else "clean"
+        return (
+            f"{verdict}: {self.mismatch_count} mismatches / "
+            f"{self.transactions_compared} transactions, "
+            f"max diff {self.largest_percent_diff:.2f}%, "
+            f"final check {'FAILED' if self.final_check_failed else 'ok'}"
+        )

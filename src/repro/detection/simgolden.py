@@ -1,0 +1,36 @@
+"""Golden captures from simulation.
+
+The paper notes the reference profile "can come from simulation of the
+firmware" instead of a physically validated print — attractive because no
+material or machine time is spent producing the golden. In this repository
+the firmware *is* a simulator, so the workflow is direct: execute the
+program on a pristine, noise-free bench and record the transaction stream.
+
+The one subtlety carried over from the paper: a simulated golden has zero
+time noise while real prints drift, so the margin must absorb the full
+real-print drift rather than the difference of two noisy prints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.capture import PulseCapture
+from repro.experiments.runner import run_print
+from repro.firmware.config import MarlinConfig
+from repro.gcode.ast import GcodeProgram
+
+
+def golden_from_simulation(
+    program: GcodeProgram,
+    uart_period_ms: int = 100,
+    config: Optional[MarlinConfig] = None,
+) -> PulseCapture:
+    """Produce a golden capture by simulating the firmware noise-free."""
+    result = run_print(
+        program,
+        noise_sigma=0.0,
+        uart_period_ms=uart_period_ms,
+        config=config,
+    )
+    return result.capture

@@ -1,0 +1,44 @@
+"""Board-level electronics: the Arduino↔RAMPS signal world.
+
+This package models the electrical layer the OFFRAMPS board physically sits
+in: the RAMPS 1.4 pin map, the signal harness between the Arduino Mega and
+the RAMPS (with an interposition seam per signal — the "jumpers" of the
+paper's Figure 2c), A4988 stepper drivers, heater/fan MOSFETs, thermistor
+dividers with a 10-bit ADC, mechanical endstops, and the UART framing used
+by the FPGA's telemetry export.
+"""
+
+from repro.electronics.drivers import A4988Driver
+from repro.electronics.endstop import Endstop
+from repro.electronics.harness import SignalHarness, SignalPath
+from repro.electronics.mosfet import PowerMosfet
+from repro.electronics.pins import (
+    AXES,
+    SIGNALS,
+    SignalKind,
+    SignalSpec,
+    signal_name,
+)
+from repro.electronics.ramps import RampsBoard
+from repro.electronics.thermistor import ThermistorChannel, adc_to_temp, temp_to_adc
+from repro.electronics.uart import UartBus, pack_step_counts, unpack_step_counts
+
+__all__ = [
+    "A4988Driver",
+    "AXES",
+    "Endstop",
+    "PowerMosfet",
+    "RampsBoard",
+    "SIGNALS",
+    "SignalHarness",
+    "SignalKind",
+    "SignalPath",
+    "SignalSpec",
+    "ThermistorChannel",
+    "UartBus",
+    "adc_to_temp",
+    "pack_step_counts",
+    "signal_name",
+    "temp_to_adc",
+    "unpack_step_counts",
+]

@@ -1,0 +1,67 @@
+"""A4988 stepper driver model.
+
+The RAMPS ships with socketed A4988 drivers (the paper used the defaults).
+The behaviour that matters at the harness level: a STEP pulse advances the
+motor one microstep in the direction selected by DIR, but **only while the
+active-low EN input is asserted** — Trojan T8 exploits exactly that gate.
+Microstep resolution is set by the RAMPS configuration jumpers (1/16 default).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ElectronicsError
+from repro.sim.signals import DigitalWire, StepWire
+
+VALID_MICROSTEPS = (1, 2, 4, 8, 16)
+
+
+class A4988Driver:
+    """One stepper driver channel: STEP/DIR/EN in, motor microsteps out.
+
+    ``on_step(direction, time_ns)`` is invoked per accepted pulse with
+    ``direction`` ∈ {+1, -1}. Pulses arriving while disabled are counted in
+    ``missed_steps`` — the physical motor did not move, which is how the
+    plant observes T8's sabotage.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        step: StepWire,
+        direction: DigitalWire,
+        enable: DigitalWire,
+        on_step: Callable[[int, int], None],
+        microsteps: int = 16,
+        invert_direction: bool = False,
+    ) -> None:
+        if microsteps not in VALID_MICROSTEPS:
+            raise ElectronicsError(f"A4988 microstep setting must be one of {VALID_MICROSTEPS}")
+        self.name = name
+        self.microsteps = microsteps
+        self.invert_direction = invert_direction
+        self._direction_wire = direction
+        self._enable_wire = enable
+        self._on_step = on_step
+        self.steps_taken = 0
+        self.missed_steps = 0
+        step.on_pulse(self._handle_pulse)
+
+    @property
+    def enabled(self) -> bool:
+        """EN is active low: 0 on the wire means the driver is engaged."""
+        return self._enable_wire.value == 0
+
+    @property
+    def direction(self) -> int:
+        """+1 or -1 according to the DIR level (and wiring inversion)."""
+        positive = bool(self._direction_wire.value) != self.invert_direction
+        return 1 if positive else -1
+
+    def _handle_pulse(self, _wire: StepWire, time_ns: int, _width_ns: int) -> None:
+        if not self.enabled:
+            self.missed_steps += 1
+            return
+        self.steps_taken += 1
+        self._on_step(self.direction, time_ns)

@@ -1,0 +1,32 @@
+"""Mechanical endstop switches.
+
+The paper's test printer was modified to add mechanical endstops (replacing
+Prusa's sensorless homing) precisely because endstop actuation is what the
+FPGA's homing-detection state machine watches. An endstop asserts its wire
+while the carriage is at or below the trigger position.
+"""
+
+from __future__ import annotations
+
+from repro.sim.signals import DigitalWire
+
+
+class Endstop:
+    """A minimum-position switch bound to a digital harness wire."""
+
+    def __init__(self, name: str, wire: DigitalWire, trigger_position_mm: float = 0.0) -> None:
+        self.name = name
+        self.wire = wire
+        self.trigger_position_mm = trigger_position_mm
+        self.actuation_count = 0
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.wire.value)
+
+    def update(self, position_mm: float) -> None:
+        """Reflect the carriage position onto the switch state."""
+        pressed = position_mm <= self.trigger_position_mm
+        if pressed and not self.triggered:
+            self.actuation_count += 1
+        self.wire.drive(1 if pressed else 0)

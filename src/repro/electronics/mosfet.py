@@ -1,0 +1,47 @@
+"""Power MOSFET model for the RAMPS heater and fan outputs (D8/D9/D10).
+
+The gate is software-PWMed by the firmware; the load sees average power
+``duty x max_power``. The MOSFET relays duty changes to a power sink (a
+thermal node or the fan) with the timestamp of the change, so downstream
+physics can integrate exactly between switching events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ElectronicsError
+from repro.sim.signals import PwmWire
+
+
+class PowerMosfet:
+    """A gate-driven power switch feeding a load of ``max_power_w`` watts."""
+
+    def __init__(
+        self,
+        name: str,
+        gate: PwmWire,
+        max_power_w: float,
+        on_power: Callable[[float, int], None],
+    ) -> None:
+        if max_power_w <= 0:
+            raise ElectronicsError(f"MOSFET load power must be positive, got {max_power_w}")
+        self.name = name
+        self.max_power_w = max_power_w
+        self._on_power = on_power
+        self._gate = gate
+        self.switch_count = 0
+        gate.on_change(self._handle_duty)
+
+    @property
+    def duty(self) -> float:
+        return self._gate.duty
+
+    @property
+    def power_w(self) -> float:
+        """Average power currently delivered to the load."""
+        return self._gate.duty * self.max_power_w
+
+    def _handle_duty(self, _wire: PwmWire, duty: float, time_ns: int) -> None:
+        self.switch_count += 1
+        self._on_power(duty * self.max_power_w, time_ns)

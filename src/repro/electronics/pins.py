@@ -1,0 +1,96 @@
+"""RAMPS 1.4 signal inventory.
+
+Names, kinds, directions, and the Arduino Mega pin numbers from the RepRap
+RAMPS 1.4 pin map. The OFFRAMPS board interposes on exactly this set — the
+paper notes that "all FFF printers will ultimately require the same set of
+signals", which is why this inventory is the platform's interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+AXES: Tuple[str, ...] = ("X", "Y", "Z", "E")
+"""Motion axes: three Cartesian plus the extruder."""
+
+
+class SignalKind(enum.Enum):
+    """Electrical flavour of a harness signal."""
+
+    STEP = "step"  # pulse train to a stepper driver
+    DIGITAL = "digital"  # level signal (DIR, EN, endstop)
+    PWM = "pwm"  # MOSFET gate drive, carried as duty cycle
+    ANALOG = "analog"  # thermistor divider voltage
+
+
+class SignalDirection(enum.Enum):
+    """Who drives the signal in normal operation."""
+
+    ARDUINO_TO_RAMPS = "a2r"  # control outputs
+    RAMPS_TO_ARDUINO = "r2a"  # sensor feedback
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """One harness signal: identity plus physical metadata."""
+
+    name: str
+    kind: SignalKind
+    direction: SignalDirection
+    mega_pin: int  # Arduino Mega pin per the RAMPS 1.4 pin map
+    description: str
+
+
+def signal_name(axis: str, function: str) -> str:
+    """Canonical name for a per-axis signal, e.g. ``signal_name("X", "STEP")``."""
+    axis = axis.upper()
+    if axis not in AXES:
+        raise KeyError(f"unknown axis {axis!r}")
+    return f"{axis}_{function.upper()}"
+
+
+def _build_signals() -> Dict[str, SignalSpec]:
+    a2r, r2a = SignalDirection.ARDUINO_TO_RAMPS, SignalDirection.RAMPS_TO_ARDUINO
+    # (STEP, DIR, EN) Mega pins per axis from the RAMPS 1.4 schematic.
+    motor_pins = {"X": (54, 55, 38), "Y": (60, 61, 56), "Z": (46, 48, 62), "E": (26, 28, 24)}
+    specs: List[SignalSpec] = []
+    for axis in AXES:
+        step_pin, dir_pin, en_pin = motor_pins[axis]
+        specs.append(
+            SignalSpec(f"{axis}_STEP", SignalKind.STEP, a2r, step_pin, f"{axis} stepper step pulses")
+        )
+        specs.append(
+            SignalSpec(f"{axis}_DIR", SignalKind.DIGITAL, a2r, dir_pin, f"{axis} stepper direction")
+        )
+        specs.append(
+            SignalSpec(
+                f"{axis}_EN", SignalKind.DIGITAL, a2r, en_pin, f"{axis} stepper enable (active low)"
+            )
+        )
+    specs.extend(
+        [
+            SignalSpec("D10_HOTEND", SignalKind.PWM, a2r, 10, "hotend heater MOSFET gate"),
+            SignalSpec("D8_BED", SignalKind.PWM, a2r, 8, "heated bed MOSFET gate"),
+            SignalSpec("D9_FAN", SignalKind.PWM, a2r, 9, "part-cooling fan MOSFET gate"),
+            SignalSpec("X_MIN", SignalKind.DIGITAL, r2a, 3, "X axis minimum endstop"),
+            SignalSpec("Y_MIN", SignalKind.DIGITAL, r2a, 14, "Y axis minimum endstop"),
+            SignalSpec("Z_MIN", SignalKind.DIGITAL, r2a, 18, "Z axis minimum endstop"),
+            SignalSpec("T0_HOTEND", SignalKind.ANALOG, r2a, 67, "hotend thermistor divider (A13)"),
+            SignalSpec("T1_BED", SignalKind.ANALOG, r2a, 68, "bed thermistor divider (A14)"),
+        ]
+    )
+    return {spec.name: spec for spec in specs}
+
+
+SIGNALS: Dict[str, SignalSpec] = _build_signals()
+"""Every signal the harness carries, keyed by name."""
+
+STEP_SIGNALS: Tuple[str, ...] = tuple(f"{axis}_STEP" for axis in AXES)
+DIR_SIGNALS: Tuple[str, ...] = tuple(f"{axis}_DIR" for axis in AXES)
+ENABLE_SIGNALS: Tuple[str, ...] = tuple(f"{axis}_EN" for axis in AXES)
+HEATER_SIGNALS: Tuple[str, ...] = ("D10_HOTEND", "D8_BED")
+FAN_SIGNAL: str = "D9_FAN"
+ENDSTOP_SIGNALS: Tuple[str, ...] = ("X_MIN", "Y_MIN", "Z_MIN")
+THERMISTOR_SIGNALS: Tuple[str, ...] = ("T0_HOTEND", "T1_BED")

@@ -1,0 +1,58 @@
+"""UART framing for the FPGA's telemetry export.
+
+The paper's monitoring design sends "a 16-byte transaction containing step
+counts for all of the motors each 0.1 seconds". We pack the four signed step
+counters as big-endian int32s — exactly 16 bytes — with the transaction index
+implicit in arrival order, matching the capture format of Figure 4 where the
+index is the row number.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Tuple
+
+from repro.errors import CaptureError
+
+_FRAME_STRUCT = struct.Struct(">iiii")
+FRAME_SIZE_BYTES = _FRAME_STRUCT.size  # 16
+assert FRAME_SIZE_BYTES == 16
+
+
+def pack_step_counts(x: int, y: int, z: int, e: int) -> bytes:
+    """Encode four signed step counters into one 16-byte frame."""
+    try:
+        return _FRAME_STRUCT.pack(x, y, z, e)
+    except struct.error as exc:
+        raise CaptureError(f"step count out of int32 range: {(x, y, z, e)}") from exc
+
+
+def unpack_step_counts(frame: bytes) -> Tuple[int, int, int, int]:
+    """Decode a 16-byte frame back into (x, y, z, e)."""
+    if len(frame) != FRAME_SIZE_BYTES:
+        raise CaptureError(f"UART frame must be {FRAME_SIZE_BYTES} bytes, got {len(frame)}")
+    return _FRAME_STRUCT.unpack(frame)
+
+
+class UartBus:
+    """A byte-frame channel with timestamped delivery to listeners.
+
+    Models the FPGA→host serial link. Bandwidth is not enforced here; the
+    paper's identified limitation (no high-speed interface) is studied in the
+    UART-period ablation instead.
+    """
+
+    def __init__(self, name: str = "uart") -> None:
+        self.name = name
+        self._listeners: List[Callable[[int, bytes], None]] = []
+        self.frames_sent = 0
+
+    def on_frame(self, callback: Callable[[int, bytes], None]) -> None:
+        """Subscribe ``callback(time_ns, frame_bytes)`` to transmissions."""
+        self._listeners.append(callback)
+
+    def send(self, time_ns: int, frame: bytes) -> None:
+        """Transmit one frame to all listeners."""
+        self.frames_sent += 1
+        for listener in list(self._listeners):
+            listener(time_ns, frame)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the OFFRAMPS reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary. Subsystems define narrower
+types below it; a few (for example :class:`FirmwareKill`) double as control
+flow for faithfully modelled firmware behaviour such as Marlin's ``kill()``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class GcodeError(ReproError):
+    """A G-code stream could not be lexed, parsed, or serialized."""
+
+
+class GcodeChecksumError(GcodeError):
+    """A host-protocol line failed its checksum or line-number validation."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+class SlicerError(ReproError):
+    """The miniature slicer was given unsliceable geometry or settings."""
+
+
+class ElectronicsError(ReproError):
+    """A board-model invariant was violated (unknown pin, double drive, ...)."""
+
+
+class FirmwareError(ReproError):
+    """The firmware simulator hit an unrecoverable condition."""
+
+
+class FirmwareKill(FirmwareError):
+    """Marlin-style ``kill()``: firmware halted the machine.
+
+    Carries the reason string the firmware would print, e.g.
+    ``"Thermal Runaway, system stopped!"``.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class PlantError(ReproError):
+    """The physical plant model was driven outside its envelope."""
+
+
+class OfframpsError(ReproError):
+    """Misuse of the OFFRAMPS board model (bad jumper config, unknown signal)."""
+
+
+class CaptureError(ReproError):
+    """A capture file or transaction stream is malformed."""
+
+
+class DetectionError(ReproError):
+    """The detection pipeline was given incomparable captures."""

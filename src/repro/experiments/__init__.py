@@ -1,0 +1,32 @@
+"""Experiment orchestration: regenerate every table and figure of the paper.
+
+Each module maps to one artifact (see DESIGN.md's per-experiment index):
+
+* :mod:`repro.experiments.table1` — the Trojan suite evaluation (Table I);
+* :mod:`repro.experiments.table2` — Flaw3D emulation + detection (Table II);
+* :mod:`repro.experiments.figure4` — the detection-output excerpt (Figure 4);
+* :mod:`repro.experiments.overhead` — Section V-B's delay budget;
+* :mod:`repro.experiments.drift` — Section V-C's time-noise margin evidence;
+* :mod:`repro.experiments.ablation` — the UART-period / margin sweep the
+  paper suggests as the path to tighter margins.
+
+:mod:`repro.experiments.runner` provides :class:`PrintSession`, the one-stop
+"build the whole machine, print, capture" harness everything else uses.
+"""
+
+from repro.experiments.runner import PrintSession, SessionResult
+from repro.experiments.workloads import (
+    detection_profile,
+    standard_part,
+    table1_part,
+    tiny_part,
+)
+
+__all__ = [
+    "PrintSession",
+    "SessionResult",
+    "detection_profile",
+    "standard_part",
+    "table1_part",
+    "tiny_part",
+]

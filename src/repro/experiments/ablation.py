@@ -1,0 +1,116 @@
+"""Ablation: UART transaction period vs detection margin.
+
+The paper notes its 5 % margin "can be made significantly smaller with a
+faster communication protocol, as fewer steps possible per transaction would
+lower the potential drift in counts". This sweep quantifies that design
+space on the stealthiest Table II Trojans: for each UART period we measure
+the worst clean-print drift (which lower-bounds a safe margin) and whether
+the stealthy Trojans produce *transient* mismatches at that margin — i.e.
+detection without relying on the end-of-print check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detection.comparator import CaptureComparator
+from repro.experiments.runner import run_print
+from repro.experiments.workloads import sliced_program, tiny_part
+from repro.gcode.ast import GcodeProgram
+from repro.gcode.transforms.flaw3d import Flaw3dReduction, Flaw3dRelocation
+
+DEFAULT_PERIODS_MS = (400, 200, 100, 50, 25)
+DEFAULT_MARGINS = (0.01, 0.02, 0.05, 0.10)
+
+
+@dataclass
+class AblationCell:
+    """One (period, margin) operating point."""
+
+    period_ms: int
+    margin: float
+    false_positive: bool
+    clean_max_drift_percent: float
+    transient_detections: Dict[str, bool] = field(default_factory=dict)
+
+    def render(self) -> str:
+        detections = ", ".join(
+            f"{name}={'yes' if hit else 'no'}"
+            for name, hit in sorted(self.transient_detections.items())
+        )
+        return (
+            f"period={self.period_ms:>4}ms margin={self.margin * 100:>4.0f}% "
+            f"fp={'YES' if self.false_positive else 'no '} "
+            f"drift={self.clean_max_drift_percent:5.2f}% transient: {detections}"
+        )
+
+
+@dataclass
+class AblationResult:
+    cells: List[AblationCell]
+
+    def render(self) -> str:
+        return "\n".join(cell.render() for cell in self.cells)
+
+    def usable_margins(self, period_ms: int) -> List[float]:
+        """Margins with no false positives at the given period."""
+        return sorted(
+            cell.margin
+            for cell in self.cells
+            if cell.period_ms == period_ms and not cell.false_positive
+        )
+
+
+def run_ablation(
+    program: Optional[GcodeProgram] = None,
+    periods_ms: Sequence[int] = DEFAULT_PERIODS_MS,
+    margins: Sequence[float] = DEFAULT_MARGINS,
+    noise_sigma: float = 0.0005,
+) -> AblationResult:
+    """Sweep UART periods and margins on the stealthiest Trojans."""
+    if program is None:
+        program = sliced_program(tiny_part())
+    stealthy: List[Tuple[str, GcodeProgram]] = [
+        ("reduce0.98", Flaw3dReduction(0.98).apply(program)),
+        ("relocate100", Flaw3dRelocation(100).apply(program)),
+    ]
+
+    cells: List[AblationCell] = []
+    for period_ms in periods_ms:
+        golden = run_print(
+            program, noise_sigma=noise_sigma, noise_seed=9001, uart_period_ms=period_ms
+        )
+        control = run_print(
+            program, noise_sigma=noise_sigma, noise_seed=9002, uart_period_ms=period_ms
+        )
+        suspects = {
+            name: run_print(
+                modified,
+                noise_sigma=noise_sigma,
+                noise_seed=9100 + i,
+                uart_period_ms=period_ms,
+            )
+            for i, (name, modified) in enumerate(stealthy)
+        }
+        for margin in margins:
+            # The transient-only question: disable the final 0% check so the
+            # cell isolates what the margin itself can see.
+            comparator = CaptureComparator(margin=margin, final_check=False)
+            control_report = comparator.compare_captures(golden.capture, control.capture)
+            detections = {
+                name: comparator.compare_captures(
+                    golden.capture, suspect.capture
+                ).trojan_likely
+                for name, suspect in suspects.items()
+            }
+            cells.append(
+                AblationCell(
+                    period_ms=period_ms,
+                    margin=margin,
+                    false_positive=control_report.trojan_likely,
+                    clean_max_drift_percent=control_report.largest_percent_diff,
+                    transient_detections=detections,
+                )
+            )
+    return AblationResult(cells=cells)

@@ -1,0 +1,122 @@
+"""Table II: emulated Flaw3D Trojans, all detected.
+
+Re-creates the paper's evaluation: the eight Flaw3D test cases (reduction
+factors 0.5/0.85/0.9/0.98, relocation periods 5/10/20/100) applied to the
+workload's G-code, each printed with an independent time-noise realization,
+captured through the OFFRAMPS monitoring pipeline, and compared against the
+golden capture with the 5 % margin + final 0 % check. A golden-vs-control
+row (two clean prints, different noise seeds) verifies the margin produces
+no false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.detection.comparator import CaptureComparator
+from repro.detection.report import DetectionReport
+from repro.experiments.runner import SessionResult, run_print
+from repro.experiments.workloads import dense_part, dense_profile, sliced_program
+from repro.gcode.ast import GcodeProgram
+from repro.gcode.transforms.flaw3d import table2_test_cases
+
+DEFAULT_NOISE_SIGMA = 0.0005
+GOLDEN_SEED = 1001
+CONTROL_SEED = 1002
+
+
+@dataclass
+class Table2Row:
+    """One Flaw3D test case's detection outcome."""
+
+    case: int
+    trojan_type: str
+    modification_value: float
+    report: DetectionReport
+
+    @property
+    def detected(self) -> bool:
+        return self.report.trojan_likely
+
+    def render(self) -> str:
+        mark = "yes" if self.detected else "MISSED"
+        return (
+            f"{self.case:<5} {self.trojan_type:<11} {self.modification_value:<7g} "
+            f"{mark:<8} {self.report.summary()}"
+        )
+
+
+@dataclass
+class Table2Result:
+    """The whole Table II run."""
+
+    rows: List[Table2Row]
+    control_report: DetectionReport
+    golden: SessionResult
+
+    @property
+    def all_detected(self) -> bool:
+        return all(row.detected for row in self.rows)
+
+    @property
+    def false_positive(self) -> bool:
+        return self.control_report.trojan_likely
+
+    def render(self) -> str:
+        header = f"{'Case':<5} {'Type':<11} {'Value':<7} {'Detected':<8} Detail"
+        lines = [header, "-" * len(header)]
+        lines.extend(row.render() for row in self.rows)
+        lines.append("")
+        lines.append(f"control (golden vs golden): {self.control_report.summary()}")
+        lines.append(
+            f"=> {'ALL 8 TROJANS DETECTED' if self.all_detected else 'DETECTION GAP'}"
+            f"{', no false positives' if not self.false_positive else ', FALSE POSITIVE'}"
+        )
+        return "\n".join(lines)
+
+
+def run_table2(
+    program: Optional[GcodeProgram] = None,
+    noise_sigma: float = DEFAULT_NOISE_SIGMA,
+    margin: float = 0.05,
+    uart_period_ms: int = 100,
+) -> Table2Result:
+    """Run the full Table II evaluation."""
+    if program is None:
+        # The dense workload: period-100 relocation must get to fire several
+        # times, as it did over the paper's much longer prints.
+        program = sliced_program(dense_part(), dense_profile())
+    comparator = CaptureComparator(margin=margin)
+
+    golden = run_print(
+        program,
+        noise_sigma=noise_sigma,
+        noise_seed=GOLDEN_SEED,
+        uart_period_ms=uart_period_ms,
+    )
+    control = run_print(
+        program,
+        noise_sigma=noise_sigma,
+        noise_seed=CONTROL_SEED,
+        uart_period_ms=uart_period_ms,
+    )
+    control_report = comparator.compare_captures(golden.capture, control.capture)
+
+    rows: List[Table2Row] = []
+    for case, transform in table2_test_cases():
+        modified = transform.apply(program)
+        suspect = run_print(
+            modified,
+            noise_sigma=noise_sigma,
+            noise_seed=2000 + case,
+            uart_period_ms=uart_period_ms,
+        )
+        report = comparator.compare_captures(golden.capture, suspect.capture)
+        trojan_type = "Reduction" if "reduction" in transform.label else "Relocation"
+        value = (
+            transform.factor if trojan_type == "Reduction" else float(transform.period)
+        )
+        rows.append(Table2Row(case, trojan_type, value, report))
+
+    return Table2Result(rows=rows, control_report=control_report, golden=golden)

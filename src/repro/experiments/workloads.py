@@ -1,0 +1,85 @@
+"""Standard workloads: the parts and profiles the experiments print.
+
+The paper prints small calibration parts (photographed on 1/4-inch graph
+paper). Three sizes are provided: ``tiny`` for fast unit/ablation runs,
+``standard`` for the detection experiments, and a slightly larger part for
+Table I so slow-trigger Trojans (T1's 10-second period, T8's outage cycle)
+fire several times within the print.
+"""
+
+from __future__ import annotations
+
+from repro.gcode.ast import GcodeProgram
+from repro.gcode.slicer import Box, PrintProfile, SliceResult, Slicer
+from repro.gcode.slicer.shapes import Shape
+
+
+def detection_profile() -> PrintProfile:
+    """The profile used for all reproduction experiments (PLA draft)."""
+    return PrintProfile(
+        layer_height_mm=0.3,
+        first_layer_height_mm=0.3,
+        perimeter_count=1,
+        infill_spacing_mm=2.5,
+        print_speed_mm_s=45.0,
+        first_layer_speed_mm_s=20.0,
+        travel_speed_mm_s=120.0,
+        hotend_temp_c=210.0,
+        bed_temp_c=60.0,
+    )
+
+
+def tiny_part() -> Shape:
+    """A 10x10x0.9 mm coupon: three layers, prints in ~15 simulated seconds."""
+    return Box(width_mm=10.0, depth_mm=10.0, height=0.9, center=(100.0, 100.0), name="tiny_box")
+
+
+def standard_part() -> Shape:
+    """The 16x16x1.5 mm calibration square used for detection experiments."""
+    return Box(width_mm=16.0, depth_mm=16.0, height=1.5, center=(100.0, 100.0), name="cal_square")
+
+
+def table1_part() -> Shape:
+    """A 20x20x1.8 mm part: long enough for periodic Trojans to fire."""
+    return Box(width_mm=20.0, depth_mm=20.0, height=1.8, center=(100.0, 100.0), name="t1_box")
+
+
+def dense_part() -> Shape:
+    """A many-segment cylinder: hundreds of printing moves per print.
+
+    Table II's stealthiest case relocates filament only every 100 moves; the
+    paper's prints span thousands of moves (12k+ transactions), so the
+    detection workload must offer enough moves for the Trojan to fire
+    repeatedly. A 64-segment cylinder with dense infill gives ~600 printing
+    moves in a still-fast simulation.
+    """
+    from repro.gcode.slicer import Cylinder
+
+    return Cylinder(
+        radius_mm=8.0, height=2.4, segments=64, center=(100.0, 100.0), name="cal_cylinder"
+    )
+
+
+def dense_profile() -> PrintProfile:
+    """Denser infill for the Table II workload."""
+    return PrintProfile(
+        layer_height_mm=0.3,
+        first_layer_height_mm=0.3,
+        perimeter_count=1,
+        infill_spacing_mm=1.2,
+        print_speed_mm_s=45.0,
+        first_layer_speed_mm_s=20.0,
+        travel_speed_mm_s=120.0,
+        hotend_temp_c=210.0,
+        bed_temp_c=60.0,
+    )
+
+
+def slice_part(shape: Shape, profile=None) -> SliceResult:
+    """Slice a workload with the detection profile (or an override)."""
+    return Slicer(profile or detection_profile()).slice(shape)
+
+
+def sliced_program(shape: Shape, profile=None) -> GcodeProgram:
+    """Just the G-code program for a workload."""
+    return slice_part(shape, profile).program

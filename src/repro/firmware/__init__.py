@@ -1,0 +1,27 @@
+"""A Marlin-like 3D printer firmware simulator.
+
+This is the "Arduino Mega running Marlin" of the paper's stack, rebuilt as an
+event-driven simulator: G-code dispatch, a lookahead trapezoidal motion
+planner with classic per-axis jerk limits, integer step bookkeeping, a
+stepper executor that emits STEP/DIR/EN onto the harness, PID heater control
+with Marlin's thermal-protection watchdogs, endstop homing, and the serial
+host protocol (line numbers + checksums + ok/resend).
+
+The detection experiments depend on this layer being faithful in one precise
+sense: the same G-code must always produce the same *step counts*, with
+timing realistic enough that 100 ms transaction windows look like Figure 4.
+"""
+
+from repro.firmware.config import MarlinConfig
+from repro.firmware.marlin import MarlinFirmware, PrinterStatus
+from repro.firmware.planner import MotionBlock, MotionPlanner
+from repro.firmware.serial_host import SerialHost
+
+__all__ = [
+    "MarlinConfig",
+    "MarlinFirmware",
+    "MotionBlock",
+    "MotionPlanner",
+    "PrinterStatus",
+    "SerialHost",
+]

@@ -1,0 +1,99 @@
+"""Firmware configuration: the compile-time constants of a Marlin build.
+
+Defaults mirror a Prusa-i3-MK3S-class machine and must agree with the plant's
+:class:`~repro.physics.printer.PlantProfile` on steps-per-mm (the drivetrain
+is a physical fact both sides share). Thermal-protection windows follow
+Marlin's ``WATCH_TEMP_*`` / ``THERMAL_PROTECTION_*`` defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import FirmwareError
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """PID controller gains (duty per °C, per °C·s, per °C/s)."""
+
+    kp: float
+    ki: float
+    kd: float
+
+
+@dataclass(frozen=True)
+class MarlinConfig:
+    """Everything the firmware simulator needs to know at build time."""
+
+    steps_per_mm: Dict[str, float] = field(
+        default_factory=lambda: {"X": 100.0, "Y": 100.0, "Z": 400.0, "E": 280.0}
+    )
+    max_feedrate_mm_s: Dict[str, float] = field(
+        default_factory=lambda: {"X": 200.0, "Y": 200.0, "Z": 12.0, "E": 120.0}
+    )
+    max_accel_mm_s2: Dict[str, float] = field(
+        default_factory=lambda: {"X": 1000.0, "Y": 1000.0, "Z": 200.0, "E": 5000.0}
+    )
+    default_accel_mm_s2: float = 1000.0
+    jerk_mm_s: Dict[str, float] = field(
+        default_factory=lambda: {"X": 8.0, "Y": 8.0, "Z": 0.4, "E": 4.5}
+    )
+    min_feedrate_mm_s: float = 0.5
+    planner_buffer_size: int = 16
+    step_pulse_width_ns: int = 2_000
+
+    # Homing
+    homing_feedrate_mm_s: Dict[str, float] = field(
+        default_factory=lambda: {"X": 50.0, "Y": 50.0, "Z": 8.0}
+    )
+    homing_bump_mm: Dict[str, float] = field(
+        default_factory=lambda: {"X": 3.0, "Y": 3.0, "Z": 1.0}
+    )
+    homing_bump_divisor: float = 4.0  # re-bump at feedrate / divisor
+    homing_max_travel_mm: Dict[str, float] = field(
+        default_factory=lambda: {"X": 260.0, "Y": 220.0, "Z": 220.0}
+    )
+
+    # Temperature control
+    hotend_pid: PidGains = PidGains(kp=0.25, ki=0.02, kd=0.9)
+    bed_pid: PidGains = PidGains(kp=0.25, ki=0.01, kd=0.0)
+    hotend_maxtemp_c: float = 275.0
+    bed_maxtemp_c: float = 125.0
+    mintemp_c: float = 5.0
+    temp_window_c: float = 2.0  # M109/M190 "reached" hysteresis
+    temp_residency_s: float = 3.0
+    temp_control_period_ms: int = 100
+    watch_temp_period_s: float = 20.0  # Marlin WATCH_TEMP_PERIOD
+    watch_temp_increase_c: float = 2.0  # Marlin WATCH_TEMP_INCREASE
+    runaway_period_s: float = 40.0  # THERMAL_PROTECTION_PERIOD
+    runaway_hysteresis_c: float = 4.0  # THERMAL_PROTECTION_HYSTERESIS
+    min_extrude_temp_c: float = 170.0
+    allow_cold_extrusion: bool = False
+
+    # Host / command pipeline
+    command_latency_us: int = 2_000  # serial transfer + parse time per line
+
+    # Execution time noise ("time noise" of Liang et al., Section V-C): each
+    # planner block's execution rate wanders by a zero-mean factor with this
+    # sigma. 0 disables. Seed selects the realization.
+    time_noise_sigma: float = 0.0
+    time_noise_seed: int = 0
+
+    def __post_init__(self) -> None:
+        for axis in ("X", "Y", "Z", "E"):
+            if axis not in self.steps_per_mm:
+                raise FirmwareError(f"steps_per_mm missing axis {axis}")
+            if self.steps_per_mm[axis] <= 0:
+                raise FirmwareError(f"steps_per_mm[{axis}] must be positive")
+        if self.planner_buffer_size < 2:
+            raise FirmwareError("planner buffer must hold at least 2 blocks")
+        if not 0.0 <= self.time_noise_sigma < 0.05:
+            raise FirmwareError("time_noise_sigma must be in [0, 0.05)")
+
+    def with_noise(self, sigma: float, seed: int) -> "MarlinConfig":
+        """Copy of this config with the time-noise model configured."""
+        from dataclasses import replace
+
+        return replace(self, time_noise_sigma=sigma, time_noise_seed=seed)

@@ -1,0 +1,100 @@
+"""G28 homing: endstop-seeking moves in the Marlin style.
+
+Each axis homes with the classic sequence: fast approach until the minimum
+endstop triggers, back off by the bump distance, slow re-bump for precision,
+then zero the logical position at the trigger point. The endstop levels are
+read from the *downstream* (Arduino-side) wires — the same signals the
+OFFRAMPS homing-detection module watches from the middle of the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.electronics.harness import SignalHarness
+from repro.errors import FirmwareError
+from repro.firmware.config import MarlinConfig
+from repro.firmware.state import MachineState
+from repro.firmware.stepper import StepperExecutor
+from repro.sim.kernel import Simulator
+
+_HOME_ORDER = ("X", "Y", "Z")
+
+
+class HomingController:
+    """Runs the multi-axis homing sequence via chained stepper home-moves."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MarlinConfig,
+        harness: SignalHarness,
+        stepper: StepperExecutor,
+        state: MachineState,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.stepper = stepper
+        self.state = state
+        self._endstop_wires = {
+            axis: harness.downstream(f"{axis}_MIN") for axis in _HOME_ORDER
+        }
+        self.homing_cycles = 0
+
+    def home(
+        self,
+        axes: Optional[List[str]],
+        on_done: Callable[[], None],
+        on_failed: Callable[[str], None],
+    ) -> None:
+        """Home the given axes (None = all) then invoke ``on_done``."""
+        order = [axis for axis in _HOME_ORDER if axes is None or axis in axes]
+        if not order:
+            raise FirmwareError("G28 with no homeable axes")
+        self._run_axis(order, 0, on_done, on_failed)
+
+    # ------------------------------------------------------------------
+    def _run_axis(
+        self,
+        order: List[str],
+        index: int,
+        on_done: Callable[[], None],
+        on_failed: Callable[[str], None],
+    ) -> None:
+        if index >= len(order):
+            self.homing_cycles += 1
+            on_done()
+            return
+        axis = order[index]
+        config = self.config
+        endstop = self._endstop_wires[axis]
+        fast = config.homing_feedrate_mm_s[axis]
+        slow = fast / config.homing_bump_divisor
+        bump = config.homing_bump_mm[axis]
+        max_travel = config.homing_max_travel_mm[axis]
+
+        def proceed() -> None:
+            self._run_axis(order, index + 1, on_done, on_failed)
+
+        def fast_done(hit: bool, _steps: int) -> None:
+            if not hit:
+                on_failed(f"Homing failed on {axis} (endstop never triggered)")
+                return
+            self.stepper.home_move(axis, +1, bump, fast, None, back_off_done)
+
+        def back_off_done(_hit: bool, _steps: int) -> None:
+            self.stepper.home_move(
+                axis, -1, bump * 2, slow, lambda: endstop.value == 1, rebump_done
+            )
+
+        def rebump_done(hit: bool, _steps: int) -> None:
+            if not hit:
+                on_failed(f"Homing failed on {axis} (re-bump missed the endstop)")
+                return
+            self.state.set_logical_position(axis, 0.0)
+            self.state.homed_axes.add(axis)
+            proceed()
+
+        self.stepper.home_move(
+            axis, -1, max_travel, fast, lambda: endstop.value == 1, fast_done
+        )

@@ -1,0 +1,206 @@
+"""Lookahead trapezoidal motion planner (the core of Marlin's motion stack).
+
+Moves enter as signed step deltas plus a requested feedrate. The planner:
+
+1. clamps feedrate and acceleration per axis;
+2. computes the classic-jerk junction speed with the previous queued block
+   (per-axis instantaneous velocity change at the corner must stay within the
+   configured jerk);
+3. runs the reverse/forward lookahead passes so every block's entry/exit
+   speeds are reachable under the acceleration limit and the chain always
+   ends at zero speed (the machine can always stop).
+
+The stepper executor pops blocks and freezes them (``busy``); lookahead never
+rewrites a block that has started executing — same contract as Marlin.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.errors import FirmwareError
+from repro.firmware.config import MarlinConfig
+
+AXES = ("X", "Y", "Z", "E")
+
+
+@dataclass
+class MotionBlock:
+    """One planned motion segment."""
+
+    steps: Dict[str, int]  # signed step delta per axis
+    distance_mm: float  # length of the dominant path (XYZ, or |dE| if E-only)
+    nominal_speed: float  # cruise speed along the path, mm/s
+    acceleration: float  # path acceleration, mm/s^2
+    unit: Dict[str, float]  # unit direction in axis-space (per mm of path)
+    max_entry_speed: float  # junction limit with the previous block
+    entry_speed: float = 0.0
+    exit_speed: float = 0.0
+    busy: bool = False
+
+    @property
+    def step_event_count(self) -> int:
+        """Number of step events: the dominant axis's |steps|."""
+        return max(abs(count) for count in self.steps.values())
+
+    def max_allowable_entry(self, exit_speed: float) -> float:
+        """Fastest entry speed that can still decelerate to ``exit_speed``."""
+        return math.sqrt(exit_speed * exit_speed + 2.0 * self.acceleration * self.distance_mm)
+
+
+class MotionPlanner:
+    """Bounded lookahead queue with junction-speed planning."""
+
+    def __init__(self, config: MarlinConfig) -> None:
+        self.config = config
+        self.queue: Deque[MotionBlock] = deque()
+        self._previous_unit: Optional[Dict[str, float]] = None
+        self._previous_nominal: float = 0.0
+        self.blocks_planned = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        return len(self.queue) >= self.config.planner_buffer_size
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.queue
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    def add_move(
+        self,
+        steps: Dict[str, int],
+        feedrate_mm_s: float,
+        accel_mm_s2: Optional[float] = None,
+    ) -> MotionBlock:
+        """Plan one move given signed step deltas and a requested feedrate."""
+        if self.is_full:
+            raise FirmwareError("planner buffer full")
+        steps = {axis: int(steps.get(axis, 0)) for axis in AXES}
+        if all(count == 0 for count in steps.values()):
+            raise FirmwareError("empty move")
+
+        config = self.config
+        delta_mm = {axis: steps[axis] / config.steps_per_mm[axis] for axis in AXES}
+        xyz_distance = math.sqrt(sum(delta_mm[a] ** 2 for a in ("X", "Y", "Z")))
+        distance = xyz_distance if xyz_distance > 1e-12 else abs(delta_mm["E"])
+        if distance <= 0:
+            raise FirmwareError("zero-distance move")
+        unit = {axis: delta_mm[axis] / distance for axis in AXES}
+
+        # Clamp the requested feedrate so no axis exceeds its maximum.
+        speed = max(feedrate_mm_s, config.min_feedrate_mm_s)
+        for axis in AXES:
+            component = abs(unit[axis]) * speed
+            limit = config.max_feedrate_mm_s[axis]
+            if component > limit:
+                speed *= limit / component
+
+        # Clamp acceleration the same way.
+        accel = accel_mm_s2 if accel_mm_s2 is not None else config.default_accel_mm_s2
+        for axis in AXES:
+            component = abs(unit[axis]) * accel
+            limit = config.max_accel_mm_s2[axis]
+            if component > limit:
+                accel *= limit / component
+
+        max_entry = self._junction_speed(unit, speed)
+        block = MotionBlock(
+            steps=steps,
+            distance_mm=distance,
+            nominal_speed=speed,
+            acceleration=accel,
+            unit=unit,
+            max_entry_speed=max_entry,
+            entry_speed=0.0,
+            exit_speed=0.0,
+        )
+        self.queue.append(block)
+        self.blocks_planned += 1
+        self._previous_unit = unit
+        self._previous_nominal = speed
+        self._recalculate()
+        return block
+
+    def _junction_speed(self, unit: Dict[str, float], nominal: float) -> float:
+        """Classic-jerk junction limit with the previously queued move."""
+        if self._previous_unit is None or not self.queue:
+            # Starting from rest: allow up to half the smallest relevant jerk.
+            start_limit = min(
+                self.config.jerk_mm_s[axis] / max(abs(unit[axis]), 1e-9)
+                for axis in AXES
+                if abs(unit[axis]) > 1e-9
+            )
+            return min(nominal, start_limit / 2.0)
+
+        v_junction = min(nominal, self._previous_nominal)
+        for axis in AXES:
+            dv = abs(unit[axis] - self._previous_unit[axis]) * v_junction
+            jerk = self.config.jerk_mm_s[axis]
+            if dv > jerk:
+                v_junction *= jerk / dv
+        return v_junction
+
+    # ------------------------------------------------------------------
+    def _recalculate(self) -> None:
+        """Reverse + forward lookahead passes over non-busy blocks."""
+        blocks = [block for block in self.queue if not block.busy]
+        if not blocks:
+            return
+
+        # Reverse pass: the chain must end stopped.
+        next_entry = 0.0
+        for block in reversed(blocks):
+            block.exit_speed = next_entry
+            block.entry_speed = min(
+                block.max_entry_speed, block.max_allowable_entry(block.exit_speed)
+            )
+            next_entry = block.entry_speed
+
+        # Forward pass: entry speeds must be reachable from the predecessor.
+        # The first non-busy block's entry is pinned: either the executing
+        # block's frozen exit speed, or standstill.
+        if self.queue[0].busy:
+            reachable = self.queue[0].exit_speed
+        else:
+            reachable = 0.0
+        for block in blocks:
+            block.entry_speed = min(block.entry_speed, reachable)
+            reachable = min(
+                block.nominal_speed, block.max_allowable_entry(block.entry_speed)
+            )
+        # Re-run exit speeds to match the possibly-lowered entries.
+        for i, block in enumerate(blocks):
+            if i + 1 < len(blocks):
+                block.exit_speed = blocks[i + 1].entry_speed
+            else:
+                block.exit_speed = 0.0
+
+    # ------------------------------------------------------------------
+    def pop_block(self) -> Optional[MotionBlock]:
+        """Hand the oldest block to the stepper, freezing its speeds."""
+        while self.queue and self.queue[0].busy:
+            self.queue.popleft()
+        if not self.queue:
+            return None
+        block = self.queue[0]
+        block.busy = True
+        return block
+
+    def release_block(self, block: MotionBlock) -> None:
+        """Called by the stepper when a block finishes executing."""
+        if self.queue and self.queue[0] is block:
+            self.queue.popleft()
+
+    def clear(self) -> None:
+        """Drop all queued motion (kill/abort path)."""
+        self.queue.clear()
+        self._previous_unit = None
+        self._previous_nominal = 0.0

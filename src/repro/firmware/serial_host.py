@@ -1,0 +1,84 @@
+"""Host-side print streaming: the Repetier-Host role in the paper's setup.
+
+The RepRap host protocol frames every line as ``N<line> <body>*<checksum>``;
+the firmware validates the checksum and the line-number sequence and answers
+``ok`` or ``Resend: <n>``. :class:`SerialHost` models that exchange as a
+command source the firmware pulls from: each pull serializes the next
+program line with framing, passes it through an (optionally fault-injecting)
+channel, re-parses and validates it as the firmware's serial front-end would,
+and transparently performs the resend loop on corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import GcodeChecksumError, GcodeError
+from repro.gcode.ast import Command, GcodeProgram
+from repro.gcode.parser import parse_line
+from repro.gcode.writer import write_line
+
+
+class SerialHost:
+    """Streams a program through the checksummed host protocol.
+
+    ``corrupt`` optionally mangles the on-the-wire text of chosen line
+    numbers exactly once (fault injection for tests); the protocol recovers
+    by resending.
+    """
+
+    def __init__(
+        self,
+        program: GcodeProgram,
+        corrupt: Optional[Callable[[int, str], Optional[str]]] = None,
+    ) -> None:
+        self._commands: List[Command] = list(program.executable())
+        self._cursor = 0
+        self._line_number = 1
+        self._corrupt = corrupt
+        self._corrupted_once: set = set()
+        self.lines_sent = 0
+        self.resends = 0
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Command]:
+        return self
+
+    def __next__(self) -> Command:
+        if self._cursor >= len(self._commands):
+            raise StopIteration
+        command = self._commands[self._cursor]
+        self._cursor += 1
+        return self._transmit(command)
+
+    # ------------------------------------------------------------------
+    def _transmit(self, command: Command) -> Command:
+        """One line's protocol round-trip, including the resend loop."""
+        n = self._line_number
+        self._line_number += 1
+        body = write_line(
+            Command(
+                letter=command.letter,
+                code=command.code,
+                params=list(command.params),
+                comment=None,  # hosts strip comments before transmission
+                line_number=n,
+            ),
+            with_checksum=True,
+        )
+        while True:
+            wire_text = body
+            if self._corrupt is not None and n not in self._corrupted_once:
+                mangled = self._corrupt(n, wire_text)
+                if mangled is not None:
+                    self._corrupted_once.add(n)
+                    wire_text = mangled
+            self.lines_sent += 1
+            try:
+                received = parse_line(wire_text, validate_checksum=True)
+                if received.line_number != n:
+                    raise GcodeChecksumError(n, "line number mismatch")
+            except (GcodeChecksumError, GcodeError):
+                self.resends += 1  # firmware answered "Resend: n"
+                continue
+            return received

@@ -1,0 +1,46 @@
+"""Mutable machine state: the firmware's view of the printer.
+
+Logical positions are tracked both in millimetres (exact command targets, so
+absolute-mode moves never accumulate rounding) and in integer steps (what the
+stepper has been asked to emit — the quantity the paper's detection counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.firmware.config import MarlinConfig
+
+AXES = ("X", "Y", "Z", "E")
+
+
+@dataclass
+class MachineState:
+    """The G-code-visible state of the machine."""
+
+    config: MarlinConfig
+    position_mm: Dict[str, float] = field(default_factory=lambda: dict.fromkeys(AXES, 0.0))
+    position_steps: Dict[str, int] = field(default_factory=lambda: dict.fromkeys(AXES, 0))
+    absolute_coords: bool = True  # G90 / G91
+    absolute_e: bool = True  # M82 / M83
+    feedrate_mm_s: float = 30.0
+    feedrate_percent: float = 100.0  # M220
+    flow_percent: float = 100.0  # M221
+    fan_duty: float = 0.0  # M106 / M107
+    homed_axes: Set[str] = field(default_factory=set)
+    target_hotend_c: float = 0.0
+    target_bed_c: float = 0.0
+
+    @property
+    def all_homed(self) -> bool:
+        return {"X", "Y", "Z"}.issubset(self.homed_axes)
+
+    def set_logical_position(self, axis: str, position_mm: float) -> None:
+        """G92-style re-zeroing: adjust both mm and step bookkeeping."""
+        self.position_mm[axis] = position_mm
+        self.position_steps[axis] = round(position_mm * self.config.steps_per_mm[axis])
+
+    def steps_for(self, axis: str, target_mm: float) -> int:
+        """Integer step coordinate for a target position on ``axis``."""
+        return round(target_mm * self.config.steps_per_mm[axis])

@@ -1,0 +1,250 @@
+"""Stepper executor: planned blocks → STEP/DIR/EN events on the harness.
+
+Executes one :class:`~repro.firmware.planner.MotionBlock` at a time. For each
+block it solves the trapezoid (entry/cruise/exit), derives the time of every
+step event by inverting the motion profile, distributes secondary-axis steps
+with a Bresenham/DDA accumulator (guaranteeing exact signed step totals), and
+schedules events one at a time so aborts and endstop stops are immediate.
+
+The optional *time-noise* model scales each block's execution rate by a
+zero-mean random factor — the "time noise" of asynchronous manufacturing
+systems the paper cites as the reason for its 5 % detection margin.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import FirmwareError
+from repro.firmware.config import MarlinConfig
+from repro.firmware.planner import AXES, MotionBlock, MotionPlanner
+from repro.electronics.harness import SignalHarness
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.time import US
+
+_DIR_SETTLE_NS = 2 * US  # DIR→STEP setup time honoured at block start
+
+
+class StepperExecutor:
+    """Drives the upstream (Arduino-side) motion wires from planner blocks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MarlinConfig,
+        harness: SignalHarness,
+        planner: MotionPlanner,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.harness = harness
+        self.planner = planner
+        self._rng = random.Random(config.time_noise_seed)
+
+        self._step_wires = {axis: harness.upstream(f"{axis}_STEP") for axis in AXES}
+        self._dir_wires = {axis: harness.upstream(f"{axis}_DIR") for axis in AXES}
+        self._en_wires = {axis: harness.upstream(f"{axis}_EN") for axis in AXES}
+        for wire in self._en_wires.values():
+            wire.drive(1)  # active low: start disabled
+
+        self._block: Optional[MotionBlock] = None
+        self._times: List[int] = []
+        self._index = 0
+        self._dda: Dict[str, int] = {}
+        self._block_start_ns = 0
+        self._handle: Optional[EventHandle] = None
+        self._homing = False
+
+        self.on_block_done: List[Callable[[], None]] = []
+        self.on_idle: List[Callable[[], None]] = []
+        self.blocks_executed = 0
+        self.steps_emitted: Dict[str, int] = dict.fromkeys(AXES, 0)
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return self._block is None and not self._homing
+
+    def enable_steppers(self) -> None:
+        for wire in self._en_wires.values():
+            wire.drive(0)
+
+    def disable_steppers(self, axes: Optional[List[str]] = None) -> None:
+        for axis in axes if axes is not None else list(AXES):
+            self._en_wires[axis].drive(1)
+
+    @property
+    def steppers_enabled(self) -> bool:
+        return all(wire.value == 0 for wire in self._en_wires.values())
+
+    # ------------------------------------------------------------------
+    # Planned-block execution
+    # ------------------------------------------------------------------
+    def wake(self) -> None:
+        """Start executing if idle and the planner has work."""
+        if not self.idle:
+            return
+        block = self.planner.pop_block()
+        if block is None:
+            return
+        self._begin_block(block)
+
+    def _begin_block(self, block: MotionBlock) -> None:
+        self.enable_steppers()
+        self._block = block
+        self._index = 0
+        count = block.step_event_count
+        self._dda = {axis: count // 2 for axis in AXES}
+        for axis in AXES:
+            if block.steps[axis] != 0:
+                self._dir_wires[axis].drive(1 if block.steps[axis] > 0 else 0)
+        self._times = self._step_times(block)
+        self._block_start_ns = self.sim.now
+        self._schedule_next()
+
+    def _step_times(self, block: MotionBlock) -> List[int]:
+        """Absolute-offset (ns) times of each step event within the block."""
+        v_entry, v_exit = block.entry_speed, block.exit_speed
+        v_nominal, accel, distance = block.nominal_speed, block.acceleration, block.distance_mm
+
+        d_accel = max(0.0, (v_nominal**2 - v_entry**2) / (2 * accel))
+        d_decel = max(0.0, (v_nominal**2 - v_exit**2) / (2 * accel))
+        if d_accel + d_decel > distance:
+            v_peak = math.sqrt(max((2 * accel * distance + v_entry**2 + v_exit**2) / 2, 0.0))
+            v_peak = max(v_peak, v_entry, v_exit)
+            d_accel = max(0.0, (v_peak**2 - v_entry**2) / (2 * accel))
+            d_decel = max(0.0, distance - d_accel)
+            d_cruise = 0.0
+        else:
+            v_peak = v_nominal
+            d_cruise = distance - d_accel - d_decel
+
+        t_accel = (v_peak - v_entry) / accel
+        t_cruise = d_cruise / v_peak if v_peak > 0 else 0.0
+
+        noise = 1.0
+        sigma = self.config.time_noise_sigma
+        if sigma > 0:
+            noise = 1.0 + max(-3 * sigma, min(3 * sigma, self._rng.gauss(0.0, sigma)))
+
+        count = block.step_event_count
+        times: List[int] = []
+        for k in range(1, count + 1):
+            s = distance * k / count
+            if s <= d_accel + 1e-12:
+                t = (math.sqrt(max(v_entry**2 + 2 * accel * s, 0.0)) - v_entry) / accel
+            elif s <= d_accel + d_cruise + 1e-12:
+                t = t_accel + (s - d_accel) / v_peak
+            else:
+                s_decel = s - d_accel - d_cruise
+                v_term = math.sqrt(max(v_peak**2 - 2 * accel * s_decel, 0.0))
+                t = t_accel + t_cruise + (v_peak - v_term) / accel
+            times.append(_DIR_SETTLE_NS + int(t * noise * 1e9))
+        # Guarantee strictly nondecreasing times (rounding can tie).
+        for i in range(1, len(times)):
+            if times[i] < times[i - 1]:
+                times[i] = times[i - 1]
+        return times
+
+    def _schedule_next(self) -> None:
+        if self._block is None:
+            return
+        if self._index >= len(self._times):
+            self._finish_block()
+            return
+        at = self._block_start_ns + self._times[self._index]
+        self._handle = self.sim.schedule_at(at, self._emit_step)
+
+    def _emit_step(self) -> None:
+        block = self._block
+        if block is None:
+            return
+        count = block.step_event_count
+        width = self.config.step_pulse_width_ns
+        for axis in AXES:
+            axis_steps = abs(block.steps[axis])
+            if axis_steps == 0:
+                continue
+            self._dda[axis] += axis_steps
+            if self._dda[axis] >= count:
+                self._dda[axis] -= count
+                self._step_wires[axis].pulse(width)
+                self.steps_emitted[axis] += 1 if block.steps[axis] > 0 else -1
+        self._index += 1
+        self._schedule_next()
+
+    def _finish_block(self) -> None:
+        block = self._block
+        self._block = None
+        self._handle = None
+        if block is not None:
+            self.planner.release_block(block)
+            self.blocks_executed += 1
+        for callback in list(self.on_block_done):
+            callback()
+        # Chain into the next block with no dead time (junction continuity).
+        self.wake()
+        if self.idle:
+            for callback in list(self.on_idle):
+                callback()
+
+    # ------------------------------------------------------------------
+    # Homing moves (bypass the planner: constant speed, stop on a wire)
+    # ------------------------------------------------------------------
+    def home_move(
+        self,
+        axis: str,
+        direction: int,
+        max_mm: float,
+        feedrate_mm_s: float,
+        stop_when: Optional[Callable[[], bool]],
+        on_done: Callable[[bool, int], None],
+    ) -> None:
+        """Constant-speed move on one axis until ``stop_when()`` or ``max_mm``.
+
+        ``on_done(hit, steps_taken)`` fires when the move ends; ``hit`` tells
+        whether the stop condition (endstop) ended it.
+        """
+        if not self.idle:
+            raise FirmwareError("home_move while the stepper is busy")
+        if direction not in (1, -1):
+            raise FirmwareError("home_move direction must be +1/-1")
+        self.enable_steppers()
+        self._homing = True
+        self._dir_wires[axis].drive(1 if direction > 0 else 0)
+        spm = self.config.steps_per_mm[axis]
+        interval_ns = max(1, int(1e9 / (feedrate_mm_s * spm)))
+        remaining = int(max_mm * spm)
+        state = {"taken": 0}
+
+        def step_once() -> None:
+            if stop_when is not None and stop_when():
+                finish(True)
+                return
+            if state["taken"] >= remaining:
+                finish(False)
+                return
+            self._step_wires[axis].pulse(self.config.step_pulse_width_ns)
+            self.steps_emitted[axis] += direction
+            state["taken"] += 1
+            self._handle = self.sim.schedule(interval_ns, step_once)
+
+        def finish(hit: bool) -> None:
+            self._homing = False
+            self._handle = None
+            on_done(hit, state["taken"])
+
+        self._handle = self.sim.schedule(_DIR_SETTLE_NS, step_once)
+
+    # ------------------------------------------------------------------
+    def abort(self) -> None:
+        """Stop motion immediately (kill path)."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if self._block is not None:
+            self.planner.release_block(self._block)
+            self._block = None
+        self._homing = False

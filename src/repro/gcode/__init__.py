@@ -1,0 +1,31 @@
+"""G-code toolchain: parse, build, serialize, slice, and (maliciously) edit.
+
+The paper's workflow (Figure 1) is CAD → slicer → G-code → firmware. This
+package provides the G-code end of that chain:
+
+* :mod:`repro.gcode.parser` / :mod:`repro.gcode.writer` — a lossless
+  parse ↔ serialize round-trip over the RepRap G-code dialect Marlin speaks,
+  including comments, ``Nnnn`` line numbers, and ``*`` checksums.
+* :mod:`repro.gcode.slicer` — a miniature deterministic slicer standing in
+  for Ultimaker Cura: shapes → layers → perimeters + rectilinear infill with
+  retraction, emitting ordinary G-code programs.
+* :mod:`repro.gcode.transforms` — the attack side: the Flaw3D reduction and
+  relocation Trojans of Table II and dr0wned-style geometry edits.
+"""
+
+from repro.gcode.ast import Command, GcodeProgram, Word
+from repro.gcode.checksum import line_checksum, wrap_with_checksum
+from repro.gcode.parser import parse_line, parse_program
+from repro.gcode.writer import write_line, write_program
+
+__all__ = [
+    "Command",
+    "GcodeProgram",
+    "Word",
+    "line_checksum",
+    "parse_line",
+    "parse_program",
+    "wrap_with_checksum",
+    "write_line",
+    "write_program",
+]

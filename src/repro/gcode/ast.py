@@ -1,0 +1,194 @@
+"""Abstract syntax for RepRap-dialect G-code.
+
+A program is a list of :class:`Command` objects. Each command is a letter +
+number (``G1``, ``M109``) with parameter words (``X10.5``, ``S200``), an
+optional ``Nnnn`` line number, optional ``*checksum``, and an optional
+trailing comment. Blank and comment-only lines are kept (as commands with
+``letter=None``) so that serialization is lossless — the Flaw3D transforms
+must be able to edit a file without otherwise disturbing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Word:
+    """A single parameter word: letter plus numeric value (``X10.5``)."""
+
+    letter: str
+    value: float
+
+    def render(self) -> str:
+        """Serialize losslessly: integers lose the decimal point, other
+        values use ``repr`` (which round-trips floats exactly)."""
+        if self.value == int(self.value) and abs(self.value) < 1e15:
+            return f"{self.letter}{int(self.value)}"
+        return f"{self.letter}{self.value!r}"
+
+
+@dataclass
+class Command:
+    """One G-code line.
+
+    ``letter``/``code`` identify the command (``G``, 1). Comment-only or blank
+    lines have ``letter=None``. Parameters preserve order of appearance.
+    """
+
+    letter: Optional[str] = None
+    code: Optional[float] = None
+    params: List[Word] = field(default_factory=list)
+    comment: Optional[str] = None
+    line_number: Optional[int] = None
+    checksum: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Canonical name like ``G1`` or ``M109``; empty for comment lines."""
+        if self.letter is None or self.code is None:
+            return ""
+        if self.code == int(self.code):
+            return f"{self.letter}{int(self.code)}"
+        return f"{self.letter}{self.code:g}"
+
+    def is_command(self, name: str) -> bool:
+        """True if this line is the named command (e.g. ``cmd.is_command("G1")``)."""
+        return self.name == name.upper()
+
+    @property
+    def is_move(self) -> bool:
+        """True for linear move commands G0/G1."""
+        return self.letter == "G" and self.code in (0.0, 1.0)
+
+    @property
+    def is_blank(self) -> bool:
+        """True for blank or comment-only lines."""
+        return self.letter is None
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def get(self, letter: str, default: Optional[float] = None) -> Optional[float]:
+        """Value of the first parameter with ``letter``, or ``default``."""
+        letter = letter.upper()
+        for word in self.params:
+            if word.letter == letter:
+                return word.value
+        return default
+
+    def has(self, letter: str) -> bool:
+        """True if a parameter with ``letter`` is present."""
+        return self.get(letter) is not None
+
+    def param_dict(self) -> Dict[str, float]:
+        """Parameters as a dict (last occurrence wins for duplicates)."""
+        return {word.letter: word.value for word in self.params}
+
+    # ------------------------------------------------------------------
+    # Functional-update helpers used by the malicious transforms
+    # ------------------------------------------------------------------
+    def with_param(self, letter: str, value: float) -> "Command":
+        """Copy of this command with parameter ``letter`` set to ``value``.
+
+        Replaces in place if present (keeping parameter order), appends
+        otherwise.
+        """
+        letter = letter.upper()
+        new_params: List[Word] = []
+        replaced = False
+        for word in self.params:
+            if word.letter == letter and not replaced:
+                new_params.append(Word(letter, float(value)))
+                replaced = True
+            else:
+                new_params.append(word)
+        if not replaced:
+            new_params.append(Word(letter, float(value)))
+        return Command(
+            letter=self.letter,
+            code=self.code,
+            params=new_params,
+            comment=self.comment,
+            line_number=self.line_number,
+            checksum=None,  # any edit invalidates a stored checksum
+        )
+
+    def without_param(self, letter: str) -> "Command":
+        """Copy of this command with every ``letter`` parameter removed."""
+        letter = letter.upper()
+        return Command(
+            letter=self.letter,
+            code=self.code,
+            params=[word for word in self.params if word.letter != letter],
+            comment=self.comment,
+            line_number=self.line_number,
+            checksum=None,
+        )
+
+    def copy(self) -> "Command":
+        """Deep-enough copy (Words are frozen)."""
+        return replace(self, params=list(self.params))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        from repro.gcode.writer import write_line
+
+        return f"<Command {write_line(self)!r}>"
+
+
+@dataclass
+class GcodeProgram:
+    """An ordered G-code program, with convenience iteration over moves."""
+
+    commands: List[Command] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self.commands)
+
+    def __getitem__(self, index):
+        return self.commands[index]
+
+    def append(self, command: Command) -> None:
+        self.commands.append(command)
+
+    def extend(self, commands: Iterable[Command]) -> None:
+        self.commands.extend(commands)
+
+    def moves(self) -> Iterator[Command]:
+        """Iterate over G0/G1 move commands only."""
+        return (cmd for cmd in self.commands if cmd.is_move)
+
+    def executable(self) -> Iterator[Command]:
+        """Iterate over non-blank commands."""
+        return (cmd for cmd in self.commands if not cmd.is_blank)
+
+    def count(self, name: str) -> int:
+        """Number of occurrences of the named command."""
+        return sum(1 for cmd in self.commands if cmd.is_command(name))
+
+    def total_extrusion_mm(self) -> float:
+        """Sum of positive relative-E deltas, assuming absolute E coordinates.
+
+        Used by tests and the Flaw3D transforms to reason about flow without
+        running the firmware. Handles ``G92 E0`` resets.
+        """
+        total = 0.0
+        last_e = 0.0
+        for cmd in self.commands:
+            if cmd.is_command("G92") and cmd.has("E"):
+                last_e = cmd.get("E", 0.0) or 0.0
+                continue
+            if cmd.is_move and cmd.has("E"):
+                e = cmd.get("E", 0.0) or 0.0
+                delta = e - last_e
+                if delta > 0:
+                    total += delta
+                last_e = e
+        return total

@@ -1,0 +1,42 @@
+"""RepRap host-protocol line checksums.
+
+Hosts like Repetier send ``N<line> <command>*<checksum>`` where the checksum
+is the XOR of every byte up to (not including) the ``*``. Marlin validates it
+and requests a resend on mismatch. Both sides of that exchange live here so
+the firmware's serial front-end and the host model share one implementation.
+"""
+
+from __future__ import annotations
+
+
+def line_checksum(payload: str) -> int:
+    """XOR-of-bytes checksum over ``payload`` (the text before the ``*``)."""
+    checksum = 0
+    for byte in payload.encode("ascii", errors="replace"):
+        checksum ^= byte
+    return checksum
+
+
+def wrap_with_checksum(line_number: int, body: str) -> str:
+    """Frame ``body`` as a numbered, checksummed protocol line.
+
+    >>> wrap_with_checksum(3, "G28")
+    'N3 G28*28'
+    """
+    payload = f"N{line_number} {body}"
+    return f"{payload}*{line_checksum(payload)}"
+
+
+def split_checksum(line: str) -> tuple:
+    """Split ``line`` into (payload, checksum-or-None).
+
+    Only the *last* ``*`` is treated as the checksum delimiter; G-code bodies
+    never contain ``*`` otherwise, but comments were stripped by the caller.
+    """
+    if "*" not in line:
+        return line, None
+    payload, _, tail = line.rpartition("*")
+    tail = tail.strip()
+    if not tail.isdigit():
+        return line, None
+    return payload, int(tail)

@@ -1,0 +1,107 @@
+"""Tokenizer for one line of RepRap G-code.
+
+Splits a raw line into (line_number, words, checksum, comment). Comments come
+in two forms: ``; to end of line`` and parenthesised ``(inline)``; both are
+captured. Words are letter+number with optional sign/decimal/exponent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import GcodeError
+
+# The numeric part is optional: bare parameter letters are legal ("G28 X"
+# homes X only) and read as value 0, matching Marlin's parser.
+_WORD_RE = re.compile(r"([A-Za-z])\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)?")
+_NUMBER_ONLY_RE = re.compile(r"^[+-]?(?:\d+\.?\d*|\.\d+)$")
+
+
+@dataclass(frozen=True)
+class LexedLine:
+    """The tokenized form of one raw G-code line."""
+
+    line_number: Optional[int]
+    words: List[tuple]  # (letter, float value) in order of appearance
+    checksum: Optional[int]
+    comment: Optional[str]
+
+
+def strip_comments(line: str) -> tuple:
+    """Remove comments from ``line``; return (code_text, comment_text_or_None).
+
+    Both ``;`` and balanced ``( ... )`` comments are supported; multiple
+    comments are joined with a space, matching how slicers annotate lines.
+    """
+    comments: List[str] = []
+    out: List[str] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch == ";":
+            comments.append(line[i + 1 :].strip())
+            break
+        if ch == "(":
+            close = line.find(")", i + 1)
+            if close == -1:
+                raise GcodeError(f"unterminated '(' comment in line: {line!r}")
+            comments.append(line[i + 1 : close].strip())
+            i = close + 1
+            continue
+        out.append(ch)
+        i += 1
+    comment = " ".join(c for c in comments if c) if comments else None
+    if comments and comment is None:
+        comment = ""  # an empty comment is still a comment line
+    return "".join(out), comment
+
+
+def lex_line(raw: str) -> LexedLine:
+    """Tokenize one raw line.
+
+    Raises :class:`~repro.errors.GcodeError` on malformed input (stray
+    characters that are neither words, comments, nor a checksum).
+    """
+    code_text, comment = strip_comments(raw.rstrip("\r\n"))
+
+    # Checksum: everything after the last '*' (validated by the parser).
+    checksum: Optional[int] = None
+    if "*" in code_text:
+        body, _, tail = code_text.rpartition("*")
+        tail = tail.strip()
+        if not _NUMBER_ONLY_RE.match(tail or ""):
+            raise GcodeError(f"malformed checksum field in line: {raw!r}")
+        checksum = int(float(tail))
+        code_text = body
+
+    words: List[tuple] = []
+    consumed = []
+    for match in _WORD_RE.finditer(code_text):
+        if not match.group(1):
+            continue
+        number = match.group(2)
+        words.append((match.group(1).upper(), float(number) if number else 0.0))
+        consumed.append((match.start(), match.end()))
+
+    # Anything outside matched words must be whitespace.
+    cursor = 0
+    for start, end in consumed:
+        gap = code_text[cursor:start]
+        if gap.strip():
+            raise GcodeError(f"unrecognized text {gap.strip()!r} in line: {raw!r}")
+        cursor = end
+    if code_text[cursor:].strip():
+        raise GcodeError(f"unrecognized text {code_text[cursor:].strip()!r} in line: {raw!r}")
+
+    line_number: Optional[int] = None
+    if words and words[0][0] == "N":
+        value = words[0][1]
+        if value != int(value) or value < 0:
+            raise GcodeError(f"invalid line number {value} in line: {raw!r}")
+        line_number = int(value)
+        words = words[1:]
+
+    return LexedLine(line_number=line_number, words=words, checksum=checksum, comment=comment)

@@ -1,0 +1,74 @@
+"""Parser: raw text → :class:`~repro.gcode.ast.GcodeProgram`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import GcodeChecksumError, GcodeError
+from repro.gcode.ast import Command, GcodeProgram, Word
+from repro.gcode.checksum import line_checksum
+from repro.gcode.lexer import lex_line
+
+
+def parse_line(raw: str, validate_checksum: bool = False) -> Command:
+    """Parse one raw line into a :class:`Command`.
+
+    With ``validate_checksum=True`` a present checksum is verified against the
+    payload (as Marlin's serial front-end does); mismatches raise
+    :class:`~repro.errors.GcodeChecksumError`.
+    """
+    lexed = lex_line(raw)
+
+    if validate_checksum and lexed.checksum is not None:
+        code_text, _ = raw.rstrip("\r\n"), None
+        payload, _, _ = code_text.rpartition("*")
+        # Strip any trailing comment from the payload before checksumming;
+        # hosts checksum exactly what they transmit, which excludes comments.
+        expected = line_checksum(payload)
+        if expected != lexed.checksum:
+            raise GcodeChecksumError(
+                lexed.line_number if lexed.line_number is not None else -1,
+                f"checksum mismatch (got {lexed.checksum}, expected {expected})",
+            )
+
+    if not lexed.words:
+        return Command(
+            letter=None,
+            code=None,
+            params=[],
+            comment=lexed.comment,
+            line_number=lexed.line_number,
+            checksum=lexed.checksum,
+        )
+
+    head_letter, head_value = lexed.words[0]
+    if head_letter not in ("G", "M", "T"):
+        raise GcodeError(f"line does not start with a G/M/T command: {raw!r}")
+
+    params = [Word(letter, value) for letter, value in lexed.words[1:]]
+    return Command(
+        letter=head_letter,
+        code=head_value,
+        params=params,
+        comment=lexed.comment,
+        line_number=lexed.line_number,
+        checksum=lexed.checksum,
+    )
+
+
+def parse_program(text_or_lines, validate_checksum: bool = False) -> GcodeProgram:
+    """Parse a whole program from a string or an iterable of lines."""
+    if isinstance(text_or_lines, str):
+        lines: Iterable[str] = text_or_lines.splitlines()
+    else:
+        lines = text_or_lines
+    program = GcodeProgram()
+    for raw in lines:
+        program.append(parse_line(raw, validate_checksum=validate_checksum))
+    return program
+
+
+def parse_file(path, validate_checksum: bool = False) -> GcodeProgram:
+    """Parse a G-code file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read(), validate_checksum=validate_checksum)

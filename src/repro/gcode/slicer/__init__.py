@@ -1,0 +1,42 @@
+"""A miniature deterministic slicer (the repo's stand-in for Ultimaker Cura).
+
+Turns simple solid shapes into layered G-code with perimeters, rectilinear
+infill, travel moves, and retraction — enough structure that the Flaw3D
+Trojans (which key off extrusion and movement counts) and the detection
+pipeline see realistic command streams. Determinism matters: the golden
+captures the detector compares against must be reproducible.
+"""
+
+from repro.gcode.slicer.geometry import (
+    clip_scanline,
+    ensure_ccw,
+    inset_convex,
+    is_convex,
+    point_in_polygon,
+    polygon_area,
+    polygon_bbox,
+    polygon_perimeter,
+)
+from repro.gcode.slicer.profiles import PrintProfile
+from repro.gcode.slicer.shapes import Box, Cylinder, LBracket, Shape, TaperedBox
+from repro.gcode.slicer.slicer import SliceResult, Slicer, slice_shape
+
+__all__ = [
+    "Box",
+    "Cylinder",
+    "LBracket",
+    "PrintProfile",
+    "Shape",
+    "SliceResult",
+    "Slicer",
+    "TaperedBox",
+    "clip_scanline",
+    "ensure_ccw",
+    "inset_convex",
+    "is_convex",
+    "point_in_polygon",
+    "polygon_area",
+    "polygon_bbox",
+    "polygon_perimeter",
+    "slice_shape",
+]

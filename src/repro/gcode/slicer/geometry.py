@@ -1,0 +1,193 @@
+"""2-D polygon primitives for the miniature slicer.
+
+Polygons are lists of ``(x, y)`` tuples, implicitly closed, in counter-
+clockwise orientation (enforced by :func:`ensure_ccw`). The slicer needs only
+three non-trivial operations: convex insetting (for perimeter loops),
+scanline clipping (for rectilinear infill), and point containment (for tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import SlicerError
+
+Point = Tuple[float, float]
+Polygon = List[Point]
+
+_EPS = 1e-9
+
+
+def polygon_area(poly: Sequence[Point]) -> float:
+    """Signed area via the shoelace formula (positive for CCW)."""
+    if len(poly) < 3:
+        return 0.0
+    total = 0.0
+    for i, (x0, y0) in enumerate(poly):
+        x1, y1 = poly[(i + 1) % len(poly)]
+        total += x0 * y1 - x1 * y0
+    return total / 2.0
+
+
+def ensure_ccw(poly: Sequence[Point]) -> Polygon:
+    """Return ``poly`` with counter-clockwise winding."""
+    points = [(float(x), float(y)) for x, y in poly]
+    if polygon_area(points) < 0:
+        points.reverse()
+    return points
+
+
+def polygon_perimeter(poly: Sequence[Point]) -> float:
+    """Total boundary length of the closed polygon."""
+    total = 0.0
+    for i, (x0, y0) in enumerate(poly):
+        x1, y1 = poly[(i + 1) % len(poly)]
+        total += math.hypot(x1 - x0, y1 - y0)
+    return total
+
+
+def polygon_bbox(poly: Sequence[Point]) -> Tuple[float, float, float, float]:
+    """Axis-aligned bounding box as (xmin, ymin, xmax, ymax)."""
+    if not poly:
+        raise SlicerError("bounding box of an empty polygon")
+    xs = [p[0] for p in poly]
+    ys = [p[1] for p in poly]
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+def is_convex(poly: Sequence[Point]) -> bool:
+    """True if the polygon is convex (collinear runs allowed)."""
+    n = len(poly)
+    if n < 3:
+        return False
+    sign = 0
+    for i in range(n):
+        x0, y0 = poly[i]
+        x1, y1 = poly[(i + 1) % n]
+        x2, y2 = poly[(i + 2) % n]
+        cross = (x1 - x0) * (y2 - y1) - (y1 - y0) * (x2 - x1)
+        if abs(cross) < _EPS:
+            continue
+        this_sign = 1 if cross > 0 else -1
+        if sign == 0:
+            sign = this_sign
+        elif sign != this_sign:
+            return False
+    return True
+
+
+def point_in_polygon(point: Point, poly: Sequence[Point]) -> bool:
+    """Even-odd containment test (points on the boundary count as inside)."""
+    x, y = point
+    inside = False
+    n = len(poly)
+    for i in range(n):
+        x0, y0 = poly[i]
+        x1, y1 = poly[(i + 1) % n]
+        # Boundary check: is the point on segment (p0, p1)?
+        cross = (x1 - x0) * (y - y0) - (y1 - y0) * (x - x0)
+        if abs(cross) < 1e-7:
+            if min(x0, x1) - 1e-7 <= x <= max(x0, x1) + 1e-7 and (
+                min(y0, y1) - 1e-7 <= y <= max(y0, y1) + 1e-7
+            ):
+                return True
+        if (y0 > y) != (y1 > y):
+            x_cross = x0 + (y - y0) * (x1 - x0) / (y1 - y0)
+            if x_cross > x:
+                inside = not inside
+    return inside
+
+
+def inset_convex(poly: Sequence[Point], distance: float) -> Polygon:
+    """Shrink a convex CCW polygon inward by ``distance``.
+
+    Each edge is translated along its inward normal; consecutive offset edges
+    are re-intersected. Raises :class:`~repro.errors.SlicerError` if the inset
+    collapses the polygon (offset larger than the inradius) or the polygon is
+    not convex.
+    """
+    points = ensure_ccw(poly)
+    if not is_convex(points):
+        raise SlicerError("inset_convex requires a convex polygon")
+    if distance < 0:
+        raise SlicerError(f"inset distance must be >= 0, got {distance}")
+    if distance == 0:
+        return list(points)
+
+    n = len(points)
+    offset_lines = []  # (point_on_line, direction) per edge
+    for i in range(n):
+        x0, y0 = points[i]
+        x1, y1 = points[(i + 1) % n]
+        dx, dy = x1 - x0, y1 - y0
+        length = math.hypot(dx, dy)
+        if length < _EPS:
+            continue
+        # Inward normal for a CCW polygon is the left normal of the edge.
+        nx, ny = -dy / length, dx / length
+        offset_lines.append(((x0 + nx * distance, y0 + ny * distance), (dx, dy)))
+
+    m = len(offset_lines)
+    if m < 3:
+        raise SlicerError("degenerate polygon for inset")
+
+    result: Polygon = []
+    for i in range(m):
+        (p0, d0) = offset_lines[i - 1]
+        (p1, d1) = offset_lines[i]
+        denom = d0[0] * d1[1] - d0[1] * d1[0]
+        if abs(denom) < _EPS:
+            # Parallel consecutive edges (collinear input): keep offset point.
+            result.append(p1)
+            continue
+        t = ((p1[0] - p0[0]) * d1[1] - (p1[1] - p0[1]) * d1[0]) / denom
+        result.append((p0[0] + d0[0] * t, p0[1] + d0[1] * t))
+
+    if polygon_area(result) < _EPS or polygon_area(result) > polygon_area(points):
+        raise SlicerError(f"inset by {distance} collapsed the polygon")
+    # An over-large inset can invert the polygon while keeping positive area
+    # (edges cross and reverse). result[i] sits on offset line i, so the edge
+    # result[i] -> result[i+1] must still point along that line's direction.
+    for i in range(len(result)):
+        edge = (
+            result[(i + 1) % len(result)][0] - result[i][0],
+            result[(i + 1) % len(result)][1] - result[i][1],
+        )
+        direction = offset_lines[i][1]
+        if edge[0] * direction[0] + edge[1] * direction[1] < -_EPS:
+            raise SlicerError(f"inset by {distance} collapsed the polygon")
+    return result
+
+
+def clip_scanline(poly: Sequence[Point], y: float) -> List[Tuple[float, float]]:
+    """Intersect the horizontal line at ``y`` with the polygon interior.
+
+    Returns a sorted list of ``(x_start, x_end)`` spans inside the polygon,
+    using even-odd crossing counting. Works for concave polygons too, which is
+    why infill supports shapes the convex inset cannot.
+    """
+    crossings: List[float] = []
+    n = len(poly)
+    for i in range(n):
+        x0, y0 = poly[i]
+        x1, y1 = poly[(i + 1) % n]
+        if (y0 > y) != (y1 > y):
+            crossings.append(x0 + (y - y0) * (x1 - x0) / (y1 - y0))
+    crossings.sort()
+    spans = []
+    for i in range(0, len(crossings) - 1, 2):
+        if crossings[i + 1] - crossings[i] > _EPS:
+            spans.append((crossings[i], crossings[i + 1]))
+    return spans
+
+
+def rotate_polygon(poly: Sequence[Point], angle_rad: float, center: Point = (0.0, 0.0)) -> Polygon:
+    """Rotate a polygon about ``center`` (used for alternating infill angles)."""
+    cos_a, sin_a = math.cos(angle_rad), math.sin(angle_rad)
+    cx, cy = center
+    out: Polygon = []
+    for x, y in poly:
+        dx, dy = x - cx, y - cy
+        out.append((cx + dx * cos_a - dy * sin_a, cy + dx * sin_a + dy * cos_a))
+    return out

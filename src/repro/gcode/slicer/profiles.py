@@ -1,0 +1,90 @@
+"""Print profiles: the slicer-side settings a Cura profile would hold.
+
+The defaults approximate a PLA draft profile for a Prusa i3 MK3S+ class
+machine — the printer the paper's test environment used — scaled down in
+temperature-wait realism knobs so simulated prints stay short.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SlicerError
+
+
+@dataclass(frozen=True)
+class PrintProfile:
+    """Settings for slicing and printing one part."""
+
+    layer_height_mm: float = 0.3
+    first_layer_height_mm: float = 0.3
+    perimeter_count: int = 1
+    infill_spacing_mm: float = 2.5
+    extrusion_width_mm: float = 0.45
+    nozzle_diameter_mm: float = 0.4
+    filament_diameter_mm: float = 1.75
+
+    print_speed_mm_s: float = 45.0
+    first_layer_speed_mm_s: float = 20.0
+    travel_speed_mm_s: float = 120.0
+
+    retraction_length_mm: float = 0.8
+    retraction_speed_mm_s: float = 35.0
+    retraction_min_travel_mm: float = 2.0
+
+    hotend_temp_c: float = 210.0
+    bed_temp_c: float = 60.0
+    fan_duty: float = 1.0  # part-cooling fan once past the first layer
+
+    def __post_init__(self) -> None:
+        if self.layer_height_mm <= 0 or self.first_layer_height_mm <= 0:
+            raise SlicerError("layer heights must be positive")
+        if self.layer_height_mm > 0.75 * self.nozzle_diameter_mm + 1e-9:
+            raise SlicerError(
+                f"layer height {self.layer_height_mm}mm too large for "
+                f"{self.nozzle_diameter_mm}mm nozzle"
+            )
+        if self.perimeter_count < 0:
+            raise SlicerError("perimeter count cannot be negative")
+        if self.extrusion_width_mm < self.nozzle_diameter_mm * 0.9:
+            raise SlicerError("extrusion width must be >= 90% of nozzle diameter")
+        if not 0.0 <= self.fan_duty <= 1.0:
+            raise SlicerError("fan duty must be in [0, 1]")
+        if min(self.print_speed_mm_s, self.travel_speed_mm_s, self.first_layer_speed_mm_s) <= 0:
+            raise SlicerError("speeds must be positive")
+
+    @property
+    def filament_area_mm2(self) -> float:
+        """Cross-sectional area of the filament."""
+        return math.pi * (self.filament_diameter_mm / 2) ** 2
+
+    def extrusion_per_mm(self, layer_height_mm: float) -> float:
+        """Millimetres of filament consumed per millimetre of printed path.
+
+        Uses the rectangular-bead approximation ``width x height`` that
+        mainstream slicers use for flow calculation.
+        """
+        bead_area = self.extrusion_width_mm * layer_height_mm
+        return bead_area / self.filament_area_mm2
+
+    def draft(self) -> "PrintProfile":
+        """A faster, coarser variant for quick simulation runs."""
+        return PrintProfile(
+            layer_height_mm=0.3,
+            first_layer_height_mm=0.3,
+            perimeter_count=1,
+            infill_spacing_mm=4.0,
+            extrusion_width_mm=self.extrusion_width_mm,
+            nozzle_diameter_mm=self.nozzle_diameter_mm,
+            filament_diameter_mm=self.filament_diameter_mm,
+            print_speed_mm_s=60.0,
+            first_layer_speed_mm_s=30.0,
+            travel_speed_mm_s=150.0,
+            retraction_length_mm=self.retraction_length_mm,
+            retraction_speed_mm_s=self.retraction_speed_mm_s,
+            retraction_min_travel_mm=self.retraction_min_travel_mm,
+            hotend_temp_c=self.hotend_temp_c,
+            bed_temp_c=self.bed_temp_c,
+            fan_duty=self.fan_duty,
+        )

@@ -1,0 +1,148 @@
+"""Printable solid shapes for the miniature slicer.
+
+Shapes expose their cross-section outline at a given height; the slicer walks
+heights layer by layer. The calibration parts here mirror the kind of small
+test prints the paper photographs in Table I (simple rectangular and
+cylindrical solids placed on graph paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SlicerError
+from repro.gcode.slicer.geometry import Polygon, ensure_ccw
+
+Point = Tuple[float, float]
+
+
+class Shape:
+    """Base class: a solid defined by per-height outlines."""
+
+    name: str = "shape"
+    height_mm: float = 0.0
+
+    def outline_at(self, z: float) -> Polygon:
+        """CCW cross-section outline at height ``z`` (0 <= z <= height)."""
+        raise NotImplementedError
+
+
+@dataclass
+class Box(Shape):
+    """A rectangular prism centred at ``center``."""
+
+    width_mm: float = 20.0
+    depth_mm: float = 20.0
+    height: float = 5.0
+    center: Point = (100.0, 100.0)
+    name: str = "box"
+
+    def __post_init__(self) -> None:
+        if min(self.width_mm, self.depth_mm, self.height) <= 0:
+            raise SlicerError("box dimensions must be positive")
+        self.height_mm = self.height
+
+    def outline_at(self, z: float) -> Polygon:
+        cx, cy = self.center
+        hw, hd = self.width_mm / 2, self.depth_mm / 2
+        return ensure_ccw(
+            [(cx - hw, cy - hd), (cx + hw, cy - hd), (cx + hw, cy + hd), (cx - hw, cy + hd)]
+        )
+
+
+@dataclass
+class TaperedBox(Shape):
+    """A box whose cross-section shrinks linearly with height (a frustum).
+
+    Exercises per-layer outline changes, so layer-indexed Trojans (T4/T5) act
+    on geometry that differs layer to layer.
+    """
+
+    base_width_mm: float = 24.0
+    base_depth_mm: float = 24.0
+    top_scale: float = 0.5
+    height: float = 6.0
+    center: Point = (100.0, 100.0)
+    name: str = "tapered_box"
+
+    def __post_init__(self) -> None:
+        if not 0.05 <= self.top_scale <= 1.0:
+            raise SlicerError("top_scale must be in [0.05, 1.0]")
+        if min(self.base_width_mm, self.base_depth_mm, self.height) <= 0:
+            raise SlicerError("tapered box dimensions must be positive")
+        self.height_mm = self.height
+
+    def outline_at(self, z: float) -> Polygon:
+        frac = min(1.0, max(0.0, z / self.height))
+        scale = 1.0 + (self.top_scale - 1.0) * frac
+        cx, cy = self.center
+        hw = self.base_width_mm * scale / 2
+        hd = self.base_depth_mm * scale / 2
+        return ensure_ccw(
+            [(cx - hw, cy - hd), (cx + hw, cy - hd), (cx + hw, cy + hd), (cx - hw, cy + hd)]
+        )
+
+
+@dataclass
+class Cylinder(Shape):
+    """A right circular cylinder approximated by a regular polygon."""
+
+    radius_mm: float = 10.0
+    height: float = 5.0
+    segments: int = 36
+    center: Point = (100.0, 100.0)
+    name: str = "cylinder"
+
+    def __post_init__(self) -> None:
+        if self.radius_mm <= 0 or self.height <= 0:
+            raise SlicerError("cylinder dimensions must be positive")
+        if self.segments < 8:
+            raise SlicerError("cylinder needs at least 8 segments")
+        self.height_mm = self.height
+
+    def outline_at(self, z: float) -> Polygon:
+        cx, cy = self.center
+        points = []
+        for i in range(self.segments):
+            angle = 2 * math.pi * i / self.segments
+            points.append((cx + self.radius_mm * math.cos(angle), cy + self.radius_mm * math.sin(angle)))
+        return ensure_ccw(points)
+
+
+@dataclass
+class LBracket(Shape):
+    """An L-shaped bracket (concave): infill-only perimeters.
+
+    The slicer falls back to tracing the outline itself (no inset loops) for
+    concave sections — matching how this repo scopes its convex-inset
+    geometry engine. Useful to test infill on concave cross-sections.
+    """
+
+    leg_mm: float = 24.0
+    thickness_mm: float = 8.0
+    height: float = 4.0
+    corner: Point = (90.0, 90.0)
+    name: str = "l_bracket"
+
+    def __post_init__(self) -> None:
+        if self.thickness_mm >= self.leg_mm:
+            raise SlicerError("L-bracket thickness must be smaller than its leg")
+        if min(self.leg_mm, self.thickness_mm, self.height) <= 0:
+            raise SlicerError("L-bracket dimensions must be positive")
+        self.height_mm = self.height
+
+    def outline_at(self, z: float) -> Polygon:
+        x0, y0 = self.corner
+        leg, t = self.leg_mm, self.thickness_mm
+        return ensure_ccw(
+            [
+                (x0, y0),
+                (x0 + leg, y0),
+                (x0 + leg, y0 + t),
+                (x0 + t, y0 + t),
+                (x0 + t, y0 + leg),
+                (x0, y0 + leg),
+            ]
+        )

@@ -1,0 +1,324 @@
+"""Layered path generation: shapes → G-code programs.
+
+The output structure follows what mainstream slicers emit and what the
+paper's prints used (sliced with Ultimaker Cura): heat-and-wait preamble,
+``G28`` homing, per-layer perimeter loops then rectilinear infill with
+serpentine scan order, retraction on long travels, absolute E with per-layer
+``G92 E0`` resets, and a parking/shutdown epilogue. Everything is
+deterministic: the same shape + profile always yields byte-identical G-code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import SlicerError
+from repro.gcode.ast import Command, GcodeProgram, Word
+from repro.gcode.slicer.geometry import (
+    Polygon,
+    clip_scanline,
+    ensure_ccw,
+    inset_convex,
+    is_convex,
+    polygon_bbox,
+)
+from repro.gcode.slicer.profiles import PrintProfile
+from repro.gcode.slicer.shapes import Shape
+
+Point = Tuple[float, float]
+
+_COORD_DECIMALS = 3
+_E_DECIMALS = 5
+
+
+def _round_coord(value: float) -> float:
+    return round(value, _COORD_DECIMALS)
+
+
+def _round_e(value: float) -> float:
+    return round(value, _E_DECIMALS)
+
+
+@dataclass
+class SliceResult:
+    """A sliced part: the program plus summary statistics."""
+
+    program: GcodeProgram
+    shape_name: str
+    layer_count: int
+    extruded_path_mm: float
+    travel_path_mm: float
+    filament_mm: float
+    layer_heights: List[float] = field(default_factory=list)
+
+    @property
+    def command_count(self) -> int:
+        return sum(1 for _ in self.program.executable())
+
+
+class Slicer:
+    """Deterministic miniature slicer. One instance per profile."""
+
+    def __init__(self, profile: Optional[PrintProfile] = None) -> None:
+        self.profile = profile or PrintProfile()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def slice(self, shape: Shape) -> SliceResult:
+        """Slice ``shape`` into a complete printable G-code program."""
+        profile = self.profile
+        if shape.height_mm <= 0:
+            raise SlicerError(f"shape {shape.name!r} has no height")
+
+        builder = _ProgramBuilder(profile)
+        builder.preamble(shape.name)
+
+        layer_heights = self._layer_heights(shape.height_mm)
+        z = 0.0
+        for layer_index, layer_height in enumerate(layer_heights):
+            z += layer_height
+            outline = ensure_ccw(shape.outline_at(z - layer_height / 2))
+            builder.begin_layer(layer_index, z, layer_height)
+            self._slice_layer(builder, outline, layer_index, layer_height)
+        builder.epilogue()
+
+        return SliceResult(
+            program=builder.program,
+            shape_name=shape.name,
+            layer_count=len(layer_heights),
+            extruded_path_mm=builder.extruded_path_mm,
+            travel_path_mm=builder.travel_path_mm,
+            filament_mm=builder.total_filament_mm,
+            layer_heights=layer_heights,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _layer_heights(self, total_height: float) -> List[float]:
+        profile = self.profile
+        heights = [profile.first_layer_height_mm]
+        remaining = total_height - profile.first_layer_height_mm
+        while remaining > profile.layer_height_mm * 0.25:
+            height = min(profile.layer_height_mm, remaining)
+            heights.append(height)
+            remaining -= height
+        return heights
+
+    def _slice_layer(
+        self,
+        builder: "_ProgramBuilder",
+        outline: Polygon,
+        layer_index: int,
+        layer_height: float,
+    ) -> None:
+        profile = self.profile
+        speed = (
+            profile.first_layer_speed_mm_s if layer_index == 0 else profile.print_speed_mm_s
+        )
+
+        # Perimeter loops: inset by half a width for the outermost, then a
+        # full width per additional loop. Concave outlines get a single
+        # on-outline trace (documented scope of the convex inset engine).
+        loops: List[Polygon] = []
+        innermost = outline
+        if is_convex(outline):
+            for loop_index in range(profile.perimeter_count):
+                inset = profile.extrusion_width_mm * (0.5 + loop_index)
+                try:
+                    loop = inset_convex(outline, inset)
+                except SlicerError:
+                    break
+                loops.append(loop)
+                innermost = loop
+        elif profile.perimeter_count > 0:
+            loops.append(list(outline))
+
+        for loop in loops:
+            builder.extrude_loop(loop, layer_height, speed)
+
+        infill_boundary = innermost
+        if is_convex(infill_boundary):
+            try:
+                infill_boundary = inset_convex(
+                    infill_boundary, profile.extrusion_width_mm * 0.5
+                )
+            except SlicerError:
+                return  # too small to infill
+        self._infill(builder, infill_boundary, layer_index, layer_height, speed)
+
+    def _infill(
+        self,
+        builder: "_ProgramBuilder",
+        boundary: Polygon,
+        layer_index: int,
+        layer_height: float,
+        speed: float,
+    ) -> None:
+        """Rectilinear serpentine infill, alternating X/Y orientation by layer."""
+        profile = self.profile
+        along_x = layer_index % 2 == 0
+        poly = boundary if along_x else [(y, x) for x, y in boundary]
+        _, smin, _, smax = polygon_bbox(poly)
+
+        spacing = profile.infill_spacing_mm
+        lines: List[Tuple[Point, Point]] = []
+        scan = smin + spacing / 2
+        flip = False
+        while scan < smax:
+            for x0, x1 in clip_scanline(poly, scan):
+                if x1 - x0 < profile.extrusion_width_mm:
+                    continue
+                a, b = (x0, scan), (x1, scan)
+                if flip:
+                    a, b = b, a
+                if not along_x:
+                    a, b = (a[1], a[0]), (b[1], b[0])
+                lines.append((a, b))
+            flip = not flip
+            scan += spacing
+
+        for start, end in lines:
+            builder.travel_to(start)
+            builder.extrude_path([start, end], layer_height, speed)
+
+
+class _ProgramBuilder:
+    """Accumulates G-code commands while tracking position and extrusion."""
+
+    def __init__(self, profile: PrintProfile) -> None:
+        self.profile = profile
+        self.program = GcodeProgram()
+        self.position: Optional[Point] = None
+        self.z = 0.0
+        self.e = 0.0
+        self.retracted = False
+        self.extruded_path_mm = 0.0
+        self.travel_path_mm = 0.0
+        self.total_filament_mm = 0.0
+
+    # -- low-level emit helpers ---------------------------------------
+    def _cmd(self, name: str, comment: Optional[str] = None, **params: float) -> None:
+        letter, code = name[0], float(name[1:])
+        words = [Word(k.upper(), float(v)) for k, v in params.items()]
+        self.program.append(Command(letter=letter, code=code, params=words, comment=comment))
+
+    def _comment(self, text: str) -> None:
+        self.program.append(Command(comment=text))
+
+    # -- structural sections ------------------------------------------
+    def preamble(self, shape_name: str) -> None:
+        profile = self.profile
+        self._comment(f"sliced by repro mini-slicer: {shape_name}")
+        self._comment(
+            f"layer_height={profile.layer_height_mm} extrusion_width={profile.extrusion_width_mm}"
+        )
+        self._cmd("M140", s=profile.bed_temp_c, comment="set bed temp")
+        self._cmd("M104", s=profile.hotend_temp_c, comment="set hotend temp")
+        self._cmd("M190", s=profile.bed_temp_c, comment="wait for bed temp")
+        self._cmd("M109", s=profile.hotend_temp_c, comment="wait for hotend temp")
+        self._cmd("G90", comment="absolute positioning")
+        self._cmd("M82", comment="absolute extrusion")
+        self._cmd("G28", comment="home all axes")
+        self._cmd("G92", e=0.0, comment="reset extrusion")
+
+    def begin_layer(self, layer_index: int, z: float, layer_height: float) -> None:
+        self._comment(f"LAYER:{layer_index} z={_round_coord(z)}")
+        if layer_index == 1 and self.profile.fan_duty > 0:
+            self._cmd("M106", s=round(self.profile.fan_duty * 255), comment="part fan on")
+        self.z = z
+        self._cmd("G1", z=_round_coord(z), f=round(self.profile.travel_speed_mm_s * 60))
+        self._cmd("G92", e=0.0)
+        self.e = 0.0
+
+    def epilogue(self) -> None:
+        profile = self.profile
+        self._comment("end of print")
+        self._retract()
+        self._cmd("G1", z=_round_coord(self.z + 5.0), f=round(profile.travel_speed_mm_s * 60))
+        self._cmd("G1", x=5.0, y=5.0, f=round(profile.travel_speed_mm_s * 60), comment="park")
+        self._cmd("M104", s=0, comment="hotend off")
+        self._cmd("M140", s=0, comment="bed off")
+        self._cmd("M107", comment="fan off")
+        self._cmd("M84", comment="disable steppers")
+
+    # -- motion ---------------------------------------------------------
+    def travel_to(self, point: Point) -> None:
+        """Non-extruding move, retracting first when the hop is long enough."""
+        if self.position is not None:
+            distance = math.hypot(point[0] - self.position[0], point[1] - self.position[1])
+            if distance < 1e-9:
+                return
+            if distance >= self.profile.retraction_min_travel_mm:
+                self._retract()
+            self.travel_path_mm += distance
+        self._cmd(
+            "G0",
+            x=_round_coord(point[0]),
+            y=_round_coord(point[1]),
+            f=round(self.profile.travel_speed_mm_s * 60),
+        )
+        self.position = point
+
+    def extrude_loop(self, loop: Polygon, layer_height: float, speed: float) -> None:
+        points = list(loop) + [loop[0]]
+        self.travel_to(points[0])
+        self.extrude_path(points, layer_height, speed)
+
+    def extrude_path(self, points: List[Point], layer_height: float, speed: float) -> None:
+        if self.position is None:
+            raise SlicerError("extrude_path before any positioning move")
+        if math.hypot(
+            points[0][0] - self.position[0], points[0][1] - self.position[1]
+        ) > 1e-6:
+            self.travel_to(points[0])
+        self._unretract()
+        e_per_mm = self.profile.extrusion_per_mm(layer_height)
+        for point in points[1:]:
+            distance = math.hypot(point[0] - self.position[0], point[1] - self.position[1])
+            if distance < 1e-9:
+                continue
+            self.e += distance * e_per_mm
+            self.extruded_path_mm += distance
+            self.total_filament_mm += distance * e_per_mm
+            self._cmd(
+                "G1",
+                x=_round_coord(point[0]),
+                y=_round_coord(point[1]),
+                e=_round_e(self.e),
+                f=round(speed * 60),
+            )
+            self.position = point
+
+    # -- retraction -----------------------------------------------------
+    def _retract(self) -> None:
+        if self.retracted or self.profile.retraction_length_mm <= 0:
+            return
+        self.e -= self.profile.retraction_length_mm
+        self._cmd(
+            "G1",
+            e=_round_e(self.e),
+            f=round(self.profile.retraction_speed_mm_s * 60),
+            comment="retract",
+        )
+        self.retracted = True
+
+    def _unretract(self) -> None:
+        if not self.retracted:
+            return
+        self.e += self.profile.retraction_length_mm
+        self._cmd(
+            "G1",
+            e=_round_e(self.e),
+            f=round(self.profile.retraction_speed_mm_s * 60),
+            comment="unretract",
+        )
+        self.retracted = False
+
+
+def slice_shape(shape: Shape, profile: Optional[PrintProfile] = None) -> SliceResult:
+    """Convenience wrapper: slice ``shape`` with ``profile`` (or defaults)."""
+    return Slicer(profile).slice(shape)

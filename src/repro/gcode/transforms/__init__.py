@@ -1,0 +1,25 @@
+"""Malicious G-code transforms.
+
+These are the *attack* implementations the paper evaluates its detection
+against: the Flaw3D bootloader Trojans (Table II) re-created as G-code
+rewrites — exactly how the paper itself emulated them ("We recreate these
+Trojans using a Python script which modifies given g-code in the same way
+the malicious bootloader does") — plus dr0wned-style geometry edits.
+"""
+
+from repro.gcode.transforms.edits import insert_void, scale_moves
+from repro.gcode.transforms.flaw3d import (
+    Flaw3dReduction,
+    Flaw3dRelocation,
+    apply_reduction,
+    apply_relocation,
+)
+
+__all__ = [
+    "Flaw3dReduction",
+    "Flaw3dRelocation",
+    "apply_reduction",
+    "apply_relocation",
+    "insert_void",
+    "scale_moves",
+]

@@ -1,0 +1,166 @@
+"""dr0wned-style malicious geometry edits.
+
+The dr0wned attack (Belikovetsky et al.) modified design files before
+slicing, inserting sub-millimetre voids at stress points. Operating on sliced
+G-code, the closest equivalents are: starving extrusion inside a 3-D region
+(a void), and rescaling coordinates (a dimensional attack). These supplement
+the Flaw3D transforms to round out the attack library the paper's platform is
+meant to study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import GcodeError
+from repro.gcode.ast import Command, GcodeProgram, Word
+
+Region = Tuple[float, float, float, float, float, float]  # xmin,ymin,zmin,xmax,ymax,zmax
+
+_E_DECIMALS = 5
+
+
+def _clip_segment(
+    x0: float, y0: float, x1: float, y1: float, region: Region
+) -> Optional[Tuple[float, float]]:
+    """Liang-Barsky: the parametric sub-interval of the segment inside the
+    region's XY rectangle, or None if it misses entirely."""
+    xmin, ymin, _, xmax, ymax, _ = region
+    dx, dy = x1 - x0, y1 - y0
+    t_enter, t_exit = 0.0, 1.0
+    for p, q in (
+        (-dx, x0 - xmin),
+        (dx, xmax - x0),
+        (-dy, y0 - ymin),
+        (dy, ymax - y0),
+    ):
+        if p == 0:
+            if q < 0:
+                return None  # parallel and outside
+            continue
+        t = q / p
+        if p < 0:
+            t_enter = max(t_enter, t)
+        else:
+            t_exit = min(t_exit, t)
+        if t_enter > t_exit:
+            return None
+    if t_exit - t_enter <= 1e-9:
+        return None
+    return (t_enter, t_exit)
+
+
+def insert_void(program: GcodeProgram, region: Region) -> GcodeProgram:
+    """Starve extrusion wherever a printing move crosses ``region``.
+
+    Moves are *split* at the region boundary: material is deposited up to the
+    void, the head travels through it dry, and deposition resumes beyond it —
+    the head's path is unchanged (dr0wned's stealth), only the material is
+    missing. Absolute E values are rebuilt to stay consistent.
+    """
+    xmin, ymin, zmin, xmax, ymax, zmax = region
+    if xmin > xmax or ymin > ymax or zmin > zmax:
+        raise GcodeError(f"malformed void region {region!r}")
+
+    out = GcodeProgram()
+    last_in_e = 0.0
+    out_e = 0.0
+    x = y = z = 0.0
+
+    def emit_sub_move(
+        template: Command, to_x: float, to_y: float, e_delta: float, comment=None
+    ) -> None:
+        nonlocal out_e
+        params: List[Word] = []
+        params.append(Word("X", round(to_x, 3)))
+        params.append(Word("Y", round(to_y, 3)))
+        if e_delta > 0:
+            out_e = round(out_e + e_delta, _E_DECIMALS)
+            params.append(Word("E", out_e))
+        if template.has("F"):
+            params.append(Word("F", template.get("F")))
+        out.append(
+            Command(letter="G", code=1.0, params=params, comment=comment)
+        )
+
+    for cmd in program:
+        if cmd.is_command("G92") and cmd.has("E"):
+            value = cmd.get("E", 0.0) or 0.0
+            last_in_e = value
+            out_e = value
+            out.append(cmd.copy())
+            continue
+        if not cmd.is_move:
+            out.append(cmd.copy())
+            continue
+
+        prev_x, prev_y = x, y
+        x = cmd.get("X", x) if cmd.has("X") else x
+        y = cmd.get("Y", y) if cmd.has("Y") else y
+        z = cmd.get("Z", z) if cmd.has("Z") else z
+
+        if not cmd.has("E"):
+            out.append(cmd.copy())
+            continue
+
+        in_e = cmd.get("E") or 0.0
+        delta = in_e - last_in_e
+        last_in_e = in_e
+
+        in_z_band = zmin <= z <= zmax
+        clip = (
+            _clip_segment(prev_x, prev_y, x, y, region)
+            if (delta > 0 and in_z_band and (cmd.has("X") or cmd.has("Y")))
+            else None
+        )
+        if clip is None:
+            out_e = round(out_e + delta, _E_DECIMALS)
+            out.append(cmd.with_param("E", out_e))
+            continue
+
+        # Split the move: deposit / dry travel / deposit.
+        t_enter, t_exit = clip
+        point = lambda t: (prev_x + (x - prev_x) * t, prev_y + (y - prev_y) * t)  # noqa: E731
+        if t_enter > 1e-9:
+            px, py = point(t_enter)
+            emit_sub_move(cmd, px, py, delta * t_enter)
+        vx, vy = point(t_exit)
+        emit_sub_move(cmd, vx, vy, 0.0, comment="void")
+        if t_exit < 1.0 - 1e-9:
+            emit_sub_move(cmd, x, y, delta * (1.0 - t_exit))
+    return out
+
+
+def scale_moves(
+    program: GcodeProgram,
+    scale: float,
+    center: Optional[Tuple[float, float]] = None,
+) -> GcodeProgram:
+    """Scale all X/Y coordinates about ``center`` (default: their centroid).
+
+    A crude dimensional attack: the part prints at the wrong size while every
+    command stream statistic (counts, structure) looks plausible.
+    """
+    if scale <= 0:
+        raise GcodeError(f"scale must be positive, got {scale}")
+
+    if center is None:
+        xs = [cmd.get("X") for cmd in program.moves() if cmd.has("X")]
+        ys = [cmd.get("Y") for cmd in program.moves() if cmd.has("Y")]
+        if not xs or not ys:
+            raise GcodeError("program has no X/Y moves to scale")
+        center = (sum(xs) / len(xs), sum(ys) / len(ys))
+
+    cx, cy = center
+    out = GcodeProgram()
+    for cmd in program:
+        if cmd.is_move and (cmd.has("X") or cmd.has("Y")):
+            new_cmd = cmd.copy()
+            if cmd.has("X"):
+                new_cmd = new_cmd.with_param("X", round(cx + (cmd.get("X") - cx) * scale, 3))
+            if cmd.has("Y"):
+                new_cmd = new_cmd.with_param("Y", round(cy + (cmd.get("Y") - cy) * scale, 3))
+            out.append(new_cmd)
+            continue
+        out.append(cmd.copy())
+    return out

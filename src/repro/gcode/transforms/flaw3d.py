@@ -1,0 +1,186 @@
+"""Flaw3D bootloader Trojans, re-created as G-code rewrites (Table II).
+
+The original attack (Pearce et al., "FLAW3D") hides in the AVR bootloader and
+edits G-code as it streams to the firmware. The OFFRAMPS paper emulated both
+Trojan families with a Python script that rewrites the file the same way; this
+module is that script:
+
+* **Reduction** — every positive extrusion delta is multiplied by ``factor``
+  (0.5 … 0.98 in Table II), starving the part of material while leaving the
+  motion unchanged.
+* **Relocation** — every ``period``-th extruding move has its filament
+  withheld and then deposited in place immediately afterwards (``period`` is
+  Table II's "number of movements before filament is relocated"). Total
+  extrusion is preserved but both the deposit locations and the print timeline
+  shift, which is what the detector's transaction mismatches pick up
+  (Figure 4 shows X-axis mismatches for relocation, not E).
+
+Both transforms rebuild the absolute-E coordinate chain so the emitted
+program remains well-formed for any Marlin-compatible consumer, and both
+handle ``G92 E`` resets and retraction (negative deltas pass through
+unscaled — the bootloader attacked extrusion, not retraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import GcodeError
+from repro.gcode.ast import Command, GcodeProgram, Word
+
+# In-place deposit speed for relocated filament. The bootloader dumps the
+# withheld material as a controlled blob; 300 mm/min (5 mm/s of filament) is
+# slow enough not to skip the extruder. The pause this adds is also the
+# timeline shift the paper's detector picks up as X/Y mismatches.
+RELOCATE_FEEDRATE_MM_MIN = 300
+_E_DECIMALS = 5
+
+
+class _EChain:
+    """Tracks input-vs-output absolute E while rewriting a program."""
+
+    def __init__(self) -> None:
+        self.last_in_e = 0.0
+        self.out_e = 0.0
+
+    def reset(self, value: float) -> None:
+        self.last_in_e = value
+        self.out_e = value
+
+    def consume(self, in_e: float) -> float:
+        """Return the input delta implied by the next absolute E value."""
+        delta = in_e - self.last_in_e
+        self.last_in_e = in_e
+        return delta
+
+    def emit(self, out_delta: float) -> float:
+        """Advance the output chain by ``out_delta``; return new absolute E."""
+        self.out_e = round(self.out_e + out_delta, _E_DECIMALS)
+        return self.out_e
+
+
+@dataclass(frozen=True)
+class Flaw3dReduction:
+    """Reduction Trojan: extrusion deltas multiplied by ``factor`` ∈ (0, 1]."""
+
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor <= 1.0:
+            raise GcodeError(f"reduction factor must be in (0, 1], got {self.factor}")
+
+    @property
+    def label(self) -> str:
+        return f"flaw3d-reduction-{self.factor:g}"
+
+    def apply(self, program: GcodeProgram) -> GcodeProgram:
+        chain = _EChain()
+        out = GcodeProgram()
+        for cmd in program:
+            rewritten = _rewrite_e(cmd, chain, self._scale_delta)
+            out.append(rewritten)
+        return out
+
+    def _scale_delta(self, cmd: Command, delta: float) -> float:
+        # Only printing extrusion is starved; retraction and its matching
+        # prime (E-only moves) pass through so the filament stays primed —
+        # the bootloader Trojan attacked deposited material, not retraction.
+        if delta > 0 and (cmd.has("X") or cmd.has("Y")):
+            return delta * self.factor
+        return delta
+
+
+@dataclass(frozen=True)
+class Flaw3dRelocation:
+    """Relocation Trojan: every ``period``-th extruding move is starved and
+    its filament deposited in place right after the move completes."""
+
+    period: int
+    deposit_feedrate_mm_min: float = RELOCATE_FEEDRATE_MM_MIN
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise GcodeError(f"relocation period must be >= 1, got {self.period}")
+        if self.deposit_feedrate_mm_min <= 0:
+            raise GcodeError("deposit feedrate must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"flaw3d-relocation-{self.period}"
+
+    def apply(self, program: GcodeProgram) -> GcodeProgram:
+        chain = _EChain()
+        out = GcodeProgram()
+        extruding_moves = 0
+        for cmd in program:
+            if cmd.is_command("G92") and cmd.has("E"):
+                chain.reset(cmd.get("E", 0.0) or 0.0)
+                out.append(cmd.copy())
+                continue
+            if not (cmd.is_move and cmd.has("E")):
+                out.append(cmd.copy())
+                continue
+
+            delta = chain.consume(cmd.get("E") or 0.0)
+            is_printing_move = delta > 0 and (cmd.has("X") or cmd.has("Y"))
+            if is_printing_move:
+                extruding_moves += 1
+                if extruding_moves % self.period == 0:
+                    # Starve the move (it becomes a travel at the same speed)
+                    # then deposit the withheld filament in place.
+                    out.append(cmd.without_param("E"))
+                    deposit_e = chain.emit(delta)
+                    out.append(
+                        Command(
+                            letter="G",
+                            code=1.0,
+                            params=[
+                                Word("E", deposit_e),
+                                Word("F", float(self.deposit_feedrate_mm_min)),
+                            ],
+                            comment="relocated filament",
+                        )
+                    )
+                    continue
+            out.append(cmd.with_param("E", chain.emit(delta)))
+        return out
+
+
+def _rewrite_e(cmd: Command, chain: _EChain, delta_fn) -> Command:
+    """Shared walker: recompute one command's absolute E through ``delta_fn``.
+
+    ``delta_fn(cmd, in_delta) -> out_delta`` decides how much filament the
+    rewritten command moves.
+    """
+    if cmd.is_command("G92") and cmd.has("E"):
+        chain.reset(cmd.get("E", 0.0) or 0.0)
+        return cmd.copy()
+    if cmd.is_move and cmd.has("E"):
+        delta = chain.consume(cmd.get("E") or 0.0)
+        return cmd.with_param("E", chain.emit(delta_fn(cmd, delta)))
+    return cmd.copy()
+
+
+def apply_reduction(program: GcodeProgram, factor: float) -> GcodeProgram:
+    """Apply a Flaw3D reduction Trojan with the given ``factor``."""
+    return Flaw3dReduction(factor).apply(program)
+
+
+def apply_relocation(program: GcodeProgram, period: int) -> GcodeProgram:
+    """Apply a Flaw3D relocation Trojan with the given ``period``."""
+    return Flaw3dRelocation(period).apply(program)
+
+
+def table2_test_cases() -> List[tuple]:
+    """The eight Table II test cases as (case_number, transform) pairs."""
+    return [
+        (1, Flaw3dReduction(0.5)),
+        (2, Flaw3dReduction(0.85)),
+        (3, Flaw3dReduction(0.9)),
+        (4, Flaw3dReduction(0.98)),
+        (5, Flaw3dRelocation(5)),
+        (6, Flaw3dRelocation(10)),
+        (7, Flaw3dRelocation(20)),
+        (8, Flaw3dRelocation(100)),
+    ]

@@ -1,0 +1,51 @@
+"""Serializer: :class:`~repro.gcode.ast.Command` → text.
+
+``parse_line(write_line(cmd))`` reproduces the command (comments, line
+numbers, parameter order); the property-based tests enforce this round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.gcode.ast import Command, GcodeProgram
+from repro.gcode.checksum import line_checksum
+
+
+def write_line(command: Command, with_checksum: bool = False) -> str:
+    """Serialize one command to a text line (no trailing newline).
+
+    With ``with_checksum=True`` and a line number present, appends a freshly
+    computed ``*checksum`` (any stored checksum is ignored, since edits
+    invalidate it).
+    """
+    parts = []
+    if command.line_number is not None:
+        parts.append(f"N{command.line_number}")
+    if command.letter is not None:
+        name = command.name
+        parts.append(name)
+        for word in command.params:
+            parts.append(word.render())
+    body = " ".join(parts)
+
+    if with_checksum and command.line_number is not None and body:
+        body = f"{body}*{line_checksum(body)}"
+
+    if command.comment is not None:
+        if body:
+            return f"{body} ;{command.comment}" if command.comment else f"{body} ;"
+        return f";{command.comment}" if command.comment else ";"
+    return body
+
+
+def write_program(program: GcodeProgram, with_checksums: bool = False) -> str:
+    """Serialize a program to newline-joined text (with trailing newline)."""
+    lines = [write_line(cmd, with_checksum=with_checksums) for cmd in program]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_file(program: GcodeProgram, path, with_checksums: bool = False) -> None:
+    """Serialize ``program`` to a file on disk."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_program(program, with_checksums=with_checksums))

@@ -1,0 +1,27 @@
+"""Printer physics: the real-world half of the cyber-physical loop.
+
+The paper judges Trojans by their physical outcomes (shifted layers,
+under-extruded walls, overheated hotends). This package turns the signal
+streams arriving at the RAMPS outputs back into those outcomes: integrating
+kinematics, first-order thermal dynamics with exact exponential integration,
+an extrusion/deposition trace of where material actually went, and the
+quality metrics used to score Table I.
+"""
+
+from repro.physics.deposition import LayerStats, PartTrace, TraceSample
+from repro.physics.kinematics import AxisMechanics
+from repro.physics.printer import PlantProfile, PrinterPlant
+from repro.physics.quality import PartQualityReport, compare_traces
+from repro.physics.thermal import ThermalNode
+
+__all__ = [
+    "AxisMechanics",
+    "LayerStats",
+    "PartQualityReport",
+    "PartTrace",
+    "PlantProfile",
+    "PrinterPlant",
+    "ThermalNode",
+    "TraceSample",
+    "compare_traces",
+]

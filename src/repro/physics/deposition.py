@@ -1,0 +1,162 @@
+"""Deposition trace: where material physically went, layer by layer.
+
+The plant samples head position and extruder advance on a fixed period.
+Post-processing groups extruding samples into layers and computes per-layer
+statistics (extrusion-weighted centroid, bounding box, path length, filament
+volume). The Table I experiments score Trojan effects by comparing these
+statistics against a golden print — the simulation's replacement for the
+paper's photographs of parts on graph paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One sampled plant state: head position and extruder advance."""
+
+    time_ns: int
+    x_mm: float
+    y_mm: float
+    z_mm: float
+    e_mm: float
+
+
+@dataclass
+class LayerStats:
+    """Aggregate statistics of the material deposited in one layer."""
+
+    z_mm: float
+    extruded_mm: float = 0.0  # filament consumed in this layer
+    path_mm: float = 0.0  # head travel while extruding
+    min_x: float = math.inf
+    max_x: float = -math.inf
+    min_y: float = math.inf
+    max_y: float = -math.inf
+    _moment_x: float = 0.0
+    _moment_y: float = 0.0
+
+    def add_segment(self, x0: float, y0: float, x1: float, y1: float, de_mm: float) -> None:
+        length = math.hypot(x1 - x0, y1 - y0)
+        self.path_mm += length
+        self.extruded_mm += de_mm
+        mid_x, mid_y = (x0 + x1) / 2, (y0 + y1) / 2
+        self._moment_x += mid_x * de_mm
+        self._moment_y += mid_y * de_mm
+        for x, y in ((x0, y0), (x1, y1)):
+            self.min_x = min(self.min_x, x)
+            self.max_x = max(self.max_x, x)
+            self.min_y = min(self.min_y, y)
+            self.max_y = max(self.max_y, y)
+
+    @property
+    def centroid(self) -> Tuple[float, float]:
+        """Extrusion-weighted centroid of the deposited material."""
+        if self.extruded_mm <= 0:
+            return (math.nan, math.nan)
+        return (self._moment_x / self.extruded_mm, self._moment_y / self.extruded_mm)
+
+    @property
+    def bbox(self) -> Tuple[float, float, float, float]:
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+
+class PartTrace:
+    """The sampled history of one print, with layer-level post-processing."""
+
+    def __init__(self, layer_quantum_mm: float = 0.02) -> None:
+        self.samples: List[TraceSample] = []
+        self.layer_quantum_mm = layer_quantum_mm
+        self._layers: Optional[List[LayerStats]] = None
+
+    def add_sample(self, sample: TraceSample) -> None:
+        self.samples.append(sample)
+        self._layers = None  # invalidate cache
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def total_extruded_mm(self) -> float:
+        """Net filament advance over the whole print.
+
+        Retract/prime cycles cancel out, so this is the material actually
+        consumed — the quantity the Flaw3D reduction Trojan starves.
+        """
+        if len(self.samples) < 2:
+            return 0.0
+        return max(0.0, self.samples[-1].e_mm - self.samples[0].e_mm)
+
+    @property
+    def gross_extruded_mm(self) -> float:
+        """Sum of positive filament advances (primes included).
+
+        Differs from :attr:`total_extruded_mm` by the retraction traffic —
+        useful for spotting retraction-tampering Trojans (T3).
+        """
+        total = 0.0
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            delta = cur.e_mm - prev.e_mm
+            if delta > 0:
+                total += delta
+        return total
+
+    @property
+    def duration_ns(self) -> int:
+        if len(self.samples) < 2:
+            return 0
+        return self.samples[-1].time_ns - self.samples[0].time_ns
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def layers(self) -> List[LayerStats]:
+        """Layer statistics, ordered by increasing z. Cached."""
+        if self._layers is None:
+            self._layers = self._build_layers()
+        return self._layers
+
+    def _build_layers(self) -> List[LayerStats]:
+        by_z: Dict[int, LayerStats] = {}
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            de = cur.e_mm - prev.e_mm
+            if de <= 0:
+                continue
+            if abs(cur.z_mm - prev.z_mm) > 1e-9:
+                continue  # z changed mid-segment: not a planar deposit
+            key = round(cur.z_mm / self.layer_quantum_mm)
+            stats = by_z.get(key)
+            if stats is None:
+                stats = LayerStats(z_mm=key * self.layer_quantum_mm)
+                by_z[key] = stats
+            stats.add_segment(prev.x_mm, prev.y_mm, cur.x_mm, cur.y_mm, de)
+        return [by_z[key] for key in sorted(by_z)]
+
+    def z_spacings(self) -> List[float]:
+        """Gaps between consecutive deposited layers (delamination metric)."""
+        layer_list = self.layers()
+        return [
+            round(b.z_mm - a.z_mm, 6) for a, b in zip(layer_list, layer_list[1:])
+        ]
+
+    def layer_centroid_drift(self) -> List[float]:
+        """Per-layer centroid distance from the first layer's centroid.
+
+        A rigid, well-built printer keeps this near zero for a prismatic
+        part; Z-wobble and layer-shift Trojans make it jump.
+        """
+        layer_list = [l for l in self.layers() if l.extruded_mm > 0]
+        if not layer_list:
+            return []
+        cx0, cy0 = layer_list[0].centroid
+        return [
+            math.hypot(layer.centroid[0] - cx0, layer.centroid[1] - cy0)
+            for layer in layer_list
+        ]

@@ -1,0 +1,64 @@
+"""Axis mechanics: motor microsteps → carriage position.
+
+Each axis integrates signed steps into a physical position. Travel limits
+model the hard frame: steps commanded past an end of travel do not move the
+carriage (belts skip) and are recorded as crash steps — this is how runaway
+Trojan moves manifest physically instead of teleporting the head.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import PlantError
+
+
+class AxisMechanics:
+    """One axis of the machine: position state plus step integration."""
+
+    def __init__(
+        self,
+        name: str,
+        steps_per_mm: float,
+        min_mm: Optional[float] = None,
+        max_mm: Optional[float] = None,
+        start_mm: float = 0.0,
+    ) -> None:
+        if steps_per_mm <= 0:
+            raise PlantError(f"steps_per_mm must be positive for axis {name}")
+        if min_mm is not None and max_mm is not None and min_mm >= max_mm:
+            raise PlantError(f"axis {name}: empty travel range [{min_mm}, {max_mm}]")
+        self.name = name
+        self.steps_per_mm = float(steps_per_mm)
+        self.min_mm = min_mm
+        self.max_mm = max_mm
+        self.position_steps = round(start_mm * steps_per_mm)
+        self.crash_steps = 0
+        self.total_steps = 0
+        self._listeners: List[Callable[[str, float, int], None]] = []
+
+    @property
+    def position_mm(self) -> float:
+        return self.position_steps / self.steps_per_mm
+
+    def on_move(self, callback: Callable[[str, float, int], None]) -> None:
+        """Subscribe ``callback(axis_name, position_mm, time_ns)`` to motion."""
+        self._listeners.append(callback)
+
+    def step(self, direction: int, time_ns: int) -> None:
+        """Advance one microstep in ``direction`` (+1/-1), honouring limits."""
+        if direction not in (1, -1):
+            raise PlantError(f"axis {self.name}: step direction must be +1/-1, got {direction}")
+        self.total_steps += 1
+        candidate = self.position_steps + direction
+        candidate_mm = candidate / self.steps_per_mm
+        if self.min_mm is not None and candidate_mm < self.min_mm:
+            self.crash_steps += 1
+            return
+        if self.max_mm is not None and candidate_mm > self.max_mm:
+            self.crash_steps += 1
+            return
+        self.position_steps = candidate
+        position_mm = candidate / self.steps_per_mm
+        for listener in self._listeners:
+            listener(self.name, position_mm, time_ns)

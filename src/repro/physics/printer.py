@@ -1,0 +1,189 @@
+"""The whole-machine plant: a Prusa-i3-MK3S-like printer's physics.
+
+:class:`PrinterPlant` owns the axis mechanics, the hotend/bed thermal nodes,
+the part-cooling fan state, and the deposition sampler. It exposes exactly
+the interfaces the RAMPS board model drives (motor steps, heater power, fan
+duty) and the interfaces the sensors read back (carriage positions for the
+endstops, block temperatures for the thermistors) — closing the
+cyber-physical loop the paper's test environment closes with real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PlantError
+from repro.physics.deposition import PartTrace, TraceSample
+from repro.physics.kinematics import AxisMechanics
+from repro.physics.thermal import ThermalNode
+from repro.sim.kernel import PeriodicTask, Simulator
+from repro.sim.time import MS
+
+
+@dataclass(frozen=True)
+class PlantProfile:
+    """Physical constants of the simulated machine.
+
+    Defaults approximate the paper's modified Prusa i3 MK3S+: 100/100/400/280
+    steps-per-mm drivetrain (at 16x microstepping), 250x210x210 mm build
+    volume, a 50 W hotend cartridge and a 250 W bed. The thermal constants
+    are tuned so heat-up transients take tens of simulated seconds — the same
+    qualitative shape as the real machine without minutes of dead time.
+    """
+
+    steps_per_mm: Dict[str, float] = field(
+        default_factory=lambda: {"X": 100.0, "Y": 100.0, "Z": 400.0, "E": 280.0}
+    )
+    travel_mm: Dict[str, Tuple[float, float]] = field(
+        default_factory=lambda: {"X": (0.0, 250.0), "Y": (0.0, 210.0), "Z": (0.0, 210.0)}
+    )
+    start_position_mm: Dict[str, float] = field(
+        default_factory=lambda: {"X": 15.0, "Y": 12.0, "Z": 3.0, "E": 0.0}
+    )
+    ambient_c: float = 25.0
+    hotend_power_w: float = 50.0
+    hotend_heat_capacity_j_per_k: float = 6.0
+    hotend_loss_w_per_k: float = 0.17
+    hotend_damage_c: float = 290.0
+    bed_power_w: float = 250.0
+    bed_heat_capacity_j_per_k: float = 120.0
+    bed_loss_w_per_k: float = 1.4
+    bed_damage_c: float = 135.0
+    sample_period_ms: int = 20
+
+
+class PrinterPlant:
+    """The physical printer, driven by the RAMPS outputs."""
+
+    def __init__(self, sim: Simulator, profile: Optional[PlantProfile] = None) -> None:
+        self.sim = sim
+        self.profile = profile or PlantProfile()
+        prof = self.profile
+
+        self.axes: Dict[str, AxisMechanics] = {}
+        for axis, spm in prof.steps_per_mm.items():
+            limits = prof.travel_mm.get(axis, (None, None))
+            self.axes[axis] = AxisMechanics(
+                axis,
+                spm,
+                min_mm=limits[0],
+                max_mm=limits[1],
+                start_mm=prof.start_position_mm.get(axis, 0.0),
+            )
+
+        self.hotend = ThermalNode(
+            sim,
+            "hotend",
+            prof.hotend_heat_capacity_j_per_k,
+            prof.hotend_loss_w_per_k,
+            ambient_c=prof.ambient_c,
+            damage_temp_c=prof.hotend_damage_c,
+        )
+        self.bed = ThermalNode(
+            sim,
+            "bed",
+            prof.bed_heat_capacity_j_per_k,
+            prof.bed_loss_w_per_k,
+            ambient_c=prof.ambient_c,
+            damage_temp_c=prof.bed_damage_c,
+        )
+
+        self.fan_duty = 0.0
+        self.fan_profile: List[Tuple[int, float]] = [(sim.now, 0.0)]
+
+        self.trace = PartTrace()
+        self._sampler: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------------
+    # Actuator-side interfaces (driven by the RAMPS model)
+    # ------------------------------------------------------------------
+    def motor_step(self, axis: str, direction: int, time_ns: int) -> None:
+        """One accepted driver microstep on ``axis``."""
+        try:
+            mechanics = self.axes[axis]
+        except KeyError:
+            raise PlantError(f"unknown axis {axis!r}") from None
+        mechanics.step(direction, time_ns)
+
+    def set_hotend_power(self, power_w: float, time_ns: int) -> None:
+        self.hotend.set_power(power_w, time_ns)
+
+    def set_bed_power(self, power_w: float, time_ns: int) -> None:
+        self.bed.set_power(power_w, time_ns)
+
+    def set_fan_duty(self, duty: float, time_ns: int) -> None:
+        duty = min(1.0, max(0.0, duty))
+        if duty != self.fan_duty:
+            self.fan_duty = duty
+            self.fan_profile.append((time_ns, duty))
+
+    # ------------------------------------------------------------------
+    # Sensor-side interfaces (read by the RAMPS model)
+    # ------------------------------------------------------------------
+    def position_mm(self, axis: str) -> float:
+        return self.axes[axis].position_mm
+
+    def hotend_temp_c(self) -> float:
+        return self.hotend.temperature_c()
+
+    def bed_temp_c(self) -> float:
+        return self.bed.temperature_c()
+
+    # ------------------------------------------------------------------
+    # Deposition sampling
+    # ------------------------------------------------------------------
+    def start_sampling(self) -> None:
+        """Begin recording the deposition trace (idempotent)."""
+        if self._sampler is None or self._sampler.cancelled:
+            self._take_sample()
+            self._sampler = self.sim.every(
+                self.profile.sample_period_ms * MS, self._take_sample
+            )
+
+    def stop_sampling(self) -> None:
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None
+
+    def _take_sample(self) -> None:
+        self.trace.add_sample(
+            TraceSample(
+                time_ns=self.sim.now,
+                x_mm=self.axes["X"].position_mm,
+                y_mm=self.axes["Y"].position_mm,
+                z_mm=self.axes["Z"].position_mm,
+                e_mm=self.axes["E"].position_mm,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Outcome summary
+    # ------------------------------------------------------------------
+    def mean_fan_duty(self, since_ns: int = 0) -> float:
+        """Time-weighted average fan duty from ``since_ns`` to now."""
+        end = self.sim.now
+        if end <= since_ns:
+            return self.fan_duty
+        total = 0.0
+        profile = self.fan_profile + [(end, self.fan_duty)]
+        for (t0, duty), (t1, _) in zip(profile, profile[1:]):
+            lo, hi = max(t0, since_ns), min(t1, end)
+            if hi > lo:
+                total += duty * (hi - lo)
+        return total / (end - since_ns)
+
+    @property
+    def damaged(self) -> bool:
+        """True if any heater crossed its damage threshold."""
+        return self.hotend.damaged or self.bed.damaged
+
+    def damage_summary(self) -> List[str]:
+        lines = []
+        for node in (self.hotend, self.bed):
+            for event in node.damage_events:
+                lines.append(
+                    f"{event.node} exceeded damage threshold at "
+                    f"{event.temperature_c:.1f}C (t={event.time_ns}ns)"
+                )
+        return lines

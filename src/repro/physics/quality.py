@@ -1,0 +1,136 @@
+"""Part-quality comparison: golden print vs suspect print.
+
+Replaces the paper's visual evidence (parts photographed on 1/4-inch graph
+paper) with quantitative metrics over deposition traces. Each Table I Trojan
+has a metric that makes its effect legible:
+
+* T1 (axis shift) / T4 (Z-wobble) — per-layer centroid deviation;
+* T2 (flow reduction) / T3 (retraction tamper) — flow ratio and per-layer
+  extrusion anomalies;
+* T5 (Z shift) — layer z-spacing deviation;
+* T9 (fan) — handled by the plant's fan profile, reported alongside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.physics.deposition import PartTrace
+
+
+@dataclass
+class PartQualityReport:
+    """Quantified differences between a suspect print and its golden print."""
+
+    flow_ratio: float
+    """Suspect total extrusion / golden total extrusion (1.0 = nominal)."""
+
+    max_centroid_shift_mm: float
+    """Largest per-layer centroid deviation between matched layers."""
+
+    mean_centroid_shift_mm: float
+
+    max_z_spacing_mm: float
+    """Largest gap between consecutive deposited layers in the suspect."""
+
+    golden_z_spacing_mm: float
+    """Nominal layer spacing from the golden print."""
+
+    layer_count_golden: int
+    layer_count_suspect: int
+
+    max_bbox_growth_mm: float
+    """Largest growth of any layer bounding-box side vs golden (dimensional
+    inaccuracy — T1's wandering head enlarges the footprint)."""
+
+    per_layer_flow_ratio: List[float] = field(default_factory=list)
+
+    @property
+    def delaminated(self) -> bool:
+        """Layer spacing opened to 1.5x nominal or worse (T5's failure mode)."""
+        return self.max_z_spacing_mm > 1.5 * self.golden_z_spacing_mm + 1e-9
+
+    @property
+    def underextruded(self) -> bool:
+        return self.flow_ratio < 0.9
+
+    @property
+    def overextruded(self) -> bool:
+        return self.flow_ratio > 1.1
+
+    @property
+    def geometry_compromised(self) -> bool:
+        """Visible geometric damage: layers displaced or footprint grown."""
+        return self.max_centroid_shift_mm > 0.25 or self.max_bbox_growth_mm > 0.5
+
+    def anomalies(self) -> List[str]:
+        """Human-readable list of everything out of tolerance."""
+        found = []
+        if self.underextruded:
+            found.append(f"under-extrusion (flow ratio {self.flow_ratio:.2f})")
+        if self.overextruded:
+            found.append(f"over-extrusion (flow ratio {self.flow_ratio:.2f})")
+        if self.max_centroid_shift_mm > 0.25:
+            found.append(f"layer shift (max centroid deviation {self.max_centroid_shift_mm:.2f}mm)")
+        if self.max_bbox_growth_mm > 0.5:
+            found.append(f"dimensional growth ({self.max_bbox_growth_mm:.2f}mm)")
+        if self.delaminated:
+            found.append(f"layer delamination (z gap {self.max_z_spacing_mm:.2f}mm)")
+        if self.layer_count_suspect != self.layer_count_golden:
+            found.append(
+                f"layer count {self.layer_count_suspect} != {self.layer_count_golden}"
+            )
+        return found
+
+    @property
+    def nominal(self) -> bool:
+        return not self.anomalies()
+
+
+def compare_traces(golden: PartTrace, suspect: PartTrace) -> PartQualityReport:
+    """Build a :class:`PartQualityReport` from two deposition traces.
+
+    Layers are matched by index after sorting by z, which tolerates uniform
+    z offsets while still exposing spacing anomalies.
+    """
+    golden_layers = [l for l in golden.layers() if l.extruded_mm > 0]
+    suspect_layers = [l for l in suspect.layers() if l.extruded_mm > 0]
+
+    golden_total = golden.total_extruded_mm
+    suspect_total = suspect.total_extruded_mm
+    flow_ratio = suspect_total / golden_total if golden_total > 0 else math.nan
+
+    shifts: List[float] = []
+    bbox_growths: List[float] = []
+    per_layer_flow: List[float] = []
+    for g_layer, s_layer in zip(golden_layers, suspect_layers):
+        gx, gy = g_layer.centroid
+        sx, sy = s_layer.centroid
+        if not (math.isnan(gx) or math.isnan(sx)):
+            shifts.append(math.hypot(sx - gx, sy - gy))
+        g_bbox, s_bbox = g_layer.bbox, s_layer.bbox
+        width_growth = (s_bbox[2] - s_bbox[0]) - (g_bbox[2] - g_bbox[0])
+        depth_growth = (s_bbox[3] - s_bbox[1]) - (g_bbox[3] - g_bbox[1])
+        bbox_growths.append(max(width_growth, depth_growth))
+        if g_layer.extruded_mm > 0:
+            per_layer_flow.append(s_layer.extruded_mm / g_layer.extruded_mm)
+
+    golden_spacings = golden.z_spacings()
+    suspect_spacings = suspect.z_spacings()
+    golden_spacing = (
+        sorted(golden_spacings)[len(golden_spacings) // 2] if golden_spacings else 0.0
+    )
+
+    return PartQualityReport(
+        flow_ratio=flow_ratio,
+        max_centroid_shift_mm=max(shifts) if shifts else 0.0,
+        mean_centroid_shift_mm=sum(shifts) / len(shifts) if shifts else 0.0,
+        max_z_spacing_mm=max(suspect_spacings) if suspect_spacings else 0.0,
+        golden_z_spacing_mm=golden_spacing,
+        layer_count_golden=len(golden_layers),
+        layer_count_suspect=len(suspect_layers),
+        max_bbox_growth_mm=max(bbox_growths) if bbox_growths else 0.0,
+        per_layer_flow_ratio=per_layer_flow,
+    )

@@ -1,0 +1,132 @@
+"""First-order thermal dynamics with exact integration between power changes.
+
+A heater block is modelled as a lumped thermal mass ``C`` (J/K) losing heat
+to ambient through conductance ``k`` (W/K). Between power changes the
+temperature follows the exact exponential solution, so the model is both fast
+(no fixed-step ODE integration) and exact regardless of event spacing:
+
+    T(t) = T_inf + (T0 - T_inf) * exp(-(t - t0) / tau),
+    T_inf = T_ambient + P / k,   tau = C / k.
+
+Damage crossings (the destructive outcome of Trojan T7) are detected by
+solving for the crossing time analytically and scheduling an event there, so
+no overshoot is missed between samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import PlantError
+from repro.sim.kernel import EventHandle, Simulator
+
+
+@dataclass(frozen=True)
+class DamageEvent:
+    """The heater crossed its damage threshold — hardware is being destroyed."""
+
+    node: str
+    time_ns: int
+    temperature_c: float
+
+
+class ThermalNode:
+    """One lumped heater: the hotend block or the heated bed."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        heat_capacity_j_per_k: float,
+        loss_w_per_k: float,
+        ambient_c: float = 25.0,
+        damage_temp_c: Optional[float] = None,
+        initial_c: Optional[float] = None,
+    ) -> None:
+        if heat_capacity_j_per_k <= 0 or loss_w_per_k <= 0:
+            raise PlantError(f"thermal node {name}: C and k must be positive")
+        self.sim = sim
+        self.name = name
+        self.heat_capacity = float(heat_capacity_j_per_k)
+        self.loss = float(loss_w_per_k)
+        self.ambient_c = float(ambient_c)
+        self.damage_temp_c = damage_temp_c
+        self.damage_events: List[DamageEvent] = []
+
+        self._t0_ns = sim.now
+        self._temp0_c = float(initial_c) if initial_c is not None else self.ambient_c
+        self._power_w = 0.0
+        self.peak_temp_c = self._temp0_c
+        self._damage_handle: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def tau_s(self) -> float:
+        """Thermal time constant in seconds."""
+        return self.heat_capacity / self.loss
+
+    @property
+    def power_w(self) -> float:
+        return self._power_w
+
+    @property
+    def steady_state_c(self) -> float:
+        """Temperature the node converges to under the current power."""
+        return self.ambient_c + self._power_w / self.loss
+
+    def temperature_c(self, time_ns: Optional[int] = None) -> float:
+        """Exact temperature at ``time_ns`` (default: now)."""
+        t_ns = self.sim.now if time_ns is None else time_ns
+        if t_ns < self._t0_ns:
+            raise PlantError(f"thermal node {self.name}: query at t={t_ns} before state t0")
+        dt_s = (t_ns - self._t0_ns) / 1e9
+        t_inf = self.steady_state_c
+        temp = t_inf + (self._temp0_c - t_inf) * math.exp(-dt_s / self.tau_s)
+        if temp > self.peak_temp_c:
+            self.peak_temp_c = temp
+        return temp
+
+    def set_power(self, power_w: float, time_ns: Optional[int] = None) -> None:
+        """Change the applied heater power; re-anchors the exact solution."""
+        if power_w < 0:
+            raise PlantError(f"thermal node {self.name}: negative power {power_w}W")
+        t_ns = self.sim.now if time_ns is None else time_ns
+        self._temp0_c = self.temperature_c(t_ns)
+        self._t0_ns = t_ns
+        self._power_w = float(power_w)
+        self._schedule_damage_check()
+
+    # ------------------------------------------------------------------
+    # Damage-threshold crossing
+    # ------------------------------------------------------------------
+    def _schedule_damage_check(self) -> None:
+        if self._damage_handle is not None:
+            self._damage_handle.cancel()
+            self._damage_handle = None
+        if self.damage_temp_c is None or self.damage_events:
+            return
+        crossing_ns = self._crossing_time_ns(self.damage_temp_c)
+        if crossing_ns is not None:
+            self._damage_handle = self.sim.schedule_at(crossing_ns, self._record_damage)
+
+    def _crossing_time_ns(self, threshold_c: float) -> Optional[int]:
+        """Absolute time the trajectory first reaches ``threshold_c``, if ever."""
+        t_inf = self.steady_state_c
+        if self._temp0_c >= threshold_c:
+            return self._t0_ns
+        if t_inf <= threshold_c:
+            return None  # never reaches it under the current power
+        ratio = (threshold_c - t_inf) / (self._temp0_c - t_inf)
+        dt_s = -self.tau_s * math.log(ratio)
+        return self._t0_ns + int(dt_s * 1e9) + 1
+
+    def _record_damage(self) -> None:
+        temp = self.temperature_c()
+        self.damage_events.append(DamageEvent(self.name, self.sim.now, temp))
+
+    @property
+    def damaged(self) -> bool:
+        """True once the node has crossed its damage threshold."""
+        return bool(self.damage_events)

@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate.
+
+All higher layers (firmware, electronics, physics, the OFFRAMPS FPGA) run on
+this kernel. Time is an integer number of nanoseconds; events are callbacks
+ordered by (time, sequence). Signals are modelled as wires with subscriber
+fan-out, matching the digital-level interposition the paper's board performs.
+"""
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.signals import (
+    AnalogWire,
+    DigitalWire,
+    Edge,
+    PwmWire,
+    StepWire,
+    Wire,
+)
+from repro.sim.time import MS, NS, S, US, format_ns, ns_from_s, s_from_ns
+from repro.sim.trace import SignalTrace, TraceEvent, Tracer
+
+__all__ = [
+    "AnalogWire",
+    "DigitalWire",
+    "Edge",
+    "EventHandle",
+    "MS",
+    "NS",
+    "PwmWire",
+    "S",
+    "SignalTrace",
+    "Simulator",
+    "StepWire",
+    "TraceEvent",
+    "Tracer",
+    "US",
+    "Wire",
+    "format_ns",
+    "ns_from_s",
+    "s_from_ns",
+]

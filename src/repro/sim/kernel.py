@@ -1,0 +1,245 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of timed callbacks. Components
+(firmware, plant, FPGA modules) schedule work with :meth:`Simulator.schedule`
+or :meth:`Simulator.schedule_at` and the kernel dispatches them in
+(time, insertion-order) order. Cancellation is lazy: cancelled handles stay in
+the heap but are skipped on pop, which keeps both operations O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """A scheduled event. Returned by the ``schedule*`` methods.
+
+    Holds enough state to support cancellation and introspection. The kernel
+    marks the handle ``fired`` just before dispatch; user code may call
+    :meth:`cancel` at any time before that.
+    """
+
+    __slots__ = ("time_ns", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time_ns: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time_ns = time_ns
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and will fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<EventHandle t={self.time_ns}ns seq={self.seq} {name} {state}>"
+
+
+class Simulator:
+    """Integer-nanosecond discrete-event scheduler.
+
+    The kernel makes three guarantees the rest of the system relies on:
+
+    * events fire in nondecreasing time order;
+    * two events scheduled for the same instant fire in scheduling order
+      (stable FIFO tie-break), which makes signal fan-out deterministic;
+    * time never moves backwards — scheduling in the past raises
+      :class:`~repro.errors.SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: List[EventHandle] = []
+        self._seq: int = 0
+        self._dispatched: int = 0
+        self._running: bool = False
+        self._stop_requested: bool = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of callbacks dispatched since construction."""
+        return self._dispatched
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        return self.schedule_at(self._now + int(delay_ns), callback, *args)
+
+    def schedule_at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time_ns``."""
+        time_ns = int(time_ns)
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns}ns, already at t={self._now}ns"
+            )
+        handle = EventHandle(time_ns, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next pending event.
+
+        Returns ``True`` if an event was dispatched, ``False`` if the queue
+        held nothing runnable.
+        """
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time_ns
+            handle.fired = True
+            self._dispatched += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until_ns`` passes, or a cap hits.
+
+        When ``until_ns`` is given, every event with ``time <= until_ns`` is
+        dispatched and the clock is then advanced to exactly ``until_ns`` so
+        periodic processes resumed later see a consistent time base.
+
+        Returns the number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        dispatched = 0
+        try:
+            while self._queue:
+                if self._stop_requested:
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ns is not None and head.time_ns > until_ns:
+                    break
+                self.step()
+                dispatched += 1
+            if until_ns is not None and self._now < until_ns and not self._stop_requested:
+                self._now = until_ns
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_for(self, duration_ns: int, max_events: Optional[int] = None) -> int:
+        """Run for ``duration_ns`` of simulated time from now."""
+        return self.run(until_ns=self._now + int(duration_ns), max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Periodic helpers
+    # ------------------------------------------------------------------
+    def every(
+        self,
+        period_ns: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay_ns: Optional[int] = None,
+    ) -> "PeriodicTask":
+        """Run ``callback(*args)`` every ``period_ns`` until cancelled.
+
+        The first invocation happens after ``start_delay_ns`` (default: one
+        full period). Returns a :class:`PeriodicTask` for cancellation.
+        """
+        if period_ns <= 0:
+            raise SimulationError(f"period must be positive, got {period_ns}ns")
+        task = PeriodicTask(self, int(period_ns), callback, args)
+        first = period_ns if start_delay_ns is None else start_delay_ns
+        task._arm(self._now + int(first))
+        return task
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic callback created by :meth:`Simulator.every`."""
+
+    __slots__ = ("_sim", "period_ns", "_callback", "_args", "_handle", "_cancelled", "fires")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period_ns: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self._sim = sim
+        self.period_ns = period_ns
+        self._callback = callback
+        self._args = args
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+        self.fires = 0
+
+    def _arm(self, time_ns: int) -> None:
+        if not self._cancelled:
+            self._handle = self._sim.schedule_at(time_ns, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fires += 1
+        # Re-arm before invoking so a callback that raises does not silently
+        # kill the periodic task's schedule for callers who catch the error.
+        self._arm(self._sim.now + self.period_ns)
+        self._callback(*self._args)
+
+    def cancel(self) -> None:
+        """Stop the periodic task. Safe to call more than once."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled

@@ -1,0 +1,49 @@
+"""Time units and helpers for the integer-nanosecond simulation clock.
+
+The kernel keeps time as ``int`` nanoseconds so that repeated scheduling never
+accumulates floating-point drift — important because the detection experiments
+compare step counts in exact 100 ms windows across prints.
+"""
+
+from __future__ import annotations
+
+NS = 1
+"""One nanosecond (the base unit)."""
+
+US = 1_000
+"""One microsecond in nanoseconds."""
+
+MS = 1_000_000
+"""One millisecond in nanoseconds."""
+
+S = 1_000_000_000
+"""One second in nanoseconds."""
+
+
+def ns_from_s(seconds: float) -> int:
+    """Convert seconds (float) to integer nanoseconds, rounding to nearest."""
+    return int(round(seconds * S))
+
+
+def s_from_ns(nanoseconds: int) -> float:
+    """Convert integer nanoseconds to seconds (float)."""
+    return nanoseconds / S
+
+
+def format_ns(nanoseconds: int) -> str:
+    """Render a time for logs: picks the largest unit that reads naturally.
+
+    >>> format_ns(12)
+    '12ns'
+    >>> format_ns(2_500_000)
+    '2.500ms'
+    >>> format_ns(3_000_000_000)
+    '3.000s'
+    """
+    if nanoseconds < US:
+        return f"{nanoseconds}ns"
+    if nanoseconds < MS:
+        return f"{nanoseconds / US:.3f}us"
+    if nanoseconds < S:
+        return f"{nanoseconds / MS:.3f}ms"
+    return f"{nanoseconds / S:.3f}s"

@@ -1,0 +1,141 @@
+"""Signal tracing: the FPGA-as-logic-analyzer view of the harness.
+
+The paper describes using the MITM FPGA as "a rudimentary digital logic
+analyzer". :class:`Tracer` attaches to any set of wires and records a
+time-stamped event list per signal, from which the overhead analysis extracts
+maximum signal frequencies and minimum pulse widths (Section V-B), and from
+which VCD-style text dumps can be produced for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.sim.signals import AnalogWire, DigitalWire, Edge, PwmWire, StepWire
+
+TraceableWire = Union[DigitalWire, StepWire, PwmWire, AnalogWire]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded transition on one signal."""
+
+    time_ns: int
+    kind: str  # "edge", "pulse", "duty", "analog"
+    value: float  # new level / duty / voltage; pulse width for "pulse"
+
+
+@dataclass
+class SignalTrace:
+    """The event history of a single wire."""
+
+    name: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def min_interval_ns(self) -> Optional[int]:
+        """Smallest gap between consecutive events, or None if < 2 events."""
+        if len(self.events) < 2:
+            return None
+        best: Optional[int] = None
+        prev = self.events[0].time_ns
+        for event in self.events[1:]:
+            gap = event.time_ns - prev
+            prev = event.time_ns
+            if gap <= 0:
+                continue
+            if best is None or gap < best:
+                best = gap
+        return best
+
+    @property
+    def max_frequency_hz(self) -> Optional[float]:
+        """Peak event rate implied by the minimum interval."""
+        interval = self.min_interval_ns
+        if interval is None or interval == 0:
+            return None
+        return 1e9 / interval
+
+    @property
+    def min_pulse_width_ns(self) -> Optional[int]:
+        """Smallest recorded pulse width (StepWire traces only)."""
+        widths = [int(e.value) for e in self.events if e.kind == "pulse"]
+        return min(widths) if widths else None
+
+
+class Tracer:
+    """Record transitions on a set of wires.
+
+    Attach with :meth:`watch`; retrieve with :meth:`trace`. The tracer is
+    passive — it never drives a wire — mirroring the pulse-capture signal path
+    of the paper's Figure 3c.
+    """
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, SignalTrace] = {}
+
+    def watch(self, wires: Iterable[TraceableWire]) -> None:
+        """Start recording every wire in ``wires``."""
+        for wire in wires:
+            self.watch_one(wire)
+
+    def watch_one(self, wire: TraceableWire) -> None:
+        if wire.name in self._traces:
+            return
+        trace = SignalTrace(wire.name)
+        self._traces[wire.name] = trace
+        if isinstance(wire, StepWire):
+            wire.on_pulse(
+                lambda _w, t, width, _tr=trace: _tr.events.append(
+                    TraceEvent(t, "pulse", float(width))
+                )
+            )
+        elif isinstance(wire, DigitalWire):
+            wire.on_edge(
+                lambda _w, value, t, _tr=trace: _tr.events.append(
+                    TraceEvent(t, "edge", float(value))
+                ),
+                Edge.BOTH,
+            )
+        elif isinstance(wire, PwmWire):
+            wire.on_change(
+                lambda _w, duty, t, _tr=trace: _tr.events.append(
+                    TraceEvent(t, "duty", duty)
+                )
+            )
+        elif isinstance(wire, AnalogWire):
+            wire.on_change(
+                lambda _w, value, t, _tr=trace: _tr.events.append(
+                    TraceEvent(t, "analog", value)
+                )
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot trace wire of type {type(wire).__name__}")
+
+    def trace(self, name: str) -> SignalTrace:
+        """Return the trace for signal ``name`` (empty if never watched)."""
+        return self._traces.get(name, SignalTrace(name))
+
+    @property
+    def signal_names(self) -> List[str]:
+        return sorted(self._traces)
+
+    def total_events(self) -> int:
+        return sum(len(trace) for trace in self._traces.values())
+
+    def dump(self, limit_per_signal: Optional[int] = None) -> str:
+        """Render a human-readable multi-signal dump (for examples/debugging)."""
+        lines: List[str] = []
+        for name in self.signal_names:
+            trace = self._traces[name]
+            lines.append(f"signal {name}: {len(trace)} events")
+            events = trace.events
+            if limit_per_signal is not None:
+                events = events[:limit_per_signal]
+            for event in events:
+                lines.append(f"  {event.time_ns:>15d}ns {event.kind:<6s} {event.value:g}")
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Expensive end-to-end artifacts (full simulated prints) are session-scoped so
+the many integration tests that inspect them pay for each print exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SessionResult, run_print
+from repro.experiments.workloads import sliced_program, standard_part, tiny_part
+from repro.firmware.config import MarlinConfig
+from repro.gcode.ast import GcodeProgram
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulation kernel."""
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def tiny_program() -> GcodeProgram:
+    """Sliced G-code for the 3-layer test coupon."""
+    return sliced_program(tiny_part())
+
+
+@pytest.fixture(scope="session")
+def standard_program() -> GcodeProgram:
+    """Sliced G-code for the 16 mm calibration square."""
+    return sliced_program(standard_part())
+
+
+@pytest.fixture(scope="session")
+def tiny_golden(tiny_program) -> SessionResult:
+    """One clean print of the tiny coupon (no noise, no Trojan)."""
+    return run_print(tiny_program)
+
+
+@pytest.fixture(scope="session")
+def tiny_golden_noisy(tiny_program) -> SessionResult:
+    """A clean tiny print with the time-noise model enabled."""
+    return run_print(tiny_program, noise_sigma=0.0005, noise_seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_control_noisy(tiny_program) -> SessionResult:
+    """A second clean noisy print (an independent noise realization)."""
+    return run_print(tiny_program, noise_sigma=0.0005, noise_seed=12)
+
+
+def build_bench(sim: Simulator, config: MarlinConfig = None):
+    """A full machine bench (harness, plant, ramps, firmware) on ``sim``.
+
+    Helper for tests that need to poke the stack below the session level.
+    """
+    from repro.electronics.harness import SignalHarness
+    from repro.electronics.ramps import RampsBoard
+    from repro.firmware.marlin import MarlinFirmware
+    from repro.physics.printer import PrinterPlant
+
+    harness = SignalHarness(sim)
+    plant = PrinterPlant(sim)
+    ramps = RampsBoard(sim, harness, plant)
+    firmware = MarlinFirmware(sim, config or MarlinConfig(), harness)
+    return harness, plant, ramps, firmware

@@ -1,0 +1,82 @@
+"""Analysis module tests: overhead budget and drift statistics."""
+
+import pytest
+
+from repro.analysis.drift import drift_between
+from repro.analysis.overhead import analyze_overhead
+from repro.core.capture import Transaction
+from repro.errors import DetectionError
+from repro.sim.trace import Tracer
+from repro.sim.signals import StepWire
+
+
+class TestOverheadAnalysis:
+    def _tracer_with_signal(self, sim, interval_ns=50_000, width_ns=2_000, count=10):
+        wire = StepWire(sim, "X_STEP.up")
+        tracer = Tracer()
+        tracer.watch([wire])
+        for i in range(count):
+            sim.schedule_at(i * interval_ns, lambda w=width_ns: wire.pulse(w))
+        sim.run()
+        return tracer
+
+    def test_reports_paper_delay(self, sim):
+        tracer = self._tracer_with_signal(sim)
+        report = analyze_overhead(tracer)
+        assert report.propagation_delay_ns == pytest.approx(12.923)
+
+    def test_frequency_and_width_extracted(self, sim):
+        tracer = self._tracer_with_signal(sim, interval_ns=50_000, width_ns=1_000)
+        report = analyze_overhead(tracer)
+        assert report.max_signal_frequency_hz == pytest.approx(20_000)
+        assert report.min_pulse_width_ns == 1_000
+        assert report.busiest_signal == "X_STEP.up"
+
+    def test_negligible_at_paper_parameters(self, sim):
+        # 20 kHz signals, 1 us pulses: 12.923ns is ~1.3% of the pulse width.
+        tracer = self._tracer_with_signal(sim, interval_ns=50_000, width_ns=1_000)
+        report = analyze_overhead(tracer)
+        assert report.negligible
+        assert report.delay_fraction_of_pulse < 0.02
+
+    def test_not_negligible_for_fast_signals(self, sim):
+        tracer = self._tracer_with_signal(sim, interval_ns=200, width_ns=100)
+        report = analyze_overhead(tracer, propagation_delay_ns=50.0)
+        assert not report.negligible
+
+    def test_render_mentions_verdict(self, sim):
+        tracer = self._tracer_with_signal(sim)
+        assert "negligible" in analyze_overhead(tracer).render()
+
+
+def _txns(rows):
+    return [Transaction(i, *row) for i, row in enumerate(rows, start=1)]
+
+
+class TestDriftStats:
+    def test_zero_drift(self):
+        a = _txns([(1000, 1000, 100, 5000), (2000, 2000, 100, 9000)])
+        stats = drift_between(a, list(a))
+        assert stats.max_percent == 0.0
+        assert stats.final_totals_equal
+        assert stats.within_margin(5.0)
+
+    def test_small_drift_quantified(self):
+        a = _txns([(10_000, 0, 0, 10_000), (20_000, 0, 0, 20_000)])
+        b = _txns([(10_200, 0, 0, 10_000), (20_100, 0, 0, 20_000)])
+        stats = drift_between(a, b)
+        assert stats.max_percent == pytest.approx(2.0)
+        assert stats.mean_percent > 0
+
+    def test_final_total_difference_detected(self):
+        a = _txns([(1000, 0, 0, 1000)])
+        b = _txns([(1000, 0, 0, 999)])
+        assert not drift_between(a, b).final_totals_equal
+
+    def test_empty_rejected(self):
+        with pytest.raises(DetectionError):
+            drift_between([], _txns([(1, 1, 1, 1)]))
+
+    def test_render(self):
+        a = _txns([(1000, 1000, 100, 5000)])
+        assert "drift over 1 transactions" in drift_between(a, a).render()

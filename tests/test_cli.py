@@ -1,0 +1,91 @@
+"""CLI tests: the slice → attack → print → detect workflow end to end."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli")
+
+
+@pytest.fixture(scope="module")
+def gcode_path(workdir):
+    path = os.path.join(workdir, "part.gcode")
+    assert main(["slice", "--shape", "box", "--width", "10", "--depth", "10",
+                 "--height", "0.9", "--out", path]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def golden_csv(workdir, gcode_path):
+    path = os.path.join(workdir, "golden.csv")
+    assert main(["print", gcode_path, "--seed", "1", "--capture", path]) == 0
+    return path
+
+
+class TestSlice:
+    def test_creates_parseable_gcode(self, gcode_path):
+        from repro.gcode.parser import parse_file
+
+        program = parse_file(gcode_path)
+        assert program.count("G28") == 1
+        assert program.count("G1") > 10
+
+    def test_cylinder_shape(self, workdir):
+        path = os.path.join(workdir, "cyl.gcode")
+        assert main(["slice", "--shape", "cylinder", "--width", "12",
+                     "--height", "0.6", "--out", path]) == 0
+        assert os.path.exists(path)
+
+
+class TestPrintAndDetect:
+    def test_print_writes_capture(self, golden_csv):
+        from repro.core.capture import load_capture_csv
+
+        capture = load_capture_csv(golden_csv)
+        assert len(capture) > 10
+
+    def test_detect_clean_exits_zero(self, workdir, gcode_path, golden_csv):
+        control = os.path.join(workdir, "control.csv")
+        assert main(["print", gcode_path, "--seed", "2", "--capture", control]) == 0
+        assert main(["detect", golden_csv, control]) == 0
+
+    def test_attack_then_detect_exits_one(self, workdir, gcode_path, golden_csv, capsys):
+        bad_gcode = os.path.join(workdir, "bad.gcode")
+        bad_csv = os.path.join(workdir, "bad.csv")
+        assert main(["attack", gcode_path, "--reduction", "0.5", "--out", bad_gcode]) == 0
+        assert main(["print", bad_gcode, "--seed", "3", "--capture", bad_csv]) == 0
+        assert main(["detect", golden_csv, bad_csv]) == 1
+        assert "Trojan likely!" in capsys.readouterr().out
+
+    def test_relocation_attack(self, workdir, gcode_path):
+        out = os.path.join(workdir, "rel.gcode")
+        assert main(["attack", gcode_path, "--relocation", "10", "--out", out]) == 0
+        from repro.gcode.parser import parse_file
+
+        program = parse_file(out)
+        assert any(cmd.comment == "relocated filament" for cmd in program)
+
+    def test_void_attack(self, workdir, gcode_path):
+        out = os.path.join(workdir, "void.gcode")
+        assert main(["attack", gcode_path, "--void", "95", "95", "0", "105",
+                     "105", "1", "--out", out]) == 0
+        from repro.gcode.parser import parse_file
+
+        original = parse_file(gcode_path)
+        voided = parse_file(out)
+        assert voided.total_extrusion_mm() < original.total_extrusion_mm()
+
+
+class TestParser:
+    def test_missing_command_is_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_is_error(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

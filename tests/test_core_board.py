@@ -1,0 +1,167 @@
+"""OFFRAMPS board and FPGA fabric tests."""
+
+import pytest
+
+from repro.core.board import JumperMode, OfframpsBoard, TrojanAction
+from repro.core.fpga import FPGA_CLOCK_HZ, FpgaFabric, MAX_PROPAGATION_DELAY_NS
+from repro.electronics.harness import SignalHarness
+from repro.errors import OfframpsError
+
+
+def _board(sim):
+    harness = SignalHarness(sim)
+    return harness, OfframpsBoard(sim, harness)
+
+
+class TestFabric:
+    def test_clock_constants(self):
+        assert FPGA_CLOCK_HZ == 100_000_000
+        assert MAX_PROPAGATION_DELAY_NS == pytest.approx(12.923)
+
+    def test_quantize_rounds_up_to_tick(self, sim):
+        fabric = FpgaFabric(sim)
+        assert fabric.quantize(0) == 0
+        assert fabric.quantize(1) == 10
+        assert fabric.quantize(10) == 10
+        assert fabric.quantize(11) == 20
+
+    def test_forward_applies_delay(self, sim):
+        fabric = FpgaFabric(sim)
+        fired = []
+        fabric.forward(lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [13]  # ceil(12.923)
+
+    def test_at_next_tick(self, sim):
+        fabric = FpgaFabric(sim)
+        fired = []
+        sim.schedule_at(15, lambda: fabric.at_next_tick(lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [20]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(OfframpsError):
+            FpgaFabric(sim, propagation_delay_ns=-1)
+
+
+class TestJumpers:
+    def test_default_bypass(self, sim):
+        harness, board = _board(sim)
+        assert board.mode("X_STEP") is JumperMode.BYPASS
+        harness.upstream("X_STEP").pulse()
+        assert harness.downstream("X_STEP").pulse_count == 1
+
+    def test_fpga_mode_forwards_with_delay(self, sim):
+        harness, board = _board(sim)
+        board.set_mode("X_STEP", JumperMode.FPGA)
+        times = []
+        harness.downstream("X_STEP").on_pulse(lambda w, t, width: times.append(t))
+        sim.schedule_at(100, harness.upstream("X_STEP").pulse)
+        sim.run()
+        assert times == [113]
+
+    def test_unknown_signal(self, sim):
+        harness, board = _board(sim)
+        with pytest.raises(OfframpsError):
+            board.set_mode("NOPE", JumperMode.FPGA)
+
+    def test_route_group(self, sim):
+        harness, board = _board(sim)
+        board.route_through_fpga(["X_STEP", "Y_STEP"])
+        assert board.intercepted_signals() == ["X_STEP", "Y_STEP"]
+
+    def test_return_to_bypass(self, sim):
+        harness, board = _board(sim)
+        board.set_mode("X_DIR", JumperMode.FPGA)
+        board.set_mode("X_DIR", JumperMode.BYPASS)
+        harness.upstream("X_DIR").drive(1)
+        assert harness.downstream("X_DIR").value == 1
+
+
+class TestTrojanMux:
+    def test_drop_action(self, sim):
+        harness, board = _board(sim)
+        board.set_mode("E_STEP", JumperMode.FPGA)
+        board.register_interceptor("E_STEP", lambda p, k, v, t: TrojanAction.drop())
+        harness.upstream("E_STEP").pulse()
+        sim.run()
+        assert harness.downstream("E_STEP").pulse_count == 0
+        assert board.events_dropped == 1
+
+    def test_replace_action(self, sim):
+        harness, board = _board(sim)
+        board.set_mode("D9_FAN", JumperMode.FPGA)
+        board.register_interceptor(
+            "D9_FAN", lambda p, k, v, t: TrojanAction.replace(v * 0.5)
+        )
+        harness.upstream("D9_FAN").drive(0.8)
+        sim.run()
+        assert harness.downstream("D9_FAN").duty == pytest.approx(0.4)
+        assert board.events_replaced == 1
+
+    def test_pass_action_forwards(self, sim):
+        harness, board = _board(sim)
+        board.set_mode("D9_FAN", JumperMode.FPGA)
+        board.register_interceptor("D9_FAN", lambda p, k, v, t: TrojanAction.passthrough())
+        harness.upstream("D9_FAN").drive(0.8)
+        sim.run()
+        assert harness.downstream("D9_FAN").duty == pytest.approx(0.8)
+
+    def test_first_non_pass_wins(self, sim):
+        harness, board = _board(sim)
+        board.set_mode("D9_FAN", JumperMode.FPGA)
+        board.register_interceptor("D9_FAN", lambda p, k, v, t: None)
+        board.register_interceptor("D9_FAN", lambda p, k, v, t: TrojanAction.replace(0.1))
+        board.register_interceptor("D9_FAN", lambda p, k, v, t: TrojanAction.replace(0.9))
+        harness.upstream("D9_FAN").drive(0.5)
+        sim.run()
+        assert harness.downstream("D9_FAN").duty == pytest.approx(0.1)
+
+    def test_unregister(self, sim):
+        harness, board = _board(sim)
+        board.set_mode("D9_FAN", JumperMode.FPGA)
+        handler = lambda p, k, v, t: TrojanAction.drop()  # noqa: E731
+        board.register_interceptor("D9_FAN", handler)
+        board.unregister_interceptor("D9_FAN", handler)
+        harness.upstream("D9_FAN").drive(0.5)
+        sim.run()
+        assert harness.downstream("D9_FAN").duty == pytest.approx(0.5)
+
+
+class TestInjection:
+    def test_inject_pulse(self, sim):
+        harness, board = _board(sim)
+        board.inject_pulse("X_STEP")
+        assert harness.downstream("X_STEP").pulse_count == 1
+        assert harness.upstream("X_STEP").pulse_count == 0  # Arduino never saw it
+
+    def test_inject_level(self, sim):
+        harness, board = _board(sim)
+        board.inject_level("X_EN", 1)
+        assert harness.downstream("X_EN").value == 1
+
+    def test_inject_duty(self, sim):
+        harness, board = _board(sim)
+        board.inject_level("D10_HOTEND", 1.0)
+        assert harness.downstream("D10_HOTEND").duty == 1.0
+
+    def test_inject_pulse_on_level_signal_rejected(self, sim):
+        harness, board = _board(sim)
+        with pytest.raises(OfframpsError):
+            board.inject_pulse("X_DIR")
+
+    def test_inject_level_on_step_signal_rejected(self, sim):
+        harness, board = _board(sim)
+        with pytest.raises(OfframpsError):
+            board.inject_level("X_STEP", 1)
+
+    def test_injection_counted(self, sim):
+        harness, board = _board(sim)
+        board.inject_pulse("X_STEP")
+        board.inject_level("X_EN", 1)
+        assert board.events_injected == 2
+
+    def test_downstream_level_readback(self, sim):
+        harness, board = _board(sim)
+        board.inject_level("D9_FAN", 0.7)
+        assert board.downstream_level("D9_FAN") == pytest.approx(0.7)

@@ -1,0 +1,94 @@
+"""Capture format tests: Figure 4 CSV layout and round-trip."""
+
+import pytest
+
+from repro.core.capture import PulseCapture, Transaction, load_capture_csv, save_capture_csv
+from repro.electronics.uart import UartBus, pack_step_counts
+from repro.errors import CaptureError
+
+
+def _capture_with(rows):
+    capture = PulseCapture()
+    for i, (x, y, z, e) in enumerate(rows, start=1):
+        capture.transactions.append(Transaction(i, x, y, z, e))
+    return capture
+
+
+class TestTransaction:
+    def test_value_by_column(self):
+        txn = Transaction(1, 10, 20, 30, 40)
+        assert [txn.value(c) for c in "XYZE"] == [10, 20, 30, 40]
+
+    def test_unknown_column(self):
+        with pytest.raises(CaptureError):
+            Transaction(1, 0, 0, 0, 0).value("Q")
+
+    def test_row_format_matches_figure4(self):
+        txn = Transaction(5113, 6060, 8266, 960, 52843)
+        assert txn.as_row() == "5113, 6060, 8266, 960, 52843"
+
+
+class TestPulseCapture:
+    def test_bus_integration_assigns_indices(self):
+        bus = UartBus()
+        capture = PulseCapture(bus)
+        bus.send(100, pack_step_counts(1, 2, 3, 4))
+        bus.send(200, pack_step_counts(5, 6, 7, 8))
+        assert [t.index for t in capture] == [1, 2]
+        assert capture[1].x == 5
+        assert capture.final.e == 8
+
+    def test_excerpt_window(self):
+        capture = _capture_with([(i, i, i, i) for i in range(10)])
+        rows = capture.excerpt(3, 4)
+        assert [t.index for t in rows] == [3, 4, 5, 6]
+
+    def test_render_includes_header(self):
+        capture = _capture_with([(1, 2, 3, 4)])
+        text = capture.render()
+        assert text.splitlines()[0] == "Index, X, Y, Z, E"
+        assert text.splitlines()[1] == "1, 1, 2, 3, 4"
+
+    def test_empty_capture_final_is_none(self):
+        assert PulseCapture().final is None
+
+
+class TestCsvRoundTrip:
+    def test_save_load(self, tmp_path):
+        capture = _capture_with([(6060, 8266, 960, 52843), (6304, 8095, 960, 52856)])
+        path = tmp_path / "golden.csv"
+        save_capture_csv(capture, path)
+        loaded = load_capture_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0].x == 6060
+        assert loaded[1].e == 52856
+
+    def test_negative_counts_roundtrip(self, tmp_path):
+        capture = _capture_with([(-5, 0, -100, 7)])
+        path = tmp_path / "neg.csv"
+        save_capture_csv(capture, path)
+        assert load_capture_csv(path)[0].x == -5
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(CaptureError):
+            load_capture_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a, b, c\n1, 2, 3\n")
+        with pytest.raises(CaptureError):
+            load_capture_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("Index, X, Y, Z, E\n1, 2, 3\n")
+        with pytest.raises(CaptureError):
+            load_capture_csv(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("Index, X, Y, Z, E\n1, 2, x, 4, 5\n")
+        with pytest.raises(CaptureError):
+            load_capture_csv(path)

@@ -1,0 +1,259 @@
+"""Tests for the FPGA monitoring modules."""
+
+import pytest
+
+from repro.core.capture import PulseCapture
+from repro.core.modules.axis_tracker import AxisTracker
+from repro.core.modules.edge_detect import EdgeDetector
+from repro.core.modules.homing_detect import HomingDetector
+from repro.core.modules.pulse_gen import PulseGenerator
+from repro.core.modules.uart_export import UartExporter
+from repro.electronics.harness import SignalHarness
+from repro.electronics.uart import UartBus, unpack_step_counts
+from repro.errors import OfframpsError
+from repro.sim.time import MS, S
+
+
+class TestEdgeDetector:
+    def test_counts_pulses(self, sim):
+        harness = SignalHarness(sim)
+        detector = EdgeDetector(harness.upstream("X_STEP"))
+        for _ in range(5):
+            harness.upstream("X_STEP").pulse()
+        assert detector.rising_edges == 5
+
+    def test_counts_rising_level_edges_only(self, sim):
+        harness = SignalHarness(sim)
+        detector = EdgeDetector(harness.upstream("X_MIN"))
+        wire = harness.upstream("X_MIN")
+        wire.drive(1)
+        wire.drive(0)
+        wire.drive(1)
+        assert detector.rising_edges == 2
+
+    def test_listener_fanout(self, sim):
+        harness = SignalHarness(sim)
+        detector = EdgeDetector(harness.upstream("X_STEP"))
+        seen = []
+        detector.on_rising(seen.append)
+        sim.schedule_at(77, harness.upstream("X_STEP").pulse)
+        sim.run()
+        assert seen == [77]
+        assert detector.last_event_ns == 77
+
+
+class TestPulseGenerator:
+    def test_burst_count_and_spacing(self, sim):
+        times = []
+        generator = PulseGenerator(sim, lambda width: times.append(sim.now))
+        generator.burst(5, frequency_hz=1000.0)
+        sim.run()
+        assert len(times) == 5
+        assert times[1] - times[0] == 1_000_000  # 1 kHz -> 1 ms
+
+    def test_on_done_callback(self, sim):
+        done = []
+        generator = PulseGenerator(sim, lambda width: None)
+        generator.burst(3, 1000.0, on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 1
+        assert generator.pulses_generated == 3
+
+    def test_stop_mid_burst(self, sim):
+        emitted = []
+        generator = PulseGenerator(sim, lambda width: emitted.append(1))
+        generator.burst(100, 1000.0)
+        sim.run(until_ns=5_500_000)
+        generator.stop()
+        sim.run()
+        assert len(emitted) == 5
+
+    def test_busy_rejects_second_burst(self, sim):
+        generator = PulseGenerator(sim, lambda width: None)
+        generator.burst(10, 1000.0)
+        with pytest.raises(OfframpsError):
+            generator.burst(10, 1000.0)
+
+    def test_invalid_burst_params(self, sim):
+        generator = PulseGenerator(sim, lambda width: None)
+        with pytest.raises(OfframpsError):
+            generator.burst(0, 1000.0)
+
+
+def _home_sequence(sim, harness, order=("X_MIN", "Y_MIN", "Z_MIN")):
+    at = 100
+    for name in order:
+        sim.schedule_at(at, lambda n=name: harness.upstream(n).drive(1))
+        sim.schedule_at(at + 50, lambda n=name: harness.upstream(n).drive(0))
+        at += 100
+
+
+class TestHomingDetector:
+    def test_detects_ordered_sequence(self, sim):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        _home_sequence(sim, harness)
+        sim.run()
+        assert detector.homed
+        assert detector.homed_at_ns == 300
+
+    def test_repeated_actuations_ignored(self, sim):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        # X bounces twice (back-off + re-bump) before Y and Z
+        for at, name, value in [
+            (10, "X_MIN", 1), (20, "X_MIN", 0), (30, "X_MIN", 1),
+            (40, "Y_MIN", 1), (50, "Z_MIN", 1),
+        ]:
+            sim.schedule_at(at, lambda n=name, v=value: harness.upstream(n).drive(v))
+        sim.run()
+        assert detector.homed
+
+    def test_out_of_order_not_homed(self, sim):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        _home_sequence(sim, harness, order=("Z_MIN", "Y_MIN", "X_MIN"))
+        sim.run()
+        assert not detector.homed
+
+    def test_on_homed_callback(self, sim):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        seen = []
+        detector.on_homed(seen.append)
+        _home_sequence(sim, harness)
+        sim.run()
+        assert seen == [300]
+
+    def test_late_subscriber_fires_immediately(self, sim):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        _home_sequence(sim, harness)
+        sim.run()
+        seen = []
+        detector.on_homed(seen.append)
+        assert seen == [300]
+
+    def test_reset(self, sim):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        _home_sequence(sim, harness)
+        sim.run()
+        detector.reset()
+        assert not detector.homed
+
+
+class TestAxisTracker:
+    def test_counts_signed_steps(self, sim):
+        harness = SignalHarness(sim)
+        tracker = AxisTracker(harness)
+        tracker.arm()
+        harness.upstream("X_DIR").drive(1)
+        for _ in range(10):
+            harness.upstream("X_STEP").pulse()
+        harness.upstream("X_DIR").drive(0)
+        for _ in range(3):
+            harness.upstream("X_STEP").pulse()
+        assert tracker.counts["X"] == 7
+
+    def test_ignores_steps_before_arming(self, sim):
+        harness = SignalHarness(sim)
+        tracker = AxisTracker(harness)
+        harness.upstream("X_STEP").pulse()
+        tracker.arm()
+        assert tracker.counts["X"] == 0
+
+    def test_arm_resets_counts(self, sim):
+        harness = SignalHarness(sim)
+        tracker = AxisTracker(harness)
+        tracker.arm()
+        harness.upstream("E_STEP").pulse()
+        tracker.arm()
+        assert tracker.counts["E"] == 0
+
+    def test_first_step_event(self, sim):
+        harness = SignalHarness(sim)
+        tracker = AxisTracker(harness)
+        seen = []
+        tracker.arm()
+        tracker.on_first_step(seen.append)
+        sim.schedule_at(500, harness.upstream("Y_STEP").pulse)
+        sim.schedule_at(600, harness.upstream("Y_STEP").pulse)
+        sim.run()
+        assert seen == [500]
+
+    def test_snapshot_is_copy(self, sim):
+        harness = SignalHarness(sim)
+        tracker = AxisTracker(harness)
+        tracker.arm()
+        snap = tracker.snapshot()
+        harness.upstream("X_STEP").pulse()
+        assert snap["X"] == 0
+
+
+class TestUartExporter:
+    def _bench(self, sim, period_ms=100):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        tracker = AxisTracker(harness)
+        bus = UartBus()
+        exporter = UartExporter(sim, tracker, detector, bus=bus, period_ms=period_ms)
+        capture = PulseCapture(bus)
+        return harness, detector, tracker, exporter, capture
+
+    def test_no_export_before_homing(self, sim):
+        harness, detector, tracker, exporter, capture = self._bench(sim)
+        sim.run(until_ns=2 * S)
+        assert len(capture) == 0
+
+    def test_export_starts_after_first_step(self, sim):
+        harness, detector, tracker, exporter, capture = self._bench(sim)
+        _home_sequence(sim, harness)
+        sim.schedule_at(1 * S, harness.upstream("X_STEP").pulse)
+        sim.run(until_ns=int(1.55 * S))
+        # first step at 1s; transactions at 1.1s, 1.2s, ... 1.5s
+        assert len(capture) == 5
+        assert capture[0].time_ns == 1 * S + 100 * MS
+
+    def test_transaction_contents(self, sim):
+        harness, detector, tracker, exporter, capture = self._bench(sim)
+        _home_sequence(sim, harness)
+        harness.upstream("X_DIR").drive(1)
+        sim.schedule_at(1 * S, harness.upstream("X_STEP").pulse)
+        sim.schedule_at(int(1.05 * S), harness.upstream("X_STEP").pulse)
+        sim.run(until_ns=int(1.15 * S))
+        assert capture[0].x == 2
+        assert capture[0].index == 1
+
+    def test_custom_period(self, sim):
+        harness, detector, tracker, exporter, capture = self._bench(sim, period_ms=50)
+        _home_sequence(sim, harness)
+        sim.schedule_at(1 * S, harness.upstream("X_STEP").pulse)
+        sim.run(until_ns=int(1.26 * S))
+        assert len(capture) == 5
+
+    def test_stop_ends_stream(self, sim):
+        harness, detector, tracker, exporter, capture = self._bench(sim)
+        _home_sequence(sim, harness)
+        sim.schedule_at(1 * S, harness.upstream("X_STEP").pulse)
+        sim.run(until_ns=int(1.35 * S))
+        exporter.stop()
+        sim.run(until_ns=3 * S)
+        assert len(capture) == 3
+
+    def test_invalid_period(self, sim):
+        harness = SignalHarness(sim)
+        detector = HomingDetector(harness)
+        tracker = AxisTracker(harness)
+        with pytest.raises(OfframpsError):
+            UartExporter(sim, tracker, detector, period_ms=0)
+
+    def test_frames_are_16_bytes(self, sim):
+        harness, detector, tracker, exporter, capture = self._bench(sim)
+        frames = []
+        exporter.bus.on_frame(lambda t, frame: frames.append(frame))
+        _home_sequence(sim, harness)
+        sim.schedule_at(1 * S, harness.upstream("X_STEP").pulse)
+        sim.run(until_ns=int(1.25 * S))
+        assert frames and all(len(frame) == 16 for frame in frames)
+        assert unpack_step_counts(frames[0])[0] == tracker.counts["X"]

@@ -1,0 +1,194 @@
+"""Detection pipeline tests: comparator, report, golden store, streaming."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capture import PulseCapture, Transaction
+from repro.detection.comparator import CaptureComparator, Mismatch
+from repro.detection.golden import GoldenStore
+from repro.detection.realtime import StreamingDetector
+from repro.electronics.uart import UartBus, pack_step_counts
+from repro.errors import DetectionError
+
+
+def _txns(rows):
+    return [Transaction(i, *row) for i, row in enumerate(rows, start=1)]
+
+
+GOLDEN = _txns([(1000, 1000, 120, 5000), (2000, 2000, 120, 10000), (3000, 3000, 240, 15000)])
+
+
+class TestComparator:
+    def test_identical_is_clean(self):
+        report = CaptureComparator().compare(GOLDEN, list(GOLDEN))
+        assert not report.trojan_likely
+        assert report.mismatch_count == 0
+        assert report.transactions_compared == 3
+
+    def test_within_margin_is_clean(self):
+        suspect = _txns([(1040, 980, 120, 5100), (2050, 1990, 120, 10200), (3000, 3000, 240, 15000)])
+        report = CaptureComparator(margin=0.05).compare(GOLDEN, suspect)
+        assert not report.trojan_likely
+
+    def test_out_of_margin_flagged(self):
+        suspect = _txns([(1000, 1000, 120, 5000), (2500, 2000, 120, 10000), (3000, 3000, 240, 15000)])
+        report = CaptureComparator(margin=0.05).compare(GOLDEN, suspect)
+        assert report.trojan_likely
+        assert report.mismatches[0].column == "X"
+        assert report.mismatches[0].index == 2
+
+    def test_final_check_catches_small_total_drift(self):
+        # 2% E reduction: per-transaction within margin, final totals differ.
+        suspect = _txns([(1000, 1000, 120, 4900), (2000, 2000, 120, 9800), (3000, 3000, 240, 14700)])
+        report = CaptureComparator(margin=0.05).compare(GOLDEN, suspect)
+        assert report.mismatch_count == 0
+        assert report.final_check_failed
+        assert report.trojan_likely
+
+    def test_final_check_disabled(self):
+        suspect = _txns([(1000, 1000, 120, 4900), (2000, 2000, 120, 9800), (3000, 3000, 240, 14700)])
+        report = CaptureComparator(margin=0.05, final_check=False).compare(GOLDEN, suspect)
+        assert not report.trojan_likely
+
+    def test_floor_prevents_early_blowups(self):
+        golden = _txns([(10, 10, 10, 10)])
+        suspect = _txns([(15, 10, 10, 10)])  # +50% of a tiny count
+        report = CaptureComparator(margin=0.05, floor_steps=400).compare(golden, suspect)
+        assert report.mismatch_count == 0  # 5/400 = 1.25% under the floor
+        assert report.final_check_failed  # but totals still differ exactly
+
+    def test_length_mismatch_compares_common_prefix(self):
+        suspect = list(GOLDEN) + [Transaction(4, 4000, 4000, 240, 20000)]
+        report = CaptureComparator().compare(GOLDEN, suspect)
+        assert report.transactions_compared == 3
+        assert report.golden_length == 3
+        assert report.suspect_length == 4
+
+    def test_empty_captures_rejected(self):
+        with pytest.raises(DetectionError):
+            CaptureComparator().compare([], GOLDEN)
+        with pytest.raises(DetectionError):
+            CaptureComparator().compare(GOLDEN, [])
+
+    def test_invalid_margin(self):
+        with pytest.raises(DetectionError):
+            CaptureComparator(margin=1.5)
+
+    def test_largest_percent_diff_tracked(self):
+        suspect = _txns([(1000, 1000, 120, 5000), (3000, 2000, 120, 10000), (3000, 3000, 240, 15000)])
+        report = CaptureComparator().compare(GOLDEN, suspect)
+        assert report.largest_percent_diff == pytest.approx(50.0)
+
+    def test_render_matches_paper_format(self):
+        suspect = _txns([(1000, 1000, 120, 5000), (3000, 2000, 120, 10000), (3100, 3000, 240, 15000)])
+        text = CaptureComparator().compare(GOLDEN, suspect).render()
+        assert "Index: 2, Column: X, Values: 2000, 3000" in text
+        assert "Largest percent difference found:" in text
+        assert "Number of transactions compared: 3" in text
+        assert "Trojan likely!" in text
+
+    def test_clean_render_verdict(self):
+        text = CaptureComparator().compare(GOLDEN, list(GOLDEN)).render()
+        assert "No Trojan suspected." in text
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-50_000, max_value=50_000),
+                st.integers(min_value=-50_000, max_value=50_000),
+                st.integers(min_value=0, max_value=5_000),
+                st.integers(min_value=0, max_value=500_000),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_self_comparison_always_clean(self, rows):
+        txns = _txns(rows)
+        report = CaptureComparator().compare(txns, list(txns))
+        assert not report.trojan_likely
+        assert report.largest_percent_diff == 0.0
+
+    @given(st.integers(min_value=1, max_value=100), st.floats(min_value=0.001, max_value=0.2))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_beyond_margin_always_flagged(self, n, margin):
+        golden = _txns([(10_000 + 100 * i, 0, 0, 10_000 + 100 * i) for i in range(n)])
+        factor = 1.0 + margin * 3
+        suspect = _txns(
+            [(int((10_000 + 100 * i) * factor), 0, 0, 10_000 + 100 * i) for i in range(n)]
+        )
+        report = CaptureComparator(margin=margin).compare(golden, suspect)
+        assert report.trojan_likely
+
+
+class TestGoldenStore:
+    def test_register_and_get(self):
+        store = GoldenStore()
+        capture = PulseCapture()
+        capture.transactions.append(Transaction(1, 1, 2, 3, 4))
+        store.register("part_a", capture)
+        assert store.get("part_a") is capture
+        assert "part_a" in store
+
+    def test_missing_golden_raises(self):
+        with pytest.raises(DetectionError):
+            GoldenStore().get("ghost")
+
+    def test_empty_capture_rejected(self):
+        with pytest.raises(DetectionError):
+            GoldenStore().register("empty", PulseCapture())
+
+    def test_persistence_roundtrip(self, tmp_path):
+        store = GoldenStore(directory=str(tmp_path))
+        capture = PulseCapture()
+        capture.transactions.append(Transaction(1, 9, 8, 7, 6))
+        store.register("boxy", capture)
+        # A new store over the same directory sees the golden.
+        reloaded = GoldenStore(directory=str(tmp_path))
+        assert reloaded.names() == ["boxy"]
+        assert reloaded.get("boxy")[0].x == 9
+
+
+class TestStreamingDetector:
+    def _stream(self, golden, suspect_rows, **kwargs):
+        bus = UartBus()
+        alarms = []
+        detector = StreamingDetector(
+            golden, bus, on_alarm=alarms.append, **kwargs
+        )
+        for t, row in enumerate(suspect_rows):
+            bus.send(t * 100, pack_step_counts(*row))
+        return detector, alarms
+
+    def test_clean_stream_no_alarm(self):
+        detector, alarms = self._stream(GOLDEN, [(1000, 1000, 120, 5000), (2000, 2000, 120, 10000)])
+        assert not detector.alarmed
+        assert alarms == []
+
+    def test_alarm_on_first_divergence(self):
+        detector, alarms = self._stream(
+            GOLDEN,
+            [(1000, 1000, 120, 5000), (2600, 2000, 120, 10000), (3000, 3000, 240, 15000)],
+        )
+        assert detector.alarmed
+        assert detector.alarmed_at_index == 2
+        assert len(alarms) == 1
+
+    def test_alarm_threshold(self):
+        detector, alarms = self._stream(
+            GOLDEN,
+            [(1300, 1000, 120, 5000), (2600, 2000, 120, 10000)],
+            alarm_after_mismatches=2,
+        )
+        assert detector.alarmed
+        assert detector.alarmed_at_index == 2
+
+    def test_overrun_is_suspicious(self):
+        detector, alarms = self._stream(
+            GOLDEN,
+            [(1000, 1000, 120, 5000), (2000, 2000, 120, 10000),
+             (3000, 3000, 240, 15000), (4000, 4000, 240, 20000)],
+        )
+        assert detector.alarmed  # ran past the golden's end

@@ -1,0 +1,149 @@
+"""Side-channel baseline and simulation-golden tests."""
+
+import pytest
+
+from repro.core.capture import Transaction
+from repro.detection.baselines import (
+    SideChannelDetector,
+    SideChannelModel,
+    activity_profiles,
+    observe,
+)
+from repro.detection.comparator import CaptureComparator
+from repro.detection.simgolden import golden_from_simulation
+from repro.errors import DetectionError
+
+
+def _txns(rows):
+    return [Transaction(i, *row) for i, row in enumerate(rows, start=1)]
+
+
+def _steady_print(e_scale=1.0, n=30):
+    """A synthetic print: steady X/Y motion, proportional extrusion."""
+    return _txns(
+        [(i * 500, i * 400, 120, int(i * 800 * e_scale)) for i in range(1, n + 1)]
+    )
+
+
+class TestActivityProfiles:
+    def test_per_motor_unsigned_magnitudes(self):
+        txns = _txns([(100, -50, 0, 10), (50, -100, 0, 30)])
+        profiles = activity_profiles(txns)
+        assert profiles["X"] == [100.0, 50.0]
+        assert profiles["Y"] == [50.0, 50.0]
+        assert profiles["E"] == [10.0, 20.0]
+
+    def test_direction_information_lost(self):
+        forward = activity_profiles(_txns([(100, 0, 0, 0)]))
+        backward = activity_profiles(_txns([(-100, 0, 0, 0)]))
+        assert forward == backward
+
+    def test_empty_rejected(self):
+        with pytest.raises(DetectionError):
+            activity_profiles([])
+
+
+class TestObservation:
+    def test_noise_is_seeded(self):
+        txns = _steady_print(n=3)
+        model = SideChannelModel(seed=5)
+        assert observe(txns, model) == observe(txns, model)
+
+    def test_different_seeds_differ(self):
+        txns = _steady_print(n=5)
+        assert observe(txns, SideChannelModel(seed=1)) != observe(
+            txns, SideChannelModel(seed=2)
+        )
+
+    def test_quantisation_applied(self):
+        txns = _txns([(1000, 0, 0, 0)])
+        values = observe(
+            txns,
+            SideChannelModel(
+                noise_fraction=0, noise_floor=0, quantization_steps=100, repetitions=1
+            ),
+        )
+        assert values["X"][0] % 100 == 0
+
+    def test_repetition_averaging_reduces_noise(self):
+        txns = _steady_print(n=40)
+        ideal = activity_profiles(txns)["X"]
+
+        def rms_error(repetitions):
+            obs = observe(
+                txns, SideChannelModel(repetitions=repetitions, seed=9)
+            )["X"]
+            return (
+                sum((o - i) ** 2 for o, i in zip(obs, ideal)) / len(ideal)
+            ) ** 0.5
+
+        assert rms_error(16) < rms_error(1)
+
+    def test_never_negative(self):
+        txns = _txns([(1, 0, 0, 0)] * 3)
+        values = observe(txns, SideChannelModel(noise_floor=50, seed=3, repetitions=1))
+        assert all(v >= 0 for channel in values.values() for v in channel)
+
+    def test_invalid_model(self):
+        with pytest.raises(DetectionError):
+            SideChannelModel(noise_fraction=-0.1)
+        with pytest.raises(DetectionError):
+            SideChannelModel(repetitions=0)
+
+
+class TestSideChannelDetector:
+    def test_calibration_quiet_on_clean_pair(self):
+        golden = _steady_print()
+        detector = SideChannelDetector()
+        threshold = detector.calibrate_threshold(golden, golden)
+        assert threshold > 0
+        report = detector.compare(golden, golden, suspect_seed_offset=2)
+        assert not report.trojan_likely
+
+    def test_gross_attack_visible_on_e_channel(self):
+        golden = _steady_print()
+        halved = _steady_print(e_scale=0.5)
+        detector = SideChannelDetector()
+        detector.calibrate_threshold(golden, golden)
+        report = detector.compare(golden, halved)
+        assert report.trojan_likely
+        assert report.worst_channel == "E"
+
+    def test_stealthy_attack_invisible(self):
+        golden = _steady_print()
+        slight = _steady_print(e_scale=0.98)
+        detector = SideChannelDetector()
+        detector.calibrate_threshold(golden, golden)
+        assert not detector.compare(golden, slight).trojan_likely
+
+    def test_lossless_comparator_catches_what_baseline_misses(self):
+        golden = _steady_print()
+        slight = _steady_print(e_scale=0.98)
+        report = CaptureComparator().compare(golden, slight)
+        assert report.trojan_likely  # final 0% check
+
+    def test_idle_windows_excluded(self):
+        golden = _txns([(0, 0, 0, 0)] * 10)  # a print that never moves
+        detector = SideChannelDetector()
+        report = detector.compare(golden, golden)
+        assert report.largest_relative_diff == 0.0
+
+
+class TestSimulationGolden:
+    def test_sim_golden_detects_trojan(self, tiny_program, tiny_golden_noisy):
+        from repro.gcode.transforms.flaw3d import apply_reduction
+        from repro.experiments.runner import run_print
+
+        sim_golden = golden_from_simulation(tiny_program)
+        suspect = run_print(
+            apply_reduction(tiny_program, 0.5), noise_sigma=0.0005, noise_seed=31
+        )
+        report = CaptureComparator().compare_captures(sim_golden, suspect.capture)
+        assert report.trojan_likely
+
+    def test_sim_golden_accepts_clean_noisy_print(self, tiny_program, tiny_golden_noisy):
+        sim_golden = golden_from_simulation(tiny_program)
+        report = CaptureComparator().compare_captures(
+            sim_golden, tiny_golden_noisy.capture
+        )
+        assert not report.trojan_likely

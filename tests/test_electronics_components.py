@@ -1,0 +1,182 @@
+"""Tests for the RAMPS-side components: driver, MOSFET, thermistor, endstop, UART."""
+
+import pytest
+
+from repro.electronics.drivers import A4988Driver
+from repro.electronics.endstop import Endstop
+from repro.electronics.mosfet import PowerMosfet
+from repro.electronics.thermistor import (
+    adc_to_temp,
+    divider_voltage,
+    temp_to_adc,
+    thermistor_resistance,
+    voltage_to_adc,
+)
+from repro.electronics.uart import (
+    FRAME_SIZE_BYTES,
+    UartBus,
+    pack_step_counts,
+    unpack_step_counts,
+)
+from repro.errors import CaptureError, ElectronicsError
+from repro.sim.signals import AnalogWire, DigitalWire, PwmWire, StepWire
+
+
+def _driver(sim, invert=False, microsteps=16):
+    step = StepWire(sim, "s")
+    direction = DigitalWire(sim, "d")
+    enable = DigitalWire(sim, "e", initial=0)  # active low: enabled
+    steps = []
+    driver = A4988Driver(
+        "drv", step, direction, enable,
+        on_step=lambda direction_, t: steps.append(direction_),
+        microsteps=microsteps, invert_direction=invert,
+    )
+    return driver, step, direction, enable, steps
+
+
+class TestA4988:
+    def test_steps_forward_by_default_dir_low(self, sim):
+        driver, step, direction, _, steps = _driver(sim)
+        direction.drive(1)
+        step.pulse()
+        assert steps == [1]
+
+    def test_direction_decode(self, sim):
+        driver, step, direction, _, steps = _driver(sim)
+        direction.drive(0)
+        step.pulse()
+        direction.drive(1)
+        step.pulse()
+        assert steps == [-1, 1]
+
+    def test_inverted_wiring(self, sim):
+        driver, step, direction, _, steps = _driver(sim, invert=True)
+        direction.drive(1)
+        step.pulse()
+        assert steps == [-1]
+
+    def test_disabled_driver_misses_steps(self, sim):
+        driver, step, _, enable, steps = _driver(sim)
+        enable.drive(1)  # disable
+        step.pulse()
+        step.pulse()
+        assert steps == []
+        assert driver.missed_steps == 2
+
+    def test_reenabled_driver_steps_again(self, sim):
+        driver, step, _, enable, steps = _driver(sim)
+        enable.drive(1)
+        step.pulse()
+        enable.drive(0)
+        step.pulse()
+        assert len(steps) == 1
+        assert driver.steps_taken == 1
+
+    def test_invalid_microsteps(self, sim):
+        with pytest.raises(ElectronicsError):
+            _driver(sim, microsteps=3)
+
+
+class TestMosfet:
+    def test_power_follows_duty(self, sim):
+        gate = PwmWire(sim, "g")
+        powers = []
+        mosfet = PowerMosfet("m", gate, 40.0, lambda p, t: powers.append(p))
+        gate.drive(0.5)
+        assert powers == [20.0]
+        assert mosfet.power_w == 20.0
+
+    def test_switch_count(self, sim):
+        gate = PwmWire(sim, "g")
+        mosfet = PowerMosfet("m", gate, 10.0, lambda p, t: None)
+        gate.drive(0.1)
+        gate.drive(0.9)
+        assert mosfet.switch_count == 2
+
+    def test_invalid_power(self, sim):
+        with pytest.raises(ElectronicsError):
+            PowerMosfet("m", PwmWire(sim, "g"), 0.0, lambda p, t: None)
+
+
+class TestThermistor:
+    def test_resistance_at_nominal(self):
+        assert thermistor_resistance(25.0) == pytest.approx(100_000.0, rel=1e-6)
+
+    def test_resistance_decreases_with_temperature(self):
+        assert thermistor_resistance(200.0) < thermistor_resistance(25.0)
+
+    def test_adc_roundtrip_at_print_temps(self):
+        for temp in (25.0, 60.0, 110.0, 210.0, 250.0):
+            recovered = adc_to_temp(temp_to_adc(temp))
+            assert recovered == pytest.approx(temp, abs=2.0)  # ADC quantisation
+
+    def test_adc_rails_map_to_fault_values(self):
+        assert adc_to_temp(0) > 400.0  # shorted: reads absurdly hot
+        assert adc_to_temp(1023) < 0.0  # open: reads absurdly cold
+
+    def test_voltage_monotonic(self):
+        assert divider_voltage(25.0) > divider_voltage(210.0)
+
+    def test_voltage_to_adc_clamped(self):
+        assert voltage_to_adc(-1.0) == 0
+        assert voltage_to_adc(99.0) == 1023
+
+    def test_channel_refresh_drives_wire(self, sim):
+        wire = AnalogWire(sim, "t")
+        from repro.electronics.thermistor import ThermistorChannel
+
+        channel = ThermistorChannel("t", wire, lambda: 100.0)
+        temp = channel.refresh()
+        assert temp == 100.0
+        assert wire.value == pytest.approx(divider_voltage(100.0))
+
+
+class TestEndstop:
+    def test_triggers_at_zero(self, sim):
+        wire = DigitalWire(sim, "es")
+        endstop = Endstop("X_MIN", wire)
+        endstop.update(5.0)
+        assert not endstop.triggered
+        endstop.update(0.0)
+        assert endstop.triggered
+
+    def test_actuation_counted_once_per_press(self, sim):
+        wire = DigitalWire(sim, "es")
+        endstop = Endstop("X_MIN", wire)
+        for pos in (1.0, 0.0, -0.1, 2.0, 0.0):
+            endstop.update(pos)
+        assert endstop.actuation_count == 2
+
+    def test_custom_trigger_position(self, sim):
+        wire = DigitalWire(sim, "es")
+        endstop = Endstop("X_MIN", wire, trigger_position_mm=1.5)
+        endstop.update(1.4)
+        assert endstop.triggered
+
+
+class TestUart:
+    def test_frame_is_16_bytes(self):
+        assert FRAME_SIZE_BYTES == 16
+        assert len(pack_step_counts(1, 2, 3, 4)) == 16
+
+    def test_pack_unpack_roundtrip(self):
+        frame = pack_step_counts(6060, -8266, 960, 52843)
+        assert unpack_step_counts(frame) == (6060, -8266, 960, 52843)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CaptureError):
+            pack_step_counts(2**40, 0, 0, 0)
+
+    def test_bad_frame_size_rejected(self):
+        with pytest.raises(CaptureError):
+            unpack_step_counts(b"short")
+
+    def test_bus_delivers_to_listeners(self):
+        bus = UartBus()
+        got = []
+        bus.on_frame(lambda t, frame: got.append((t, frame)))
+        frame = pack_step_counts(1, 2, 3, 4)
+        bus.send(12345, frame)
+        assert got == [(12345, frame)]
+        assert bus.frames_sent == 1

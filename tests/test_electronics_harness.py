@@ -1,0 +1,140 @@
+"""Tests for the pin inventory and the interposable signal harness."""
+
+import pytest
+
+from repro.electronics.harness import SignalHarness
+from repro.electronics.pins import (
+    AXES,
+    ENDSTOP_SIGNALS,
+    SIGNALS,
+    SignalDirection,
+    SignalKind,
+    signal_name,
+)
+from repro.errors import OfframpsError
+
+
+class TestPins:
+    def test_all_axes_have_motion_signals(self):
+        for axis in AXES:
+            for function in ("STEP", "DIR", "EN"):
+                assert f"{axis}_{function}" in SIGNALS
+
+    def test_signal_count(self):
+        # 4 axes x 3 motion signals + 3 PWM + 3 endstops + 2 thermistors
+        assert len(SIGNALS) == 4 * 3 + 3 + 3 + 2
+
+    def test_ramps_pin_numbers(self):
+        assert SIGNALS["X_STEP"].mega_pin == 54
+        assert SIGNALS["D10_HOTEND"].mega_pin == 10
+        assert SIGNALS["Z_MIN"].mega_pin == 18
+
+    def test_directions(self):
+        assert SIGNALS["X_STEP"].direction is SignalDirection.ARDUINO_TO_RAMPS
+        assert SIGNALS["X_MIN"].direction is SignalDirection.RAMPS_TO_ARDUINO
+        assert SIGNALS["T0_HOTEND"].direction is SignalDirection.RAMPS_TO_ARDUINO
+
+    def test_kinds(self):
+        assert SIGNALS["E_STEP"].kind is SignalKind.STEP
+        assert SIGNALS["E_DIR"].kind is SignalKind.DIGITAL
+        assert SIGNALS["D9_FAN"].kind is SignalKind.PWM
+        assert SIGNALS["T1_BED"].kind is SignalKind.ANALOG
+
+    def test_signal_name_helper(self):
+        assert signal_name("x", "step") == "X_STEP"
+        with pytest.raises(KeyError):
+            signal_name("Q", "STEP")
+
+
+class TestHarnessForwarding:
+    def test_step_pulses_forward(self, sim):
+        harness = SignalHarness(sim)
+        harness.upstream("X_STEP").pulse()
+        assert harness.downstream("X_STEP").pulse_count == 1
+
+    def test_digital_levels_forward(self, sim):
+        harness = SignalHarness(sim)
+        harness.upstream("X_DIR").drive(1)
+        assert harness.downstream("X_DIR").value == 1
+
+    def test_pwm_forwards(self, sim):
+        harness = SignalHarness(sim)
+        harness.upstream("D9_FAN").drive(0.6)
+        assert harness.downstream("D9_FAN").duty == 0.6
+
+    def test_analog_forwards(self, sim):
+        harness = SignalHarness(sim)
+        harness.upstream("T0_HOTEND").drive(2.5)
+        assert harness.downstream("T0_HOTEND").value == 2.5
+
+    def test_unknown_signal_rejected(self, sim):
+        harness = SignalHarness(sim)
+        with pytest.raises(OfframpsError):
+            harness.path("BOGUS")
+
+    def test_subset_harness(self, sim):
+        harness = SignalHarness(sim, names=["X_STEP", "X_DIR"])
+        assert "X_STEP" in harness
+        assert "Y_STEP" not in harness
+
+    def test_pulse_width_preserved(self, sim):
+        harness = SignalHarness(sim)
+        seen = []
+        harness.downstream("X_STEP").on_pulse(lambda w, t, width: seen.append(width))
+        harness.upstream("X_STEP").pulse(width_ns=3333)
+        assert seen == [3333]
+
+
+class TestInterception:
+    def test_interceptor_blocks_forwarding(self, sim):
+        harness = SignalHarness(sim)
+        path = harness.path("X_STEP")
+        path.install_interceptor("test", lambda p, kind, value, t: None)  # swallow
+        harness.upstream("X_STEP").pulse()
+        assert harness.downstream("X_STEP").pulse_count == 0
+
+    def test_interceptor_can_redrive(self, sim):
+        harness = SignalHarness(sim)
+        path = harness.path("X_STEP")
+        path.install_interceptor(
+            "test", lambda p, kind, value, t: p.downstream.pulse(int(value))
+        )
+        harness.upstream("X_STEP").pulse()
+        assert harness.downstream("X_STEP").pulse_count == 1
+
+    def test_double_interception_rejected(self, sim):
+        harness = SignalHarness(sim)
+        path = harness.path("X_DIR")
+        path.install_interceptor("a", lambda *args: None)
+        with pytest.raises(OfframpsError):
+            path.install_interceptor("b", lambda *args: None)
+
+    def test_same_owner_can_reinstall(self, sim):
+        harness = SignalHarness(sim)
+        path = harness.path("X_DIR")
+        path.install_interceptor("a", lambda *args: None)
+        path.install_interceptor("a", lambda *args: None)  # no error
+
+    def test_remove_restores_forwarding(self, sim):
+        harness = SignalHarness(sim)
+        path = harness.path("X_DIR")
+        path.install_interceptor("a", lambda *args: None)
+        harness.upstream("X_DIR").drive(1)
+        assert harness.downstream("X_DIR").value == 0  # swallowed
+        path.remove_interceptor("a")
+        assert harness.downstream("X_DIR").value == 1  # resynced
+
+    def test_remove_by_wrong_owner_rejected(self, sim):
+        harness = SignalHarness(sim)
+        path = harness.path("X_DIR")
+        path.install_interceptor("a", lambda *args: None)
+        with pytest.raises(OfframpsError):
+            path.remove_interceptor("b")
+
+    def test_pwm_resync_after_removal(self, sim):
+        harness = SignalHarness(sim)
+        path = harness.path("D9_FAN")
+        path.install_interceptor("a", lambda *args: None)
+        harness.upstream("D9_FAN").drive(0.8)
+        path.remove_interceptor("a")
+        assert harness.downstream("D9_FAN").duty == 0.8

@@ -1,0 +1,104 @@
+"""Experiment-layer tests: workloads, runner plumbing, fast experiment paths.
+
+The full table/figure regenerations live in ``benchmarks/``; here we verify
+the orchestration logic itself on the cheapest workloads.
+"""
+
+import pytest
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.drift import run_drift
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table1 import Table1Row, _trojan_params, run_trojan_session
+from repro.experiments.table2 import run_table2
+from repro.experiments.workloads import (
+    dense_part,
+    dense_profile,
+    detection_profile,
+    slice_part,
+    sliced_program,
+    standard_part,
+    table1_part,
+    tiny_part,
+)
+
+
+class TestWorkloads:
+    def test_parts_have_distinct_names(self):
+        names = {shape.name for shape in (tiny_part(), standard_part(), table1_part(), dense_part())}
+        assert len(names) == 4
+
+    def test_profiles_valid(self):
+        assert detection_profile().layer_height_mm == 0.3
+        assert dense_profile().infill_spacing_mm < detection_profile().infill_spacing_mm
+
+    def test_slice_part_returns_stats(self):
+        result = slice_part(tiny_part())
+        assert result.layer_count == 3
+        assert result.filament_mm > 0
+
+    def test_dense_part_has_many_printing_moves(self):
+        program = sliced_program(dense_part(), dense_profile())
+        printing_moves = sum(
+            1
+            for cmd in program.moves()
+            if cmd.has("E") and (cmd.has("X") or cmd.has("Y"))
+        )
+        # Table II's period-100 relocation must fire several times.
+        assert printing_moves > 400
+
+
+class TestTable1Plumbing:
+    def test_params_defined_for_all_trojans(self):
+        for trojan_id in (f"T{i}" for i in range(1, 10)):
+            assert _trojan_params(trojan_id)
+
+    def test_golden_session_on_small_part(self, tiny_program):
+        result = run_trojan_session(None, program=tiny_program)
+        assert result.completed
+        assert result.trojan is None
+
+    def test_trojan_session_loads_trojan(self, tiny_program):
+        result = run_trojan_session("T2", program=tiny_program)
+        assert result.trojan is not None
+        assert result.trojan.trojan_id == "T2"
+
+    def test_row_render(self):
+        row = Table1Row("T2", "PM", "Incorrect Slicing", "effect", "obs", True)
+        assert "T2" in row.render()
+        assert "EFFECT CONFIRMED" in row.render()
+
+
+class TestFastExperimentPaths:
+    def test_overhead_on_tiny_part(self, tiny_program):
+        experiment = run_overhead(tiny_program)
+        assert experiment.no_quality_effect
+        assert experiment.report.negligible
+
+    def test_drift_two_repeats(self, tiny_program):
+        experiment = run_drift(tiny_program, repeats=2)
+        assert len(experiment.stats) == 1
+        assert experiment.all_final_totals_equal
+
+    def test_figure4_on_tiny_part(self, tiny_program):
+        output = run_figure4(tiny_program, relocation_period=10)
+        assert output.report.trojan_likely
+        assert "Trojan likely!" in output.detector_output
+
+    def test_ablation_minimal_sweep(self, tiny_program):
+        result = run_ablation(
+            tiny_program, periods_ms=(100,), margins=(0.05,)
+        )
+        assert len(result.cells) == 1
+        assert not result.cells[0].false_positive
+        assert result.usable_margins(100) == [0.05]
+
+    @pytest.mark.slow
+    def test_table2_on_tiny_part_detects_gross_cases(self, tiny_program):
+        result = run_table2(tiny_program)
+        by_case = {row.case: row for row in result.rows}
+        # Reductions always detected (final check); dense-move relocations too.
+        for case in (1, 2, 3, 4, 5, 6):
+            assert by_case[case].detected
+        assert not result.false_positive

@@ -1,0 +1,210 @@
+"""Firmware dispatch tests: moves, modes, homing, waits, kill, host protocol."""
+
+import pytest
+
+from repro.firmware.marlin import PrinterStatus
+from repro.firmware.serial_host import SerialHost
+from repro.gcode.parser import parse_program
+from repro.sim.time import S
+from tests.conftest import build_bench
+
+
+def _print(sim, firmware, text, until_s=600):
+    program = parse_program(text)
+    firmware.start_print(program)
+    while not firmware.finished and sim.now < until_s * S:
+        sim.run_for(1 * S)
+    return firmware
+
+
+MOTION_PREAMBLE = "M302 P1\nG28\nG90\nM82\n"
+
+
+class TestMotion:
+    def test_absolute_moves(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "G1 X30 Y20 F3000\nM84")
+        assert plant.position_mm("X") == pytest.approx(30.0)
+        assert plant.position_mm("Y") == pytest.approx(20.0)
+        assert firmware.status is PrinterStatus.DONE
+
+    def test_relative_moves(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "G1 X10 F3000\nG91\nG1 X5\nG1 X5\nM84")
+        assert plant.position_mm("X") == pytest.approx(20.0)
+
+    def test_g92_rebases_coordinates(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(
+            sim, firmware,
+            MOTION_PREAMBLE + "G1 X10 F3000\nG92 X0\nG1 X5\nM84",
+        )
+        assert plant.position_mm("X") == pytest.approx(15.0)
+
+    def test_relative_extrusion_mode(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(
+            sim, firmware,
+            MOTION_PREAMBLE + "M83\nG1 X5 E1 F1800\nG1 X10 E1\nM84",
+        )
+        assert plant.position_mm("E") == pytest.approx(2.0)
+
+    def test_feedrate_percentage(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "M220 S50\nG1 X60 F6000\nM84")
+        # 100mm/s halved -> 50mm/s; the move takes ~1.25s instead of ~0.65
+        assert plant.position_mm("X") == pytest.approx(60.0)
+
+    def test_flow_percentage_scales_e_steps(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "M221 S50\nG1 X10 E2 F1800\nM84")
+        assert plant.position_mm("E") == pytest.approx(1.0, abs=0.01)
+
+    def test_exact_step_totals(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "G1 X12.345 Y6.789 F4800\nM84")
+        assert plant.axes["X"].position_steps == round(12.345 * 100)
+        assert plant.axes["Y"].position_steps == round(6.789 * 100)
+
+    def test_cold_extrusion_prevented(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "G28\nG1 X10 E5 F1800\nM84")
+        assert plant.position_mm("E") == 0.0
+        assert any("cold extrusion" in line for line in firmware.log)
+
+    def test_hot_extrusion_allowed(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "M109 S210\nG28\nG1 X10 E5 F1800\nM84")
+        assert plant.position_mm("E") == pytest.approx(5.0)
+
+
+class TestHoming:
+    def test_g28_zeroes_axes(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "G28")
+        for axis in ("X", "Y", "Z"):
+            assert plant.position_mm(axis) == pytest.approx(0.0, abs=0.05)
+            assert firmware.state.position_mm[axis] == 0.0
+        assert firmware.state.all_homed
+
+    def test_partial_homing(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "G28 X")
+        assert "X" in firmware.state.homed_axes
+        assert "Z" not in firmware.state.homed_axes
+
+    def test_endstops_actuated_in_order(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        order = []
+        for name in ("X_MIN", "Y_MIN", "Z_MIN"):
+            harness.upstream(name).on_edge(
+                lambda w, v, t, n=name: order.append(n) if v else None
+            )
+        _print(sim, firmware, "G28")
+        first_actuations = [order[0]]
+        for name in order[1:]:
+            if name not in first_actuations:
+                first_actuations.append(name)
+        assert first_actuations == ["X_MIN", "Y_MIN", "Z_MIN"]
+
+
+class TestLifecycle:
+    def test_dwell_delays_completion(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "G4 P1500")
+        assert firmware.status is PrinterStatus.DONE
+        assert sim.now >= 1.5 * S
+
+    def test_m112_kills(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "M112\nG1 X50 F3000")
+        assert firmware.status is PrinterStatus.KILLED
+        assert "M112" in firmware.kill_reason
+        assert plant.position_mm("X") == pytest.approx(0.0, abs=0.05)
+
+    def test_unknown_command_logged_not_fatal(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "M999\nG4 P100")
+        assert firmware.status is PrinterStatus.DONE
+        assert any("Unknown command" in line for line in firmware.log)
+
+    def test_fan_control(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "M106 S128\nG4 P100")
+        assert plant.fan_duty == pytest.approx(128 / 255)
+        _c = build_bench  # noqa: F841
+
+    def test_fan_off(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "M106 S255\nM107\nG4 P100")
+        assert plant.fan_duty == 0.0
+
+    def test_m105_reports_temps(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "M105")
+        assert any(line for line in firmware.log if "T:" in line and "B:" in line)
+
+    def test_m114_reports_position(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "G1 X7 F3000\nM114\nM84")
+        assert any("X:7.00" in line for line in firmware.log)
+
+    def test_m109_waits_for_temperature(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, "M109 S210")
+        assert firmware.status is PrinterStatus.DONE
+        assert plant.hotend_temp_c() == pytest.approx(210.0, abs=3.0)
+
+    def test_cannot_start_twice(self, sim):
+        from repro.errors import FirmwareError
+
+        harness, plant, ramps, firmware = build_bench(sim)
+        firmware.start_print(parse_program("G4 P5000"))
+        with pytest.raises(FirmwareError):
+            firmware.start_print(parse_program("G28"))
+
+    def test_m84_waits_for_motion(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        _print(sim, firmware, MOTION_PREAMBLE + "G1 X40 F3000\nM84")
+        assert plant.position_mm("X") == pytest.approx(40.0)
+        assert ramps.total_missed_steps() == 0
+        assert harness.upstream("X_EN").value == 1  # disabled at end
+
+
+class TestSerialHostProtocol:
+    def test_clean_stream(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        program = parse_program(MOTION_PREAMBLE + "G1 X5 F3000\nM84")
+        host = SerialHost(program)
+        firmware.attach_source(host)
+        while not firmware.finished and sim.now < 300 * S:
+            sim.run_for(1 * S)
+        assert firmware.status is PrinterStatus.DONE
+        assert host.resends == 0
+        assert host.lines_sent == len(list(program.executable()))
+
+    def test_corruption_triggers_resend(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        program = parse_program(MOTION_PREAMBLE + "G1 X5 F3000\nM84")
+
+        def corrupt(line_number, text):
+            return text.replace("X5", "X9") if line_number == 5 else None
+
+        host = SerialHost(program, corrupt=corrupt)
+        firmware.attach_source(host)
+        while not firmware.finished and sim.now < 300 * S:
+            sim.run_for(1 * S)
+        assert firmware.status is PrinterStatus.DONE
+        assert host.resends == 1
+        # The corrupted value never reached the machine.
+        assert plant.position_mm("X") == pytest.approx(5.0)
+
+    def test_checksum_garbage_recovered(self, sim):
+        harness, plant, ramps, firmware = build_bench(sim)
+        program = parse_program("G28\nG4 P50")
+        host = SerialHost(program, corrupt=lambda n, t: t[:-1] + "9" if n == 1 else None)
+        firmware.attach_source(host)
+        while not firmware.finished and sim.now < 300 * S:
+            sim.run_for(1 * S)
+        assert firmware.status is PrinterStatus.DONE
+        assert host.resends >= 1

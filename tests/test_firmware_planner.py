@@ -1,0 +1,186 @@
+"""Motion planner tests: clamping, junctions, lookahead invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FirmwareError
+from repro.firmware.config import MarlinConfig
+from repro.firmware.planner import AXES, MotionPlanner
+
+
+def _planner(**config_kwargs):
+    return MotionPlanner(MarlinConfig(**config_kwargs))
+
+
+def _xy_move(planner, dx_steps, dy_steps, feedrate=50.0):
+    return planner.add_move({"X": dx_steps, "Y": dy_steps}, feedrate)
+
+
+class TestAddMove:
+    def test_basic_block(self):
+        planner = _planner()
+        block = _xy_move(planner, 1000, 0)
+        assert block.distance_mm == pytest.approx(10.0)
+        assert block.step_event_count == 1000
+        assert block.nominal_speed == pytest.approx(50.0)
+
+    def test_feedrate_clamped_per_axis(self):
+        planner = _planner()
+        block = planner.add_move({"Z": 400}, 100.0)  # Z max is 12 mm/s
+        assert block.nominal_speed == pytest.approx(12.0)
+
+    def test_accel_clamped_per_axis(self):
+        planner = _planner()
+        block = planner.add_move({"Z": 400}, 5.0)
+        assert block.acceleration <= 200.0 + 1e-9
+
+    def test_diagonal_distance(self):
+        planner = _planner()
+        block = _xy_move(planner, 300, 400)
+        assert block.distance_mm == pytest.approx(5.0)
+
+    def test_e_only_move_distance(self):
+        planner = _planner()
+        block = planner.add_move({"E": 280}, 35.0)
+        assert block.distance_mm == pytest.approx(1.0)
+
+    def test_empty_move_rejected(self):
+        with pytest.raises(FirmwareError):
+            _planner().add_move({}, 50.0)
+
+    def test_full_buffer_rejected(self):
+        planner = _planner(planner_buffer_size=2)
+        _xy_move(planner, 100, 0)
+        _xy_move(planner, 100, 0)
+        with pytest.raises(FirmwareError):
+            _xy_move(planner, 100, 0)
+        assert planner.is_full
+
+    def test_min_feedrate_floor(self):
+        planner = _planner()
+        block = _xy_move(planner, 100, 0, feedrate=0.01)
+        assert block.nominal_speed >= planner.config.min_feedrate_mm_s
+
+
+class TestJunctions:
+    def test_first_block_starts_slow(self):
+        planner = _planner()
+        block = _xy_move(planner, 1000, 0)
+        assert block.entry_speed <= planner.config.jerk_mm_s["X"] / 2 + 1e-9
+
+    def test_straight_line_keeps_speed(self):
+        planner = _planner()
+        first = _xy_move(planner, 2000, 0)
+        second = _xy_move(planner, 2000, 0)
+        # same direction: junction speed should be near nominal
+        assert second.max_entry_speed == pytest.approx(50.0)
+        assert first.exit_speed == second.entry_speed
+
+    def test_right_angle_limited_by_jerk(self):
+        planner = _planner()
+        _xy_move(planner, 2000, 0)
+        corner = planner.add_move({"Y": 2000}, 50.0)
+        # At a 90-degree corner both axes see a step change of v_junction.
+        assert corner.max_entry_speed <= planner.config.jerk_mm_s["X"] + 1e-9
+
+    def test_reversal_limited_hard(self):
+        planner = _planner()
+        _xy_move(planner, 2000, 0)
+        reverse = planner.add_move({"X": -2000}, 50.0)
+        assert reverse.max_entry_speed <= planner.config.jerk_mm_s["X"] / 2 + 1e-9
+
+
+class TestLookahead:
+    def test_chain_ends_stopped(self):
+        planner = _planner()
+        for _ in range(5):
+            _xy_move(planner, 1000, 0)
+        assert list(planner.queue)[-1].exit_speed == 0.0
+
+    def test_entry_exit_continuity(self):
+        planner = _planner()
+        for _ in range(6):
+            _xy_move(planner, 500, 0)
+        blocks = list(planner.queue)
+        for a, b in zip(blocks, blocks[1:]):
+            assert a.exit_speed == pytest.approx(b.entry_speed)
+
+    def test_entries_reachable_under_accel(self):
+        planner = _planner()
+        for _ in range(6):
+            _xy_move(planner, 300, 0)
+        for block in planner.queue:
+            max_exit = math.sqrt(
+                block.entry_speed**2 + 2 * block.acceleration * block.distance_mm
+            )
+            assert block.exit_speed <= max_exit + 1e-6
+
+    def test_busy_block_not_replanned(self):
+        planner = _planner()
+        _xy_move(planner, 1000, 0)
+        block = planner.pop_block()
+        frozen_exit = block.exit_speed
+        _xy_move(planner, 1000, 0)
+        assert block.exit_speed == frozen_exit
+
+    def test_pop_and_release(self):
+        planner = _planner()
+        _xy_move(planner, 100, 0)
+        block = planner.pop_block()
+        assert block.busy
+        planner.release_block(block)
+        assert planner.is_empty
+
+    def test_pop_empty_returns_none(self):
+        assert _planner().pop_block() is None
+
+    def test_clear(self):
+        planner = _planner()
+        _xy_move(planner, 100, 0)
+        planner.clear()
+        assert planner.is_empty
+
+
+@st.composite
+def move_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    moves = []
+    for _ in range(n):
+        dx = draw(st.integers(min_value=-2000, max_value=2000))
+        dy = draw(st.integers(min_value=-2000, max_value=2000))
+        if dx == 0 and dy == 0:
+            dx = 100
+        feedrate = draw(st.floats(min_value=1.0, max_value=300.0))
+        moves.append(({"X": dx, "Y": dy}, feedrate))
+    return moves
+
+
+class TestPlannerProperties:
+    @given(move_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_over_random_programs(self, moves):
+        planner = _planner(planner_buffer_size=16)
+        for steps, feedrate in moves[:16]:
+            planner.add_move(steps, feedrate)
+        blocks = list(planner.queue)
+        # 1. chain ends stopped
+        assert blocks[-1].exit_speed == 0.0
+        for i, block in enumerate(blocks):
+            # 2. speeds within nominal
+            assert block.entry_speed <= block.nominal_speed + 1e-9
+            assert block.exit_speed <= block.nominal_speed + 1e-9
+            # 3. junction continuity
+            if i + 1 < len(blocks):
+                assert block.exit_speed == pytest.approx(blocks[i + 1].entry_speed)
+            # 4. per-axis feedrate limits respected
+            for axis in AXES:
+                component = abs(block.unit[axis]) * block.nominal_speed
+                assert component <= planner.config.max_feedrate_mm_s[axis] * (1 + 1e-9)
+            # 5. deceleration feasibility
+            max_exit = math.sqrt(
+                block.entry_speed**2 + 2 * block.acceleration * block.distance_mm
+            )
+            assert block.exit_speed <= max_exit + 1e-6

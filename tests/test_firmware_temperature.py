@@ -1,0 +1,112 @@
+"""Heater controller tests: PID behaviour and thermal protection."""
+
+import pytest
+
+from repro.sim.time import S
+from tests.conftest import build_bench
+
+
+def _heated_bench(sim):
+    harness, plant, ramps, firmware = build_bench(sim)
+    firmware.power_on()
+    return harness, plant, firmware
+
+
+class TestPidControl:
+    def test_reaches_and_holds_target(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=120 * S)
+        assert plant.hotend_temp_c() == pytest.approx(210.0, abs=2.0)
+        sim.run(until_ns=240 * S)
+        assert plant.hotend_temp_c() == pytest.approx(210.0, abs=2.0)
+        assert not firmware.hotend.killed
+
+    def test_no_severe_overshoot(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=240 * S)
+        assert plant.hotend.peak_temp_c < 225.0
+
+    def test_bed_reaches_target(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.bed.set_target(60.0)
+        sim.run(until_ns=120 * S)
+        assert plant.bed_temp_c() == pytest.approx(60.0, abs=2.0)
+
+    def test_target_zero_turns_heater_off(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=100 * S)
+        firmware.hotend.set_target(0.0)
+        sim.run(until_ns=101 * S)
+        assert firmware.hotend.gate.duty == 0.0
+        hot = plant.hotend_temp_c()
+        sim.run(until_ns=200 * S)
+        assert plant.hotend_temp_c() < hot
+
+    def test_at_target_window(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        assert firmware.hotend.at_target()  # no target set
+        firmware.hotend.set_target(210.0)
+        assert not firmware.hotend.at_target()
+        sim.run(until_ns=120 * S)
+        assert firmware.hotend.at_target()
+
+    def test_read_temp_matches_plant_within_adc_quantum(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=150 * S)
+        assert firmware.hotend.read_temp_c() == pytest.approx(
+            plant.hotend_temp_c(), abs=1.5
+        )
+
+
+class TestThermalProtection:
+    def test_heating_failure_kills(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        # Sever the heater: intercept the gate signal and swallow updates.
+        harness.path("D10_HOTEND").install_interceptor("test", lambda *args: None)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=60 * S)
+        assert firmware.status.value == "killed"
+        assert "Heating failed" in firmware.kill_reason
+
+    def test_runaway_detected_after_reaching_target(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=120 * S)
+        assert not firmware.hotend.killed
+        # Now sever the heater: temp sags; runaway watchdog must fire.
+        path = harness.path("D10_HOTEND")
+        path.install_interceptor("test", lambda *args: None)
+        path.downstream.drive(0.0)
+        sim.run(until_ns=300 * S)
+        assert firmware.status.value == "killed"
+        assert "Thermal Runaway" in firmware.kill_reason
+
+    def test_maxtemp_kills(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        # Force the physical heater full on, regardless of firmware commands.
+        path = harness.path("D10_HOTEND")
+        path.install_interceptor("test", lambda p, kind, value, t: p.downstream.drive(1.0))
+        path.downstream.drive(1.0)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=300 * S)
+        assert firmware.status.value == "killed"
+        assert "MAXTEMP" in firmware.kill_reason
+
+    def test_kill_zeroes_heater_gates(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.hotend.set_target(210.0)
+        sim.run(until_ns=30 * S)
+        firmware.kill("test kill")
+        assert harness.upstream("D10_HOTEND").duty == 0.0
+        assert harness.upstream("D8_BED").duty == 0.0
+
+    def test_healthy_print_survives_long_tracking(self, sim):
+        harness, plant, firmware = _heated_bench(sim)
+        firmware.hotend.set_target(210.0)
+        firmware.bed.set_target(60.0)
+        sim.run(until_ns=500 * S)
+        assert firmware.status.value != "killed"

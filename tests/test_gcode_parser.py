@@ -1,0 +1,160 @@
+"""Unit tests for the G-code lexer and parser."""
+
+import pytest
+
+from repro.errors import GcodeChecksumError, GcodeError
+from repro.gcode.lexer import lex_line, strip_comments
+from repro.gcode.parser import parse_line, parse_program
+
+
+class TestStripComments:
+    def test_semicolon_comment(self):
+        code, comment = strip_comments("G1 X10 ; move right")
+        assert code.strip() == "G1 X10"
+        assert comment == "move right"
+
+    def test_paren_comment(self):
+        code, comment = strip_comments("G1 (inline note) X10")
+        assert "X10" in code
+        assert comment == "inline note"
+
+    def test_unterminated_paren_raises(self):
+        with pytest.raises(GcodeError):
+            strip_comments("G1 (oops X10")
+
+    def test_no_comment(self):
+        code, comment = strip_comments("G1 X10")
+        assert comment is None
+
+
+class TestLexer:
+    def test_simple_words(self):
+        lexed = lex_line("G1 X10.5 Y-3 F1800")
+        assert lexed.words == [("G", 1.0), ("X", 10.5), ("Y", -3.0), ("F", 1800.0)]
+
+    def test_line_number_extracted(self):
+        lexed = lex_line("N42 G28")
+        assert lexed.line_number == 42
+        assert lexed.words == [("G", 28.0)]
+
+    def test_checksum_extracted(self):
+        lexed = lex_line("N3 G28*28")
+        assert lexed.checksum == 28
+
+    def test_lowercase_normalised(self):
+        lexed = lex_line("g1 x5")
+        assert lexed.words == [("G", 1.0), ("X", 5.0)]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(GcodeError):
+            lex_line("G1 X10 ?!")
+
+    def test_scientific_notation(self):
+        lexed = lex_line("G1 E1.5e-2")
+        assert lexed.words[1] == ("E", 0.015)
+
+    def test_no_space_between_words(self):
+        lexed = lex_line("G1X5Y10")
+        assert lexed.words == [("G", 1.0), ("X", 5.0), ("Y", 10.0)]
+
+
+class TestParser:
+    def test_parse_move(self):
+        cmd = parse_line("G1 X10 Y20 E0.5 F1800")
+        assert cmd.name == "G1"
+        assert cmd.get("X") == 10
+        assert cmd.get("Y") == 20
+        assert cmd.get("E") == 0.5
+        assert cmd.is_move
+
+    def test_parse_mcode(self):
+        cmd = parse_line("M109 S210")
+        assert cmd.name == "M109"
+        assert cmd.get("S") == 210
+
+    def test_comment_only_line(self):
+        cmd = parse_line("; just a comment")
+        assert cmd.is_blank
+        assert cmd.comment == "just a comment"
+
+    def test_blank_line(self):
+        cmd = parse_line("")
+        assert cmd.is_blank
+        assert cmd.comment is None
+
+    def test_param_default(self):
+        cmd = parse_line("G1 X5")
+        assert cmd.get("Z") is None
+        assert cmd.get("Z", 7.0) == 7.0
+
+    def test_has_param(self):
+        cmd = parse_line("G1 X5")
+        assert cmd.has("X") and not cmd.has("Y")
+
+    def test_non_command_head_rejected(self):
+        with pytest.raises(GcodeError):
+            parse_line("X10 Y20")
+
+    def test_checksum_validation_pass(self):
+        cmd = parse_line("N3 G28*16", validate_checksum=True)
+        assert cmd.name == "G28"
+        assert cmd.line_number == 3
+
+    def test_checksum_validation_failure(self):
+        with pytest.raises(GcodeChecksumError):
+            parse_line("N3 G28*99", validate_checksum=True)
+
+    def test_is_command_case_insensitive(self):
+        cmd = parse_line("M109 S210")
+        assert cmd.is_command("m109")
+
+    def test_param_dict(self):
+        cmd = parse_line("G1 X1 Y2")
+        assert cmd.param_dict() == {"X": 1.0, "Y": 2.0}
+
+
+class TestProgramParsing:
+    def test_parse_program_counts(self):
+        text = "G28\nG1 X5 ; hi\n; note\nM84\n"
+        program = parse_program(text)
+        assert len(program) == 4
+        assert sum(1 for _ in program.executable()) == 3
+        assert program.count("G1") == 1
+
+    def test_moves_iterator(self):
+        program = parse_program("G28\nG0 X1\nG1 X2\nM84")
+        assert [cmd.name for cmd in program.moves()] == ["G0", "G1"]
+
+    def test_total_extrusion_absolute_e(self):
+        program = parse_program("G92 E0\nG1 X1 E1\nG1 X2 E3\nG92 E0\nG1 X3 E2")
+        assert program.total_extrusion_mm() == pytest.approx(5.0)
+
+    def test_total_extrusion_ignores_retraction(self):
+        program = parse_program("G92 E0\nG1 X1 E2\nG1 E1\nG1 X2 E2")
+        # +2 (print), -1 (retract, ignored), +1 (prime)
+        assert program.total_extrusion_mm() == pytest.approx(3.0)
+
+
+class TestCommandEditing:
+    def test_with_param_replaces_in_place(self):
+        cmd = parse_line("G1 X10 E5 F1800")
+        edited = cmd.with_param("E", 2.5)
+        assert edited.get("E") == 2.5
+        assert [w.letter for w in edited.params] == [w.letter for w in cmd.params]
+
+    def test_with_param_appends_when_missing(self):
+        cmd = parse_line("G1 X10")
+        edited = cmd.with_param("E", 1.0)
+        assert edited.get("E") == 1.0
+        assert edited.params[-1].letter == "E"
+
+    def test_without_param(self):
+        cmd = parse_line("G1 X10 E5")
+        edited = cmd.without_param("E")
+        assert not edited.has("E")
+        assert edited.has("X")
+
+    def test_editing_does_not_mutate_original(self):
+        cmd = parse_line("G1 X10 E5")
+        cmd.with_param("E", 99)
+        assert cmd.get("E") == 5

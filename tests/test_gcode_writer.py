@@ -1,0 +1,136 @@
+"""Serializer tests, including the parse/write round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcode.ast import Command, GcodeProgram, Word
+from repro.gcode.checksum import line_checksum, split_checksum, wrap_with_checksum
+from repro.gcode.parser import parse_line, parse_program
+from repro.gcode.writer import write_line, write_program
+
+
+class TestWriter:
+    def test_simple_command(self):
+        cmd = Command(letter="G", code=1.0, params=[Word("X", 10.0), Word("E", 0.5)])
+        assert write_line(cmd) == "G1 X10 E0.5"
+
+    def test_comment_appended(self):
+        cmd = Command(letter="G", code=28.0, comment="home")
+        assert write_line(cmd) == "G28 ;home"
+
+    def test_comment_only(self):
+        cmd = Command(comment="note")
+        assert write_line(cmd) == ";note"
+
+    def test_line_number_prefix(self):
+        cmd = Command(letter="G", code=28.0, line_number=7)
+        assert write_line(cmd) == "N7 G28"
+
+    def test_checksum_appended(self):
+        cmd = Command(letter="G", code=28.0, line_number=3)
+        line = write_line(cmd, with_checksum=True)
+        assert line == wrap_with_checksum(3, "G28")
+
+    def test_program_trailing_newline(self):
+        program = GcodeProgram([Command(letter="G", code=28.0)])
+        assert write_program(program) == "G28\n"
+
+    def test_empty_program(self):
+        assert write_program(GcodeProgram()) == ""
+
+
+class TestChecksum:
+    def test_known_value(self):
+        # XOR of the bytes of "N3 G28": 78^51^32^71^50^56 == 16.
+        assert line_checksum("N3 G28") == 16
+
+    def test_split_checksum(self):
+        payload, checksum = split_checksum("N3 G28*16")
+        assert payload == "N3 G28"
+        assert checksum == 16
+
+    def test_split_without_checksum(self):
+        payload, checksum = split_checksum("G1 X5")
+        assert payload == "G1 X5"
+        assert checksum is None
+
+    def test_wrap_then_validate(self):
+        line = wrap_with_checksum(12, "G1 X5 Y2")
+        cmd = parse_line(line, validate_checksum=True)
+        assert cmd.line_number == 12
+        assert cmd.get("X") == 5
+
+
+# --------------------------------------------------------------------------
+# Property-based round-trip
+# --------------------------------------------------------------------------
+_letters = st.sampled_from("XYZEFSPR")
+_values = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000).map(float),
+    st.floats(
+        min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+    ).map(lambda v: round(v, 4)),
+)
+
+
+def _command_strategy():
+    def build(code, params, comment, line_number):
+        unique = []
+        seen = set()
+        for letter, value in params:
+            if letter not in seen:
+                seen.add(letter)
+                unique.append(Word(letter, value))
+        return Command(
+            letter="G" if code < 100 else "M",
+            code=float(int(code % 100)),
+            params=unique,
+            comment=comment,
+            line_number=line_number,
+        )
+
+    return st.builds(
+        build,
+        st.integers(min_value=0, max_value=199),
+        st.lists(st.tuples(_letters, _values), max_size=5),
+        st.one_of(st.none(), st.text(alphabet=" abcdefg_:.", max_size=15).map(str.strip)),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=99_999)),
+    )
+
+
+class TestRoundTripProperties:
+    @given(_command_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_write_parse_roundtrip(self, cmd):
+        line = write_line(cmd)
+        parsed = parse_line(line)
+        assert parsed.name == cmd.name
+        assert parsed.line_number == cmd.line_number
+        for word in cmd.params:
+            assert parsed.get(word.letter) == pytest.approx(word.value)
+
+    @given(_command_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_serialization_is_stable(self, cmd):
+        once = write_line(cmd)
+        twice = write_line(parse_line(once))
+        assert once == twice
+
+    @given(st.lists(_command_strategy(), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_program_roundtrip(self, commands):
+        program = GcodeProgram(list(commands))
+        text = write_program(program)
+        reparsed = parse_program(text)
+        assert write_program(reparsed) == text
+
+    @given(_command_strategy(), st.integers(min_value=1, max_value=9999))
+    @settings(max_examples=100, deadline=None)
+    def test_checksummed_roundtrip_validates(self, cmd, line_number):
+        framed = Command(
+            letter=cmd.letter, code=cmd.code, params=cmd.params, line_number=line_number
+        )
+        line = write_line(framed, with_checksum=True)
+        parsed = parse_line(line, validate_checksum=True)
+        assert parsed.line_number == line_number

@@ -1,0 +1,134 @@
+"""End-to-end detection: Flaw3D Trojans caught, clean prints pass."""
+
+import pytest
+
+from repro.analysis.drift import drift_between
+from repro.detection.comparator import CaptureComparator
+from repro.detection.realtime import StreamingDetector
+from repro.experiments.runner import PrintSession, run_print
+from repro.gcode.transforms.flaw3d import apply_reduction, apply_relocation
+
+
+@pytest.fixture(scope="module")
+def comparator():
+    return CaptureComparator()
+
+
+@pytest.fixture(scope="module")
+def reduction_half(tiny_program):
+    return run_print(apply_reduction(tiny_program, 0.5), noise_sigma=0.0005, noise_seed=21)
+
+
+@pytest.fixture(scope="module")
+def reduction_stealthy(tiny_program):
+    return run_print(apply_reduction(tiny_program, 0.98), noise_sigma=0.0005, noise_seed=22)
+
+
+@pytest.fixture(scope="module")
+def relocation_20(tiny_program):
+    return run_print(apply_relocation(tiny_program, 20), noise_sigma=0.0005, noise_seed=23)
+
+
+class TestGoldenVsControl:
+    def test_no_false_positive(self, comparator, tiny_golden_noisy, tiny_control_noisy):
+        report = comparator.compare_captures(
+            tiny_golden_noisy.capture, tiny_control_noisy.capture
+        )
+        assert not report.trojan_likely
+
+    def test_drift_below_margin(self, tiny_golden_noisy, tiny_control_noisy):
+        stats = drift_between(
+            tiny_golden_noisy.capture.transactions,
+            tiny_control_noisy.capture.transactions,
+        )
+        assert stats.within_margin(5.0)
+        assert stats.final_totals_equal
+
+
+class TestReductionDetection:
+    def test_gross_reduction_floods_mismatches(
+        self, comparator, tiny_golden_noisy, reduction_half
+    ):
+        report = comparator.compare_captures(
+            tiny_golden_noisy.capture, reduction_half.capture
+        )
+        assert report.trojan_likely
+        assert report.mismatch_count > 10
+        assert report.final_check_failed
+        assert any(m.column == "E" for m in report.mismatches)
+
+    def test_stealthy_reduction_caught_by_final_check(
+        self, comparator, tiny_golden_noisy, reduction_stealthy
+    ):
+        report = comparator.compare_captures(
+            tiny_golden_noisy.capture, reduction_stealthy.capture
+        )
+        assert report.trojan_likely
+        assert report.final_check_failed  # the 0% margin is what catches 2%
+
+    def test_reduction_starves_the_part(self, tiny_golden_noisy, reduction_half):
+        golden_e = tiny_golden_noisy.plant.trace.total_extruded_mm
+        trojan_e = reduction_half.plant.trace.total_extruded_mm
+        assert trojan_e / golden_e == pytest.approx(0.5, abs=0.08)
+
+
+class TestRelocationDetection:
+    def test_relocation_flagged_with_equal_totals(
+        self, comparator, tiny_golden_noisy, relocation_20
+    ):
+        report = comparator.compare_captures(
+            tiny_golden_noisy.capture, relocation_20.capture
+        )
+        assert report.trojan_likely
+        assert report.mismatch_count > 0
+        # Relocation conserves filament: the final E totals match.
+        golden_final = tiny_golden_noisy.capture.final
+        suspect_final = relocation_20.capture.final
+        assert golden_final.e == suspect_final.e
+
+    def test_relocation_shifts_timeline_on_xy(
+        self, comparator, tiny_golden_noisy, relocation_20
+    ):
+        report = comparator.compare_captures(
+            tiny_golden_noisy.capture, relocation_20.capture
+        )
+        assert any(m.column in ("X", "Y") for m in report.mismatches)
+
+
+class TestRealtimeDetection:
+    def test_streaming_alarm_fires_mid_print(self, tiny_golden_noisy, tiny_program):
+        trojaned = apply_reduction(tiny_program, 0.5)
+        session = PrintSession(trojaned)
+        alarms = []
+        StreamingDetector(
+            tiny_golden_noisy.capture.transactions,
+            session.uart_bus,
+            on_alarm=alarms.append,
+        )
+        result = session.run()
+        assert alarms, "streaming detector never alarmed"
+        # The alarm arrived before the print ended (early abort opportunity).
+        assert alarms[0].index < len(result.capture)
+
+    def test_streaming_detector_can_abort_print(self, tiny_golden_noisy, tiny_program):
+        trojaned = apply_reduction(tiny_program, 0.5)
+        session = PrintSession(trojaned)
+        StreamingDetector(
+            tiny_golden_noisy.capture.transactions,
+            session.uart_bus,
+            on_alarm=lambda m: session.firmware.kill("Trojan suspected (detector abort)"),
+        )
+        result = session.run()
+        assert result.killed
+        assert "Trojan suspected" in result.kill_reason
+
+    def test_streaming_quiet_on_clean_print(self, tiny_golden_noisy, tiny_program):
+        session = PrintSession(tiny_program)
+        alarms = []
+        StreamingDetector(
+            tiny_golden_noisy.capture.transactions,
+            session.uart_bus,
+            on_alarm=alarms.append,
+        )
+        session.run()
+        assert alarms == []

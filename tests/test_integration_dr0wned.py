@@ -1,0 +1,54 @@
+"""dr0wned-style attack end to end: a void inserted before slicing ships.
+
+The dr0wned attack modifies design files so the sliced G-code contains
+sub-millimetre voids at stress points. OFFRAMPS sits *after* the firmware,
+so — like Flaw3D — the attack is visible in the commanded step stream no
+matter how early in the toolchain it was planted. These tests run the voided
+program on the full stack and confirm both the physical effect and the
+detection.
+"""
+
+import pytest
+
+from repro.detection.comparator import CaptureComparator
+from repro.experiments.runner import run_print
+from repro.gcode.transforms.edits import insert_void
+
+
+@pytest.fixture(scope="module")
+def voided_result(tiny_program):
+    # Carve a void through the part's core (the part sits at 95..105 mm).
+    voided = insert_void(tiny_program, (98.0, 98.0, 0.0, 102.0, 102.0, 2.0))
+    return run_print(voided, noise_sigma=0.0005, noise_seed=41)
+
+
+class TestPhysicalEffect:
+    def test_material_missing_from_core(self, tiny_golden, voided_result):
+        golden_e = tiny_golden.plant.trace.total_extruded_mm
+        voided_e = voided_result.plant.trace.total_extruded_mm
+        assert voided_e < golden_e * 0.9
+
+    def test_motion_unchanged(self, tiny_golden, voided_result):
+        # The stealth of dr0wned: the head still traces every path.
+        assert voided_result.final_counts()["X"] == tiny_golden.final_counts()["X"]
+        assert voided_result.final_counts()["Y"] == tiny_golden.final_counts()["Y"]
+
+    def test_print_completes_normally(self, voided_result):
+        assert voided_result.completed
+
+
+class TestDetection:
+    def test_void_detected_against_golden(self, tiny_golden_noisy, voided_result):
+        report = CaptureComparator().compare_captures(
+            tiny_golden_noisy.capture, voided_result.capture
+        )
+        assert report.trojan_likely
+
+    def test_detected_via_e_column(self, tiny_golden_noisy, voided_result):
+        report = CaptureComparator().compare_captures(
+            tiny_golden_noisy.capture, voided_result.capture
+        )
+        columns = {m.column for m in report.mismatches} | {
+            m.column for m in report.final_mismatches
+        }
+        assert columns == {"E"}  # motion matches; only extrusion diverges

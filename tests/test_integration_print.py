@@ -1,0 +1,110 @@
+"""End-to-end integration: full sliced prints through the whole stack."""
+
+import pytest
+
+from repro.experiments.runner import PrintSession, run_print
+from repro.physics.quality import compare_traces
+
+
+class TestCleanPrint:
+    def test_print_completes(self, tiny_golden):
+        assert tiny_golden.completed
+        assert tiny_golden.kill_reason is None
+
+    def test_no_missed_steps_or_crashes(self, tiny_golden):
+        assert tiny_golden.missed_steps == 0
+        for axis in ("X", "Y", "Z"):
+            assert tiny_golden.plant.axes[axis].crash_steps == 0
+
+    def test_firmware_and_plant_agree_on_position(self, tiny_golden):
+        for axis in ("X", "Y", "Z"):
+            assert tiny_golden.plant.position_mm(axis) == pytest.approx(
+                tiny_golden.firmware.state.position_mm[axis], abs=0.02
+            )
+
+    def test_deposited_layers_match_slicer(self, tiny_golden):
+        layers = [l for l in tiny_golden.plant.trace.layers() if l.extruded_mm > 0]
+        assert len(layers) == 3  # 0.9mm / 0.3mm
+
+    def test_layer_spacing_nominal(self, tiny_golden):
+        spacings = tiny_golden.plant.trace.z_spacings()
+        assert all(s == pytest.approx(0.3, abs=0.02) for s in spacings)
+
+    def test_capture_produced(self, tiny_golden):
+        assert len(tiny_golden.capture) > 20
+        final = tiny_golden.capture.final
+        assert final.e > 0
+
+    def test_transactions_monotonic_in_e(self, tiny_golden):
+        # E only ever advances net (retraction dips smaller than window sums).
+        e_values = [t.e for t in tiny_golden.capture]
+        assert e_values[-1] > e_values[0]
+
+    def test_transaction_period_100ms(self, tiny_golden):
+        times = [t.time_ns for t in tiny_golden.capture]
+        deltas = {b - a for a, b in zip(times, times[1:])}
+        assert deltas == {100_000_000}
+
+    def test_tracker_counts_match_plant_position(self, tiny_golden):
+        # counts are steps from home = absolute position in steps
+        counts = tiny_golden.final_counts()
+        plant = tiny_golden.plant
+        assert counts["X"] == plant.axes["X"].position_steps
+        assert counts["Y"] == plant.axes["Y"].position_steps
+        assert counts["Z"] == plant.axes["Z"].position_steps
+
+    def test_part_quality_nominal_against_itself(self, tiny_golden):
+        report = compare_traces(tiny_golden.plant.trace, tiny_golden.plant.trace)
+        assert report.nominal
+
+    def test_fan_ran_during_print(self, tiny_golden):
+        assert tiny_golden.plant.mean_fan_duty() > 0.1
+
+    def test_heaters_off_at_end(self, tiny_golden):
+        fw = tiny_golden.firmware
+        assert fw.hotend.target_c == 0.0
+        assert fw.bed.target_c == 0.0
+
+
+class TestDeterminismAndNoise:
+    def test_prints_are_deterministic_without_noise(self, tiny_program, tiny_golden):
+        again = run_print(tiny_program)
+        assert [t.as_row() for t in again.capture] == [
+            t.as_row() for t in tiny_golden.capture
+        ]
+
+    def test_noise_changes_transactions_but_not_totals(
+        self, tiny_golden_noisy, tiny_control_noisy
+    ):
+        rows_a = [t.as_row() for t in tiny_golden_noisy.capture]
+        rows_b = [t.as_row() for t in tiny_control_noisy.capture]
+        assert rows_a != rows_b
+        assert tiny_golden_noisy.final_counts() == tiny_control_noisy.final_counts()
+
+    def test_same_seed_reproduces_exactly(self, tiny_program, tiny_golden_noisy):
+        again = run_print(tiny_program, noise_sigma=0.0005, noise_seed=11)
+        assert [t.as_row() for t in again.capture] == [
+            t.as_row() for t in tiny_golden_noisy.capture
+        ]
+
+
+class TestHostProtocolIntegration:
+    def test_print_via_serial_host(self, tiny_program, tiny_golden):
+        via_host = run_print(tiny_program, use_host_protocol=True)
+        assert via_host.completed
+        assert via_host.final_counts() == tiny_golden.final_counts()
+
+
+class TestSessionLifecycle:
+    def test_session_runs_once(self, tiny_program):
+        from repro.errors import ReproError
+
+        session = PrintSession(tiny_program)
+        session.run()
+        with pytest.raises(ReproError):
+            session.run()
+
+    def test_timeout_returns_partial(self, tiny_program):
+        session = PrintSession(tiny_program)
+        result = session.run(timeout_s=5.0, grace_s=0.0)
+        assert not result.completed  # still heating at 5 simulated seconds

@@ -1,0 +1,82 @@
+"""Pipeline-level properties: detection guarantees over the attack space.
+
+These run full simulated prints per example, so example counts are small;
+they pin the *claims* rather than specific parameter points:
+
+* any non-trivial extrusion reduction is detected (the final 0 %-margin
+  check sees every missing step);
+* detection is symmetric in noise realization (golden/suspect seed swap);
+* the public API surface stays importable.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.comparator import CaptureComparator
+from repro.experiments.runner import run_print
+from repro.gcode.transforms.flaw3d import apply_reduction
+
+
+@pytest.fixture(scope="module")
+def comparator():
+    return CaptureComparator()
+
+
+class TestDetectionProperties:
+    @given(factor=st.floats(min_value=0.3, max_value=0.95))
+    @settings(max_examples=5, deadline=None)
+    def test_any_meaningful_reduction_detected(
+        self, factor, tiny_program, tiny_golden_noisy, comparator
+    ):
+        suspect = run_print(
+            apply_reduction(tiny_program, factor),
+            noise_sigma=0.0005,
+            noise_seed=int(factor * 10_000),
+        )
+        report = comparator.compare_captures(tiny_golden_noisy.capture, suspect.capture)
+        assert report.trojan_likely
+        assert report.final_check_failed  # totals can never match
+
+    def test_detection_symmetric_in_seed_roles(
+        self, tiny_golden_noisy, tiny_control_noisy, comparator
+    ):
+        forward = comparator.compare_captures(
+            tiny_golden_noisy.capture, tiny_control_noisy.capture
+        )
+        reverse = comparator.compare_captures(
+            tiny_control_noisy.capture, tiny_golden_noisy.capture
+        )
+        assert forward.trojan_likely == reverse.trojan_likely is False
+
+    def test_golden_self_comparison_has_zero_diff(self, tiny_golden_noisy, comparator):
+        report = comparator.compare_captures(
+            tiny_golden_noisy.capture, tiny_golden_noisy.capture
+        )
+        assert report.largest_percent_diff == 0.0
+        assert not report.trojan_likely
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_headline_workflow_via_top_level_names_only(self):
+        # The README quickstart must work using only `repro.` names.
+        import repro
+
+        program = repro.sliced_program(repro.tiny_part())
+        golden = repro.run_print(program)
+        suspect = repro.run_print(repro.apply_reduction(program, 0.5))
+        report = repro.CaptureComparator().compare_captures(
+            golden.capture, suspect.capture
+        )
+        assert report.trojan_likely

@@ -1,0 +1,194 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self, sim):
+        assert sim.now == 0
+
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [100]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(250, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [250]
+
+    def test_callback_args_passed(self, sim):
+        got = []
+        sim.schedule(1, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_time_ordering(self, sim):
+        order = []
+        sim.schedule(300, lambda: order.append("c"))
+        sim.schedule(100, lambda: order.append("a"))
+        sim.schedule(200, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_break_at_same_instant(self, sim):
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(100, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_events_scheduled_from_callbacks(self, sim):
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(10, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(5, outer)
+        sim.run()
+        assert fired == [("outer", 5), ("inner", 15)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.pending
+
+    def test_pending_lifecycle(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        assert handle.pending
+        sim.run()
+        assert not handle.pending
+        assert handle.fired
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run(until_ns=500)
+        assert sim.now == 500
+
+    def test_run_until_excludes_later_events(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append("early"))
+        sim.schedule(900, lambda: fired.append("late"))
+        sim.run(until_ns=500)
+        assert fired == ["early"]
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_for_relative_window(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run(until_ns=200)
+        fired = []
+        sim.schedule(100, lambda: fired.append(sim.now))
+        sim.run_for(150)
+        assert fired == [300]
+        assert sim.now == 350
+
+    def test_max_events_cap(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        dispatched = sim.run(max_events=3)
+        assert dispatched == 3
+        assert fired == [0, 1, 2]
+
+    def test_stop_from_callback(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(1, stopper)
+        sim.schedule(2, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_dispatched_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 5
+
+    def test_reentrant_run_rejected(self, sim):
+        def inner():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1, inner)
+        sim.run()
+
+
+class TestPeriodicTasks:
+    def test_fires_every_period(self, sim):
+        ticks = []
+        sim.every(100, lambda: ticks.append(sim.now))
+        sim.run(until_ns=550)
+        assert ticks == [100, 200, 300, 400, 500]
+
+    def test_custom_start_delay(self, sim):
+        ticks = []
+        sim.every(100, lambda: ticks.append(sim.now), start_delay_ns=10)
+        sim.run(until_ns=250)
+        assert ticks == [10, 110, 210]
+
+    def test_cancel_stops_future_fires(self, sim):
+        ticks = []
+        task = sim.every(100, lambda: ticks.append(sim.now))
+        sim.run(until_ns=250)
+        task.cancel()
+        sim.run(until_ns=1000)
+        assert ticks == [100, 200]
+        assert task.cancelled
+
+    def test_fire_count_tracked(self, sim):
+        task = sim.every(50, lambda: None)
+        sim.run(until_ns=500)
+        assert task.fires == 10
+
+    def test_zero_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0, lambda: None)
+
+    def test_cancel_from_within_callback(self, sim):
+        ticks = []
+        holder = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                holder["task"].cancel()
+
+        holder["task"] = sim.every(10, tick)
+        sim.run(until_ns=1000)
+        assert ticks == [10, 20, 30]

@@ -1,0 +1,100 @@
+"""Unit tests for the signal tracer (the logic-analyzer view)."""
+
+from repro.sim.signals import AnalogWire, DigitalWire, PwmWire, StepWire
+from repro.sim.trace import Tracer
+
+
+class TestTracer:
+    def test_records_digital_edges(self, sim):
+        wire = DigitalWire(sim, "d")
+        tracer = Tracer()
+        tracer.watch([wire])
+        wire.drive(1)
+        wire.drive(0)
+        trace = tracer.trace("d")
+        assert [e.kind for e in trace.events] == ["edge", "edge"]
+        assert [e.value for e in trace.events] == [1.0, 0.0]
+
+    def test_records_pulses_with_width(self, sim):
+        wire = StepWire(sim, "s")
+        tracer = Tracer()
+        tracer.watch([wire])
+        wire.pulse(width_ns=1234)
+        assert tracer.trace("s").events[0].value == 1234.0
+
+    def test_records_pwm_and_analog(self, sim):
+        pwm = PwmWire(sim, "p")
+        analog = AnalogWire(sim, "a")
+        tracer = Tracer()
+        tracer.watch([pwm, analog])
+        pwm.drive(0.4)
+        analog.drive(2.2)
+        assert tracer.trace("p").events[0].kind == "duty"
+        assert tracer.trace("a").events[0].kind == "analog"
+
+    def test_watch_is_idempotent(self, sim):
+        wire = DigitalWire(sim, "d")
+        tracer = Tracer()
+        tracer.watch_one(wire)
+        tracer.watch_one(wire)
+        wire.drive(1)
+        assert len(tracer.trace("d")) == 1
+
+    def test_unwatched_signal_is_empty(self, sim):
+        tracer = Tracer()
+        assert len(tracer.trace("ghost")) == 0
+
+    def test_total_events_and_names(self, sim):
+        a = DigitalWire(sim, "a")
+        b = DigitalWire(sim, "b")
+        tracer = Tracer()
+        tracer.watch([a, b])
+        a.drive(1)
+        b.drive(1)
+        b.drive(0)
+        assert tracer.total_events() == 3
+        assert tracer.signal_names == ["a", "b"]
+
+
+class TestTraceStats:
+    def test_min_interval(self, sim):
+        wire = StepWire(sim, "s")
+        tracer = Tracer()
+        tracer.watch([wire])
+        for at in (0, 500, 600, 2000):
+            sim.schedule_at(at, wire.pulse)
+        sim.run()
+        assert tracer.trace("s").min_interval_ns == 100
+
+    def test_max_frequency(self, sim):
+        wire = StepWire(sim, "s")
+        tracer = Tracer()
+        tracer.watch([wire])
+        sim.schedule_at(0, wire.pulse)
+        sim.schedule_at(50_000, wire.pulse)  # 20 kHz
+        sim.run()
+        assert abs(tracer.trace("s").max_frequency_hz - 20_000) < 1e-6
+
+    def test_min_pulse_width(self, sim):
+        wire = StepWire(sim, "s")
+        tracer = Tracer()
+        tracer.watch([wire])
+        wire.pulse(width_ns=2000)
+        wire.pulse(width_ns=900)
+        assert tracer.trace("s").min_pulse_width_ns == 900
+
+    def test_stats_none_when_insufficient_data(self, sim):
+        wire = StepWire(sim, "s")
+        tracer = Tracer()
+        tracer.watch([wire])
+        assert tracer.trace("s").min_interval_ns is None
+        assert tracer.trace("s").max_frequency_hz is None
+
+    def test_dump_renders_all_signals(self, sim):
+        wire = DigitalWire(sim, "sig_x")
+        tracer = Tracer()
+        tracer.watch([wire])
+        wire.drive(1)
+        text = tracer.dump()
+        assert "sig_x" in text
+        assert "edge" in text

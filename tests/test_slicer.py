@@ -1,0 +1,150 @@
+"""Tests for shapes, profiles, and the miniature slicer."""
+
+import pytest
+
+from repro.errors import SlicerError
+from repro.gcode.slicer import (
+    Box,
+    Cylinder,
+    LBracket,
+    PrintProfile,
+    Slicer,
+    TaperedBox,
+    slice_shape,
+)
+from repro.gcode.writer import write_program
+from repro.gcode.parser import parse_program
+
+
+class TestShapes:
+    def test_box_outline(self):
+        box = Box(width_mm=20, depth_mm=10, height=5, center=(50, 40))
+        outline = box.outline_at(1.0)
+        xs = [p[0] for p in outline]
+        ys = [p[1] for p in outline]
+        assert min(xs) == 40 and max(xs) == 60
+        assert min(ys) == 35 and max(ys) == 45
+
+    def test_box_invalid_dimensions(self):
+        with pytest.raises(SlicerError):
+            Box(width_mm=0, depth_mm=10, height=5)
+
+    def test_tapered_box_shrinks(self):
+        shape = TaperedBox(base_width_mm=20, base_depth_mm=20, top_scale=0.5, height=10)
+        base = shape.outline_at(0.0)
+        top = shape.outline_at(10.0)
+        base_width = max(p[0] for p in base) - min(p[0] for p in base)
+        top_width = max(p[0] for p in top) - min(p[0] for p in top)
+        assert top_width == pytest.approx(base_width * 0.5)
+
+    def test_cylinder_segment_count(self):
+        cylinder = Cylinder(radius_mm=5, height=4, segments=24)
+        assert len(cylinder.outline_at(1.0)) == 24
+
+    def test_cylinder_needs_enough_segments(self):
+        with pytest.raises(SlicerError):
+            Cylinder(radius_mm=5, height=4, segments=4)
+
+    def test_lbracket_concave(self):
+        from repro.gcode.slicer.geometry import is_convex
+
+        bracket = LBracket()
+        assert not is_convex(bracket.outline_at(1.0))
+
+    def test_lbracket_thickness_check(self):
+        with pytest.raises(SlicerError):
+            LBracket(leg_mm=10, thickness_mm=12)
+
+
+class TestProfile:
+    def test_defaults_valid(self):
+        profile = PrintProfile()
+        assert profile.layer_height_mm > 0
+
+    def test_layer_height_vs_nozzle(self):
+        with pytest.raises(SlicerError):
+            PrintProfile(layer_height_mm=0.5, nozzle_diameter_mm=0.4)
+
+    def test_extrusion_per_mm_physical(self):
+        profile = PrintProfile()
+        e_per_mm = profile.extrusion_per_mm(0.3)
+        # bead 0.45x0.3 vs 1.75mm filament => ~0.056 mm filament per mm path
+        assert 0.04 < e_per_mm < 0.08
+
+    def test_fan_duty_range(self):
+        with pytest.raises(SlicerError):
+            PrintProfile(fan_duty=1.4)
+
+    def test_extrusion_width_floor(self):
+        with pytest.raises(SlicerError):
+            PrintProfile(extrusion_width_mm=0.2, nozzle_diameter_mm=0.4)
+
+
+class TestSlicer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return slice_shape(Box(width_mm=16, depth_mm=16, height=1.5))
+
+    def test_layer_count(self, result):
+        assert result.layer_count == 5  # 1.5mm / 0.3mm
+
+    def test_starts_with_heatup(self, result):
+        names = [cmd.name for cmd in result.program.executable()][:6]
+        assert names[:4] == ["M140", "M104", "M190", "M109"]
+
+    def test_homes_before_printing(self, result):
+        names = [cmd.name for cmd in result.program.executable()]
+        g28 = names.index("G28")
+        first_move = next(i for i, name in enumerate(names) if name in ("G0",))
+        assert g28 < first_move
+
+    def test_ends_with_shutdown(self, result):
+        names = [cmd.name for cmd in result.program.executable()]
+        assert names[-4:] == ["M104", "M140", "M107", "M84"]
+
+    def test_fan_turned_on_second_layer(self, result):
+        assert result.program.count("M106") == 1
+
+    def test_extrusion_positive(self, result):
+        assert result.filament_mm > 0
+        assert result.program.total_extrusion_mm() > result.filament_mm * 0.95
+
+    def test_deterministic(self):
+        box = Box(width_mm=12, depth_mm=12, height=0.9)
+        first = write_program(slice_shape(box).program)
+        second = write_program(slice_shape(box).program)
+        assert first == second
+
+    def test_coordinates_within_shape_bounds(self, result):
+        for cmd in result.program.moves():
+            if cmd.has("X"):
+                assert 80 <= cmd.get("X") <= 120 or cmd.get("X") == 5.0  # park
+            if cmd.has("Z"):
+                assert 0 < cmd.get("Z") <= 10
+
+    def test_retractions_present(self, result):
+        text = write_program(result.program)
+        assert ";retract" in text and ";unretract" in text
+
+    def test_program_reparses(self, result):
+        text = write_program(result.program)
+        assert len(parse_program(text)) == len(result.program)
+
+    def test_concave_shape_slices(self):
+        result = slice_shape(LBracket(leg_mm=20, thickness_mm=6, height=0.6))
+        assert result.layer_count >= 1
+        assert result.filament_mm > 0
+
+    def test_infill_alternates_orientation(self):
+        # Even layers scan along X (varying X within a line at fixed Y).
+        result = slice_shape(Box(width_mm=12, depth_mm=12, height=0.9))
+        assert result.layer_count == 3
+
+    def test_zero_height_rejected(self):
+        with pytest.raises(SlicerError):
+            Box(width_mm=5, depth_mm=5, height=0)
+
+    def test_cylinder_slices(self):
+        result = slice_shape(Cylinder(radius_mm=6, height=0.9))
+        assert result.layer_count == 3
+        assert result.extruded_path_mm > 0

@@ -1,0 +1,173 @@
+"""Geometry primitives: unit tests plus invariant properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SlicerError
+from repro.gcode.slicer.geometry import (
+    clip_scanline,
+    ensure_ccw,
+    inset_convex,
+    is_convex,
+    point_in_polygon,
+    polygon_area,
+    polygon_bbox,
+    polygon_perimeter,
+    rotate_polygon,
+)
+
+SQUARE = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+TRIANGLE = [(0.0, 0.0), (8.0, 0.0), (4.0, 6.0)]
+L_SHAPE = [(0, 0), (10, 0), (10, 3), (3, 3), (3, 10), (0, 10)]
+
+
+class TestBasics:
+    def test_square_area(self):
+        assert polygon_area(SQUARE) == pytest.approx(100.0)
+
+    def test_cw_polygon_negative_area(self):
+        assert polygon_area(list(reversed(SQUARE))) == pytest.approx(-100.0)
+
+    def test_ensure_ccw_flips_cw(self):
+        fixed = ensure_ccw(list(reversed(SQUARE)))
+        assert polygon_area(fixed) > 0
+
+    def test_perimeter(self):
+        assert polygon_perimeter(SQUARE) == pytest.approx(40.0)
+
+    def test_bbox(self):
+        assert polygon_bbox(TRIANGLE) == (0.0, 0.0, 8.0, 6.0)
+
+    def test_bbox_empty_raises(self):
+        with pytest.raises(SlicerError):
+            polygon_bbox([])
+
+    def test_convexity(self):
+        assert is_convex(SQUARE)
+        assert is_convex(TRIANGLE)
+        assert not is_convex(L_SHAPE)
+
+
+class TestContainment:
+    def test_inside(self):
+        assert point_in_polygon((5, 5), SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon((15, 5), SQUARE)
+
+    def test_on_boundary(self):
+        assert point_in_polygon((0, 5), SQUARE)
+
+    def test_concave_notch_excluded(self):
+        assert not point_in_polygon((8, 8), L_SHAPE)
+        assert point_in_polygon((1.5, 8), L_SHAPE)
+
+
+class TestInset:
+    def test_square_inset_dimensions(self):
+        inner = inset_convex(SQUARE, 1.0)
+        xmin, ymin, xmax, ymax = polygon_bbox(inner)
+        assert (xmin, ymin, xmax, ymax) == pytest.approx((1, 1, 9, 9))
+
+    def test_inset_zero_is_identity(self):
+        assert inset_convex(SQUARE, 0.0) == ensure_ccw(SQUARE)
+
+    def test_inset_shrinks_area(self):
+        inner = inset_convex(TRIANGLE, 0.5)
+        assert 0 < polygon_area(inner) < polygon_area(TRIANGLE)
+
+    def test_collapse_raises(self):
+        with pytest.raises(SlicerError):
+            inset_convex(SQUARE, 6.0)
+
+    def test_concave_rejected(self):
+        with pytest.raises(SlicerError):
+            inset_convex(L_SHAPE, 0.5)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(SlicerError):
+            inset_convex(SQUARE, -1.0)
+
+
+class TestScanline:
+    def test_single_span(self):
+        assert clip_scanline(SQUARE, 5.0) == [(0.0, 10.0)]
+
+    def test_outside_is_empty(self):
+        assert clip_scanline(SQUARE, 20.0) == []
+
+    def test_concave_two_spans(self):
+        spans = clip_scanline(L_SHAPE, 2.0)
+        assert len(spans) == 1 and spans[0] == pytest.approx((0.0, 10.0))
+        spans_high = clip_scanline(L_SHAPE, 5.0)
+        assert len(spans_high) == 1 and spans_high[0] == pytest.approx((0.0, 3.0))
+
+    def test_triangle_narrows_with_height(self):
+        low = clip_scanline(TRIANGLE, 1.0)[0]
+        high = clip_scanline(TRIANGLE, 5.0)[0]
+        assert (low[1] - low[0]) > (high[1] - high[0])
+
+
+class TestRotate:
+    def test_rotate_90_about_origin(self):
+        rotated = rotate_polygon([(1.0, 0.0)], math.pi / 2)
+        assert rotated[0][0] == pytest.approx(0.0, abs=1e-12)
+        assert rotated[0][1] == pytest.approx(1.0)
+
+    def test_rotation_preserves_area(self):
+        rotated = rotate_polygon(SQUARE, 0.7, center=(5, 5))
+        assert polygon_area(rotated) == pytest.approx(100.0)
+
+
+# --------------------------------------------------------------------------
+# Property-based invariants on convex polygons (regular n-gons)
+# --------------------------------------------------------------------------
+@st.composite
+def regular_polygon(draw):
+    n = draw(st.integers(min_value=3, max_value=24))
+    radius = draw(st.floats(min_value=2.0, max_value=50.0))
+    cx = draw(st.floats(min_value=-100, max_value=100))
+    cy = draw(st.floats(min_value=-100, max_value=100))
+    return [
+        (cx + radius * math.cos(2 * math.pi * i / n), cy + radius * math.sin(2 * math.pi * i / n))
+        for i in range(n)
+    ], radius
+
+
+class TestGeometryProperties:
+    @given(regular_polygon(), st.floats(min_value=0.01, max_value=0.4))
+    @settings(max_examples=100, deadline=None)
+    def test_inset_always_shrinks(self, poly_radius, fraction):
+        poly, radius = poly_radius
+        inner = inset_convex(poly, radius * fraction)
+        assert polygon_area(inner) < polygon_area(poly)
+        assert is_convex(inner)
+
+    @given(regular_polygon(), st.floats(min_value=0.01, max_value=0.4))
+    @settings(max_examples=100, deadline=None)
+    def test_inset_stays_inside(self, poly_radius, fraction):
+        poly, radius = poly_radius
+        inner = inset_convex(poly, radius * fraction)
+        for point in inner:
+            assert point_in_polygon(point, poly)
+
+    @given(regular_polygon())
+    @settings(max_examples=100, deadline=None)
+    def test_scanline_spans_within_bbox(self, poly_radius):
+        poly, _ = poly_radius
+        xmin, ymin, xmax, ymax = polygon_bbox(poly)
+        y = (ymin + ymax) / 2
+        for x0, x1 in clip_scanline(poly, y):
+            assert xmin - 1e-6 <= x0 <= x1 <= xmax + 1e-6
+
+    @given(regular_polygon())
+    @settings(max_examples=50, deadline=None)
+    def test_scanline_midpoints_inside(self, poly_radius):
+        poly, _ = poly_radius
+        xmin, ymin, xmax, ymax = polygon_bbox(poly)
+        y = ymin + (ymax - ymin) * 0.37
+        for x0, x1 in clip_scanline(poly, y):
+            assert point_in_polygon(((x0 + x1) / 2, y), poly)

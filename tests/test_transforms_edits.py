@@ -1,0 +1,90 @@
+"""dr0wned-style edit tests: void insertion and scaling."""
+
+import pytest
+
+from repro.errors import GcodeError
+from repro.gcode.parser import parse_program
+from repro.gcode.transforms.edits import insert_void, scale_moves
+
+PROGRAM = """G92 E0
+G1 X10 Y10 Z1 E1 F1800
+G1 X20 Y10 E2
+G1 X30 Y10 E3
+G1 X40 Y10 E4
+"""
+
+
+class TestInsertVoid:
+    def test_starves_moves_in_region(self):
+        program = parse_program(PROGRAM)
+        out = insert_void(program, (15, 5, 0, 35, 15, 2))
+        # moves ending at x=20 and x=30 are inside; x=10 and x=40 are not
+        assert out.total_extrusion_mm() == pytest.approx(2.0)
+
+    def test_path_still_fully_traced(self):
+        program = parse_program(PROGRAM)
+        out = insert_void(program, (15, 5, 0, 35, 15, 2))
+        xs = [cmd.get("X") for cmd in out.moves() if cmd.has("X")]
+        # Moves are split at the region boundary (x=15 and x=35) but the
+        # head still visits every original endpoint, in order.
+        assert xs == [10, 15, 20, 30, 35, 40]
+
+    def test_void_segments_marked_and_dry(self):
+        program = parse_program(PROGRAM)
+        out = insert_void(program, (15, 5, 0, 35, 15, 2))
+        dry = [cmd for cmd in out.moves() if cmd.comment == "void"]
+        assert len(dry) == 3  # one per crossing move
+        assert all(not cmd.has("E") for cmd in dry)
+
+    def test_partial_crossing_deposits_proportionally(self):
+        program = parse_program("G92 E0\nG1 X0 Y10 Z1 F1800\nG1 X20 Y10 E2")
+        # Region covers x in [10, 30]: exactly half the second move.
+        out = insert_void(program, (10, 5, 0, 30, 15, 2))
+        assert out.total_extrusion_mm() == pytest.approx(1.0, abs=1e-3)
+
+    def test_e_chain_stays_consistent(self):
+        program = parse_program(PROGRAM)
+        out = insert_void(program, (15, 5, 0, 35, 15, 2))
+        e_values = [cmd.get("E") for cmd in out.moves() if cmd.has("E")]
+        assert e_values == sorted(e_values)  # still monotonic
+
+    def test_region_outside_print_is_identity(self):
+        program = parse_program(PROGRAM)
+        out = insert_void(program, (100, 100, 100, 110, 110, 110))
+        assert out.total_extrusion_mm() == pytest.approx(program.total_extrusion_mm())
+
+    def test_z_bounds_respected(self):
+        program = parse_program(PROGRAM)
+        out = insert_void(program, (0, 0, 5, 100, 100, 6))  # z window above print
+        assert out.total_extrusion_mm() == pytest.approx(4.0)
+
+    def test_malformed_region_rejected(self):
+        with pytest.raises(GcodeError):
+            insert_void(parse_program(PROGRAM), (10, 0, 0, 5, 10, 10))
+
+
+class TestScaleMoves:
+    def test_scales_about_centroid(self):
+        program = parse_program("G1 X0 Y0\nG1 X10 Y0\nG1 X10 Y10\nG1 X0 Y10")
+        out = scale_moves(program, 0.5)
+        xs = [cmd.get("X") for cmd in out.moves()]
+        assert min(xs) == pytest.approx(2.5)
+        assert max(xs) == pytest.approx(7.5)
+
+    def test_explicit_center(self):
+        program = parse_program("G1 X10 Y10")
+        out = scale_moves(program, 2.0, center=(0, 0))
+        assert list(out.moves())[0].get("X") == pytest.approx(20.0)
+
+    def test_scale_preserves_e(self):
+        program = parse_program("G92 E0\nG1 X10 Y10 E5")
+        out = scale_moves(program, 0.9)
+        assert list(out.moves())[0].get("E") == 5
+
+    def test_invalid_scale(self):
+        with pytest.raises(GcodeError):
+            scale_moves(parse_program("G1 X1 Y1"), 0.0)
+
+    def test_no_moves_rejected(self):
+        with pytest.raises(GcodeError):
+            scale_moves(parse_program("M104 S200"), 0.5)

@@ -1,0 +1,140 @@
+"""Flaw3D transform tests: reduction and relocation semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GcodeError
+from repro.gcode.parser import parse_program
+from repro.gcode.transforms.flaw3d import (
+    Flaw3dReduction,
+    Flaw3dRelocation,
+    apply_reduction,
+    apply_relocation,
+    table2_test_cases,
+)
+
+SIMPLE = """G92 E0
+G1 X10 Y0 E1 F1800
+G1 X10 Y10 E2
+G1 E1.2 F2100
+G0 X0 Y0
+G1 E2 F2100
+G1 X0 Y5 E3
+"""
+
+
+def _program():
+    return parse_program(SIMPLE)
+
+
+class TestReduction:
+    def test_halves_printing_extrusion(self):
+        out = apply_reduction(_program(), 0.5)
+        # printing deltas 1+1+1 = 3 scaled to 1.5; retract/prime unchanged
+        assert out.total_extrusion_mm() == pytest.approx(0.5 + 0.5 + 0.8 + 0.5)
+
+    def test_factor_one_is_identity(self):
+        original = _program()
+        out = apply_reduction(original, 1.0)
+        assert [cmd.get("E") for cmd in out.moves()] == pytest.approx(
+            [cmd.get("E") for cmd in original.moves()]
+        )
+
+    def test_retraction_preserved(self):
+        out = apply_reduction(_program(), 0.5)
+        moves = list(out.moves())
+        # retract (index 2) and prime (index 4) are E-only; delta magnitudes 0.8
+        retract_delta = moves[2].get("E") - moves[1].get("E")
+        prime_delta = moves[4].get("E") - moves[2].get("E")
+        assert retract_delta == pytest.approx(-0.8)
+        assert prime_delta == pytest.approx(0.8)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(GcodeError):
+            Flaw3dReduction(0.0)
+        with pytest.raises(GcodeError):
+            Flaw3dReduction(1.5)
+
+    def test_handles_g92_resets(self):
+        program = parse_program("G92 E0\nG1 X1 E1\nG92 E0\nG1 X2 E1")
+        out = apply_reduction(program, 0.5)
+        assert out.total_extrusion_mm() == pytest.approx(1.0)
+
+    def test_motion_unchanged(self):
+        original = _program()
+        out = apply_reduction(original, 0.5)
+        for a, b in zip(original.moves(), out.moves()):
+            assert a.get("X") == b.get("X")
+            assert a.get("Y") == b.get("Y")
+
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_total_scales_linearly(self, factor):
+        program = parse_program("G92 E0\nG1 X1 E1\nG1 X2 E2\nG1 Y3 E4")
+        out = apply_reduction(program, factor)
+        # The E chain is quantised to 1e-5 per move, so allow that slack.
+        assert out.total_extrusion_mm() == pytest.approx(4.0 * factor, abs=1e-3)
+
+
+class TestRelocation:
+    def test_total_extrusion_preserved(self):
+        original = _program()
+        out = apply_relocation(original, 2)
+        assert out.total_extrusion_mm() == pytest.approx(original.total_extrusion_mm())
+
+    def test_every_nth_move_starved(self):
+        out = apply_relocation(_program(), 2)
+        # The 2nd printing move loses its E word; a deposit command follows.
+        moves = [cmd for cmd in out.executable() if cmd.is_move]
+        starved = [cmd for cmd in moves if (cmd.has("X") or cmd.has("Y")) and not cmd.has("E")]
+        # Original program has exactly one travel (G0); relocation adds one more.
+        assert len(starved) == 2
+
+    def test_deposit_command_emitted(self):
+        out = apply_relocation(_program(), 2)
+        deposits = [cmd for cmd in out.executable() if cmd.comment == "relocated filament"]
+        assert len(deposits) == 1
+        assert deposits[0].has("E") and deposits[0].has("F")
+
+    def test_period_one_relocates_everything(self):
+        out = apply_relocation(_program(), 1)
+        deposits = [cmd for cmd in out.executable() if cmd.comment == "relocated filament"]
+        assert len(deposits) == 3  # all three printing moves
+
+    def test_large_period_is_identity(self):
+        original = _program()
+        out = apply_relocation(original, 1000)
+        assert len(list(out.executable())) == len(list(original.executable()))
+
+    def test_invalid_period(self):
+        with pytest.raises(GcodeError):
+            Flaw3dRelocation(0)
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, period):
+        program = parse_program(
+            "G92 E0\n" + "\n".join(f"G1 X{i} Y{i} E{i + 1}" for i in range(20))
+        )
+        out = apply_relocation(program, period)
+        assert out.total_extrusion_mm() == pytest.approx(program.total_extrusion_mm())
+
+
+class TestTable2Catalog:
+    def test_eight_cases(self):
+        cases = table2_test_cases()
+        assert len(cases) == 8
+        assert [case for case, _ in cases] == list(range(1, 9))
+
+    def test_case_parameters_match_paper(self):
+        cases = dict(table2_test_cases())
+        assert cases[1].factor == 0.5
+        assert cases[4].factor == 0.98
+        assert cases[5].period == 5
+        assert cases[8].period == 100
+
+    def test_labels(self):
+        cases = dict(table2_test_cases())
+        assert cases[1].label == "flaw3d-reduction-0.5"
+        assert cases[8].label == "flaw3d-relocation-100"

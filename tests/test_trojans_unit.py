@@ -1,0 +1,278 @@
+"""Unit tests for the Trojan suite on a synthetic bench (no full prints)."""
+
+import pytest
+
+from repro.core.board import OfframpsBoard
+from repro.core.modules.homing_detect import HomingDetector
+from repro.core.modules.trojan_ctrl import TrojanControl
+from repro.core.trojans import TROJAN_CLASSES, make_trojan
+from repro.core.trojans.base import TrojanCategory, TrojanContext
+from repro.electronics.harness import SignalHarness
+from repro.errors import OfframpsError
+from repro.sim.time import S
+
+
+def _bench(sim, trojan, enable=True, seed=1):
+    harness = SignalHarness(sim)
+    board = OfframpsBoard(sim, harness)
+    homing = HomingDetector(harness)
+    control = TrojanControl(TrojanContext(sim, board, harness, homing, seed=seed))
+    control.load(trojan)
+    if enable:
+        control.enable(trojan.trojan_id)
+    return harness, board, homing, control
+
+
+def _home(sim, harness):
+    at = 1000
+    for name in ("X_MIN", "Y_MIN", "Z_MIN"):
+        sim.schedule_at(at, lambda n=name: harness.upstream(n).drive(1))
+        sim.schedule_at(at + 100, lambda n=name: harness.upstream(n).drive(0))
+        at += 1000
+    sim.run(until_ns=at)
+
+
+class TestCatalog:
+    def test_nine_trojans(self):
+        assert sorted(TROJAN_CLASSES) == [f"T{i}" for i in range(1, 10)]
+
+    def test_make_trojan_by_id(self):
+        trojan = make_trojan("t2", keep_fraction=0.25)
+        assert trojan.trojan_id == "T2"
+        assert trojan.keep_fraction == 0.25
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            make_trojan("T99")
+
+    def test_table1_metadata(self):
+        assert make_trojan("T1").scenario == "Loose Belt"
+        assert make_trojan("T6").category is TrojanCategory.DENIAL_OF_SERVICE
+        assert make_trojan("T7").category is TrojanCategory.DESTRUCTIVE
+        for tid in TROJAN_CLASSES:
+            trojan = make_trojan(tid)
+            assert trojan.effect
+            assert trojan.describe().startswith(tid)
+
+
+class TestControlModule:
+    def test_enable_routes_signals(self, sim):
+        trojan = make_trojan("T2")
+        harness, board, homing, control = _bench(sim, trojan)
+        assert "E_STEP" in board.intercepted_signals()
+        assert control.enabled_ids() == ["T2"]
+
+    def test_disable_detaches(self, sim):
+        trojan = make_trojan("T2")
+        harness, board, homing, control = _bench(sim, trojan)
+        control.disable("T2")
+        harness.upstream("E_DIR").drive(1)
+        for _ in range(10):
+            harness.upstream("E_STEP").pulse()
+        sim.run()
+        assert harness.downstream("E_STEP").pulse_count == 10  # nothing masked
+
+    def test_double_load_rejected(self, sim):
+        trojan = make_trojan("T2")
+        harness, board, homing, control = _bench(sim, trojan)
+        with pytest.raises(OfframpsError):
+            control.load(make_trojan("T2"))
+
+    def test_unknown_enable_rejected(self, sim):
+        trojan = make_trojan("T2")
+        harness, board, homing, control = _bench(sim, trojan)
+        with pytest.raises(OfframpsError):
+            control.enable("T5")
+
+
+class TestT2ExtrusionScale:
+    def test_masks_half_of_forward_pulses(self, sim):
+        trojan = make_trojan("T2", keep_fraction=0.5)
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("E_DIR").drive(1)
+        for _ in range(100):
+            harness.upstream("E_STEP").pulse()
+        sim.run()
+        assert harness.downstream("E_STEP").pulse_count == 50
+        assert trojan.pulses_masked == 50
+
+    def test_retraction_and_prime_untouched(self, sim):
+        trojan = make_trojan("T2", keep_fraction=0.5)
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("E_DIR").drive(0)  # retract 20
+        for _ in range(20):
+            harness.upstream("E_STEP").pulse()
+        harness.upstream("E_DIR").drive(1)  # prime 20 (pays debt), then print 10
+        for _ in range(30):
+            harness.upstream("E_STEP").pulse()
+        sim.run()
+        # 20 retract + 20 prime + 5 of 10 print pulses
+        assert harness.downstream("E_STEP").pulse_count == 45
+
+    def test_exact_fraction(self, sim):
+        trojan = make_trojan("T2", keep_fraction=0.3)
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("E_DIR").drive(1)
+        for _ in range(1000):
+            harness.upstream("E_STEP").pulse()
+        sim.run()
+        assert harness.downstream("E_STEP").pulse_count == pytest.approx(300, abs=1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_trojan("T2", keep_fraction=0.0)
+
+
+class TestT6HeaterDos:
+    def test_blocks_duty_updates(self, sim):
+        trojan = make_trojan("T6")
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("D10_HOTEND").drive(0.9)
+        sim.run()
+        assert harness.downstream("D10_HOTEND").duty == 0.0
+        assert trojan.duty_updates_blocked == 1
+
+    def test_bed_target(self, sim):
+        trojan = make_trojan("T6", targets=("bed",))
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("D8_BED").drive(0.7)
+        sim.run()
+        assert harness.downstream("D8_BED").duty == 0.0
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError):
+            make_trojan("T6", targets=("chamber",))
+
+
+class TestT7ThermalRunaway:
+    def test_forces_full_duty(self, sim):
+        trojan = make_trojan("T7")
+        harness, board, homing, control = _bench(sim, trojan)
+        sim.run()
+        assert harness.downstream("D10_HOTEND").duty == 1.0
+        harness.upstream("D10_HOTEND").drive(0.0)  # firmware panic tries to stop
+        sim.run()
+        assert harness.downstream("D10_HOTEND").duty == 1.0
+
+    def test_deactivate_restores_firmware_command(self, sim):
+        trojan = make_trojan("T7")
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("D10_HOTEND").drive(0.3)
+        sim.run()
+        control.disable("T7")
+        assert harness.downstream("D10_HOTEND").duty == pytest.approx(0.3)
+
+
+class TestT8StepperDisable:
+    def test_outage_cycle(self, sim):
+        trojan = make_trojan("T8", axes=("X",), period_s=2.0, outage_s=0.5)
+        harness, board, homing, control = _bench(sim, trojan)
+        _home(sim, harness)
+        sim.run(until_ns=sim.now + int(2.2 * S))
+        assert harness.downstream("X_EN").value == 1  # in outage (disabled)
+        sim.run(until_ns=sim.now + int(0.5 * S))
+        assert harness.downstream("X_EN").value == 0  # restored
+        assert trojan.outages >= 1
+
+    def test_en_updates_overridden_during_outage(self, sim):
+        trojan = make_trojan("T8", axes=("X",), period_s=2.0, outage_s=0.5)
+        harness, board, homing, control = _bench(sim, trojan)
+        _home(sim, harness)
+        sim.run(until_ns=sim.now + int(2.2 * S))
+        harness.upstream("X_EN").drive(0)  # firmware re-enables mid-outage
+        sim.run(until_ns=sim.now + 1000)
+        assert harness.downstream("X_EN").value == 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            make_trojan("T8", period_s=1.0, outage_s=2.0)
+
+
+class TestT9Fan:
+    def test_scales_after_arm_delay(self, sim):
+        trojan = make_trojan("T9", scale=0.25, arm_delay_s=1.0)
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("D9_FAN").drive(1.0)
+        _home(sim, harness)
+        assert harness.downstream("D9_FAN").duty == 1.0  # not armed yet
+        sim.run(until_ns=sim.now + int(1.5 * S))
+        assert harness.downstream("D9_FAN").duty == pytest.approx(0.25)
+        harness.upstream("D9_FAN").drive(0.8)
+        sim.run(until_ns=sim.now + 1000)
+        assert harness.downstream("D9_FAN").duty == pytest.approx(0.2)
+        assert trojan.engagements == 1
+
+    def test_deactivate_restores(self, sim):
+        trojan = make_trojan("T9", scale=0.25, arm_delay_s=0.5)
+        harness, board, homing, control = _bench(sim, trojan)
+        harness.upstream("D9_FAN").drive(1.0)
+        _home(sim, harness)
+        sim.run(until_ns=sim.now + 1 * S)
+        control.disable("T9")
+        assert harness.downstream("D9_FAN").duty == pytest.approx(1.0)
+
+
+class TestT1AxisShift:
+    def test_injects_on_period_after_homing(self, sim):
+        trojan = make_trojan("T1", period_s=1.0, min_shift_steps=10, max_shift_steps=10)
+        harness, board, homing, control = _bench(sim, trojan)
+        _home(sim, harness)
+        sim.run(until_ns=sim.now + int(3.5 * S))
+        injected = (
+            harness.downstream("X_STEP").pulse_count
+            + harness.downstream("Y_STEP").pulse_count
+        )
+        assert trojan.shifts_injected == 3
+        assert injected == 30
+
+    def test_no_injection_before_homing(self, sim):
+        trojan = make_trojan("T1", period_s=1.0)
+        harness, board, homing, control = _bench(sim, trojan)
+        sim.run(until_ns=5 * S)
+        assert trojan.shifts_injected == 0
+
+    def test_deactivation_stops_injection(self, sim):
+        trojan = make_trojan("T1", period_s=1.0, min_shift_steps=5, max_shift_steps=5)
+        harness, board, homing, control = _bench(sim, trojan)
+        _home(sim, harness)
+        sim.run(until_ns=sim.now + int(1.5 * S))
+        control.disable("T1")
+        count = trojan.shifts_injected
+        sim.run(until_ns=sim.now + 5 * S)
+        assert trojan.shifts_injected == count
+
+    def test_seeded_rng_reproducible(self, sim):
+        from repro.sim.kernel import Simulator
+
+        def run_once():
+            sim2 = Simulator()
+            trojan = make_trojan("T1", period_s=1.0)
+            harness, board, homing, control = _bench(sim2, trojan, seed=99)
+            _home(sim2, harness)
+            sim2.run(until_ns=sim2.now + 5 * S)
+            return (
+                harness.downstream("X_STEP").pulse_count,
+                harness.downstream("Y_STEP").pulse_count,
+            )
+
+        assert run_once() == run_once()
+
+
+class TestBaseLifecycle:
+    def test_activate_requires_attach(self):
+        trojan = make_trojan("T2")
+        with pytest.raises(OfframpsError):
+            trojan.activate()
+
+    def test_double_attach_rejected(self, sim):
+        trojan = make_trojan("T2")
+        _bench(sim, trojan)
+        with pytest.raises(OfframpsError):
+            trojan.attach(TrojanContext(sim, None, None, None))
+
+    def test_activation_count(self, sim):
+        trojan = make_trojan("T2")
+        harness, board, homing, control = _bench(sim, trojan)
+        control.disable("T2")
+        control.enable("T2")
+        assert trojan.activations == 2
