@@ -11,8 +11,8 @@ from benchmarks.conftest import write_artifact
 from repro.experiments.ablation import run_ablation
 
 
-def test_uart_period_margin_sweep(benchmark, out_dir):
-    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+def test_uart_period_margin_sweep(benchmark, out_dir, batch_kwargs):
+    result = benchmark.pedantic(run_ablation, kwargs=batch_kwargs, rounds=1, iterations=1)
     text = result.render()
     write_artifact(out_dir, "ablation_uart_margin.txt", text)
     print("\n" + text)

@@ -1,0 +1,71 @@
+"""Benchmark: the batched experiment runner — parity, speedup, cache.
+
+Three claims about the :class:`~repro.experiments.batch.BatchRunner`:
+
+1. **Parity** — ``run_table1`` through the runner with ``workers>1``
+   produces rows identical to the serial path (the simulation is
+   deterministic, and both modes execute the very same specs).
+2. **Speedup** — on a multi-core host, fanning the ten Table I sessions
+   across worker processes beats the serial path by >= 2x. On a single-core
+   host the wall-clock comparison is still recorded, but no speedup is
+   demanded (there is nothing to parallelize onto).
+3. **Cache** — re-running an experiment with the shared golden-print cache
+   skips the cacheable golden session entirely.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.batch import GoldenPrintCache, shared_cache
+from repro.experiments.table1 import run_table1
+
+
+def test_batch_runner_parity_speedup_and_cache(benchmark, out_dir):
+    cpus = os.cpu_count() or 1
+    parallel_workers = min(4, max(2, cpus))
+
+    t0 = time.perf_counter()
+    serial_rows = run_table1(workers=1)
+    serial_s = time.perf_counter() - t0
+
+    def parallel_run():
+        return run_table1(workers=parallel_workers)
+
+    t0 = time.perf_counter()
+    parallel_rows = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - t0
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+
+    # Parity: the parallel path reproduces the serial rows exactly.
+    assert parallel_rows == serial_rows
+
+    # Cache: a keyed cache makes the golden session free on the second run.
+    cache = GoldenPrintCache()
+    run_table1(workers=1, cache=cache)
+    assert len(cache) == 1  # the golden (T0) session is the cacheable one
+    t0 = time.perf_counter()
+    cached_rows = run_table1(workers=1, cache=cache)
+    cached_s = time.perf_counter() - t0
+    assert cache.hits == 1
+    assert cached_rows == serial_rows
+
+    lines = [
+        f"host CPUs: {cpus}",
+        f"serial (workers=1):            {serial_s:7.2f}s",
+        f"parallel (workers={parallel_workers}):         {parallel_s:7.2f}s  "
+        f"(speedup {speedup:.2f}x)",
+        f"serial + warm golden cache:    {cached_s:7.2f}s",
+        f"rows identical serial/parallel/cached: yes",
+        f"shared cache entries process-wide: {len(shared_cache())}",
+    ]
+    text = "\n".join(lines)
+    write_artifact(out_dir, "batch_runner.txt", text)
+    print("\n" + text)
+
+    # Speedup is only a claim where there are cores to fan onto.
+    if cpus >= 4:
+        assert speedup >= 2.0, f"expected >=2x on {cpus} CPUs, got {speedup:.2f}x"
+    elif cpus >= 2:
+        assert speedup >= 1.3, f"expected >=1.3x on {cpus} CPUs, got {speedup:.2f}x"

@@ -9,8 +9,8 @@ from benchmarks.conftest import write_artifact
 from repro.experiments.drift import run_drift
 
 
-def test_drift_stays_under_margin(benchmark, out_dir):
-    experiment = benchmark.pedantic(run_drift, rounds=1, iterations=1)
+def test_drift_stays_under_margin(benchmark, out_dir, batch_kwargs):
+    experiment = benchmark.pedantic(run_drift, kwargs=batch_kwargs, rounds=1, iterations=1)
     text = experiment.render()
     write_artifact(out_dir, "drift.txt", text)
     print("\n" + text)

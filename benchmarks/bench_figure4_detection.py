@@ -10,8 +10,8 @@ from benchmarks.conftest import write_artifact
 from repro.experiments.figure4 import run_figure4
 
 
-def test_figure4_relocation_detection(benchmark, out_dir):
-    output = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+def test_figure4_relocation_detection(benchmark, out_dir, batch_kwargs):
+    output = benchmark.pedantic(run_figure4, kwargs=batch_kwargs, rounds=1, iterations=1)
     text = output.render()
     write_artifact(out_dir, "figure4.txt", text)
     print("\n" + text)

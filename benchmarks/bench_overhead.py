@@ -10,8 +10,8 @@ from benchmarks.conftest import write_artifact
 from repro.experiments.overhead import run_overhead
 
 
-def test_overhead_is_negligible(benchmark, out_dir):
-    experiment = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+def test_overhead_is_negligible(benchmark, out_dir, batch_kwargs):
+    experiment = benchmark.pedantic(run_overhead, kwargs=batch_kwargs, rounds=1, iterations=1)
     text = experiment.render()
     write_artifact(out_dir, "overhead.txt", text)
     print("\n" + text)

@@ -8,8 +8,8 @@ from benchmarks.conftest import write_artifact
 from repro.experiments.table1 import render_table1, run_table1
 
 
-def test_table1_trojan_suite(benchmark, out_dir):
-    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+def test_table1_trojan_suite(benchmark, out_dir, batch_kwargs):
+    rows = benchmark.pedantic(run_table1, kwargs=batch_kwargs, rounds=1, iterations=1)
     text = render_table1(rows)
     write_artifact(out_dir, "table1.txt", text)
     print("\n" + text)

@@ -11,8 +11,8 @@ from benchmarks.conftest import write_artifact
 from repro.experiments.table2 import run_table2
 
 
-def test_table2_flaw3d_detection(benchmark, out_dir):
-    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+def test_table2_flaw3d_detection(benchmark, out_dir, batch_kwargs):
+    result = benchmark.pedantic(run_table2, kwargs=batch_kwargs, rounds=1, iterations=1)
     text = result.render()
     write_artifact(out_dir, "table2.txt", text)
     print("\n" + text)

@@ -94,17 +94,22 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 1 if report.trojan_likely else 0
 
 
+def _batch_kwargs(args: argparse.Namespace) -> dict:
+    """The BatchRunner knobs shared by every experiment subcommand."""
+    return dict(workers=args.workers, cache=not args.no_cache)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import render_table1, run_table1
 
-    print(render_table1(run_table1()))
+    print(render_table1(run_table1(**_batch_kwargs(args))))
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments.table2 import run_table2
 
-    result = run_table2()
+    result = run_table2(**_batch_kwargs(args))
     print(result.render())
     return 0 if result.all_detected and not result.false_positive else 1
 
@@ -112,14 +117,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 def _cmd_figure4(args: argparse.Namespace) -> int:
     from repro.experiments.figure4 import run_figure4
 
-    print(run_figure4().render())
+    print(run_figure4(**_batch_kwargs(args)).render())
     return 0
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
     from repro.experiments.overhead import run_overhead
 
-    experiment = run_overhead()
+    experiment = run_overhead(**_batch_kwargs(args))
     print(experiment.render())
     return 0 if experiment.no_quality_effect else 1
 
@@ -127,7 +132,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 def _cmd_drift(args: argparse.Namespace) -> int:
     from repro.experiments.drift import run_drift
 
-    experiment = run_drift()
+    experiment = run_drift(**_batch_kwargs(args))
     print(experiment.render())
     return 0 if experiment.within_margin(5.0) else 1
 
@@ -135,7 +140,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments.ablation import run_ablation
 
-    print(run_ablation().render())
+    print(run_ablation(**_batch_kwargs(args)).render())
     return 0
 
 
@@ -189,6 +194,17 @@ def build_parser() -> argparse.ArgumentParser:
         ("ablation", _cmd_ablation, "run the UART-period/margin ablation"),
     ):
         p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes for the print sessions (0 = one per CPU)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the content-keyed golden-print cache",
+        )
         p.set_defaults(func=func)
 
     return parser

@@ -2,11 +2,15 @@
 
 A :class:`PulseCapture` listens on the UART bus, decodes each 16-byte frame
 into a :class:`Transaction`, and assigns sequential indices. CSV I/O uses the
-exact column layout of the paper's Figure 4 excerpts::
+column layout of the paper's Figure 4 excerpts, optionally extended with a
+``Time_ns`` column so a save/load round-trip preserves timestamps::
 
-    Index, X, Y, Z, E
-    5113, 6060, 8266, 960, 52843
+    Index, X, Y, Z, E, Time_ns
+    5113, 6060, 8266, 960, 52843, 511300000000
     ...
+
+:func:`load_capture_csv` accepts both the bare Figure-4 layout and the
+extended one.
 """
 
 from __future__ import annotations
@@ -57,6 +61,15 @@ class PulseCapture:
         )
         self._next_index += 1
 
+    def append(self, transaction: Transaction) -> None:
+        """Append an externally produced transaction.
+
+        Keeps index allocation in sync so later bus frames never reuse an
+        index already present in the capture.
+        """
+        self.transactions.append(transaction)
+        self._next_index = max(self._next_index, transaction.index + 1)
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.transactions)
@@ -87,11 +100,21 @@ class PulseCapture:
         return "\n".join(rows)
 
 
-def save_capture_csv(capture: PulseCapture, path) -> None:
-    """Write a capture to disk in the Figure 4 CSV layout."""
+def save_capture_csv(capture: PulseCapture, path, include_time: bool = True) -> None:
+    """Write a capture to disk in the Figure 4 CSV layout.
+
+    ``include_time`` (the default) appends the ``Time_ns`` column so a
+    round-trip through :func:`load_capture_csv` preserves timestamps; pass
+    ``False`` for the bare five-column layout of the paper's excerpts.
+    """
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(capture.render())
-        handle.write("\n")
+        if include_time:
+            handle.write("Index, X, Y, Z, E, Time_ns\n")
+            for t in capture:
+                handle.write(f"{t.as_row()}, {t.time_ns}\n")
+        else:
+            handle.write(capture.render())
+            handle.write("\n")
 
 
 def load_capture_csv(path) -> PulseCapture:
@@ -102,15 +125,21 @@ def load_capture_csv(path) -> PulseCapture:
     if not lines:
         raise CaptureError(f"empty capture file: {path}")
     header = [col.strip().upper() for col in lines[0].split(",")]
-    if header != ["INDEX", "X", "Y", "Z", "E"]:
+    if header not in (
+        ["INDEX", "X", "Y", "Z", "E"],
+        ["INDEX", "X", "Y", "Z", "E", "TIME_NS"],
+    ):
         raise CaptureError(f"unexpected capture header {lines[0]!r}")
+    width = len(header)
     for line in lines[1:]:
         fields = [field.strip() for field in line.split(",")]
-        if len(fields) != 5:
+        if len(fields) != width:
             raise CaptureError(f"malformed capture row {line!r}")
         try:
-            index, x, y, z, e = (int(field) for field in fields)
+            values = [int(field) for field in fields]
         except ValueError as exc:
             raise CaptureError(f"non-integer capture row {line!r}") from exc
-        capture.transactions.append(Transaction(index, x, y, z, e))
+        index, x, y, z, e = values[:5]
+        time_ns = values[5] if width == 6 else 0
+        capture.append(Transaction(index, x, y, z, e, time_ns=time_ns))
     return capture

@@ -11,9 +11,20 @@ Each module maps to one artifact (see DESIGN.md's per-experiment index):
   paper suggests as the path to tighter margins.
 
 :mod:`repro.experiments.runner` provides :class:`PrintSession`, the one-stop
-"build the whole machine, print, capture" harness everything else uses.
+"build the whole machine, print, capture" harness everything else uses, and
+:mod:`repro.experiments.batch` provides the batched, parallel execution
+layer (:class:`SessionSpec` → :class:`BatchRunner` → :class:`SessionSummary`)
+every experiment submits its sessions through.
 """
 
+from repro.experiments.batch import (
+    BatchRunner,
+    GoldenPrintCache,
+    SessionSpec,
+    SessionSummary,
+    run_sessions,
+    shared_cache,
+)
 from repro.experiments.runner import PrintSession, SessionResult
 from repro.experiments.workloads import (
     detection_profile,
@@ -23,9 +34,15 @@ from repro.experiments.workloads import (
 )
 
 __all__ = [
+    "BatchRunner",
+    "GoldenPrintCache",
     "PrintSession",
     "SessionResult",
+    "SessionSpec",
+    "SessionSummary",
     "detection_profile",
+    "run_sessions",
+    "shared_cache",
     "standard_part",
     "table1_part",
     "tiny_part",

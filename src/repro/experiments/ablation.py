@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.detection.comparator import CaptureComparator
-from repro.experiments.runner import run_print
+from repro.experiments.batch import CacheOption, SessionSpec, run_sessions
 from repro.experiments.workloads import sliced_program, tiny_part
 from repro.gcode.ast import GcodeProgram
 from repro.gcode.transforms.flaw3d import Flaw3dReduction, Flaw3dRelocation
@@ -67,8 +67,14 @@ def run_ablation(
     periods_ms: Sequence[int] = DEFAULT_PERIODS_MS,
     margins: Sequence[float] = DEFAULT_MARGINS,
     noise_sigma: float = 0.0005,
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
 ) -> AblationResult:
-    """Sweep UART periods and margins on the stealthiest Trojans."""
+    """Sweep UART periods and margins on the stealthiest Trojans.
+
+    Every (period × {golden, control, suspects}) print is declared up front
+    and submitted as one flat batch — the sweep's whole grid parallelizes.
+    """
     if program is None:
         program = sliced_program(tiny_part())
     stealthy: List[Tuple[str, GcodeProgram]] = [
@@ -76,22 +82,47 @@ def run_ablation(
         ("relocate100", Flaw3dRelocation(100).apply(program)),
     ]
 
-    cells: List[AblationCell] = []
+    specs: List[SessionSpec] = []
     for period_ms in periods_ms:
-        golden = run_print(
-            program, noise_sigma=noise_sigma, noise_seed=9001, uart_period_ms=period_ms
-        )
-        control = run_print(
-            program, noise_sigma=noise_sigma, noise_seed=9002, uart_period_ms=period_ms
-        )
-        suspects = {
-            name: run_print(
-                modified,
+        specs.append(
+            SessionSpec(
+                program=program,
                 noise_sigma=noise_sigma,
-                noise_seed=9100 + i,
+                noise_seed=9001,
                 uart_period_ms=period_ms,
+                label=f"golden@{period_ms}ms",
+                cacheable=True,
             )
-            for i, (name, modified) in enumerate(stealthy)
+        )
+        specs.append(
+            SessionSpec(
+                program=program,
+                noise_sigma=noise_sigma,
+                noise_seed=9002,
+                uart_period_ms=period_ms,
+                label=f"control@{period_ms}ms",
+                cacheable=True,
+            )
+        )
+        for i, (name, modified) in enumerate(stealthy):
+            specs.append(
+                SessionSpec(
+                    program=modified,
+                    noise_sigma=noise_sigma,
+                    noise_seed=9100 + i,
+                    uart_period_ms=period_ms,
+                    label=f"{name}@{period_ms}ms",
+                )
+            )
+    summaries = run_sessions(specs, workers=workers, cache=cache)
+    per_period = len(stealthy) + 2
+
+    cells: List[AblationCell] = []
+    for slot, period_ms in enumerate(periods_ms):
+        block = summaries[slot * per_period : (slot + 1) * per_period]
+        golden, control = block[0], block[1]
+        suspects = {
+            name: block[2 + i] for i, (name, _) in enumerate(stealthy)
         }
         for margin in margins:
             # The transient-only question: disable the final 0% check so the

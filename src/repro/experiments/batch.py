@@ -1,0 +1,379 @@
+"""Batched, parallel experiment execution.
+
+Every paper artifact (Table I, Table II, Figure 4, drift, ablation,
+overhead) is a set of independent simulated prints followed by scoring.
+This module turns that shape into infrastructure:
+
+* :class:`SessionSpec` — a picklable, content-addressable description of
+  one print session (program, config, noise, Trojan, routing, budgets);
+* :class:`SessionSummary` — the picklable reduction of a
+  :class:`~repro.experiments.runner.SessionResult` carrying everything the
+  scorers consume (capture, deposition trace, final counts, thermal peaks,
+  Trojan counters, signal traces);
+* :class:`GoldenPrintCache` — a content-keyed cache so the same golden
+  print is simulated once and shared by every comparison that needs it;
+* :class:`BatchRunner` — fans a list of specs across worker processes
+  (``concurrent.futures.ProcessPoolExecutor``), deduplicating identical
+  specs within a batch. With ``workers=1`` everything runs serially
+  in-process through the very same execution path, so results are
+  bit-identical between the serial and parallel modes.
+
+Future scenario sweeps (more trojans, more parts, more seeds) should
+declare their sessions as specs and submit them here rather than calling
+:func:`~repro.experiments.runner.run_print` in a loop.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.capture import PulseCapture, Transaction
+from repro.core.trojans import make_trojan
+from repro.experiments.runner import PrintSession, SessionResult
+from repro.firmware.config import MarlinConfig
+from repro.firmware.marlin import PrinterStatus
+from repro.gcode.ast import GcodeProgram
+from repro.gcode.writer import write_line
+from repro.physics.deposition import PartTrace
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A self-contained, picklable description of one print session.
+
+    Trojans are carried as ``(trojan_id, trojan_params)`` rather than live
+    objects — the worker constructs the Trojan via
+    :func:`~repro.core.trojans.make_trojan`, since an attached Trojan holds
+    simulator references that cannot cross a process boundary.
+    """
+
+    program: GcodeProgram
+    config: Optional[MarlinConfig] = None
+    noise_sigma: float = 0.0
+    noise_seed: int = 0
+    trojan_id: Optional[str] = None
+    trojan_params: Mapping[str, Any] = field(default_factory=dict)
+    trojan_seed: int = 0
+    uart_period_ms: int = 100
+    grace_s: float = 1.0
+    timeout_s: float = 900.0
+    trace_signals: bool = False
+    use_host_protocol: bool = False
+    route_all_through_fpga: bool = False
+    label: str = ""
+    cacheable: bool = False
+
+    def content_key(self) -> str:
+        """Stable digest of everything that determines the session outcome.
+
+        ``label`` and ``cacheable`` are presentation/policy, not physics, so
+        they are deliberately excluded: two specs that print the same thing
+        share a key no matter how their experiments name them.
+        """
+        digest = hashlib.sha256()
+        for line in map(write_line, self.program):
+            digest.update(line.encode())
+            digest.update(b"\n")
+        digest.update(repr(self.config).encode())
+        params = sorted((str(k), repr(v)) for k, v in self.trojan_params.items())
+        digest.update(
+            repr(
+                (
+                    self.noise_sigma,
+                    self.noise_seed,
+                    self.trojan_id,
+                    params,
+                    self.trojan_seed,
+                    self.uart_period_ms,
+                    self.grace_s,
+                    self.timeout_s,
+                    self.trace_signals,
+                    self.use_host_protocol,
+                    self.route_all_through_fpga,
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+
+@dataclass
+class SessionSummary:
+    """The picklable reduction of a :class:`SessionResult`.
+
+    Carries every quantity the experiment scorers read, with live
+    simulator-bound objects (firmware, plant, boards) reduced to their
+    observable outcomes.
+    """
+
+    label: str
+    spec_key: str
+    status: PrinterStatus
+    kill_reason: Optional[str]
+    timed_out: bool
+    duration_s: float
+    events_dispatched: int
+    transactions: List[Transaction]
+    final_counts: Dict[str, int]
+    missed_steps: int
+    trace: PartTrace
+    mean_fan_duty: float
+    hotend_peak_c: float
+    hotend_damaged: bool
+    bed_peak_c: float
+    bed_damaged: bool
+    trojan_id: Optional[str] = None
+    trojan_category: Optional[str] = None
+    trojan_scenario: Optional[str] = None
+    trojan_effect: Optional[str] = None
+    trojan_stats: Dict[str, float] = field(default_factory=dict)
+    tracer: Optional[Tracer] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status is PrinterStatus.DONE
+
+    @property
+    def killed(self) -> bool:
+        return self.status is PrinterStatus.KILLED
+
+    @property
+    def capture(self) -> PulseCapture:
+        """The transaction stream rebuilt as a :class:`PulseCapture`."""
+        cached = getattr(self, "_capture", None)
+        if cached is None:
+            cached = PulseCapture()
+            for transaction in self.transactions:
+                cached.append(transaction)
+            self._capture = cached
+        return cached
+
+    def relabeled(self, label: str) -> "SessionSummary":
+        """A shallow copy under another label (data is shared, read-only)."""
+        clone = copy.copy(self)
+        clone.label = label
+        return clone
+
+
+def _trojan_counters(trojan) -> Dict[str, float]:
+    """Harvest a Trojan's public numeric counters (shifts_injected, ...).
+
+    Collects both instance attributes and numeric class properties (e.g.
+    T4's ``layer_events_seen``), so scorers can read every counter from the
+    summary without the live object.
+    """
+    counters = {
+        name: value
+        for name, value in vars(trojan).items()
+        if not name.startswith("_") and isinstance(value, (bool, int, float))
+    }
+    for name in dir(type(trojan)):
+        if name.startswith("_") or name in counters:
+            continue
+        if isinstance(getattr(type(trojan), name), property):
+            value = getattr(trojan, name)
+            if isinstance(value, (bool, int, float)):
+                counters[name] = value
+    return counters
+
+
+def summarize_result(
+    result: SessionResult, label: str = "", spec_key: str = ""
+) -> SessionSummary:
+    """Reduce a live :class:`SessionResult` to its picklable summary."""
+    summary = SessionSummary(
+        label=label,
+        spec_key=spec_key,
+        status=result.status,
+        kill_reason=result.kill_reason,
+        timed_out=result.timed_out,
+        duration_s=result.duration_s,
+        events_dispatched=result.events_dispatched,
+        transactions=list(result.capture.transactions),
+        final_counts=result.final_counts(),
+        missed_steps=result.missed_steps,
+        trace=result.plant.trace,
+        mean_fan_duty=result.plant.mean_fan_duty(),
+        hotend_peak_c=result.plant.hotend.peak_temp_c,
+        hotend_damaged=result.plant.hotend.damaged,
+        bed_peak_c=result.plant.bed.peak_temp_c,
+        bed_damaged=result.plant.bed.damaged,
+        tracer=result.tracer,
+    )
+    if result.trojan is not None:
+        trojan = result.trojan
+        summary.trojan_id = trojan.trojan_id
+        summary.trojan_category = trojan.category.value
+        summary.trojan_scenario = trojan.scenario
+        summary.trojan_effect = trojan.effect
+        summary.trojan_stats = _trojan_counters(trojan)
+    return summary
+
+
+def execute_spec(spec: SessionSpec) -> SessionResult:
+    """Build the bench described by ``spec`` and run it (in this process)."""
+    config = spec.config or MarlinConfig()
+    if spec.noise_sigma > 0:
+        config = config.with_noise(spec.noise_sigma, spec.noise_seed)
+    trojan = None
+    if spec.trojan_id is not None:
+        trojan = make_trojan(spec.trojan_id, **dict(spec.trojan_params))
+    session = PrintSession(
+        spec.program,
+        config=config,
+        trojan=trojan,
+        trojan_seed=spec.trojan_seed,
+        uart_period_ms=spec.uart_period_ms,
+        trace_signals=spec.trace_signals,
+        use_host_protocol=spec.use_host_protocol,
+    )
+    if spec.route_all_through_fpga:
+        session.board.route_through_fpga(
+            name
+            for name in session.harness.paths
+            if session.harness.path(name).spec.direction.value == "a2r"
+        )
+    return session.run(timeout_s=spec.timeout_s, grace_s=spec.grace_s)
+
+
+def _execute_to_summary(spec: SessionSpec) -> SessionSummary:
+    """Worker entry point: run one spec, return its summary (picklable)."""
+    return summarize_result(
+        execute_spec(spec), label=spec.label, spec_key=spec.content_key()
+    )
+
+
+class GoldenPrintCache:
+    """Content-keyed store of completed session summaries.
+
+    Keyed by :meth:`SessionSpec.content_key`, so any two experiments that
+    print the same program under the same conditions share one simulation.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SessionSummary] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[SessionSummary]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, summary: SessionSummary) -> None:
+        self._entries[key] = summary
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_SHARED_CACHE = GoldenPrintCache()
+
+CacheOption = Union[None, bool, GoldenPrintCache]
+
+
+def shared_cache() -> GoldenPrintCache:
+    """The process-wide cache used when callers pass ``cache=True``."""
+    return _SHARED_CACHE
+
+
+def resolve_cache(cache: CacheOption) -> Optional[GoldenPrintCache]:
+    """Normalize the user-facing cache option to a cache instance (or None)."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return _SHARED_CACHE
+    return cache
+
+
+class BatchRunner:
+    """Execute a batch of :class:`SessionSpec` across worker processes.
+
+    ``workers=1`` (the default) runs everything serially in-process —
+    the fallback that keeps results bit-identical and debuggable.
+    ``workers=None`` (or ``0``) uses one worker per CPU. Identical specs within a
+    batch are computed once regardless of worker count, and specs marked
+    ``cacheable`` consult/populate the given :class:`GoldenPrintCache`
+    across batches.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache: CacheOption = None,
+    ) -> None:
+        if not workers:  # None or 0: one worker per CPU
+            workers = os.cpu_count() or 1
+        self.workers = max(1, workers)
+        self.cache = resolve_cache(cache)
+
+    def run(self, specs: Sequence[SessionSpec]) -> List[SessionSummary]:
+        """Run all specs; returns summaries in the order specs were given."""
+        keys = [spec.content_key() for spec in specs]
+        results: Dict[str, SessionSummary] = {}
+
+        # A key is cache-eligible if ANY spec carrying it opts in, so the
+        # outcome doesn't depend on which duplicate happens to come first.
+        cacheable_keys = {
+            key for key, spec in zip(keys, specs) if spec.cacheable
+        }
+
+        pending: List[Tuple[str, SessionSpec]] = []
+        seen = set()
+        for key, spec in zip(keys, specs):
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.cache is not None and key in cacheable_keys:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[key] = hit
+                    continue
+            pending.append((key, spec))
+
+        if self.workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            ) as pool:
+                summaries = list(
+                    pool.map(_execute_to_summary, [spec for _, spec in pending])
+                )
+        else:
+            summaries = [_execute_to_summary(spec) for _, spec in pending]
+
+        for (key, spec), summary in zip(pending, summaries):
+            results[key] = summary
+            if self.cache is not None and key in cacheable_keys:
+                self.cache.put(key, summary)
+
+        out: List[SessionSummary] = []
+        for key, spec in zip(keys, specs):
+            summary = results[key]
+            if summary.label != spec.label:
+                # A dedup/cache hit served this slot under another label;
+                # report it under the label this spec asked for.
+                summary = summary.relabeled(spec.label)
+            out.append(summary)
+        return out
+
+
+def run_sessions(
+    specs: Sequence[SessionSpec],
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
+) -> List[SessionSummary]:
+    """Convenience wrapper: one batch through a fresh :class:`BatchRunner`."""
+    return BatchRunner(workers=workers, cache=cache).run(specs)

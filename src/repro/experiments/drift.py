@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analysis.drift import DriftStats, drift_between
-from repro.experiments.runner import run_print
+from repro.experiments.batch import CacheOption, SessionSpec, run_sessions
 from repro.experiments.workloads import sliced_program, standard_part
 from repro.gcode.ast import GcodeProgram
 
@@ -56,18 +56,34 @@ def run_drift(
     noise_sigma: float = 0.0005,
     repeats: int = 4,
     base_seed: int = 7000,
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
 ) -> DriftExperiment:
-    """Print the same good part ``repeats`` times; measure pairwise drift."""
+    """Print the same good part ``repeats`` times; measure pairwise drift.
+
+    The repeats are independent noise realizations of the same print, so
+    they batch perfectly: ``workers>1`` runs them concurrently.
+    """
     if program is None:
         program = sliced_program(standard_part())
     seeds = [base_seed + i for i in range(repeats)]
-    captures = [
-        run_print(program, noise_sigma=noise_sigma, noise_seed=seed).capture
-        for seed in seeds
-    ]
+    summaries = run_sessions(
+        [
+            SessionSpec(
+                program=program,
+                noise_sigma=noise_sigma,
+                noise_seed=seed,
+                label=f"seed{seed}",
+                cacheable=True,
+            )
+            for seed in seeds
+        ],
+        workers=workers,
+        cache=cache,
+    )
     stats = [
-        drift_between(captures[i].transactions, captures[j].transactions)
-        for i in range(len(captures))
-        for j in range(i + 1, len(captures))
+        drift_between(summaries[i].transactions, summaries[j].transactions)
+        for i in range(len(summaries))
+        for j in range(i + 1, len(summaries))
     ]
     return DriftExperiment(stats=stats, seeds=seeds, noise_sigma=noise_sigma)

@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.detection.comparator import CaptureComparator
 from repro.detection.report import DetectionReport
-from repro.experiments.runner import run_print
+from repro.experiments.batch import CacheOption, SessionSpec, run_sessions
 from repro.experiments.workloads import sliced_program, standard_part
 from repro.experiments.table2 import DEFAULT_NOISE_SIGMA, GOLDEN_SEED
 from repro.gcode.ast import GcodeProgram
@@ -51,28 +51,48 @@ def run_figure4(
     program: Optional[GcodeProgram] = None,
     relocation_period: int = 20,
     noise_sigma: float = DEFAULT_NOISE_SIGMA,
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
 ) -> Figure4Output:
     """Regenerate Figure 4 (relocation Trojan, period 20 by default)."""
     if program is None:
         program = sliced_program(standard_part())
-    golden = run_print(program, noise_sigma=noise_sigma, noise_seed=GOLDEN_SEED)
     trojaned_program = Flaw3dRelocation(relocation_period).apply(program)
-    suspect = run_print(trojaned_program, noise_sigma=noise_sigma, noise_seed=2042)
+    golden, suspect = run_sessions(
+        [
+            SessionSpec(
+                program=program,
+                noise_sigma=noise_sigma,
+                noise_seed=GOLDEN_SEED,
+                label="golden",
+                cacheable=True,
+            ),
+            SessionSpec(
+                program=trojaned_program,
+                noise_sigma=noise_sigma,
+                noise_seed=2042,
+                label=f"relocate{relocation_period}",
+            ),
+        ],
+        workers=workers,
+        cache=cache,
+    )
+    golden_capture, suspect_capture = golden.capture, suspect.capture
 
     comparator = CaptureComparator()
-    report = comparator.compare_captures(golden.capture, suspect.capture)
+    report = comparator.compare_captures(golden_capture, suspect_capture)
 
     # Centre the excerpt on the first mismatch (mid-print, like the paper's).
     if report.mismatches:
         start = max(1, report.mismatches[0].index - 1)
     else:
-        start = max(1, len(golden.capture) // 2)
-    golden_rows = golden.capture.excerpt(start, EXCERPT_ROWS)
-    suspect_rows = suspect.capture.excerpt(start, EXCERPT_ROWS)
+        start = max(1, len(golden_capture) // 2)
+    golden_rows = golden_capture.excerpt(start, EXCERPT_ROWS)
+    suspect_rows = suspect_capture.excerpt(start, EXCERPT_ROWS)
 
     return Figure4Output(
-        golden_excerpt=golden.capture.render(golden_rows),
-        trojan_excerpt=suspect.capture.render(suspect_rows),
+        golden_excerpt=golden_capture.render(golden_rows),
+        trojan_excerpt=suspect_capture.render(suspect_rows),
         detector_output=report.render(max_mismatch_lines=2),
         report=report,
     )

@@ -16,8 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.analysis.overhead import OverheadReport, analyze_overhead
-from repro.core.board import JumperMode
-from repro.experiments.runner import PrintSession, run_print
+from repro.experiments.batch import CacheOption, SessionSpec, run_sessions
 from repro.experiments.workloads import sliced_program, tiny_part
 from repro.gcode.ast import GcodeProgram
 
@@ -55,28 +54,34 @@ class OverheadExperiment:
         return "\n".join(lines)
 
 
-def run_overhead(program: Optional[GcodeProgram] = None) -> OverheadExperiment:
-    """Run the overhead experiment on the tiny workload."""
+def run_overhead(
+    program: Optional[GcodeProgram] = None,
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
+) -> OverheadExperiment:
+    """Run the overhead experiment on the tiny workload.
+
+    Both halves — the traced bypass print (delay budget) and the print with
+    every control signal routed through the fabric — are declared as specs
+    and submitted as one batch.
+    """
     if program is None:
         program = sliced_program(tiny_part())
 
-    # Half 1: traced bypass print for the delay budget.
-    traced = run_print(program, trace_signals=True)
-    report = analyze_overhead(traced.tracer)
-
-    # Half 2: identical print with every control signal through the fabric.
-    mitm_session = PrintSession(program)
-    mitm_session.board.route_through_fpga(
-        name
-        for name in mitm_session.harness.paths
-        if mitm_session.harness.path(name).spec.direction.value == "a2r"
+    traced, mitm = run_sessions(
+        [
+            SessionSpec(program=program, trace_signals=True, label="bypass"),
+            SessionSpec(program=program, route_all_through_fpga=True, label="mitm"),
+        ],
+        workers=workers,
+        cache=cache,
     )
-    mitm = mitm_session.run()
+    report = analyze_overhead(traced.tracer)
 
     return OverheadExperiment(
         report=report,
-        bypass_counts=traced.final_counts(),
-        mitm_counts=mitm.final_counts(),
+        bypass_counts=traced.final_counts,
+        mitm_counts=mitm.final_counts,
         bypass_completed=traced.completed,
         mitm_completed=mitm.completed,
     )

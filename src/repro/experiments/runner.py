@@ -67,6 +67,10 @@ class SessionResult:
         return self.status is PrinterStatus.KILLED
 
     @property
+    def timed_out(self) -> bool:
+        return self.status is PrinterStatus.TIMED_OUT
+
+    @property
     def missed_steps(self) -> int:
         return self.ramps.total_missed_steps()
 
@@ -160,6 +164,10 @@ class PrintSession:
         chunk = 500 * MS
         while not self.firmware.finished and self.sim.now < deadline:
             self.sim.run_for(chunk)
+        if not self.firmware.finished:
+            # Surface the deadline distinctly: a print still PRINTING here
+            # has exhausted its budget, not completed or been killed.
+            self.firmware.timeout(f"print timed out after {timeout_s:g}s")
         self.sim.run_for(int(grace_s * S))
 
         duration_s = self.sim.now / 1e9

@@ -24,8 +24,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.trojans import make_trojan
+from repro.experiments.batch import (
+    CacheOption,
+    SessionSpec,
+    SessionSummary,
+    run_sessions,
+)
 from repro.experiments.runner import SessionResult, run_print
 from repro.experiments.workloads import sliced_program, table1_part
+from repro.gcode.ast import GcodeProgram
 from repro.physics.quality import PartQualityReport, compare_traces
 
 
@@ -68,12 +75,34 @@ def _grace_s(trojan_id: str) -> float:
     return 40.0 if trojan_id == "T7" else 1.0
 
 
+def table1_spec(
+    trojan_id: Optional[str],
+    program: GcodeProgram,
+    seed: int = 42,
+) -> SessionSpec:
+    """The Table I session for one Trojan (None = golden T0) as a spec."""
+    if trojan_id is None:
+        return SessionSpec(program=program, label="T0", cacheable=True)
+    return SessionSpec(
+        program=program,
+        trojan_id=trojan_id,
+        trojan_params=_trojan_params(trojan_id),
+        trojan_seed=seed,
+        grace_s=_grace_s(trojan_id),
+        label=trojan_id,
+    )
+
+
 def run_trojan_session(
     trojan_id: Optional[str],
     program=None,
     seed: int = 42,
 ) -> SessionResult:
-    """Run the Table I workload with one Trojan enabled (None = golden T0)."""
+    """Run the Table I workload with one Trojan enabled (None = golden T0).
+
+    Returns the live :class:`SessionResult`; the batched Table I pipeline
+    itself goes through :func:`table1_spec` + :func:`run_sessions`.
+    """
     if program is None:
         program = sliced_program(table1_part())
     trojan = None
@@ -86,18 +115,18 @@ def run_trojan_session(
 
 def _score(
     trojan_id: str,
-    golden: SessionResult,
-    result: SessionResult,
+    golden: SessionSummary,
+    result: SessionSummary,
     quality: PartQualityReport,
 ) -> Table1Row:
-    trojan = result.trojan
+    stat = result.trojan_stats.get
     observed = ""
     manifested = False
 
     if trojan_id == "T1":
-        manifested = quality.geometry_compromised and trojan.shifts_injected > 0
+        manifested = quality.geometry_compromised and stat("shifts_injected", 0) > 0
         observed = (
-            f"{trojan.shifts_injected} shifts ({trojan.steps_injected} extra steps); "
+            f"{stat('shifts_injected', 0)} shifts ({stat('steps_injected', 0)} extra steps); "
             f"max centroid dev {quality.max_centroid_shift_mm:.2f}mm, "
             f"bbox growth {quality.max_bbox_growth_mm:.2f}mm"
         )
@@ -105,18 +134,18 @@ def _score(
         manifested = 0.4 <= quality.flow_ratio <= 0.6
         observed = (
             f"flow ratio {quality.flow_ratio:.2f} "
-            f"({trojan.pulses_masked} extruder pulses masked)"
+            f"({stat('pulses_masked', 0)} extruder pulses masked)"
         )
     elif trojan_id == "T3":
-        manifested = quality.flow_ratio > 1.1 and trojan.retraction_pulses_affected > 0
+        manifested = quality.flow_ratio > 1.1 and stat("retraction_pulses_affected", 0) > 0
         observed = (
             f"flow ratio {quality.flow_ratio:.2f} (over-extrusion), "
-            f"{trojan.retraction_pulses_affected} retraction pulses dropped"
+            f"{stat('retraction_pulses_affected', 0)} retraction pulses dropped"
         )
     elif trojan_id == "T4":
-        manifested = quality.max_centroid_shift_mm > 0.2 and trojan.shifts_injected > 0
+        manifested = quality.max_centroid_shift_mm > 0.2 and stat("shifts_injected", 0) > 0
         observed = (
-            f"{trojan.shifts_injected}/{trojan.layer_events_seen} layers shifted; "
+            f"{stat('shifts_injected', 0)}/{stat('layer_events_seen', 0)} layers shifted; "
             f"max centroid dev {quality.max_centroid_shift_mm:.2f}mm"
         )
     elif trojan_id == "T5":
@@ -133,28 +162,27 @@ def _score(
             f"{quality.layer_count_suspect} layers printed"
         )
     elif trojan_id == "T7":
-        hotend = result.plant.hotend
         manifested = (
             result.killed
-            and hotend.damaged
-            and hotend.peak_temp_c > 260.0
+            and result.hotend_damaged
+            and result.hotend_peak_c > 260.0
         )
         observed = (
             f"firmware: {result.kill_reason or 'no kill'}; hotend peaked "
-            f"{hotend.peak_temp_c:.0f}C "
-            f"({'damage recorded' if hotend.damaged else 'no damage'})"
+            f"{result.hotend_peak_c:.0f}C "
+            f"({'damage recorded' if result.hotend_damaged else 'no damage'})"
         )
     elif trojan_id == "T8":
         manifested = result.missed_steps > 0 and quality.geometry_compromised
         observed = (
-            f"{result.missed_steps} pulses lost over {trojan.outages} outages; "
+            f"{result.missed_steps} pulses lost over {stat('outages', 0)} outages; "
             f"max centroid dev {quality.max_centroid_shift_mm:.2f}mm"
         )
     elif trojan_id == "T9":
-        golden_fan = golden.plant.mean_fan_duty()
-        suspect_fan = result.plant.mean_fan_duty()
+        golden_fan = golden.mean_fan_duty
+        suspect_fan = result.mean_fan_duty
         ratio = suspect_fan / golden_fan if golden_fan > 0 else 1.0
-        manifested = trojan.engagements > 0 and ratio < 0.6
+        manifested = stat("engagements", 0) > 0 and ratio < 0.6
         observed = (
             f"mean fan duty {suspect_fan:.2f} vs golden {golden_fan:.2f} "
             f"(ratio {ratio:.2f})"
@@ -162,19 +190,34 @@ def _score(
 
     return Table1Row(
         trojan_id=trojan_id,
-        category=trojan.category.value,
-        scenario=trojan.scenario,
-        effect=trojan.effect,
+        category=result.trojan_category or "?",
+        scenario=result.trojan_scenario or "",
+        effect=result.trojan_effect or "",
         observed=observed,
         manifested=manifested,
     )
 
 
-def run_table1(seed: int = 42) -> List[Table1Row]:
-    """Run the full Table I evaluation; returns one row per Trojan."""
+TROJAN_IDS = ("T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9")
+
+
+def run_table1(
+    seed: int = 42,
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
+) -> List[Table1Row]:
+    """Run the full Table I evaluation; returns one row per Trojan.
+
+    All ten sessions (golden + T1–T9) are declared as specs and submitted
+    as one batch; ``workers>1`` fans them across processes.
+    """
     program = sliced_program(table1_part())
-    golden = run_trojan_session(None, program=program, seed=seed)
-    golden_quality = compare_traces(golden.plant.trace, golden.plant.trace)
+    specs = [table1_spec(None, program, seed)] + [
+        table1_spec(trojan_id, program, seed) for trojan_id in TROJAN_IDS
+    ]
+    summaries = run_sessions(specs, workers=workers, cache=cache)
+    golden = summaries[0]
+    golden_quality = compare_traces(golden.trace, golden.trace)
 
     rows: List[Table1Row] = [
         Table1Row(
@@ -190,10 +233,9 @@ def run_table1(seed: int = 42) -> List[Table1Row]:
             manifested=golden.completed and golden_quality.nominal,
         )
     ]
-    for trojan_id in ("T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"):
-        result = run_trojan_session(trojan_id, program=program, seed=seed)
-        quality = compare_traces(golden.plant.trace, result.plant.trace)
-        rows.append(_score(trojan_id, golden, result, quality))
+    for trojan_id, summary in zip(TROJAN_IDS, summaries[1:]):
+        quality = compare_traces(golden.trace, summary.trace)
+        rows.append(_score(trojan_id, golden, summary, quality))
     return rows
 
 

@@ -16,7 +16,12 @@ from typing import List, Optional
 
 from repro.detection.comparator import CaptureComparator
 from repro.detection.report import DetectionReport
-from repro.experiments.runner import SessionResult, run_print
+from repro.experiments.batch import (
+    CacheOption,
+    SessionSpec,
+    SessionSummary,
+    run_sessions,
+)
 from repro.experiments.workloads import dense_part, dense_profile, sliced_program
 from repro.gcode.ast import GcodeProgram
 from repro.gcode.transforms.flaw3d import table2_test_cases
@@ -53,7 +58,7 @@ class Table2Result:
 
     rows: List[Table2Row]
     control_report: DetectionReport
-    golden: SessionResult
+    golden: SessionSummary
 
     @property
     def all_detected(self) -> bool:
@@ -81,37 +86,56 @@ def run_table2(
     noise_sigma: float = DEFAULT_NOISE_SIGMA,
     margin: float = 0.05,
     uart_period_ms: int = 100,
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
 ) -> Table2Result:
-    """Run the full Table II evaluation."""
+    """Run the full Table II evaluation.
+
+    All ten prints (golden, control, eight Flaw3D suspects) are declared as
+    specs and submitted as one batch; ``workers>1`` fans them across
+    processes.
+    """
     if program is None:
         # The dense workload: period-100 relocation must get to fire several
         # times, as it did over the paper's much longer prints.
         program = sliced_program(dense_part(), dense_profile())
     comparator = CaptureComparator(margin=margin)
 
-    golden = run_print(
-        program,
-        noise_sigma=noise_sigma,
-        noise_seed=GOLDEN_SEED,
-        uart_period_ms=uart_period_ms,
-    )
-    control = run_print(
-        program,
-        noise_sigma=noise_sigma,
-        noise_seed=CONTROL_SEED,
-        uart_period_ms=uart_period_ms,
-    )
+    cases = list(table2_test_cases())
+    specs = [
+        SessionSpec(
+            program=program,
+            noise_sigma=noise_sigma,
+            noise_seed=GOLDEN_SEED,
+            uart_period_ms=uart_period_ms,
+            label="golden",
+            cacheable=True,
+        ),
+        SessionSpec(
+            program=program,
+            noise_sigma=noise_sigma,
+            noise_seed=CONTROL_SEED,
+            uart_period_ms=uart_period_ms,
+            label="control",
+            cacheable=True,
+        ),
+    ]
+    for case, transform in cases:
+        specs.append(
+            SessionSpec(
+                program=transform.apply(program),
+                noise_sigma=noise_sigma,
+                noise_seed=2000 + case,
+                uart_period_ms=uart_period_ms,
+                label=f"case{case}:{transform.label}",
+            )
+        )
+    summaries = run_sessions(specs, workers=workers, cache=cache)
+    golden, control = summaries[0], summaries[1]
     control_report = comparator.compare_captures(golden.capture, control.capture)
 
     rows: List[Table2Row] = []
-    for case, transform in table2_test_cases():
-        modified = transform.apply(program)
-        suspect = run_print(
-            modified,
-            noise_sigma=noise_sigma,
-            noise_seed=2000 + case,
-            uart_period_ms=uart_period_ms,
-        )
+    for (case, transform), suspect in zip(cases, summaries[2:]):
         report = comparator.compare_captures(golden.capture, suspect.capture)
         trojan_type = "Reduction" if "reduction" in transform.label else "Relocation"
         value = (

@@ -37,6 +37,7 @@ class PrinterStatus(enum.Enum):
     PRINTING = "printing"
     DONE = "done"
     KILLED = "killed"
+    TIMED_OUT = "timed_out"
 
 
 class MarlinFirmware:
@@ -146,8 +147,10 @@ class MarlinFirmware:
         """Begin pulling commands from an arbitrary source iterator."""
         if self.status is PrinterStatus.PRINTING:
             raise FirmwareError("already printing")
-        if self.status is PrinterStatus.KILLED:
-            raise FirmwareError("printer is killed; reset required")
+        if self.status in (PrinterStatus.KILLED, PrinterStatus.TIMED_OUT):
+            raise FirmwareError(
+                f"printer is halted ({self.status.value}); reset required"
+            )
         self.power_on()
         self._source = source
         self.status = PrinterStatus.PRINTING
@@ -155,7 +158,11 @@ class MarlinFirmware:
 
     @property
     def finished(self) -> bool:
-        return self.status in (PrinterStatus.DONE, PrinterStatus.KILLED)
+        return self.status in (
+            PrinterStatus.DONE,
+            PrinterStatus.KILLED,
+            PrinterStatus.TIMED_OUT,
+        )
 
     def kill(self, reason: str) -> None:
         """Marlin ``kill()``: halt everything the firmware controls."""
@@ -177,6 +184,29 @@ class MarlinFirmware:
             self._wait_task = None
         for callback in list(self.on_kill):
             callback(reason)
+
+    def timeout(self, reason: str) -> None:
+        """Abort a print that exceeded its simulation-time budget.
+
+        Same physical teardown as :meth:`kill` but with a distinct status,
+        so callers can tell a protection-fault halt (a Trojan effect) from a
+        harness-imposed deadline; ``on_kill`` hooks are not invoked.
+        """
+        if self.finished:
+            return
+        self.status = PrinterStatus.TIMED_OUT
+        self.kill_reason = reason
+        self._log(f"Error: {reason}")
+        self.stepper.abort()
+        self.planner.clear()
+        self.stepper.disable_steppers()
+        for heater in (self.hotend, self.bed):
+            heater.target_c = 0.0
+            heater.gate.drive(0.0)
+        self._fan_gate.drive(0.0)
+        if self._wait_task is not None:
+            self._wait_task.cancel()
+            self._wait_task = None
 
     # ------------------------------------------------------------------
     # Command pump

@@ -145,7 +145,11 @@ class Simulator:
 
         When ``until_ns`` is given, every event with ``time <= until_ns`` is
         dispatched and the clock is then advanced to exactly ``until_ns`` so
-        periodic processes resumed later see a consistent time base.
+        periodic processes resumed later see a consistent time base. The
+        clock is only advanced when the window truly drained: if ``stop()``
+        or a ``max_events`` cap leaves events pending at or before
+        ``until_ns``, the clock stays at the last dispatch so those events
+        can still fire in order on the next call.
 
         Returns the number of events dispatched by this call.
         """
@@ -169,10 +173,18 @@ class Simulator:
                 self.step()
                 dispatched += 1
             if until_ns is not None and self._now < until_ns and not self._stop_requested:
-                self._now = until_ns
+                next_time = self._next_pending_time()
+                if next_time is None or next_time > until_ns:
+                    self._now = until_ns
         finally:
             self._running = False
         return dispatched
+
+    def _next_pending_time(self) -> Optional[int]:
+        """Timestamp of the next runnable event, pruning cancelled heads."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time_ns if self._queue else None
 
     def run_for(self, duration_ns: int, max_events: Optional[int] = None) -> int:
         """Run for ``duration_ns`` of simulated time from now."""

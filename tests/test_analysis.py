@@ -80,3 +80,45 @@ class TestDriftStats:
     def test_render(self):
         a = _txns([(1000, 1000, 100, 5000)])
         assert "drift over 1 transactions" in drift_between(a, a).render()
+
+    def test_single_transaction_captures(self):
+        # One transaction per capture: one comparison, and the "final"
+        # totals check runs against that same lone transaction.
+        a = _txns([(10_000, 0, 0, 10_000)])
+        b = _txns([(10_100, 0, 0, 10_000)])
+        stats = drift_between(a, b)
+        assert stats.transactions_compared == 1
+        assert stats.max_percent == pytest.approx(1.0)
+        assert stats.p99_percent <= stats.max_percent
+        assert not stats.final_totals_equal  # lone X values differ
+
+    def test_mismatched_lengths_compare_common_prefix(self):
+        a = _txns([(1000, 0, 0, 1000), (2000, 0, 0, 2000), (3000, 0, 0, 3000)])
+        b = _txns([(1000, 0, 0, 1000)])
+        stats = drift_between(a, b)
+        assert stats.transactions_compared == 1
+        assert stats.max_percent == 0.0
+        # Final totals compare the *last* entries of each capture, which
+        # differ when one print ran longer.
+        assert not stats.final_totals_equal
+
+    def test_mismatched_lengths_with_equal_endpoints(self):
+        a = _txns([(1000, 0, 0, 1000), (3000, 0, 0, 3000)])
+        b = _txns([(1000, 0, 0, 1000), (2000, 0, 0, 2000), (3000, 0, 0, 3000)])
+        assert drift_between(a, b).final_totals_equal
+
+    def test_floor_steps_bounds_small_count_blowup(self):
+        # A 10-step absolute difference on a tiny count would be a huge
+        # relative error; the floor denominator keeps it proportionate.
+        a = _txns([(10, 0, 0, 0)])
+        b = _txns([(20, 0, 0, 0)])
+        floored = drift_between(a, b, floor_steps=400)
+        assert floored.max_percent == pytest.approx(10 / 400 * 100.0)
+        unfloored = drift_between(a, b, floor_steps=1)
+        assert unfloored.max_percent == pytest.approx(100.0)
+
+    def test_both_empty_rejected(self):
+        with pytest.raises(DetectionError):
+            drift_between([], [])
+        with pytest.raises(DetectionError):
+            drift_between(_txns([(1, 1, 1, 1)]), [])

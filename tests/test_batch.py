@@ -1,0 +1,150 @@
+"""BatchRunner tests: spec keying, dedup, cache, and serial/parallel parity."""
+
+import pytest
+
+from repro.experiments.batch import (
+    BatchRunner,
+    GoldenPrintCache,
+    SessionSpec,
+    execute_spec,
+    run_sessions,
+    shared_cache,
+    summarize_result,
+)
+from repro.firmware.marlin import PrinterStatus
+
+
+def _spec(tiny_program, **overrides):
+    defaults = dict(program=tiny_program, noise_sigma=0.0005, noise_seed=11)
+    defaults.update(overrides)
+    return SessionSpec(**defaults)
+
+
+class TestSessionSpecKeys:
+    def test_key_is_stable(self, tiny_program):
+        assert _spec(tiny_program).content_key() == _spec(tiny_program).content_key()
+
+    def test_key_changes_with_physics_fields(self, tiny_program):
+        base = _spec(tiny_program).content_key()
+        assert _spec(tiny_program, noise_seed=12).content_key() != base
+        assert _spec(tiny_program, uart_period_ms=50).content_key() != base
+        assert _spec(tiny_program, trojan_id="T2").content_key() != base
+        assert (
+            _spec(tiny_program, trojan_id="T2", trojan_params={"keep_fraction": 0.7}).content_key()
+            != _spec(tiny_program, trojan_id="T2").content_key()
+        )
+
+    def test_key_ignores_presentation_fields(self, tiny_program):
+        assert (
+            _spec(tiny_program, label="a", cacheable=True).content_key()
+            == _spec(tiny_program, label="b").content_key()
+        )
+
+    def test_key_changes_with_program(self, standard_program, tiny_program):
+        assert _spec(tiny_program).content_key() != _spec(standard_program).content_key()
+
+
+class TestSummaryFidelity:
+    def test_summary_matches_live_result(self, tiny_program):
+        spec = _spec(tiny_program, label="golden")
+        result = execute_spec(spec)
+        summary = summarize_result(result, label="golden", spec_key=spec.content_key())
+        assert summary.status is result.status
+        assert summary.completed == result.completed
+        assert summary.final_counts == result.final_counts()
+        assert summary.transactions == result.capture.transactions
+        assert summary.capture.transactions == result.capture.transactions
+        assert summary.trace is result.plant.trace
+        assert summary.missed_steps == result.missed_steps
+
+    def test_trojan_counters_harvested(self, tiny_program):
+        spec = _spec(tiny_program, trojan_id="T2", trojan_params={"keep_fraction": 0.5})
+        summary = run_sessions([spec])[0]
+        assert summary.trojan_id == "T2"
+        assert summary.trojan_category == "PM"
+        assert summary.trojan_stats.get("pulses_masked", 0) > 0
+
+
+class TestBatchRunner:
+    def test_serial_batch_preserves_order_and_labels(self, tiny_program):
+        specs = [
+            _spec(tiny_program, noise_seed=21, label="first"),
+            _spec(tiny_program, noise_seed=22, label="second"),
+        ]
+        summaries = run_sessions(specs)
+        assert [s.label for s in summaries] == ["first", "second"]
+        assert all(s.completed for s in summaries)
+        assert summaries[0].transactions != summaries[1].transactions
+
+    def test_identical_specs_deduplicated(self, tiny_program):
+        cache = GoldenPrintCache()
+        specs = [
+            _spec(tiny_program, label="a", cacheable=True),
+            _spec(tiny_program, label="b", cacheable=True),
+        ]
+        summaries = BatchRunner(workers=1, cache=cache).run(specs)
+        assert len(cache) == 1  # computed once
+        assert summaries[0].transactions == summaries[1].transactions
+        assert [s.label for s in summaries] == ["a", "b"]
+
+    def test_cache_hit_across_batches(self, tiny_program):
+        cache = GoldenPrintCache()
+        spec = _spec(tiny_program, cacheable=True)
+        first = BatchRunner(workers=1, cache=cache).run([spec])[0]
+        assert cache.hits == 0
+        second = BatchRunner(workers=1, cache=cache).run([spec])[0]
+        assert cache.hits == 1
+        assert second.transactions == first.transactions
+
+    def test_cache_participation_is_order_independent(self, tiny_program):
+        # Regression: a non-cacheable spec ahead of an identical cacheable
+        # one used to suppress both cache lookup and population.
+        cache = GoldenPrintCache()
+        specs = [
+            _spec(tiny_program, label="plain", cacheable=False),
+            _spec(tiny_program, label="golden", cacheable=True),
+        ]
+        BatchRunner(workers=1, cache=cache).run(specs)
+        assert len(cache) == 1  # populated despite the non-cacheable twin
+        BatchRunner(workers=1, cache=cache).run(specs)
+        assert cache.hits == 1  # and consulted on the next batch
+
+    def test_uncacheable_specs_bypass_cache(self, tiny_program):
+        cache = GoldenPrintCache()
+        spec = _spec(tiny_program, cacheable=False)
+        BatchRunner(workers=1, cache=cache).run([spec])
+        assert len(cache) == 0
+
+    def test_cache_true_resolves_to_shared_cache(self, tiny_program):
+        runner = BatchRunner(workers=1, cache=True)
+        assert runner.cache is shared_cache()
+
+    def test_parallel_matches_serial_exactly(self, tiny_program):
+        specs = [
+            _spec(tiny_program, noise_seed=31, label="golden"),
+            _spec(tiny_program, noise_seed=32, label="control"),
+        ]
+        serial = run_sessions(specs, workers=1)
+        parallel = run_sessions(specs, workers=2)
+        for s, p in zip(serial, parallel):
+            assert s.transactions == p.transactions
+            assert s.final_counts == p.final_counts
+            assert s.status is p.status
+            assert s.duration_s == p.duration_s
+            assert s.events_dispatched == p.events_dispatched
+
+    def test_timeout_propagates_through_batch(self, tiny_program):
+        summary = run_sessions([_spec(tiny_program, timeout_s=1.0)])[0]
+        assert summary.status is PrinterStatus.TIMED_OUT
+        assert summary.timed_out
+        assert not summary.completed
+
+    def test_route_through_fpga_spec(self, tiny_program):
+        bypass, mitm = run_sessions(
+            [
+                _spec(tiny_program, noise_sigma=0.0),
+                _spec(tiny_program, noise_sigma=0.0, route_all_through_fpga=True),
+            ]
+        )
+        assert bypass.completed and mitm.completed
+        assert bypass.final_counts == mitm.final_counts

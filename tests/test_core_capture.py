@@ -52,6 +52,21 @@ class TestPulseCapture:
     def test_empty_capture_final_is_none(self):
         assert PulseCapture().final is None
 
+    def test_append_advances_next_index(self):
+        # Regression: appending loaded transactions used to leave
+        # _next_index stale, so later bus frames reused indices.
+        bus = UartBus()
+        capture = PulseCapture(bus)
+        capture.append(Transaction(7, 1, 2, 3, 4))
+        bus.send(100, pack_step_counts(5, 6, 7, 8))
+        assert [t.index for t in capture] == [7, 8]
+
+    def test_append_never_rewinds_next_index(self):
+        capture = PulseCapture(start_index=10)
+        capture.append(Transaction(3, 0, 0, 0, 0))
+        capture._on_frame(50, pack_step_counts(1, 1, 1, 1))
+        assert capture.final.index == 10
+
 
 class TestCsvRoundTrip:
     def test_save_load(self, tmp_path):
@@ -62,6 +77,39 @@ class TestCsvRoundTrip:
         assert len(loaded) == 2
         assert loaded[0].x == 6060
         assert loaded[1].e == 52856
+
+    def test_roundtrip_preserves_time_ns(self, tmp_path):
+        # Regression: the round-trip used to zero all timestamps.
+        capture = PulseCapture()
+        capture.append(Transaction(1, 10, 20, 30, 40, time_ns=123_000_000))
+        capture.append(Transaction(2, 11, 21, 31, 41, time_ns=456_000_000))
+        path = tmp_path / "timed.csv"
+        save_capture_csv(capture, path)
+        loaded = load_capture_csv(path)
+        assert [t.time_ns for t in loaded] == [123_000_000, 456_000_000]
+
+    def test_bare_figure4_layout_still_loads(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        path.write_text("Index, X, Y, Z, E\n1, 2, 3, 4, 5\n")
+        loaded = load_capture_csv(path)
+        assert loaded[0].e == 5
+        assert loaded[0].time_ns == 0
+
+    def test_loaded_capture_continues_indexing(self, tmp_path):
+        capture = PulseCapture()
+        capture.append(Transaction(1, 1, 1, 1, 1))
+        capture.append(Transaction(2, 2, 2, 2, 2))
+        path = tmp_path / "cont.csv"
+        save_capture_csv(capture, path)
+        loaded = load_capture_csv(path)
+        loaded._on_frame(999, pack_step_counts(3, 3, 3, 3))
+        assert loaded.final.index == 3  # not a reused index
+
+    def test_save_without_time_matches_render(self, tmp_path):
+        capture = _capture_with([(1, 2, 3, 4)])
+        path = tmp_path / "bare_out.csv"
+        save_capture_csv(capture, path, include_time=False)
+        assert path.read_text() == "Index, X, Y, Z, E\n1, 1, 2, 3, 4\n"
 
     def test_negative_counts_roundtrip(self, tmp_path):
         capture = _capture_with([(-5, 0, -100, 7)])

@@ -70,6 +70,23 @@ class TestTable1Plumbing:
         assert "EFFECT CONFIRMED" in row.render()
 
 
+class TestSessionTimeout:
+    def test_timeout_surfaces_distinct_status(self, tiny_program):
+        from repro.experiments.runner import PrintSession
+        from repro.firmware.marlin import PrinterStatus
+
+        result = PrintSession(tiny_program).run(timeout_s=1.0)
+        assert result.status is PrinterStatus.TIMED_OUT
+        assert result.timed_out
+        assert not result.completed
+        assert not result.killed
+        assert "timed out" in (result.kill_reason or "")
+
+    def test_generous_timeout_still_completes(self, tiny_golden):
+        assert tiny_golden.completed
+        assert not tiny_golden.timed_out
+
+
 class TestFastExperimentPaths:
     def test_overhead_on_tiny_part(self, tiny_program):
         experiment = run_overhead(tiny_program)

@@ -119,6 +119,32 @@ class TestRunControl:
         assert dispatched == 3
         assert fired == [0, 1, 2]
 
+    def test_max_events_cap_does_not_advance_clock_past_pending(self, sim):
+        # Regression: run(until_ns=..., max_events=...) used to jump the
+        # clock to until_ns even when capped mid-window, so the next
+        # dispatch moved _now backwards.
+        times = []
+        for t in (10, 20, 30):
+            sim.schedule_at(t, lambda t=t: times.append(t))
+        dispatched = sim.run(until_ns=100, max_events=1)
+        assert dispatched == 1
+        assert sim.now == 10  # not 100: events at 20/30 are still pending
+        observed = []
+        sim.schedule_at(15, lambda: observed.append(sim.now))
+        sim.run(until_ns=100)
+        assert observed == [15]
+        assert times == [10, 20, 30]
+        assert sim.now == 100
+
+    def test_max_events_cap_with_only_cancelled_pending_advances(self, sim):
+        fired = []
+        sim.schedule_at(10, lambda: fired.append(10))
+        late = sim.schedule_at(50, lambda: fired.append(50))
+        late.cancel()
+        sim.run(until_ns=100, max_events=1)
+        assert fired == [10]
+        assert sim.now == 100  # nothing runnable remains inside the window
+
     def test_stop_from_callback(self, sim):
         fired = []
 
