@@ -1,0 +1,27 @@
+# Developer entry points. The repo has no third-party runtime deps;
+# ruff is optional (the lint target degrades to a syntax check without it).
+
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test lint bench sweep
+
+test:
+	python -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed (pip install ruff); falling back to a syntax check"; \
+		python -m compileall -q src tests benchmarks; \
+	fi
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+# sweep's nonzero exit means "detection gap reported", not "crash" — don't
+# fail the make run over it (the full grid has a known T9@tiny gap).
+sweep:
+	python -m repro sweep --grid full --workers 0 || \
+		echo "sweep exited $$? — a detection gap or false positive is reported above"

@@ -91,9 +91,35 @@ def bench_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
-def bench_cache() -> bool:
-    """Whether batched benchmarks use the shared golden-print cache."""
+def bench_cache_dir() -> str:
+    """Optional persistent golden-cache directory for benchmark runs."""
+    return os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+
+
+def bench_cache():
+    """The cache option batched benchmarks run under.
+
+    ``REPRO_BENCH_CACHE_DIR`` selects a persistent on-disk cache,
+    ``REPRO_BENCH_NO_CACHE=1`` disables caching, otherwise the shared
+    in-process cache is used.
+    """
+    if bench_cache_dir():
+        return bench_cache_dir()
     return os.environ.get("REPRO_BENCH_NO_CACHE", "") != "1"
+
+
+def bench_provenance() -> str:
+    """One line recording the knobs a benchmark artifact was produced under.
+
+    Perf numbers are only comparable between runs that used the same worker
+    count and cache mode, so every artifact records both.
+    """
+    cache = bench_cache()
+    if isinstance(cache, str):
+        cache_mode = f"dir:{cache}"
+    else:
+        cache_mode = "shared" if cache else "off"
+    return f"[bench config] workers={bench_workers()} cache={cache_mode}"
 
 
 @pytest.fixture(scope="session")
@@ -114,4 +140,5 @@ def write_artifact(out_dir: str, name: str, text: str) -> str:
         handle.write(text)
         if not text.endswith("\n"):
             handle.write("\n")
+        handle.write(f"\n{bench_provenance()}\n")
     return path

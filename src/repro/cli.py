@@ -10,7 +10,14 @@ Mirrors the workflows of the paper's tooling:
 * ``detect``   — compare two capture CSVs with the 5 % margin + final check
   (the paper's Python detection script);
 * ``table1`` / ``table2`` / ``figure4`` / ``overhead`` / ``drift`` /
-  ``ablation`` — regenerate the corresponding paper artifact.
+  ``ablation`` — regenerate the corresponding paper artifact;
+* ``sweep``    — expand a named scenario grid (parts × attacks × detectors
+  × seeds) into one flat batch and score it.
+
+Every experiment subcommand shares one option block (``--workers``,
+``--no-cache``, ``--cache-dir``, ``--out``) wired through a single parent
+parser; ``--cache-dir`` (or ``REPRO_CACHE_DIR``) makes the golden-print
+cache persistent on disk.
 """
 
 from __future__ import annotations
@@ -95,14 +102,36 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _batch_kwargs(args: argparse.Namespace) -> dict:
-    """The BatchRunner knobs shared by every experiment subcommand."""
-    return dict(workers=args.workers, cache=not args.no_cache)
+    """The BatchRunner knobs shared by every experiment subcommand.
+
+    ``--cache-dir`` wins over ``--no-cache``; without either, the shared
+    in-process cache is used (which itself honors ``REPRO_CACHE_DIR``).
+    """
+    if getattr(args, "cache_dir", None):
+        cache = args.cache_dir
+    else:
+        cache = not args.no_cache
+    return dict(workers=args.workers, cache=cache)
+
+
+def _emit(args: argparse.Namespace, text: str) -> None:
+    """Print an experiment's rendered output; mirror it to ``--out`` if set.
+
+    The file is written before stdout so the artifact survives a closed
+    pipe (e.g. ``repro table1 --out t1.txt | head``).
+    """
+    if getattr(args, "out", None):
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+    print(text)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import render_table1, run_table1
 
-    print(render_table1(run_table1(**_batch_kwargs(args))))
+    _emit(args, render_table1(run_table1(**_batch_kwargs(args))))
     return 0
 
 
@@ -110,14 +139,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments.table2 import run_table2
 
     result = run_table2(**_batch_kwargs(args))
-    print(result.render())
+    _emit(args, result.render())
     return 0 if result.all_detected and not result.false_positive else 1
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
     from repro.experiments.figure4 import run_figure4
 
-    print(run_figure4(**_batch_kwargs(args)).render())
+    _emit(args, run_figure4(**_batch_kwargs(args)).render())
     return 0
 
 
@@ -125,7 +154,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     from repro.experiments.overhead import run_overhead
 
     experiment = run_overhead(**_batch_kwargs(args))
-    print(experiment.render())
+    _emit(args, experiment.render())
     return 0 if experiment.no_quality_effect else 1
 
 
@@ -133,15 +162,38 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     from repro.experiments.drift import run_drift
 
     experiment = run_drift(**_batch_kwargs(args))
-    print(experiment.render())
+    _emit(args, experiment.render())
     return 0 if experiment.within_margin(5.0) else 1
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments.ablation import run_ablation
 
-    print(run_ablation(**_batch_kwargs(args)).render())
+    _emit(args, run_ablation(**_batch_kwargs(args)).render())
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.scenario import GRIDS, grid_scenarios, run_sweep
+
+    try:
+        scenarios = grid_scenarios(args.grid)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.list:
+        lines = [f"grid {args.grid!r}: {GRIDS[args.grid].description}"]
+        for sc in scenarios:
+            lines.append(
+                f"  {sc.name:<28} part={sc.part:<10} "
+                f"attack={sc.attack or '-':<24} detectors={','.join(sc.detectors)}"
+            )
+        _emit(args, "\n".join(lines))
+        return 0
+    result = run_sweep(scenarios, **_batch_kwargs(args))
+    _emit(args, result.render())
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -185,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--margin", type=float, default=0.05)
     p.set_defaults(func=_cmd_detect)
 
+    batch_parent = _batch_options_parser()
     for name, func, help_text in (
         ("table1", _cmd_table1, "regenerate Table I (Trojan suite)"),
         ("table2", _cmd_table2, "regenerate Table II (Flaw3D detection)"),
@@ -193,21 +246,54 @@ def build_parser() -> argparse.ArgumentParser:
         ("drift", _cmd_drift, "regenerate the Section V-C drift analysis"),
         ("ablation", _cmd_ablation, "run the UART-period/margin ablation"),
     ):
-        p = sub.add_parser(name, help=help_text)
-        p.add_argument(
-            "--workers",
-            type=int,
-            default=1,
-            help="worker processes for the print sessions (0 = one per CPU)",
-        )
-        p.add_argument(
-            "--no-cache",
-            action="store_true",
-            help="disable the content-keyed golden-print cache",
-        )
+        p = sub.add_parser(name, help=help_text, parents=[batch_parent])
         p.set_defaults(func=func)
 
+    p = sub.add_parser(
+        "sweep",
+        help="run a named scenario grid (parts x attacks x detectors x seeds)",
+        parents=[batch_parent],
+    )
+    p.add_argument(
+        "--grid",
+        default="full",
+        help="registered scenario grid to expand (default: full; others: "
+        "smoke, clean, table1, trojans, flaw3d, dr0wned)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list the grid's scenarios without running them",
+    )
+    p.set_defaults(func=_cmd_sweep)
+
     return parser
+
+
+def _batch_options_parser() -> argparse.ArgumentParser:
+    """The one shared option block every experiment subcommand inherits."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the print sessions (0 = one per CPU)",
+    )
+    parent.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-keyed golden-print cache",
+    )
+    parent.add_argument(
+        "--cache-dir",
+        help="persistent on-disk golden-print cache directory "
+        "(overrides --no-cache; REPRO_CACHE_DIR sets the default cache's dir)",
+    )
+    parent.add_argument(
+        "--out",
+        help="also write the rendered output to this file",
+    )
+    return parent
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -40,8 +41,14 @@ class TrojanContext:
     seed: int = 0
 
     def rng_for(self, trojan_id: str) -> random.Random:
-        """A deterministic per-Trojan RNG (reproducible experiments)."""
-        return random.Random((self.seed << 8) ^ hash(trojan_id) & 0xFFFFFFFF)
+        """A deterministic per-Trojan RNG (reproducible experiments).
+
+        The id is mixed in via CRC-32, not ``hash()``: string hashing is
+        randomized per process (PYTHONHASHSEED), which used to make every
+        stochastic Trojan's draws differ from run to run — the exact
+        irreproducibility the seed exists to prevent.
+        """
+        return random.Random((self.seed << 8) ^ zlib.crc32(trojan_id.encode()))
 
 
 class Trojan:

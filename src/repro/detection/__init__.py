@@ -19,18 +19,36 @@ from repro.detection.baselines import (
 )
 from repro.detection.comparator import CaptureComparator, Mismatch
 from repro.detection.golden import GoldenStore
+from repro.detection.protocol import (
+    DETECTOR_CLASSES,
+    Detector,
+    GoldenComparisonDetector,
+    QualityDetector,
+    RealtimeDetector,
+    SideChannelBaselineDetector,
+    Verdict,
+    make_detector,
+)
 from repro.detection.realtime import StreamingDetector
 from repro.detection.report import DetectionReport
 from repro.detection.simgolden import golden_from_simulation
 
 __all__ = [
     "CaptureComparator",
+    "DETECTOR_CLASSES",
     "DetectionReport",
+    "Detector",
+    "GoldenComparisonDetector",
     "GoldenStore",
     "Mismatch",
+    "QualityDetector",
+    "RealtimeDetector",
+    "SideChannelBaselineDetector",
     "SideChannelDetector",
     "SideChannelModel",
     "SideChannelReport",
     "StreamingDetector",
+    "Verdict",
     "golden_from_simulation",
+    "make_detector",
 ]

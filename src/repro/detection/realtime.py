@@ -18,12 +18,18 @@ from repro.electronics.uart import UartBus, unpack_step_counts
 
 
 class StreamingDetector:
-    """Live golden comparison over the UART transaction stream."""
+    """Live golden comparison over the UART transaction stream.
+
+    The alignment/alarm logic lives in :meth:`observe`, so the same code
+    path serves both the live bus subscription and offline replay of an
+    already-captured stream (the ``realtime`` entry of the Detector
+    protocol).
+    """
 
     def __init__(
         self,
         golden: Sequence[Transaction],
-        bus: UartBus,
+        bus: Optional[UartBus] = None,
         comparator: Optional[CaptureComparator] = None,
         alarm_after_mismatches: int = 1,
         on_alarm: Optional[Callable[[Mismatch], None]] = None,
@@ -36,23 +42,28 @@ class StreamingDetector:
         self.transactions_seen = 0
         self.alarmed = False
         self.alarmed_at_index: Optional[int] = None
-        bus.on_frame(self._on_frame)
+        if bus is not None:
+            bus.on_frame(self._on_frame)
 
-    def _on_frame(self, time_ns: int, frame: bytes) -> None:
+    def observe(self, suspect: Transaction) -> None:
+        """Compare the next arriving transaction against the aligned golden."""
         index = self.transactions_seen + 1
         self.transactions_seen = index
         if index > len(self.golden):
             # The suspect print is running longer than the golden: everything
             # past the golden's end is itself suspicious.
-            overrun = Mismatch(index, "X", 0, 0, 100.0)
-            self._record(overrun)
+            self._record(Mismatch(index, "X", 0, 0, 100.0))
             return
-        x, y, z, e = unpack_step_counts(frame)
-        suspect = Transaction(index, x, y, z, e, time_ns=time_ns)
         for mismatch in self.comparator.compare_transaction(
             self.golden[index - 1], suspect
         ):
             self._record(mismatch)
+
+    def _on_frame(self, time_ns: int, frame: bytes) -> None:
+        x, y, z, e = unpack_step_counts(frame)
+        self.observe(
+            Transaction(self.transactions_seen + 1, x, y, z, e, time_ns=time_ns)
+        )
 
     def _record(self, mismatch: Mismatch) -> None:
         self.mismatches.append(mismatch)

@@ -12,16 +12,24 @@ detection without relying on the end-of-print check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.detection.comparator import CaptureComparator
-from repro.experiments.batch import CacheOption, SessionSpec, run_sessions
-from repro.experiments.workloads import sliced_program, tiny_part
+from repro.detection.protocol import GoldenComparisonDetector
+from repro.experiments.batch import CacheOption
+from repro.experiments.scenario import (
+    ScenarioSpec,
+    flaw3d_reduction_attack,
+    flaw3d_relocation_attack,
+    register_program_part,
+    run_scenarios,
+)
 from repro.gcode.ast import GcodeProgram
-from repro.gcode.transforms.flaw3d import Flaw3dReduction, Flaw3dRelocation
 
 DEFAULT_PERIODS_MS = (400, 200, 100, 50, 25)
 DEFAULT_MARGINS = (0.01, 0.02, 0.05, 0.10)
+
+ABLATION_GOLDEN_SEED = 9001
+ABLATION_CONTROL_SEED = 9002
 
 
 @dataclass
@@ -72,67 +80,60 @@ def run_ablation(
 ) -> AblationResult:
     """Sweep UART periods and margins on the stealthiest Trojans.
 
-    Every (period × {golden, control, suspects}) print is declared up front
-    and submitted as one flat batch — the sweep's whole grid parallelizes.
+    Thin grid over the scenario layer: every (period × {control, suspects})
+    scenario compiles up front and the whole grid runs as one flat batch.
+    Margins are a pure scoring axis — each margin re-scores the same
+    summaries through a fresh ``golden`` Detector with the end-of-print
+    check disabled.
     """
-    if program is None:
-        program = sliced_program(tiny_part())
-    stealthy: List[Tuple[str, GcodeProgram]] = [
-        ("reduce0.98", Flaw3dReduction(0.98).apply(program)),
-        ("relocate100", Flaw3dRelocation(100).apply(program)),
+    part = "tiny" if program is None else register_program_part(program)
+    stealthy = [
+        ("reduce0.98", flaw3d_reduction_attack(0.98)),
+        ("relocate100", flaw3d_relocation_attack(100)),
     ]
 
-    specs: List[SessionSpec] = []
+    scenarios: List[ScenarioSpec] = []
     for period_ms in periods_ms:
-        specs.append(
-            SessionSpec(
-                program=program,
+        scenarios.append(
+            ScenarioSpec(
+                name=f"control@{period_ms}ms",
+                part=part,
+                attack=None,
+                seed=ABLATION_CONTROL_SEED,
+                golden_seed=ABLATION_GOLDEN_SEED,
                 noise_sigma=noise_sigma,
-                noise_seed=9001,
                 uart_period_ms=period_ms,
-                label=f"golden@{period_ms}ms",
-                cacheable=True,
             )
         )
-        specs.append(
-            SessionSpec(
-                program=program,
-                noise_sigma=noise_sigma,
-                noise_seed=9002,
-                uart_period_ms=period_ms,
-                label=f"control@{period_ms}ms",
-                cacheable=True,
-            )
-        )
-        for i, (name, modified) in enumerate(stealthy):
-            specs.append(
-                SessionSpec(
-                    program=modified,
+        for i, (name, attack) in enumerate(stealthy):
+            scenarios.append(
+                ScenarioSpec(
+                    name=f"{name}@{period_ms}ms",
+                    part=part,
+                    attack=attack,
+                    seed=9100 + i,
+                    golden_seed=ABLATION_GOLDEN_SEED,
                     noise_sigma=noise_sigma,
-                    noise_seed=9100 + i,
                     uart_period_ms=period_ms,
-                    label=f"{name}@{period_ms}ms",
                 )
             )
-    summaries = run_sessions(specs, workers=workers, cache=cache)
-    per_period = len(stealthy) + 2
+    runs = run_scenarios(scenarios, workers=workers, cache=cache)
+    per_period = len(stealthy) + 1
 
     cells: List[AblationCell] = []
     for slot, period_ms in enumerate(periods_ms):
-        block = summaries[slot * per_period : (slot + 1) * per_period]
-        golden, control = block[0], block[1]
-        suspects = {
-            name: block[2 + i] for i, (name, _) in enumerate(stealthy)
-        }
+        block = runs[slot * per_period : (slot + 1) * per_period]
+        golden, control = block[0].golden, block[0].suspect
+        suspects = {name: block[1 + i].suspect for i, (name, _) in enumerate(stealthy)}
         for margin in margins:
             # The transient-only question: disable the final 0% check so the
             # cell isolates what the margin itself can see.
-            comparator = CaptureComparator(margin=margin, final_check=False)
-            control_report = comparator.compare_captures(golden.capture, control.capture)
+            detector = GoldenComparisonDetector(
+                margin=margin, final_check=False
+            ).fit(golden)
+            control_report = detector.score(control).report
             detections = {
-                name: comparator.compare_captures(
-                    golden.capture, suspect.capture
-                ).trojan_likely
+                name: detector.score(suspect).trojan_likely
                 for name, suspect in suspects.items()
             }
             cells.append(

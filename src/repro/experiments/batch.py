@@ -12,14 +12,18 @@ This module turns that shape into infrastructure:
   Trojan counters, signal traces);
 * :class:`GoldenPrintCache` — a content-keyed cache so the same golden
   print is simulated once and shared by every comparison that needs it;
+  optionally persistent on disk (``directory=...`` / ``REPRO_CACHE_DIR``),
+  so golden prints survive across processes and runs;
 * :class:`BatchRunner` — fans a list of specs across worker processes
   (``concurrent.futures.ProcessPoolExecutor``), deduplicating identical
-  specs within a batch. With ``workers=1`` everything runs serially
+  specs within a batch and submitting longest-expected-first (see
+  :meth:`SessionSpec.estimated_cost`) so one long T7-style session cannot
+  straggle the whole batch. With ``workers=1`` everything runs serially
   in-process through the very same execution path, so results are
   bit-identical between the serial and parallel modes.
 
-Future scenario sweeps (more trojans, more parts, more seeds) should
-declare their sessions as specs and submit them here rather than calling
+Scenario sweeps (:mod:`repro.experiments.scenario`) compile their grids
+down to specs and submit them here rather than calling
 :func:`~repro.experiments.runner.run_print` in a loop.
 """
 
@@ -28,7 +32,10 @@ from __future__ import annotations
 import copy
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+import tempfile
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -68,6 +75,17 @@ class SessionSpec:
     route_all_through_fpga: bool = False
     label: str = ""
     cacheable: bool = False
+
+    def estimated_cost(self) -> float:
+        """Heuristic wall-clock proxy used to schedule longest-first.
+
+        Simulation cost grows with the program length, with the UART event
+        rate, and — dominating for T7-style destructive sessions — with the
+        post-kill grace window the plant keeps integrating through. The
+        absolute scale is meaningless; only the ordering matters.
+        """
+        uart_factor = max(1.0, 100.0 / max(1, self.uart_period_ms))
+        return len(self.program) * uart_factor + self.grace_s * 40.0
 
     def content_key(self) -> str:
         """Stable digest of everything that determines the session outcome.
@@ -248,23 +266,67 @@ def _execute_to_summary(spec: SessionSpec) -> SessionSummary:
     )
 
 
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+"""Environment variable that makes the shared cache persistent on disk."""
+
+_CACHE_FORMAT = 1
+"""On-disk entry format version; bumped when SessionSummary changes shape."""
+
+
 class GoldenPrintCache:
     """Content-keyed store of completed session summaries.
 
     Keyed by :meth:`SessionSpec.content_key`, so any two experiments that
     print the same program under the same conditions share one simulation.
+
+    With ``directory`` set the cache is persistent: every ``put`` also
+    pickles the summary to ``<directory>/<key>.summary.pkl`` (written
+    atomically via rename, so a crashed writer never leaves a torn entry
+    under the final name), and a miss in memory falls through to disk —
+    golden prints survive across processes and runs. A corrupted, truncated,
+    wrong-format, or wrong-key on-disk entry is treated as a miss, so the
+    worst failure mode is re-simulation, never a wrong result.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, directory: Optional[str] = None) -> None:
         self._entries: Dict[str, SessionSummary] = {}
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.summary.pkl")
+
+    def _load_from_disk(self, key: str) -> Optional[SessionSummary]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn write, truncation, unpicklable garbage, stale classes —
+            # all degrade to a miss (and a fresh simulation).
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != _CACHE_FORMAT or payload.get("key") != key:
+            return None
+        summary = payload.get("summary")
+        return summary if isinstance(summary, SessionSummary) else None
+
     def get(self, key: str) -> Optional[SessionSummary]:
         entry = self._entries.get(key)
+        if entry is None and self.directory is not None:
+            entry = self._load_from_disk(key)
+            if entry is not None:
+                self._entries[key] = entry
+                self.disk_hits += 1
         if entry is None:
             self.misses += 1
         else:
@@ -273,29 +335,75 @@ class GoldenPrintCache:
 
     def put(self, key: str, summary: SessionSummary) -> None:
         self._entries[key] = summary
+        if self.directory is not None:
+            self._store_to_disk(key, summary)
+
+    def _store_to_disk(self, key: str, summary: SessionSummary) -> None:
+        # A failed disk write (full/read-only filesystem) must not discard a
+        # completed batch: the in-memory entry is already stored, so degrade
+        # to a warning and lose only cross-run persistence for this entry.
+        payload = {"format": _CACHE_FORMAT, "key": key, "summary": summary}
+        tmp_path = None
+        try:
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, self._path(key))
+        except (OSError, pickle.PickleError) as exc:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            warnings.warn(
+                f"golden cache entry {key[:16]}… not persisted to "
+                f"{self.directory}: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def clear(self) -> None:
+        """Drop the in-memory entries and counters (disk files are kept)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
 
-_SHARED_CACHE = GoldenPrintCache()
+_SHARED_CACHE: Optional[GoldenPrintCache] = None
 
-CacheOption = Union[None, bool, GoldenPrintCache]
+CacheOption = Union[None, bool, str, GoldenPrintCache]
 
 
 def shared_cache() -> GoldenPrintCache:
-    """The process-wide cache used when callers pass ``cache=True``."""
+    """The process-wide cache used when callers pass ``cache=True``.
+
+    Created lazily; honors :data:`CACHE_DIR_ENV` (``REPRO_CACHE_DIR``) at
+    first use, so setting the variable before any experiment runs makes
+    every default-cached run persistent.
+    """
+    global _SHARED_CACHE
+    if _SHARED_CACHE is None:
+        _SHARED_CACHE = GoldenPrintCache(
+            directory=os.environ.get(CACHE_DIR_ENV) or None
+        )
     return _SHARED_CACHE
 
 
 def resolve_cache(cache: CacheOption) -> Optional[GoldenPrintCache]:
-    """Normalize the user-facing cache option to a cache instance (or None)."""
+    """Normalize the user-facing cache option to a cache instance (or None).
+
+    ``True`` resolves to the process-wide shared cache, a string to a
+    persistent cache rooted at that directory, an instance to itself.
+    """
     if cache is None or cache is False:
         return None
     if cache is True:
-        return _SHARED_CACHE
+        return shared_cache()
+    if isinstance(cache, str):
+        return GoldenPrintCache(directory=cache)
     return cache
 
 
@@ -345,12 +453,24 @@ class BatchRunner:
             pending.append((key, spec))
 
         if self.workers > 1 and len(pending) > 1:
+            # Cost-aware scheduling: submit longest-expected-first, one spec
+            # per task (chunk size 1). A T7-style long session therefore
+            # starts immediately instead of landing last in some worker's
+            # pre-assigned chunk and straggling the whole batch.
+            ordered = sorted(
+                pending, key=lambda item: item[1].estimated_cost(), reverse=True
+            )
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending))
             ) as pool:
-                summaries = list(
-                    pool.map(_execute_to_summary, [spec for _, spec in pending])
-                )
+                futures = {
+                    pool.submit(_execute_to_summary, spec): key
+                    for key, spec in ordered
+                }
+                executed: Dict[str, SessionSummary] = {}
+                for future in as_completed(futures):
+                    executed[futures[future]] = future.result()
+            summaries = [executed[key] for key, _ in pending]
         else:
             summaries = [_execute_to_summary(spec) for _, spec in pending]
 

@@ -12,13 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.detection.comparator import CaptureComparator
 from repro.detection.report import DetectionReport
-from repro.experiments.batch import CacheOption, SessionSpec, run_sessions
-from repro.experiments.workloads import sliced_program, standard_part
-from repro.experiments.table2 import DEFAULT_NOISE_SIGMA, GOLDEN_SEED
+from repro.experiments.batch import CacheOption
+from repro.experiments.scenario import (
+    DEFAULT_NOISE_SIGMA,
+    ScenarioSpec,
+    flaw3d_relocation_attack,
+    register_program_part,
+    run_sweep,
+)
 from repro.gcode.ast import GcodeProgram
-from repro.gcode.transforms.flaw3d import Flaw3dRelocation
 
 EXCERPT_ROWS = 6
 
@@ -54,33 +57,24 @@ def run_figure4(
     workers: Optional[int] = 1,
     cache: CacheOption = None,
 ) -> Figure4Output:
-    """Regenerate Figure 4 (relocation Trojan, period 20 by default)."""
-    if program is None:
-        program = sliced_program(standard_part())
-    trojaned_program = Flaw3dRelocation(relocation_period).apply(program)
-    golden, suspect = run_sessions(
-        [
-            SessionSpec(
-                program=program,
-                noise_sigma=noise_sigma,
-                noise_seed=GOLDEN_SEED,
-                label="golden",
-                cacheable=True,
-            ),
-            SessionSpec(
-                program=trojaned_program,
-                noise_sigma=noise_sigma,
-                noise_seed=2042,
-                label=f"relocate{relocation_period}",
-            ),
-        ],
-        workers=workers,
-        cache=cache,
-    )
-    golden_capture, suspect_capture = golden.capture, suspect.capture
+    """Regenerate Figure 4 (relocation Trojan, period 20 by default).
 
-    comparator = CaptureComparator()
-    report = comparator.compare_captures(golden_capture, suspect_capture)
+    A one-scenario grid over the scenario layer: the relocation attack on
+    the standard part, scored through the ``golden`` Detector entry.
+    """
+    part = "standard" if program is None else register_program_part(program)
+    scenario = ScenarioSpec(
+        name=f"figure4:relocate{relocation_period}",
+        part=part,
+        attack=flaw3d_relocation_attack(relocation_period),
+        detectors=("golden",),
+        seed=2042,
+        noise_sigma=noise_sigma,
+    )
+    outcome = run_sweep([scenario], workers=workers, cache=cache).outcomes[0]
+    golden_capture = outcome.golden.capture
+    suspect_capture = outcome.suspect.capture
+    report = outcome.verdicts["golden"].report
 
     # Centre the excerpt on the first mismatch (mid-print, like the paper's).
     if report.mismatches:

@@ -1,0 +1,700 @@
+"""Declarative scenarios: parts × attacks × detectors × seeds.
+
+The paper's central claim — lossless control-signal access lets one platform
+analyze *any* trojan against *any* print — becomes a first-class workload
+here. A :class:`ScenarioSpec` names a registered part, an optional registered
+attack (an FPGA Trojan T1–T9 or a G-code rewrite such as Flaw3D/dr0wned), a
+detector set, and seeds; it *compiles down* to the existing picklable
+:class:`~repro.experiments.batch.SessionSpec` pair (golden + suspect), so an
+entire grid of scenarios executes as one flat :class:`BatchRunner` batch —
+deduplicated, cache-backed, and cost-scheduled.
+
+Three registries make the space enumerable:
+
+* **parts** (:func:`register_part` / :data:`PARTS`) — every slicer workload;
+* **attacks** (:func:`register_attack` / :data:`ATTACKS`) — the Trojan suite
+  with its Table I parameters plus the Table II G-code attacks;
+* **grids** (:func:`register_grid` / :data:`GRIDS`) — named scenario grids
+  (``table1``, ``flaw3d``, ``dr0wned``, ``clean``, ``trojans``, ``full``)
+  behind the ``repro sweep`` CLI command.
+
+Scoring goes through the unified Detector protocol
+(:mod:`repro.detection.protocol`): each scenario's detectors are fitted on
+the golden summary and score the suspect, yielding normalized
+:class:`~repro.detection.protocol.Verdict` rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.detection.protocol import Detector, Verdict, make_detector
+from repro.errors import ReproError
+from repro.experiments.batch import (
+    CacheOption,
+    SessionSpec,
+    SessionSummary,
+    resolve_cache,
+    run_sessions,
+)
+from repro.experiments.workloads import (
+    dense_part,
+    dense_profile,
+    sliced_program,
+    standard_part,
+    table1_part,
+    tiny_part,
+)
+from repro.gcode.ast import GcodeProgram
+from repro.gcode.slicer.shapes import Shape
+from repro.gcode.transforms.edits import insert_void
+from repro.gcode.transforms.flaw3d import Flaw3dReduction, Flaw3dRelocation
+from repro.gcode.writer import write_line
+
+DEFAULT_NOISE_SIGMA = 0.0005
+"""The time-noise sigma used by the detection experiments."""
+
+GOLDEN_SEED = 1001
+"""Noise seed of every golden (reference) print."""
+
+CONTROL_SEED = 1002
+"""Noise seed of the clean control print (the false-positive check)."""
+
+
+# ----------------------------------------------------------------------
+# Part registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartDef:
+    """A named printable workload: how to get its program (and shape)."""
+
+    name: str
+    build: Callable[[], GcodeProgram]
+    shape: Optional[Callable[[], Shape]] = None
+    description: str = ""
+
+
+PARTS: Dict[str, PartDef] = {}
+_ADHOC_PARTS: Dict[str, PartDef] = {}
+_PROGRAM_CACHE: Dict[str, GcodeProgram] = {}
+
+
+def register_part(part: PartDef) -> PartDef:
+    """Add (or replace) a part in the registry (and in grid enumeration)."""
+    PARTS[part.name] = part
+    _PROGRAM_CACHE.pop(part.name, None)
+    return part
+
+
+def part_names() -> List[str]:
+    """The enumerable parts — what the default grids cross attacks with.
+
+    Ad-hoc program parts (:func:`register_program_part`) are resolvable by
+    name but deliberately excluded, so a caller-supplied workload never
+    silently inflates the ``full``/``trojans``/``clean`` grids.
+    """
+    return sorted(PARTS)
+
+
+def get_part(name: str) -> PartDef:
+    part = PARTS.get(name) or _ADHOC_PARTS.get(name)
+    if part is None:
+        raise ReproError(f"unknown part {name!r}; registered: {part_names()}")
+    return part
+
+
+def part_program(name: str) -> GcodeProgram:
+    """The part's sliced program (sliced once per process)."""
+    if name not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[name] = get_part(name).build()
+    return _PROGRAM_CACHE[name]
+
+
+def part_shape(name: str) -> Optional[Shape]:
+    part = get_part(name)
+    return part.shape() if part.shape is not None else None
+
+
+def _program_digest(program: GcodeProgram) -> str:
+    digest = hashlib.sha256()
+    for line in map(write_line, program):
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def register_program_part(program: GcodeProgram, name: Optional[str] = None) -> str:
+    """Register an ad-hoc program (e.g. a caller-supplied workload) as a part.
+
+    The generated name is content-derived, so registering the same program
+    twice maps to the same part (and the same golden cache entries). Ad-hoc
+    parts are resolvable by name but stay out of :func:`part_names`, so
+    they never change what the default grids enumerate. Registering a
+    *different* program under an already-taken name is an error — silently
+    resolving to the old program would make scenarios print the wrong part.
+    """
+    content = _program_digest(program)
+    if name is None:
+        name = f"custom-{content[:12]}"
+    if name in PARTS or name in _ADHOC_PARTS:
+        if _program_digest(part_program(name)) != content:
+            raise ReproError(
+                f"part name {name!r} is already registered with different content"
+            )
+        return name
+    _ADHOC_PARTS[name] = PartDef(
+        name=name, build=lambda: program, description="ad-hoc program"
+    )
+    _PROGRAM_CACHE[name] = program
+    return name
+
+
+register_part(PartDef("tiny", lambda: sliced_program(tiny_part()), tiny_part,
+                      "10mm 3-layer coupon (fast)"))
+register_part(PartDef("standard", lambda: sliced_program(standard_part()), standard_part,
+                      "16mm calibration square"))
+register_part(PartDef("table1", lambda: sliced_program(table1_part()), table1_part,
+                      "20mm box sized for slow-trigger Trojans"))
+register_part(PartDef("dense", lambda: sliced_program(dense_part(), dense_profile()), dense_part,
+                      "64-segment cylinder, dense infill (Table II)"))
+
+
+# ----------------------------------------------------------------------
+# Attack registry
+# ----------------------------------------------------------------------
+
+FPGA_ATTACK = "fpga"
+GCODE_ATTACK = "gcode"
+
+
+@dataclass(frozen=True)
+class AttackDef:
+    """One registered attack: an FPGA Trojan or a G-code rewrite.
+
+    FPGA attacks carry the Trojan id/parameters the worker instantiates;
+    G-code attacks carry a transform ``(program, shape) -> program`` applied
+    at compile time (the shape is passed for geometry-aware rewrites like
+    the dr0wned void and may be ``None`` for ad-hoc parts).
+    """
+
+    name: str
+    kind: str
+    description: str = ""
+    trojan_id: Optional[str] = None
+    trojan_params: Mapping[str, Any] = field(default_factory=dict)
+    grace_s: float = 1.0
+    transform: Optional[Callable[[GcodeProgram, Optional[Shape]], GcodeProgram]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FPGA_ATTACK, GCODE_ATTACK):
+            raise ReproError(f"attack kind must be fpga|gcode, got {self.kind!r}")
+        if self.kind == FPGA_ATTACK and self.trojan_id is None:
+            raise ReproError(f"fpga attack {self.name!r} needs a trojan_id")
+        if self.kind == GCODE_ATTACK and self.transform is None:
+            raise ReproError(f"gcode attack {self.name!r} needs a transform")
+
+
+ATTACKS: Dict[str, AttackDef] = {}
+
+
+def register_attack(attack: AttackDef) -> AttackDef:
+    ATTACKS[attack.name] = attack
+    return attack
+
+
+def attack_names() -> List[str]:
+    return sorted(ATTACKS)
+
+
+def get_attack(name: str) -> AttackDef:
+    try:
+        return ATTACKS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown attack {name!r}; registered: {attack_names()}"
+        ) from None
+
+
+TABLE1_TROJAN_PARAMS: Dict[str, Dict[str, Any]] = {
+    "T1": dict(period_s=8.0, min_shift_steps=40, max_shift_steps=90),
+    "T2": dict(keep_fraction=0.5),
+    "T3": dict(mode="over"),
+    "T4": dict(probability=0.6, min_shift_steps=30, max_shift_steps=60),
+    "T5": dict(at_layer=2, extra_z_mm=0.35),
+    "T6": dict(targets=("hotend",)),
+    "T7": dict(targets=("hotend",)),
+    "T8": dict(axes=("X", "Y"), period_s=8.0, outage_s=1.0),
+    "T9": dict(scale=0.15, arm_delay_s=10.0),
+}
+"""Per-Trojan parameters tuned to the Table I workload's duration."""
+
+TROJAN_IDS: Tuple[str, ...] = tuple(sorted(TABLE1_TROJAN_PARAMS))
+
+_TROJAN_DESCRIPTIONS = {
+    "T1": "periodic axis shift (loose belt)",
+    "T2": "extrusion pulse masking (50% flow)",
+    "T3": "retraction weakening (over-extrusion)",
+    "T4": "per-layer Z-wobble shifts",
+    "T5": "single-layer Z shift (delamination)",
+    "T6": "heater denial of service",
+    "T7": "thermal runaway (destructive)",
+    "T8": "stepper driver outages",
+    "T9": "fan sabotage",
+}
+
+for _tid in TROJAN_IDS:
+    register_attack(
+        AttackDef(
+            name=_tid,
+            kind=FPGA_ATTACK,
+            description=_TROJAN_DESCRIPTIONS[_tid],
+            trojan_id=_tid,
+            trojan_params=TABLE1_TROJAN_PARAMS[_tid],
+            # T7 keeps heating after the firmware dies; give the plant time
+            # to show the damage.
+            grace_s=40.0 if _tid == "T7" else 1.0,
+        )
+    )
+
+
+def _gcode_attack_from(transform) -> Callable[[GcodeProgram, Optional[Shape]], GcodeProgram]:
+    return lambda program, shape: transform.apply(program)
+
+
+def flaw3d_reduction_attack(factor: float) -> str:
+    """Register (idempotently) a Flaw3D reduction attack; returns its name."""
+    transform = Flaw3dReduction(factor)
+    if transform.label not in ATTACKS:
+        register_attack(
+            AttackDef(
+                name=transform.label,
+                kind=GCODE_ATTACK,
+                description=f"Flaw3D bootloader: extrusion x{factor:g}",
+                transform=_gcode_attack_from(transform),
+            )
+        )
+    return transform.label
+
+
+def flaw3d_relocation_attack(period: int) -> str:
+    """Register (idempotently) a Flaw3D relocation attack; returns its name."""
+    transform = Flaw3dRelocation(period)
+    if transform.label not in ATTACKS:
+        register_attack(
+            AttackDef(
+                name=transform.label,
+                kind=GCODE_ATTACK,
+                description=f"Flaw3D bootloader: relocate filament every {period} moves",
+                transform=_gcode_attack_from(transform),
+            )
+        )
+    return transform.label
+
+
+TABLE2_CASES: Tuple[Tuple[int, str], ...] = tuple(
+    [(case, flaw3d_reduction_attack(factor)) for case, factor in
+     ((1, 0.5), (2, 0.85), (3, 0.9), (4, 0.98))]
+    + [(case, flaw3d_relocation_attack(period)) for case, period in
+       ((5, 5), (6, 10), (7, 20), (8, 100))]
+)
+"""Table II's eight Flaw3D test cases as (case number, attack name)."""
+
+
+def _dr0wned_void(program: GcodeProgram, shape: Optional[Shape]) -> GcodeProgram:
+    """The dr0wned-style internal void, centred and sized from the part.
+
+    The attack removes material from the middle of the part (the paper's
+    propeller void): here, a box covering the central half of the footprint
+    over the lower half of the part's height.
+    """
+    if shape is None:
+        raise ReproError("the dr0wned void attack needs a part with a shape")
+    outline = shape.outline_at(0.0)
+    xs = [p[0] for p in outline]
+    ys = [p[1] for p in outline]
+    cx, cy = (min(xs) + max(xs)) / 2, (min(ys) + max(ys)) / 2
+    hw, hd = (max(xs) - min(xs)) / 4, (max(ys) - min(ys)) / 4
+    return insert_void(
+        program, (cx - hw, cy - hd, 0.0, cx + hw, cy + hd, shape.height_mm / 2)
+    )
+
+
+register_attack(
+    AttackDef(
+        name="dr0wned-void",
+        kind=GCODE_ATTACK,
+        description="dr0wned-style internal void (central half-footprint)",
+        transform=_dr0wned_void,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: part × attack × detector set × seed.
+
+    ``attack=None`` is a clean baseline — the suspect is an independent
+    noise realization of the golden print, so every detector *should* stay
+    quiet (the false-positive check). ``seed`` is the suspect's noise seed
+    for G-code/clean scenarios and the Trojan seed for FPGA scenarios.
+    """
+
+    name: str
+    part: str = "standard"
+    attack: Optional[str] = None
+    detectors: Tuple[str, ...] = ("golden",)
+    seed: int = CONTROL_SEED
+    golden_seed: int = GOLDEN_SEED
+    noise_sigma: float = DEFAULT_NOISE_SIGMA
+    uart_period_ms: int = 100
+    margin: float = 0.05
+
+    @property
+    def is_attack(self) -> bool:
+        return self.attack is not None
+
+
+def compile_scenario(scenario: ScenarioSpec) -> Tuple[SessionSpec, SessionSpec]:
+    """Compile a scenario to its (golden, suspect) SessionSpec pair.
+
+    Noise seeds are normalized to 0 whenever ``noise_sigma == 0`` so that
+    noise-free scenarios share content keys (and cached golden prints) with
+    every other noise-free run of the same part, regardless of the seed a
+    grid nominally carries.
+    """
+    program = part_program(scenario.part)
+    noise = scenario.noise_sigma
+    common = dict(noise_sigma=noise, uart_period_ms=scenario.uart_period_ms)
+    golden = SessionSpec(
+        program=program,
+        noise_seed=scenario.golden_seed if noise > 0 else 0,
+        label=f"{scenario.name}/golden",
+        cacheable=True,
+        **common,
+    )
+    if scenario.attack is None:
+        suspect = SessionSpec(
+            program=program,
+            noise_seed=scenario.seed if noise > 0 else 0,
+            label=f"{scenario.name}/clean",
+            cacheable=True,
+            **common,
+        )
+        return golden, suspect
+    attack = get_attack(scenario.attack)
+    if attack.kind == GCODE_ATTACK:
+        suspect = SessionSpec(
+            program=attack.transform(program, part_shape(scenario.part)),
+            noise_seed=scenario.seed if noise > 0 else 0,
+            label=f"{scenario.name}/{attack.name}",
+            **common,
+        )
+    else:
+        suspect = SessionSpec(
+            program=program,
+            noise_seed=scenario.golden_seed if noise > 0 else 0,
+            trojan_id=attack.trojan_id,
+            trojan_params=attack.trojan_params,
+            trojan_seed=scenario.seed,
+            grace_s=attack.grace_s,
+            label=f"{scenario.name}/{attack.name}",
+            **common,
+        )
+    return golden, suspect
+
+
+@dataclass
+class ScenarioRun:
+    """A scenario's executed sessions, before detector scoring."""
+
+    scenario: ScenarioSpec
+    golden: SessionSummary
+    suspect: SessionSummary
+
+
+def run_scenarios(
+    scenarios: Sequence[ScenarioSpec],
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
+) -> List[ScenarioRun]:
+    """Execute every scenario's sessions as one flat deduplicated batch."""
+    specs: List[SessionSpec] = []
+    for scenario in scenarios:
+        specs.extend(compile_scenario(scenario))
+    summaries = run_sessions(specs, workers=workers, cache=cache)
+    return [
+        ScenarioRun(scenario, summaries[2 * i], summaries[2 * i + 1])
+        for i, scenario in enumerate(scenarios)
+    ]
+
+
+def _build_detector(name: str, scenario: ScenarioSpec) -> Detector:
+    """Instantiate a scenario's detector, threading the margin where it applies."""
+    if name in ("golden", "realtime"):
+        return make_detector(name, margin=scenario.margin)
+    return make_detector(name)
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario scored by its full detector set."""
+
+    scenario: ScenarioSpec
+    golden: SessionSummary
+    suspect: SessionSummary
+    verdicts: Dict[str, Verdict]
+
+    @property
+    def detected(self) -> bool:
+        return any(v.trojan_likely for v in self.verdicts.values())
+
+    @property
+    def false_positive(self) -> bool:
+        return not self.scenario.is_attack and self.detected
+
+    @property
+    def missed(self) -> bool:
+        return self.scenario.is_attack and not self.detected
+
+
+@dataclass
+class SweepResult:
+    """Every outcome of one sweep, plus the golden-cache economics."""
+
+    outcomes: List[ScenarioOutcome]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def attack_outcomes(self) -> List[ScenarioOutcome]:
+        return [o for o in self.outcomes if o.scenario.is_attack]
+
+    @property
+    def clean_outcomes(self) -> List[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.scenario.is_attack]
+
+    @property
+    def attacks_detected(self) -> int:
+        return sum(1 for o in self.attack_outcomes if o.detected)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(1 for o in self.clean_outcomes if o.detected)
+
+    @property
+    def ok(self) -> bool:
+        """Every attack caught by at least one detector, no false positives."""
+        return (
+            self.attacks_detected == len(self.attack_outcomes)
+            and self.false_positives == 0
+        )
+
+    def render(self) -> str:
+        name_w = max([len(o.scenario.name) for o in self.outcomes] + [8])
+        det_w = max(
+            [len(d) for o in self.outcomes for d in o.verdicts] + [8]
+        )
+        header = f"{'scenario':<{name_w}} {'detector':<{det_w}} {'verdict':<7} detail"
+        lines = [header, "-" * len(header)]
+        for outcome in self.outcomes:
+            for det_name, verdict in outcome.verdicts.items():
+                flag = "TROJAN" if verdict.trojan_likely else "clean"
+                lines.append(
+                    f"{outcome.scenario.name:<{name_w}} {det_name:<{det_w}} "
+                    f"{flag:<7} {verdict.detail}"
+                )
+        lines.append("")
+        lines.append(
+            f"{len(self.outcomes)} scenarios "
+            f"({len(self.attack_outcomes)} attacks, {len(self.clean_outcomes)} clean): "
+            f"{self.attacks_detected}/{len(self.attack_outcomes)} attacks detected, "
+            f"{self.false_positives} false positives; "
+            f"golden cache {self.cache_hits} hits / {self.cache_misses} misses"
+        )
+        return "\n".join(lines)
+
+
+def run_sweep(
+    scenarios: Sequence[ScenarioSpec],
+    workers: Optional[int] = 1,
+    cache: CacheOption = None,
+) -> SweepResult:
+    """Execute and score a scenario grid: one batch, then detector verdicts."""
+    resolved = resolve_cache(cache)
+    hits_before = resolved.hits if resolved is not None else 0
+    misses_before = resolved.misses if resolved is not None else 0
+    runs = run_scenarios(scenarios, workers=workers, cache=resolved)
+    outcomes: List[ScenarioOutcome] = []
+    for run in runs:
+        verdicts: Dict[str, Verdict] = {}
+        for det_name in run.scenario.detectors:
+            detector = _build_detector(det_name, run.scenario)
+            verdicts[det_name] = detector.fit(run.golden).score(run.suspect)
+        outcomes.append(
+            ScenarioOutcome(run.scenario, run.golden, run.suspect, verdicts)
+        )
+    return SweepResult(
+        outcomes=outcomes,
+        cache_hits=(resolved.hits - hits_before) if resolved is not None else 0,
+        cache_misses=(resolved.misses - misses_before) if resolved is not None else 0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GridDef:
+    """A named, enumerable scenario grid."""
+
+    name: str
+    description: str
+    build: Callable[[], List[ScenarioSpec]]
+
+
+GRIDS: Dict[str, GridDef] = {}
+
+
+def register_grid(name: str, description: str,
+                  build: Callable[[], List[ScenarioSpec]]) -> GridDef:
+    grid = GridDef(name=name, description=description, build=build)
+    GRIDS[name] = grid
+    return grid
+
+
+def grid_names() -> List[str]:
+    return sorted(GRIDS)
+
+
+def grid_scenarios(name: str) -> List[ScenarioSpec]:
+    try:
+        return GRIDS[name].build()
+    except KeyError:
+        raise ReproError(
+            f"unknown grid {name!r}; registered: {grid_names()}"
+        ) from None
+
+
+def clean_scenarios(parts: Optional[Sequence[str]] = None) -> List[ScenarioSpec]:
+    """Clean baselines: one independent noise realization per part."""
+    return [
+        ScenarioSpec(
+            name=f"clean@{part}",
+            part=part,
+            attack=None,
+            detectors=("golden", "realtime"),
+            seed=CONTROL_SEED,
+        )
+        for part in (parts or part_names())
+    ]
+
+
+def trojan_scenarios(
+    parts: Optional[Sequence[str]] = None,
+    seed: int = 42,
+) -> List[ScenarioSpec]:
+    """Every FPGA Trojan T1–T9 on every requested part (noise-free bench)."""
+    return [
+        ScenarioSpec(
+            name=f"{trojan_id}@{part}",
+            part=part,
+            attack=trojan_id,
+            detectors=("golden", "quality"),
+            seed=seed,
+            noise_sigma=0.0,
+        )
+        for part in (parts or part_names())
+        for trojan_id in TROJAN_IDS
+    ]
+
+
+def flaw3d_scenarios(
+    part: str = "dense",
+    noise_sigma: float = DEFAULT_NOISE_SIGMA,
+    uart_period_ms: int = 100,
+    margin: float = 0.05,
+) -> List[ScenarioSpec]:
+    """The eight Table II Flaw3D cases (with Table II's seeds) on one part."""
+    return [
+        ScenarioSpec(
+            name=f"case{case}:{attack}",
+            part=part,
+            attack=attack,
+            detectors=("golden", "sidechannel"),
+            seed=2000 + case,
+            noise_sigma=noise_sigma,
+            uart_period_ms=uart_period_ms,
+            margin=margin,
+        )
+        for case, attack in TABLE2_CASES
+    ]
+
+
+def dr0wned_scenarios(parts: Sequence[str] = ("standard", "dense")) -> List[ScenarioSpec]:
+    """The dr0wned-style void attack on geometry-bearing parts."""
+    return [
+        ScenarioSpec(
+            name=f"dr0wned@{part}",
+            part=part,
+            attack="dr0wned-void",
+            detectors=("golden", "realtime"),
+            seed=2042,
+        )
+        for part in parts
+    ]
+
+
+def full_grid() -> List[ScenarioSpec]:
+    """Everything: clean baselines + all Trojans × all parts + G-code attacks."""
+    return (
+        clean_scenarios()
+        + trojan_scenarios()
+        + flaw3d_scenarios()
+        + dr0wned_scenarios()
+    )
+
+
+def smoke_grid() -> List[ScenarioSpec]:
+    """A seconds-long sanity grid on the tiny part (one clean, two attacks)."""
+    return [
+        clean_scenarios(parts=("tiny",))[0],
+        ScenarioSpec(
+            name="flaw3d-reduction-0.5@tiny",
+            part="tiny",
+            attack=flaw3d_reduction_attack(0.5),
+            detectors=("golden", "realtime"),
+            seed=2001,
+        ),
+        ScenarioSpec(
+            name="T2@tiny",
+            part="tiny",
+            attack="T2",
+            detectors=("golden", "quality"),
+            seed=42,
+            noise_sigma=0.0,
+        ),
+    ]
+
+
+register_grid("clean", "clean baselines on every part (false-positive check)",
+              clean_scenarios)
+register_grid("smoke", "seconds-long sanity grid on the tiny part",
+              smoke_grid)
+register_grid("table1", "Trojan suite T1-T9 on the Table I part",
+              lambda: trojan_scenarios(parts=("table1",)))
+register_grid("trojans", "every Trojan T1-T9 on every registered part",
+              trojan_scenarios)
+register_grid("flaw3d", "the eight Table II Flaw3D cases on the dense part",
+              flaw3d_scenarios)
+register_grid("dr0wned", "dr0wned-style void attacks",
+              dr0wned_scenarios)
+register_grid("full", "clean + trojans x parts + flaw3d + dr0wned",
+              full_grid)

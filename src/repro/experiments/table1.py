@@ -24,13 +24,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.trojans import make_trojan
-from repro.experiments.batch import (
-    CacheOption,
-    SessionSpec,
-    SessionSummary,
-    run_sessions,
-)
+from repro.experiments.batch import CacheOption, SessionSpec, SessionSummary
 from repro.experiments.runner import SessionResult, run_print
+from repro.experiments.scenario import (
+    TABLE1_TROJAN_PARAMS,
+    TROJAN_IDS,
+    get_attack,
+    run_scenarios,
+    trojan_scenarios,
+)
 from repro.experiments.workloads import sliced_program, table1_part
 from repro.gcode.ast import GcodeProgram
 from repro.physics.quality import PartQualityReport, compare_traces
@@ -56,23 +58,13 @@ class Table1Row:
 
 
 def _trojan_params(trojan_id: str) -> Dict:
-    """Per-Trojan parameters tuned to the Table I workload's duration."""
-    return {
-        "T1": dict(period_s=8.0, min_shift_steps=40, max_shift_steps=90),
-        "T2": dict(keep_fraction=0.5),
-        "T3": dict(mode="over"),
-        "T4": dict(probability=0.6, min_shift_steps=30, max_shift_steps=60),
-        "T5": dict(at_layer=2, extra_z_mm=0.35),
-        "T6": dict(targets=("hotend",)),
-        "T7": dict(targets=("hotend",)),
-        "T8": dict(axes=("X", "Y"), period_s=8.0, outage_s=1.0),
-        "T9": dict(scale=0.15, arm_delay_s=10.0),
-    }[trojan_id]
+    """Per-Trojan Table I parameters (canonical copy: the attack registry)."""
+    return dict(TABLE1_TROJAN_PARAMS[trojan_id])
 
 
 def _grace_s(trojan_id: str) -> float:
-    # T7 keeps heating after the firmware dies; give the plant time to show it.
-    return 40.0 if trojan_id == "T7" else 1.0
+    """Post-finish grace for one Trojan (from its registered attack)."""
+    return get_attack(trojan_id).grace_s
 
 
 def table1_spec(
@@ -83,12 +75,13 @@ def table1_spec(
     """The Table I session for one Trojan (None = golden T0) as a spec."""
     if trojan_id is None:
         return SessionSpec(program=program, label="T0", cacheable=True)
+    attack = get_attack(trojan_id)
     return SessionSpec(
         program=program,
-        trojan_id=trojan_id,
-        trojan_params=_trojan_params(trojan_id),
+        trojan_id=attack.trojan_id,
+        trojan_params=attack.trojan_params,
         trojan_seed=seed,
-        grace_s=_grace_s(trojan_id),
+        grace_s=attack.grace_s,
         label=trojan_id,
     )
 
@@ -198,9 +191,6 @@ def _score(
     )
 
 
-TROJAN_IDS = ("T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9")
-
-
 def run_table1(
     seed: int = 42,
     workers: Optional[int] = 1,
@@ -208,15 +198,15 @@ def run_table1(
 ) -> List[Table1Row]:
     """Run the full Table I evaluation; returns one row per Trojan.
 
-    All ten sessions (golden + T1–T9) are declared as specs and submitted
-    as one batch; ``workers>1`` fans them across processes.
+    Thin grid over the scenario layer: the nine ``table1``-grid scenarios
+    compile to the same ten sessions as ever (the shared golden print
+    deduplicates within the batch) and ``workers>1`` fans them across
+    processes.
     """
-    program = sliced_program(table1_part())
-    specs = [table1_spec(None, program, seed)] + [
-        table1_spec(trojan_id, program, seed) for trojan_id in TROJAN_IDS
-    ]
-    summaries = run_sessions(specs, workers=workers, cache=cache)
-    golden = summaries[0]
+    runs = run_scenarios(
+        trojan_scenarios(parts=("table1",), seed=seed), workers=workers, cache=cache
+    )
+    golden = runs[0].golden
     golden_quality = compare_traces(golden.trace, golden.trace)
 
     rows: List[Table1Row] = [
@@ -233,9 +223,11 @@ def run_table1(
             manifested=golden.completed and golden_quality.nominal,
         )
     ]
-    for trojan_id, summary in zip(TROJAN_IDS, summaries[1:]):
-        quality = compare_traces(golden.trace, summary.trace)
-        rows.append(_score(trojan_id, golden, summary, quality))
+    for scenario_run in runs:
+        quality = compare_traces(golden.trace, scenario_run.suspect.trace)
+        rows.append(
+            _score(scenario_run.scenario.attack, golden, scenario_run.suspect, quality)
+        )
     return rows
 
 

@@ -11,24 +11,22 @@ no false positives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
-from repro.detection.comparator import CaptureComparator
 from repro.detection.report import DetectionReport
-from repro.experiments.batch import (
-    CacheOption,
-    SessionSpec,
-    SessionSummary,
-    run_sessions,
+from repro.experiments.batch import CacheOption, SessionSummary
+from repro.experiments.scenario import (
+    CONTROL_SEED,
+    DEFAULT_NOISE_SIGMA,
+    GOLDEN_SEED,
+    ScenarioSpec,
+    flaw3d_scenarios,
+    register_program_part,
+    run_sweep,
 )
-from repro.experiments.workloads import dense_part, dense_profile, sliced_program
 from repro.gcode.ast import GcodeProgram
 from repro.gcode.transforms.flaw3d import table2_test_cases
-
-DEFAULT_NOISE_SIGMA = 0.0005
-GOLDEN_SEED = 1001
-CONTROL_SEED = 1002
 
 
 @dataclass
@@ -91,56 +89,52 @@ def run_table2(
 ) -> Table2Result:
     """Run the full Table II evaluation.
 
-    All ten prints (golden, control, eight Flaw3D suspects) are declared as
-    specs and submitted as one batch; ``workers>1`` fans them across
-    processes.
+    Thin grid over the scenario layer: one clean-control scenario plus the
+    eight ``flaw3d`` scenarios, all ten prints submitted as one batch
+    (``workers>1`` fans them across processes) and scored through the
+    ``golden`` entry of the Detector protocol.
     """
     if program is None:
         # The dense workload: period-100 relocation must get to fire several
         # times, as it did over the paper's much longer prints.
-        program = sliced_program(dense_part(), dense_profile())
-    comparator = CaptureComparator(margin=margin)
+        part = "dense"
+    else:
+        part = register_program_part(program)
 
-    cases = list(table2_test_cases())
-    specs = [
-        SessionSpec(
-            program=program,
+    control = ScenarioSpec(
+        name="control",
+        part=part,
+        attack=None,
+        detectors=("golden",),
+        seed=CONTROL_SEED,
+        noise_sigma=noise_sigma,
+        uart_period_ms=uart_period_ms,
+        margin=margin,
+    )
+    scenarios = [control] + [
+        replace(sc, detectors=("golden",))
+        for sc in flaw3d_scenarios(
+            part=part,
             noise_sigma=noise_sigma,
-            noise_seed=GOLDEN_SEED,
             uart_period_ms=uart_period_ms,
-            label="golden",
-            cacheable=True,
-        ),
-        SessionSpec(
-            program=program,
-            noise_sigma=noise_sigma,
-            noise_seed=CONTROL_SEED,
-            uart_period_ms=uart_period_ms,
-            label="control",
-            cacheable=True,
-        ),
-    ]
-    for case, transform in cases:
-        specs.append(
-            SessionSpec(
-                program=transform.apply(program),
-                noise_sigma=noise_sigma,
-                noise_seed=2000 + case,
-                uart_period_ms=uart_period_ms,
-                label=f"case{case}:{transform.label}",
-            )
+            margin=margin,
         )
-    summaries = run_sessions(specs, workers=workers, cache=cache)
-    golden, control = summaries[0], summaries[1]
-    control_report = comparator.compare_captures(golden.capture, control.capture)
+    ]
+    sweep = run_sweep(scenarios, workers=workers, cache=cache)
+    control_report = sweep.outcomes[0].verdicts["golden"].report
 
     rows: List[Table2Row] = []
-    for (case, transform), suspect in zip(cases, summaries[2:]):
-        report = comparator.compare_captures(golden.capture, suspect.capture)
+    for (case, transform), outcome in zip(table2_test_cases(), sweep.outcomes[1:]):
         trojan_type = "Reduction" if "reduction" in transform.label else "Relocation"
         value = (
             transform.factor if trojan_type == "Reduction" else float(transform.period)
         )
-        rows.append(Table2Row(case, trojan_type, value, report))
+        rows.append(
+            Table2Row(case, trojan_type, value, outcome.verdicts["golden"].report)
+        )
 
-    return Table2Result(rows=rows, control_report=control_report, golden=golden)
+    return Table2Result(
+        rows=rows,
+        control_report=control_report,
+        golden=sweep.outcomes[0].golden,
+    )

@@ -81,6 +81,58 @@ class TestPrintAndDetect:
         assert voided.total_extrusion_mm() < original.total_extrusion_mm()
 
 
+class TestSweep:
+    def test_list_prints_grid_without_running(self, capsys):
+        assert main(["sweep", "--grid", "full", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1@table1" in out
+        assert "dr0wned" in out
+
+    def test_list_respects_out_flag(self, workdir, capsys):
+        path = os.path.join(workdir, "sweep-list.txt")
+        assert main(["sweep", "--grid", "smoke", "--list", "--out", path]) == 0
+        with open(path, encoding="utf-8") as handle:
+            assert "flaw3d-reduction-0.5@tiny" in handle.read()
+
+    def test_unknown_grid_is_error(self, capsys):
+        assert main(["sweep", "--grid", "no-such-grid"]) == 2
+        assert "unknown grid" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_smoke_sweep_end_to_end_with_persistent_cache(
+        self, workdir, capsys
+    ):
+        cache_dir = os.path.join(workdir, "golden-cache")
+        assert main(["sweep", "--grid", "smoke", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "2/2 attacks detected" in first
+        assert "0 false positives" in first
+        assert os.listdir(cache_dir)  # golden prints persisted
+
+        # Second invocation: every cacheable print is served from disk.
+        assert main(["sweep", "--grid", "smoke", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+
+
+class TestExperimentOptions:
+    def test_shared_option_block_present_on_every_experiment(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, __import__("argparse")._SubParsersAction)
+        )
+        for name in ("table1", "table2", "figure4", "overhead", "drift",
+                     "ablation", "sweep"):
+            opts = {
+                opt for action in sub.choices[name]._actions
+                for opt in action.option_strings
+            }
+            assert {"--workers", "--no-cache", "--cache-dir", "--out"} <= opts
+
+
 class TestParser:
     def test_missing_command_is_error(self):
         with pytest.raises(SystemExit):
