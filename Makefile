@@ -4,7 +4,12 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint bench sweep
+# Where `make ci` / `make smoke` persist the session cache. CI points this
+# at the actions/cache-restored directory; locally it lives untracked in
+# the repo root (see .gitignore).
+REPRO_CI_CACHE_DIR ?= .repro-session-cache
+
+.PHONY: test lint bench sweep smoke ci
 
 test:
 	python -m pytest -x -q
@@ -21,7 +26,19 @@ bench:
 	python -m pytest benchmarks/ --benchmark-only
 
 # sweep's nonzero exit means "detection gap reported", not "crash" — don't
-# fail the make run over it (the full grid has a known T9@tiny gap).
+# fail the make run over it.
 sweep:
 	python -m repro sweep --grid full --workers 0 || \
 		echo "sweep exited $$? — a detection gap or false positive is reported above"
+
+# The incremental smoke sweep: persistent session cache + CSV/HTML reports.
+# A warm cache makes this a zero-resimulation no-op; unlike `make sweep`,
+# a detection gap here IS a failure (the smoke grid must stay green).
+smoke:
+	python -m repro sweep --grid smoke \
+		--cache-dir $(REPRO_CI_CACHE_DIR) \
+		--csv smoke-sweep.csv --html smoke-sweep.html
+
+# Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay
+# in lockstep: lint -> tier-1 tests -> incremental smoke sweep.
+ci: lint test smoke

@@ -1,0 +1,66 @@
+"""Benchmark: the incremental sweep engine — cold vs warm wall clock.
+
+Two claims about the content-keyed :class:`SessionCache` under
+``repro sweep``:
+
+1. **Cold** — the first sweep over an empty persistent cache directory
+   simulates every unique session and persists each summary.
+2. **Warm** — repeating the identical sweep through a *fresh* cache
+   instance over the same directory re-simulates **zero** sessions (the
+   incremental-sweep invariant), serving everything from disk.
+
+The wall-clock ratio is recorded but not asserted — on the 1-CPU CI
+container absolute timings wobble; the zero-miss accounting is the
+invariant that must hold everywhere.
+"""
+
+import time
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.batch import SessionCache, cache_schema_version
+from repro.experiments.scenario import grid_scenarios, run_sweep
+
+
+def test_incremental_sweep_cold_vs_warm(benchmark, out_dir, tmp_path):
+    cache_dir = str(tmp_path / "session-cache")
+    scenarios = grid_scenarios("smoke")
+
+    t0 = time.perf_counter()
+    cold = run_sweep(scenarios, cache=SessionCache(directory=cache_dir), grid="smoke")
+    cold_s = time.perf_counter() - t0
+    assert cold.ok
+    assert cold.sessions_simulated == cold.sessions_total
+
+    def warm_run():
+        # A fresh instance per run: everything must come from disk, not from
+        # process memory.
+        return run_sweep(
+            scenarios, cache=SessionCache(directory=cache_dir), grid="smoke"
+        )
+
+    t0 = time.perf_counter()
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_s = time.perf_counter() - t0
+
+    # The invariant: a repeat sweep is a zero-resimulation no-op.
+    assert warm.cache_misses == 0
+    assert warm.sessions_simulated == 0
+    assert warm.cache_disk_hits == cold.sessions_total
+    assert warm.ok == cold.ok
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    lines = [
+        f"grid: smoke ({len(scenarios)} scenarios, "
+        f"{cold.sessions_total} unique sessions)",
+        f"cache schema version: {cache_schema_version()}",
+        f"cold sweep (empty cache dir):  {cold_s:7.2f}s  "
+        f"({cold.cache_misses} misses, {cold.cache_hits} hits)",
+        f"warm sweep (fresh instance):   {warm_s:7.2f}s  "
+        f"({warm.cache_misses} misses, {warm.cache_hits} hits, "
+        f"{warm.cache_disk_hits} from disk)",
+        f"warm speedup: {speedup:.1f}x (recorded, not asserted)",
+        "sessions re-simulated on repeat: 0",
+    ]
+    text = "\n".join(lines)
+    write_artifact(out_dir, "incremental_sweep.txt", text)
+    print("\n" + text)

@@ -10,7 +10,7 @@ inspection. Run with::
 The experiment benchmarks execute their print sessions through the
 :class:`~repro.experiments.batch.BatchRunner`; set ``REPRO_BENCH_WORKERS``
 to fan sessions across that many worker processes (``0`` = one per CPU)
-and ``REPRO_BENCH_NO_CACHE=1`` to disable the golden-print cache::
+and ``REPRO_BENCH_NO_CACHE=1`` to disable the session cache::
 
     REPRO_BENCH_WORKERS=4 pytest benchmarks/ --benchmark-only
 """

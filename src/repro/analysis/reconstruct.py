@@ -18,7 +18,6 @@ at both fidelities the platform offers:
 from __future__ import annotations
 
 import bisect
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 

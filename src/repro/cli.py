@@ -12,12 +12,14 @@ Mirrors the workflows of the paper's tooling:
 * ``table1`` / ``table2`` / ``figure4`` / ``overhead`` / ``drift`` /
   ``ablation`` — regenerate the corresponding paper artifact;
 * ``sweep``    — expand a named scenario grid (parts × attacks × detectors
-  × seeds) into one flat batch and score it.
+  × seeds) into one flat batch and score it; with ``--cache-dir`` the sweep
+  is incremental (repeats re-simulate nothing), and ``--csv`` / ``--html``
+  emit report files alongside the text table.
 
 Every experiment subcommand shares one option block (``--workers``,
 ``--no-cache``, ``--cache-dir``, ``--out``) wired through a single parent
-parser; ``--cache-dir`` (or ``REPRO_CACHE_DIR``) makes the golden-print
-cache persistent on disk.
+parser; ``--cache-dir`` (or ``REPRO_CACHE_DIR``) makes the content-keyed
+session cache persistent on disk.
 """
 
 from __future__ import annotations
@@ -175,6 +177,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
+    from repro.experiments.report import write_reports
     from repro.experiments.scenario import GRIDS, grid_scenarios, run_sweep
 
     try:
@@ -191,8 +194,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         _emit(args, "\n".join(lines))
         return 0
-    result = run_sweep(scenarios, **_batch_kwargs(args))
+    result = run_sweep(scenarios, grid=args.grid, **_batch_kwargs(args))
     _emit(args, result.render())
+    for path in write_reports(result, csv_path=args.csv, html_path=args.html):
+        print(f"report -> {path}")
     return 0 if result.ok else 1
 
 
@@ -258,12 +263,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid",
         default="full",
         help="registered scenario grid to expand (default: full; others: "
-        "smoke, clean, table1, trojans, flaw3d, dr0wned)",
+        "smoke, clean, table1, trojans, flaw3d, dr0wned, and the parametric "
+        "curves t2-curve, t9-curve, curves)",
     )
     p.add_argument(
         "--list",
         action="store_true",
         help="list the grid's scenarios without running them",
+    )
+    p.add_argument(
+        "--csv",
+        help="also write the sweep as CSV (one row per scenario x detector)",
+    )
+    p.add_argument(
+        "--html",
+        help="also write the sweep as a self-contained HTML report",
     )
     p.set_defaults(func=_cmd_sweep)
 
@@ -282,11 +296,11 @@ def _batch_options_parser() -> argparse.ArgumentParser:
     parent.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the content-keyed golden-print cache",
+        help="disable the content-keyed session cache",
     )
     parent.add_argument(
         "--cache-dir",
-        help="persistent on-disk golden-print cache directory "
+        help="persistent on-disk session-cache directory "
         "(overrides --no-cache; REPRO_CACHE_DIR sets the default cache's dir)",
     )
     parent.add_argument(

@@ -18,7 +18,7 @@ import enum
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.electronics.harness import SignalHarness, SignalPath
-from repro.electronics.pins import SIGNALS, SignalKind
+from repro.electronics.pins import SignalKind
 from repro.errors import OfframpsError
 from repro.core.fpga import FpgaFabric
 from repro.sim.kernel import Simulator

@@ -13,9 +13,8 @@ the paper highlights.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.core.board import JumperMode, OfframpsBoard
 from repro.core.trojans.base import Trojan, TrojanContext
 from repro.errors import OfframpsError
 

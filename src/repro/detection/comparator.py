@@ -16,7 +16,7 @@ totals exactly — the 0 % margin that catches arbitrarily small reductions
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.capture import COLUMNS, PulseCapture, Transaction
 from repro.detection.report import DetectionReport

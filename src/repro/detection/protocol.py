@@ -46,6 +46,31 @@ class Verdict:
         verdict = "TROJAN" if self.trojan_likely else "clean"
         return f"[{self.detector}] {verdict}: {self.detail}"
 
+    def as_dict(self) -> Dict[str, Any]:
+        """The verdict as plain JSON/CSV-safe values.
+
+        The ``report`` (a detector-native rich object, possibly holding live
+        comparator state) is deliberately dropped: this is the shape that
+        serializes into sweep reports and cached artifacts.
+        """
+        return {
+            "detector": self.detector,
+            "trojan_likely": bool(self.trojan_likely),
+            "score": float(self.score),
+            "detail": self.detail,
+        }
+
+    def without_report(self) -> "Verdict":
+        """A copy safe to pickle/ship regardless of the report's contents."""
+        if self.report is None:
+            return self
+        return Verdict(
+            detector=self.detector,
+            trojan_likely=self.trojan_likely,
+            score=self.score,
+            detail=self.detail,
+        )
+
 
 @runtime_checkable
 class Detector(Protocol):
@@ -261,6 +286,15 @@ class QualityDetector(_FittedMixin):
     compromise, delamination, flow anomalies, lost steps, fan sabotage, or a
     print that never finished. Catches attack classes (T9's fan collapse,
     T6/T7's kills) that leave the X/Y/Z/E transaction stream clean.
+
+    The fan check is duration-aware: beyond the whole-print mean-duty ratio,
+    it integrates the *fraction of the print* the suspect fan spent below
+    ``fan_collapse_ratio`` times the golden duty at the same normalized time
+    (:func:`~repro.physics.quality.fan_deficit_fraction`). A sabotage window
+    that is a sliver of the wall clock (T9 on the tiny coupon: a 10 s arm
+    delay against a ~60 s print whose fan only runs for the final 8 s)
+    therefore still registers — the sabotaged share of the print is
+    normalized by print length, not washed out by it.
     """
 
     name = "quality"
@@ -269,10 +303,33 @@ class QualityDetector(_FittedMixin):
         self,
         flow_band: float = 0.1,
         fan_collapse_ratio: float = 0.6,
+        fan_deficit_threshold: float = 0.01,
     ) -> None:
         super().__init__()
         self.flow_band = flow_band
         self.fan_collapse_ratio = fan_collapse_ratio
+        self.fan_deficit_threshold = fan_deficit_threshold
+
+    def _fan_deficit(self, suspect) -> float:
+        """Normalized-time fan deficit, 0.0 when either side lacks a profile.
+
+        Summaries are consumed duck-typed; anything without the fan profile
+        fields (older cache formats, hand-built test doubles) simply skips
+        the duration-aware check rather than failing it.
+        """
+        from repro.physics.quality import fan_deficit_fraction
+
+        golden_profile = getattr(self.golden, "fan_profile", None)
+        suspect_profile = getattr(suspect, "fan_profile", None)
+        if not golden_profile or suspect_profile is None:
+            return 0.0
+        return fan_deficit_fraction(
+            golden_profile,
+            getattr(self.golden, "end_time_ns", 0),
+            suspect_profile,
+            getattr(suspect, "end_time_ns", 0),
+            collapse_ratio=self.fan_collapse_ratio,
+        )
 
     def score(self, suspect) -> Verdict:
         from repro.physics.quality import compare_traces
@@ -298,6 +355,12 @@ class QualityDetector(_FittedMixin):
             anomalies.append(
                 f"fan duty collapsed ({suspect.mean_fan_duty:.2f} vs {golden_fan:.2f})"
             )
+        else:
+            deficit = self._fan_deficit(suspect)
+            if deficit > self.fan_deficit_threshold:
+                anomalies.append(
+                    f"fan duty deficit over {deficit * 100.0:.1f}% of the print"
+                )
         detail = "; ".join(anomalies) if anomalies else "part within tolerances"
         return Verdict(
             detector=self.name,

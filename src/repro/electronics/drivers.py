@@ -9,7 +9,7 @@ Microstep resolution is set by the RAMPS configuration jumpers (1/16 default).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.errors import ElectronicsError
 from repro.sim.signals import DigitalWire, StepWire

@@ -9,7 +9,7 @@ OFFRAMPS Trojans change lands here.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.electronics.drivers import A4988Driver
 from repro.electronics.endstop import Endstop

@@ -10,10 +10,14 @@ This module turns that shape into infrastructure:
   :class:`~repro.experiments.runner.SessionResult` carrying everything the
   scorers consume (capture, deposition trace, final counts, thermal peaks,
   Trojan counters, signal traces);
-* :class:`GoldenPrintCache` — a content-keyed cache so the same golden
-  print is simulated once and shared by every comparison that needs it;
+* :class:`SessionCache` — a content-keyed cache of completed session
+  summaries (golden *and* suspect prints: the key covers the G-code, the
+  Trojan id/config/seed, the firmware config, and every sim parameter), so
+  any session already simulated anywhere is never simulated again;
   optionally persistent on disk (``directory=...`` / ``REPRO_CACHE_DIR``),
-  so golden prints survive across processes and runs;
+  so sessions survive across processes and runs and repeat sweeps become
+  zero-resimulation no-ops (``GoldenPrintCache`` remains as an alias from
+  the era when only golden prints were cached);
 * :class:`BatchRunner` — fans a list of specs across worker processes
   (``concurrent.futures.ProcessPoolExecutor``), deduplicating identical
   specs within a batch and submitting longest-expected-first (see
@@ -93,7 +97,14 @@ class SessionSpec:
         ``label`` and ``cacheable`` are presentation/policy, not physics, so
         they are deliberately excluded: two specs that print the same thing
         share a key no matter how their experiments name them.
+
+        Memoized per instance (the fields are frozen, so the digest cannot
+        change): sweeps hash each spec's whole program once, not once per
+        layer that asks for the key.
         """
+        memo = self.__dict__.get("_content_key")
+        if memo is not None:
+            return memo
         digest = hashlib.sha256()
         for line in map(write_line, self.program):
             digest.update(line.encode())
@@ -117,7 +128,9 @@ class SessionSpec:
                 )
             ).encode()
         )
-        return digest.hexdigest()
+        key = digest.hexdigest()
+        object.__setattr__(self, "_content_key", key)
+        return key
 
 
 @dataclass
@@ -151,6 +164,8 @@ class SessionSummary:
     trojan_effect: Optional[str] = None
     trojan_stats: Dict[str, float] = field(default_factory=dict)
     tracer: Optional[Tracer] = None
+    fan_profile: List[Tuple[int, float]] = field(default_factory=list)
+    end_time_ns: int = 0
 
     @property
     def completed(self) -> bool:
@@ -222,6 +237,8 @@ def summarize_result(
         bed_peak_c=result.plant.bed.peak_temp_c,
         bed_damaged=result.plant.bed.damaged,
         tracer=result.tracer,
+        fan_profile=list(result.plant.fan_profile),
+        end_time_ns=result.plant.sim.now,
     )
     if result.trojan is not None:
         trojan = result.trojan
@@ -269,23 +286,37 @@ def _execute_to_summary(spec: SessionSpec) -> SessionSummary:
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 """Environment variable that makes the shared cache persistent on disk."""
 
-_CACHE_FORMAT = 1
-"""On-disk entry format version; bumped when SessionSummary changes shape."""
+_CACHE_FORMAT = 2
+"""On-disk entry format version; bumped when SessionSummary changes shape.
+
+Format history: 1 = golden-print-only cache; 2 = SessionSummary grew
+``fan_profile``/``end_time_ns`` (duration-aware fan detection) and suspect
+sessions became cacheable. A mismatched version is a miss, so stale entries
+degrade to re-simulation, never to a wrong result.
+"""
 
 
-class GoldenPrintCache:
-    """Content-keyed store of completed session summaries.
+def cache_schema_version() -> int:
+    """The on-disk entry format version (for external cache keys, e.g. CI)."""
+    return _CACHE_FORMAT
+
+
+class SessionCache:
+    """Content-keyed store of completed session summaries — golden or suspect.
 
     Keyed by :meth:`SessionSpec.content_key`, so any two experiments that
-    print the same program under the same conditions share one simulation.
+    print the same program under the same conditions (same Trojan config and
+    seed, same firmware config, same sim parameters) share one simulation.
 
     With ``directory`` set the cache is persistent: every ``put`` also
     pickles the summary to ``<directory>/<key>.summary.pkl`` (written
     atomically via rename, so a crashed writer never leaves a torn entry
     under the final name), and a miss in memory falls through to disk —
-    golden prints survive across processes and runs. A corrupted, truncated,
-    wrong-format, or wrong-key on-disk entry is treated as a miss, so the
-    worst failure mode is re-simulation, never a wrong result.
+    completed sessions survive across processes and runs, which is what
+    makes repeat sweeps incremental (only never-seen scenarios simulate).
+    A corrupted, truncated, wrong-format, or wrong-key on-disk entry is
+    treated as a miss, so the worst failure mode is re-simulation, never a
+    wrong result.
     """
 
     def __init__(self, directory: Optional[str] = None) -> None:
@@ -358,7 +389,7 @@ class GoldenPrintCache:
                 except OSError:
                     pass
             warnings.warn(
-                f"golden cache entry {key[:16]}… not persisted to "
+                f"session cache entry {key[:16]}… not persisted to "
                 f"{self.directory}: {exc}",
                 RuntimeWarning,
                 stacklevel=3,
@@ -371,13 +402,26 @@ class GoldenPrintCache:
         self.misses = 0
         self.disk_hits = 0
 
+    def stats(self) -> Dict[str, int]:
+        """The hit/miss counters as one dict (for reports and benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._entries),
+        }
 
-_SHARED_CACHE: Optional[GoldenPrintCache] = None
 
-CacheOption = Union[None, bool, str, GoldenPrintCache]
+GoldenPrintCache = SessionCache
+"""Backward-compatible alias from when only golden prints were cached."""
 
 
-def shared_cache() -> GoldenPrintCache:
+_SHARED_CACHE: Optional[SessionCache] = None
+
+CacheOption = Union[None, bool, str, SessionCache]
+
+
+def shared_cache() -> SessionCache:
     """The process-wide cache used when callers pass ``cache=True``.
 
     Created lazily; honors :data:`CACHE_DIR_ENV` (``REPRO_CACHE_DIR``) at
@@ -386,13 +430,13 @@ def shared_cache() -> GoldenPrintCache:
     """
     global _SHARED_CACHE
     if _SHARED_CACHE is None:
-        _SHARED_CACHE = GoldenPrintCache(
+        _SHARED_CACHE = SessionCache(
             directory=os.environ.get(CACHE_DIR_ENV) or None
         )
     return _SHARED_CACHE
 
 
-def resolve_cache(cache: CacheOption) -> Optional[GoldenPrintCache]:
+def resolve_cache(cache: CacheOption) -> Optional[SessionCache]:
     """Normalize the user-facing cache option to a cache instance (or None).
 
     ``True`` resolves to the process-wide shared cache, a string to a
@@ -403,7 +447,7 @@ def resolve_cache(cache: CacheOption) -> Optional[GoldenPrintCache]:
     if cache is True:
         return shared_cache()
     if isinstance(cache, str):
-        return GoldenPrintCache(directory=cache)
+        return SessionCache(directory=cache)
     return cache
 
 
@@ -414,7 +458,7 @@ class BatchRunner:
     the fallback that keeps results bit-identical and debuggable.
     ``workers=None`` (or ``0``) uses one worker per CPU. Identical specs within a
     batch are computed once regardless of worker count, and specs marked
-    ``cacheable`` consult/populate the given :class:`GoldenPrintCache`
+    ``cacheable`` consult/populate the given :class:`SessionCache`
     across batches.
     """
 
@@ -474,7 +518,7 @@ class BatchRunner:
         else:
             summaries = [_execute_to_summary(spec) for _, spec in pending]
 
-        for (key, spec), summary in zip(pending, summaries):
+        for (key, _spec), summary in zip(pending, summaries):
             results[key] = summary
             if self.cache is not None and key in cacheable_keys:
                 self.cache.put(key, summary)

@@ -10,8 +10,8 @@ experiments score.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.core.board import OfframpsBoard
 from repro.core.capture import PulseCapture

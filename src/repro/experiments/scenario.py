@@ -16,7 +16,14 @@ Three registries make the space enumerable:
   with its Table I parameters plus the Table II G-code attacks;
 * **grids** (:func:`register_grid` / :data:`GRIDS`) — named scenario grids
   (``table1``, ``flaw3d``, ``dr0wned``, ``clean``, ``trojans``, ``full``)
-  behind the ``repro sweep`` CLI command.
+  behind the ``repro sweep`` CLI command, plus parametric **axis sweeps**
+  (:class:`AxisSweep` / :func:`register_axis_sweep`: ``t2-curve``,
+  ``t9-curve``, ``curves``) that declare a Trojan-parameter curve as data
+  and expand to ordinary scenarios.
+
+Every compiled session — golden *and* suspect — is content-keyed and
+cacheable, so sweeps over a persistent ``--cache-dir`` are incremental:
+repeats re-simulate nothing, grown grids pay only for their delta.
 
 Scoring goes through the unified Detector protocol
 (:mod:`repro.detection.protocol`): each scenario's detectors are fitted on
@@ -27,6 +34,7 @@ the golden summary and score the suspect, yielding normalized
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -368,6 +376,14 @@ def compile_scenario(scenario: ScenarioSpec) -> Tuple[SessionSpec, SessionSpec]:
     noise-free scenarios share content keys (and cached golden prints) with
     every other noise-free run of the same part, regardless of the seed a
     grid nominally carries.
+
+    *Both* specs are marked cacheable: the content key covers the G-code
+    (post-transform for G-code attacks), the Trojan id/params/seed, the
+    firmware config, and every sim parameter, so any scenario this host has
+    simulated before — golden *or* suspect — is served from the
+    :class:`~repro.experiments.batch.SessionCache`. A repeat sweep over a
+    persistent cache directory re-simulates nothing; a grown grid simulates
+    only its delta.
     """
     program = part_program(scenario.part)
     noise = scenario.noise_sigma
@@ -394,6 +410,7 @@ def compile_scenario(scenario: ScenarioSpec) -> Tuple[SessionSpec, SessionSpec]:
             program=attack.transform(program, part_shape(scenario.part)),
             noise_seed=scenario.seed if noise > 0 else 0,
             label=f"{scenario.name}/{attack.name}",
+            cacheable=True,
             **common,
         )
     else:
@@ -405,6 +422,7 @@ def compile_scenario(scenario: ScenarioSpec) -> Tuple[SessionSpec, SessionSpec]:
             trojan_seed=scenario.seed,
             grace_s=attack.grace_s,
             label=f"{scenario.name}/{attack.name}",
+            cacheable=True,
             **common,
         )
     return golden, suspect
@@ -419,20 +437,32 @@ class ScenarioRun:
     suspect: SessionSummary
 
 
+def _compile_all(scenarios: Sequence[ScenarioSpec]) -> List[SessionSpec]:
+    """Every scenario's (golden, suspect) specs, flattened in order."""
+    specs: List[SessionSpec] = []
+    for scenario in scenarios:
+        specs.extend(compile_scenario(scenario))
+    return specs
+
+
+def _pair_runs(
+    scenarios: Sequence[ScenarioSpec], summaries: Sequence[SessionSummary]
+) -> List[ScenarioRun]:
+    """Re-pair a flat summary batch with the scenarios that compiled it."""
+    return [
+        ScenarioRun(scenario, summaries[2 * i], summaries[2 * i + 1])
+        for i, scenario in enumerate(scenarios)
+    ]
+
+
 def run_scenarios(
     scenarios: Sequence[ScenarioSpec],
     workers: Optional[int] = 1,
     cache: CacheOption = None,
 ) -> List[ScenarioRun]:
     """Execute every scenario's sessions as one flat deduplicated batch."""
-    specs: List[SessionSpec] = []
-    for scenario in scenarios:
-        specs.extend(compile_scenario(scenario))
-    summaries = run_sessions(specs, workers=workers, cache=cache)
-    return [
-        ScenarioRun(scenario, summaries[2 * i], summaries[2 * i + 1])
-        for i, scenario in enumerate(scenarios)
-    ]
+    summaries = run_sessions(_compile_all(scenarios), workers=workers, cache=cache)
+    return _pair_runs(scenarios, summaries)
 
 
 def _build_detector(name: str, scenario: ScenarioSpec) -> Detector:
@@ -466,11 +496,22 @@ class ScenarioOutcome:
 
 @dataclass
 class SweepResult:
-    """Every outcome of one sweep, plus the golden-cache economics."""
+    """Every outcome of one sweep, plus the session-cache economics.
+
+    ``cache_misses`` is exactly the number of sessions this sweep had to
+    simulate (every unique cacheable spec is looked up once); on a repeat
+    sweep over a persistent cache directory it is 0 — the incremental-sweep
+    invariant the tests pin down.
+    """
 
     outcomes: List[ScenarioOutcome]
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_disk_hits: int = 0
+    sessions_total: int = 0
+    sessions_simulated: int = 0
+    wall_clock_s: float = 0.0
+    grid: str = ""
 
     @property
     def attack_outcomes(self) -> List[ScenarioOutcome]:
@@ -511,13 +552,21 @@ class SweepResult:
                     f"{flag:<7} {verdict.detail}"
                 )
         lines.append("")
+        cache_note = f"session cache {self.cache_hits} hits / {self.cache_misses} misses"
+        if self.cache_disk_hits:
+            cache_note += f" ({self.cache_disk_hits} served from disk)"
         lines.append(
             f"{len(self.outcomes)} scenarios "
             f"({len(self.attack_outcomes)} attacks, {len(self.clean_outcomes)} clean): "
             f"{self.attacks_detected}/{len(self.attack_outcomes)} attacks detected, "
             f"{self.false_positives} false positives; "
-            f"golden cache {self.cache_hits} hits / {self.cache_misses} misses"
+            + cache_note
         )
+        if self.sessions_total:
+            lines.append(
+                f"{self.sessions_simulated}/{self.sessions_total} unique sessions "
+                f"simulated in {self.wall_clock_s:.1f}s wall clock"
+            )
         return "\n".join(lines)
 
 
@@ -525,12 +574,23 @@ def run_sweep(
     scenarios: Sequence[ScenarioSpec],
     workers: Optional[int] = 1,
     cache: CacheOption = None,
+    grid: str = "",
 ) -> SweepResult:
-    """Execute and score a scenario grid: one batch, then detector verdicts."""
+    """Execute and score a scenario grid: one batch, then detector verdicts.
+
+    With a persistent cache the run is *incremental*: only sessions whose
+    summaries are not already cached are simulated, so repeating a sweep is
+    a zero-resimulation no-op and growing a grid pays only for its delta.
+    The returned result carries the cache hit/miss accounting and wall clock
+    that the CSV/HTML reports (:mod:`repro.experiments.report`) surface.
+    """
     resolved = resolve_cache(cache)
-    hits_before = resolved.hits if resolved is not None else 0
-    misses_before = resolved.misses if resolved is not None else 0
-    runs = run_scenarios(scenarios, workers=workers, cache=resolved)
+    before = resolved.stats() if resolved is not None else {}
+    specs = _compile_all(scenarios)
+    unique_keys = {spec.content_key() for spec in specs}
+    started = time.perf_counter()
+    summaries = run_sessions(specs, workers=workers, cache=resolved)
+    runs = _pair_runs(scenarios, summaries)
     outcomes: List[ScenarioOutcome] = []
     for run in runs:
         verdicts: Dict[str, Verdict] = {}
@@ -540,10 +600,18 @@ def run_sweep(
         outcomes.append(
             ScenarioOutcome(run.scenario, run.golden, run.suspect, verdicts)
         )
+    wall_clock_s = time.perf_counter() - started
+    after = resolved.stats() if resolved is not None else {}
+    misses = after.get("misses", 0) - before.get("misses", 0)
     return SweepResult(
         outcomes=outcomes,
-        cache_hits=(resolved.hits - hits_before) if resolved is not None else 0,
-        cache_misses=(resolved.misses - misses_before) if resolved is not None else 0,
+        cache_hits=after.get("hits", 0) - before.get("hits", 0),
+        cache_misses=misses,
+        cache_disk_hits=after.get("disk_hits", 0) - before.get("disk_hits", 0),
+        sessions_total=len(unique_keys),
+        sessions_simulated=misses if resolved is not None else len(unique_keys),
+        wall_clock_s=wall_clock_s,
+        grid=grid,
     )
 
 
@@ -698,3 +766,123 @@ register_grid("dr0wned", "dr0wned-style void attacks",
               dr0wned_scenarios)
 register_grid("full", "clean + trojans x parts + flaw3d + dr0wned",
               full_grid)
+
+
+# ----------------------------------------------------------------------
+# Parametric axis sweeps
+# ----------------------------------------------------------------------
+
+def _format_param(value: Any) -> str:
+    return f"{value:g}" if isinstance(value, float) else str(value)
+
+
+def trojan_attack_variant(trojan_id: str, **overrides: Any) -> str:
+    """Register (idempotently) a Trojan attack with overridden parameters.
+
+    The name encodes the overrides (``"T2[keep_fraction=0.25]"``), so the
+    same variant registers once no matter how many sweeps declare it, and
+    two different parameterizations can never collide under one name. The
+    variant flows through the ordinary compile/cache path: its session's
+    content key covers the overridden Trojan config, so each curve point is
+    simulated exactly once ever (per cache directory).
+    """
+    base = get_attack(trojan_id)
+    if base.kind != FPGA_ATTACK:
+        raise ReproError(f"{trojan_id!r} is not an FPGA Trojan attack")
+    suffix = ",".join(
+        f"{key}={_format_param(value)}" for key, value in sorted(overrides.items())
+    )
+    if not suffix:
+        return trojan_id
+    name = f"{trojan_id}[{suffix}]"
+    if name not in ATTACKS:
+        register_attack(
+            AttackDef(
+                name=name,
+                kind=FPGA_ATTACK,
+                description=f"{base.description} ({suffix})",
+                trojan_id=base.trojan_id,
+                trojan_params={**dict(base.trojan_params), **overrides},
+                grace_s=base.grace_s,
+            )
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class AxisSweep:
+    """A parametric grid: one Trojan parameter swept over a value curve.
+
+    Declares e.g. T2's ``keep_fraction`` curve or T9's arm-delay curve as
+    data; :meth:`expand` turns each (part, value) into an ordinary
+    :class:`ScenarioSpec` under a variant attack, so parametric grids run
+    through the same batch/cache/report machinery as every other grid —
+    and growing a curve by one value re-simulates exactly one session.
+    """
+
+    name: str
+    attack: str
+    param: str
+    values: Tuple[Any, ...]
+    parts: Tuple[str, ...] = ("tiny",)
+    detectors: Tuple[str, ...] = ("golden", "quality")
+    seed: int = 42
+    noise_sigma: float = 0.0
+    description: str = ""
+
+    def expand(self) -> List[ScenarioSpec]:
+        return [
+            ScenarioSpec(
+                name=f"{attack_name}@{part}",
+                part=part,
+                attack=attack_name,
+                detectors=self.detectors,
+                seed=self.seed,
+                noise_sigma=self.noise_sigma,
+            )
+            for part in self.parts
+            for value in self.values
+            for attack_name in (
+                trojan_attack_variant(self.attack, **{self.param: value}),
+            )
+        ]
+
+
+AXIS_SWEEPS: Dict[str, AxisSweep] = {}
+
+
+def register_axis_sweep(sweep: AxisSweep) -> AxisSweep:
+    """Register an axis sweep; it becomes a named grid of the same name."""
+    AXIS_SWEEPS[sweep.name] = sweep
+    register_grid(
+        sweep.name,
+        sweep.description or f"{sweep.attack} {sweep.param} curve over {sweep.values}",
+        sweep.expand,
+    )
+    return sweep
+
+
+register_axis_sweep(
+    AxisSweep(
+        name="t2-curve",
+        attack="T2",
+        param="keep_fraction",
+        values=(0.25, 0.5, 0.75, 0.9),
+        description="T2 extrusion-masking keep_fraction curve on the tiny part",
+    )
+)
+register_axis_sweep(
+    AxisSweep(
+        name="t9-curve",
+        attack="T9",
+        param="arm_delay_s",
+        values=(0.0, 2.5, 5.0, 10.0),
+        description="T9 fan-sabotage arm-delay curve on the tiny part "
+        "(exercises duration-aware fan detection)",
+    )
+)
+register_grid(
+    "curves",
+    "every registered parametric axis sweep",
+    lambda: [sc for sweep in AXIS_SWEEPS.values() for sc in sweep.expand()],
+)

@@ -9,7 +9,7 @@ Marlin's ``WATCH_TEMP_*`` / ``THERMAL_PROTECTION_*`` defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import FirmwareError
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.errors import SlicerError
 from repro.gcode.slicer.geometry import Polygon, ensure_ccw

@@ -24,7 +24,7 @@ unscaled — the bootloader attacked extrusion, not retraction).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.errors import GcodeError
 from repro.gcode.ast import Command, GcodeProgram, Word

@@ -6,7 +6,7 @@ numbers, parameter order); the property-based tests enforce this round-trip.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.gcode.ast import Command, GcodeProgram
 from repro.gcode.checksum import line_checksum

@@ -11,7 +11,7 @@ paper's photographs of parts on graph paper.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
@@ -152,7 +152,7 @@ class PartTrace:
         A rigid, well-built printer keeps this near zero for a prismatic
         part; Z-wobble and layer-shift Trojans make it jump.
         """
-        layer_list = [l for l in self.layers() if l.extruded_mm > 0]
+        layer_list = [layer for layer in self.layers() if layer.extruded_mm > 0]
         if not layer_list:
             return []
         cx0, cy0 = layer_list[0].centroid

@@ -11,7 +11,7 @@ cyber-physical loop the paper's test environment closes with real hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import PlantError
 from repro.physics.deposition import PartTrace, TraceSample

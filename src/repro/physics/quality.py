@@ -15,9 +15,70 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.physics.deposition import PartTrace
+
+FanProfile = Sequence[Tuple[int, float]]
+"""A fan duty step function: (time_ns, duty) change points, duty held until
+the next entry (the plant's ``fan_profile`` shape)."""
+
+
+def _duty_steps(profile: FanProfile, end_ns: int) -> List[Tuple[float, float]]:
+    """The profile as (normalized start time, duty) steps over [0, 1]."""
+    if end_ns <= 0:
+        return []
+    steps = [(min(1.0, max(0.0, t / end_ns)), duty) for t, duty in profile]
+    if not steps or steps[0][0] > 0.0:
+        steps.insert(0, (0.0, 0.0))
+    return steps
+
+
+def fan_deficit_fraction(
+    golden_profile: FanProfile,
+    golden_end_ns: int,
+    suspect_profile: FanProfile,
+    suspect_end_ns: int,
+    collapse_ratio: float = 0.6,
+    duty_floor: float = 0.05,
+) -> float:
+    """Fraction of the print the suspect fan spent collapsed below golden.
+
+    Both profiles are placed on a normalized time axis (0 = print start,
+    1 = print end), so prints of any length compare like-for-like — this is
+    what makes the fan check *duration-aware*: a 10-second sabotage window
+    is invisible in a 100-second print's whole-print mean but spans the same
+    late-print region of the normalized axis on any part. The returned value
+    is the measure of ``{t : golden(t) > duty_floor and
+    suspect(t) < collapse_ratio * golden(t)}`` — the share of the print
+    during which the part demonstrably under-cooled relative to its golden
+    reference. Clean noise realizations disagree only for the microseconds
+    around each duty transition, so their deficit fraction is ~0.
+    """
+    golden_steps = _duty_steps(golden_profile, golden_end_ns)
+    suspect_steps = _duty_steps(suspect_profile, suspect_end_ns)
+    if not golden_steps or not suspect_steps:
+        return 0.0
+    breakpoints = sorted({t for t, _ in golden_steps} | {t for t, _ in suspect_steps} | {1.0})
+
+    def duty_at(steps: List[Tuple[float, float]], t: float) -> float:
+        duty = steps[0][1]
+        for start, value in steps:
+            if start > t:
+                break
+            duty = value
+        return duty
+
+    deficit = 0.0
+    for t0, t1 in zip(breakpoints, breakpoints[1:]):
+        if t1 <= t0:
+            continue
+        golden_duty = duty_at(golden_steps, t0)
+        if golden_duty <= duty_floor:
+            continue
+        if duty_at(suspect_steps, t0) < collapse_ratio * golden_duty:
+            deficit += t1 - t0
+    return deficit
 
 
 @dataclass
@@ -95,8 +156,8 @@ def compare_traces(golden: PartTrace, suspect: PartTrace) -> PartQualityReport:
     Layers are matched by index after sorting by z, which tolerates uniform
     z offsets while still exposing spacing anomalies.
     """
-    golden_layers = [l for l in golden.layers() if l.extruded_mm > 0]
-    suspect_layers = [l for l in suspect.layers() if l.extruded_mm > 0]
+    golden_layers = [layer for layer in golden.layers() if layer.extruded_mm > 0]
+    suspect_layers = [layer for layer in suspect.layers() if layer.extruded_mm > 0]
 
     golden_total = golden.total_extruded_mm
     suspect_total = suspect.total_extruded_mm

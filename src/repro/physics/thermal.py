@@ -16,7 +16,7 @@ no overshoot is missed between samples.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import PlantError

@@ -1,6 +1,5 @@
 """BatchRunner tests: spec keying, dedup, cache, and serial/parallel parity."""
 
-import pytest
 
 from repro.experiments.batch import (
     BatchRunner,

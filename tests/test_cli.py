@@ -102,17 +102,28 @@ class TestSweep:
     def test_smoke_sweep_end_to_end_with_persistent_cache(
         self, workdir, capsys
     ):
-        cache_dir = os.path.join(workdir, "golden-cache")
-        assert main(["sweep", "--grid", "smoke", "--cache-dir", cache_dir]) == 0
+        cache_dir = os.path.join(workdir, "session-cache")
+        csv_path = os.path.join(workdir, "sweep.csv")
+        html_path = os.path.join(workdir, "sweep.html")
+        assert main(
+            ["sweep", "--grid", "smoke", "--cache-dir", cache_dir,
+             "--csv", csv_path, "--html", html_path]
+        ) == 0
         first = capsys.readouterr().out
         assert "2/2 attacks detected" in first
         assert "0 false positives" in first
-        assert os.listdir(cache_dir)  # golden prints persisted
+        assert os.listdir(cache_dir)  # sessions persisted
+        with open(csv_path, encoding="utf-8") as handle:
+            assert handle.readline().startswith("scenario,part,attack")
+        with open(html_path, encoding="utf-8") as handle:
+            assert "<!DOCTYPE html>" in handle.readline()
 
-        # Second invocation: every cacheable print is served from disk.
+        # Second invocation: every session is served from disk — the sweep
+        # is incremental (suspects included, not just golden prints).
         assert main(["sweep", "--grid", "smoke", "--cache-dir", cache_dir]) == 0
         second = capsys.readouterr().out
         assert "0 misses" in second
+        assert "0/5 unique sessions simulated" in second
 
 
 class TestExperimentOptions:
@@ -131,6 +142,20 @@ class TestExperimentOptions:
                 for opt in action.option_strings
             }
             assert {"--workers", "--no-cache", "--cache-dir", "--out"} <= opts
+
+    def test_sweep_report_options_present(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, __import__("argparse")._SubParsersAction)
+        )
+        opts = {
+            opt for action in sub.choices["sweep"]._actions
+            for opt in action.option_strings
+        }
+        assert {"--csv", "--html", "--grid", "--list"} <= opts
 
 
 class TestParser:

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.capture import PulseCapture, Transaction
-from repro.detection.comparator import CaptureComparator, Mismatch
+from repro.detection.comparator import CaptureComparator
 from repro.detection.golden import GoldenStore
 from repro.detection.realtime import StreamingDetector
 from repro.electronics.uart import UartBus, pack_step_counts

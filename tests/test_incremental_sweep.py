@@ -1,0 +1,408 @@
+"""Incremental sweep engine: suspect caching, parametric grids, reports.
+
+The properties that make `repro sweep` an incremental, resumable engine:
+
+* a repeat sweep over the same persistent cache directory re-simulates
+  **zero** sessions (suspects included — the acceptance criterion);
+* a grown grid simulates only its delta;
+* a cache-schema version bump invalidates every stale entry;
+* a corrupted suspect entry degrades to one re-simulation, never a wrong
+  or missing result;
+* parametric axis sweeps expand to ordinary scenarios whose sessions are
+  content-keyed like any other;
+* the CSV/HTML reports agree with the text output's verdicts.
+"""
+
+import csv
+import io
+import os
+
+import pytest
+
+import repro.experiments.batch as batch
+from repro.detection.protocol import Verdict
+from repro.experiments.batch import GoldenPrintCache, SessionCache
+from repro.experiments.report import (
+    CSV_COLUMNS,
+    render_csv,
+    render_html,
+    summary_stats,
+    sweep_rows,
+    write_reports,
+)
+from repro.experiments.scenario import (
+    AXIS_SWEEPS,
+    CONTROL_SEED,
+    ScenarioSpec,
+    compile_scenario,
+    grid_names,
+    grid_scenarios,
+    run_sweep,
+    trojan_attack_variant,
+)
+from repro.physics.quality import fan_deficit_fraction
+
+
+def _mini_grid():
+    """Two scenarios, four unique sessions, a couple of simulated seconds."""
+    return [
+        ScenarioSpec(
+            name="clean@tiny",
+            part="tiny",
+            attack=None,
+            detectors=("golden", "realtime"),
+            seed=CONTROL_SEED,
+        ),
+        ScenarioSpec(
+            name="T2@tiny",
+            part="tiny",
+            attack="T2",
+            detectors=("golden", "quality"),
+            seed=42,
+            noise_sigma=0.0,
+        ),
+    ]
+
+
+def _forbid_simulation(monkeypatch):
+    def _fail(spec):
+        raise AssertionError(f"re-simulated a cached session: {spec.label!r}")
+
+    monkeypatch.setattr(batch, "_execute_to_summary", _fail)
+
+
+def _count_simulations(monkeypatch):
+    counted = []
+    real = batch._execute_to_summary
+
+    def _counting(spec):
+        counted.append(spec.label)
+        return real(spec)
+
+    monkeypatch.setattr(batch, "_execute_to_summary", _counting)
+    return counted
+
+
+class TestSessionCacheAlias:
+    def test_golden_print_cache_is_session_cache(self):
+        assert GoldenPrintCache is SessionCache
+
+    def test_stats_shape(self):
+        cache = SessionCache()
+        cache.get("missing")
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 1,
+            "disk_hits": 0,
+            "entries": 0,
+        }
+
+    def test_schema_version_exported(self):
+        assert batch.cache_schema_version() == batch._CACHE_FORMAT
+
+
+@pytest.mark.slow
+class TestIncrementalSweeps:
+    @pytest.fixture(scope="class")
+    def warm_dir(self, tmp_path_factory):
+        """A cache directory populated by one cold mini-grid sweep."""
+        directory = str(tmp_path_factory.mktemp("session-cache"))
+        result = run_sweep(_mini_grid(), cache=SessionCache(directory=directory))
+        assert result.ok
+        assert result.sessions_simulated == result.sessions_total == 4
+        return directory, result
+
+    def test_repeat_sweep_hits_cache_completely(self, warm_dir, monkeypatch):
+        directory, first = warm_dir
+        _forbid_simulation(monkeypatch)
+        second = run_sweep(_mini_grid(), cache=SessionCache(directory=directory))
+        assert second.cache_misses == 0
+        assert second.sessions_simulated == 0
+        assert second.cache_hits == first.sessions_total
+        assert second.cache_disk_hits == first.sessions_total
+        assert second.ok == first.ok
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert {k: v.as_dict() for k, v in a.verdicts.items()} == {
+                k: v.as_dict() for k, v in b.verdicts.items()
+            }
+
+    def test_grown_grid_simulates_only_the_delta(self, warm_dir, monkeypatch):
+        directory, _ = warm_dir
+        counted = _count_simulations(monkeypatch)
+        grown = _mini_grid() + [
+            ScenarioSpec(
+                name="T5@tiny",
+                part="tiny",
+                attack="T5",
+                detectors=("golden", "quality"),
+                seed=42,
+                noise_sigma=0.0,
+            )
+        ]
+        result = run_sweep(grown, cache=SessionCache(directory=directory))
+        # T5 shares the noise-free tiny golden with T2, so the delta is
+        # exactly one session: the T5 suspect.
+        assert counted == ["T5@tiny/T5"]
+        assert result.sessions_simulated == 1
+        assert result.sessions_total == 5
+
+    def test_schema_version_bump_invalidates_stale_entries(
+        self, warm_dir, monkeypatch
+    ):
+        directory, _ = warm_dir
+        key = compile_scenario(_mini_grid()[1])[1].content_key()
+        assert SessionCache(directory=directory).get(key) is not None
+        monkeypatch.setattr(batch, "_CACHE_FORMAT", batch._CACHE_FORMAT + 1)
+        stale = SessionCache(directory=directory)
+        assert stale.get(key) is None
+        assert stale.misses == 1
+
+    def test_corrupted_suspect_entry_degrades_to_resimulation(
+        self, warm_dir, monkeypatch
+    ):
+        directory, first = warm_dir
+        suspect_key = compile_scenario(_mini_grid()[1])[1].content_key()
+        path = os.path.join(directory, f"{suspect_key}.summary.pkl")
+        assert os.path.exists(path)
+        with open(path, "wb") as handle:
+            handle.write(b"torn write garbage")
+        counted = _count_simulations(monkeypatch)
+        result = run_sweep(_mini_grid(), cache=SessionCache(directory=directory))
+        assert counted == ["T2@tiny/T2"]
+        assert result.ok == first.ok
+        # The re-simulation repopulated the entry for the next sweep.
+        assert SessionCache(directory=directory).get(suspect_key) is not None
+
+
+@pytest.mark.slow
+class TestTable1Acceptance:
+    """The acceptance criterion, on the real ``table1`` grid."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("table1-cache"))
+        scenarios = grid_scenarios("table1")
+        first = run_sweep(
+            scenarios, cache=SessionCache(directory=directory), grid="table1"
+        )
+        second = run_sweep(
+            scenarios, cache=SessionCache(directory=directory), grid="table1"
+        )
+        return first, second
+
+    def test_second_sweep_resimulates_zero_sessions(self, runs):
+        first, second = runs
+        assert first.sessions_simulated == first.sessions_total == 10
+        assert second.cache_misses == 0
+        assert second.sessions_simulated == 0
+        assert second.cache_hits == first.sessions_total
+
+    def test_csv_report_agrees_with_text_verdicts(self, runs):
+        _, second = runs
+        text_triples = set()
+        for line in second.render().splitlines():
+            fields = line.split()
+            if len(fields) >= 3 and fields[2] in ("TROJAN", "clean"):
+                text_triples.add((fields[0], fields[1], fields[2]))
+        csv_triples = {
+            (row["scenario"], row["detector"], row["verdict"])
+            for row in csv.DictReader(io.StringIO(render_csv(second)))
+        }
+        assert csv_triples == text_triples
+        assert len(csv_triples) == sum(len(o.verdicts) for o in second.outcomes)
+
+
+class TestParametricGrids:
+    def test_axis_sweeps_registered_as_grids(self):
+        assert {"t2-curve", "t9-curve", "curves"} <= set(grid_names())
+        assert {"t2-curve", "t9-curve"} <= set(AXIS_SWEEPS)
+
+    def test_t2_curve_expands_to_variant_scenarios(self):
+        scenarios = grid_scenarios("t2-curve")
+        assert [sc.attack for sc in scenarios] == [
+            "T2[keep_fraction=0.25]",
+            "T2[keep_fraction=0.5]",
+            "T2[keep_fraction=0.75]",
+            "T2[keep_fraction=0.9]",
+        ]
+        assert all(sc.part == "tiny" for sc in scenarios)
+        assert len({sc.name for sc in scenarios}) == len(scenarios)
+
+    def test_curves_grid_is_the_union_of_axis_sweeps(self):
+        union = {sc.name for sc in grid_scenarios("curves")}
+        per_sweep = {
+            sc.name
+            for sweep_name in AXIS_SWEEPS
+            for sc in grid_scenarios(sweep_name)
+        }
+        assert union == per_sweep
+
+    def test_variant_registration_is_idempotent_and_keyed_by_params(self):
+        name = trojan_attack_variant("T9", arm_delay_s=2.5)
+        assert name == "T9[arm_delay_s=2.5]"
+        assert trojan_attack_variant("T9", arm_delay_s=2.5) == name
+        other = trojan_attack_variant("T9", arm_delay_s=7.5)
+        assert other != name
+        from repro.experiments.scenario import get_attack
+
+        assert get_attack(name).trojan_params["arm_delay_s"] == 2.5
+        assert get_attack(name).trojan_params["scale"] == 0.15  # base retained
+
+    def test_variant_without_overrides_is_the_base_attack(self):
+        assert trojan_attack_variant("T2") == "T2"
+
+    def test_variant_of_gcode_attack_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            trojan_attack_variant("dr0wned-void", factor=0.5)
+
+    def test_variant_sessions_have_distinct_content_keys(self):
+        base = compile_scenario(
+            ScenarioSpec(name="a", part="tiny", attack="T2", noise_sigma=0.0)
+        )[1]
+        variant = compile_scenario(
+            ScenarioSpec(
+                name="b",
+                part="tiny",
+                attack=trojan_attack_variant("T2", keep_fraction=0.25),
+                noise_sigma=0.0,
+            )
+        )[1]
+        assert base.content_key() != variant.content_key()
+
+
+class TestFanDeficitFraction:
+    S = 1_000_000_000  # ns
+
+    def test_identical_profiles_have_zero_deficit(self):
+        profile = [(0, 0.0), (10 * self.S, 1.0), (50 * self.S, 0.0)]
+        assert fan_deficit_fraction(profile, 60 * self.S, profile, 60 * self.S) == 0.0
+
+    def test_sliver_sabotage_is_normalized_by_print_length(self):
+        golden = [(0, 0.0), (40 * self.S, 1.0)]
+        sabotaged = [(0, 0.0), (40 * self.S, 1.0), (57 * self.S, 0.15)]
+        deficit = fan_deficit_fraction(golden, 60 * self.S, sabotaged, 60 * self.S)
+        assert deficit == pytest.approx(3.0 / 60.0)
+
+    def test_longer_print_same_fractional_deficit(self):
+        # The same 5% sabotaged share registers identically at any length.
+        golden = [(0, 1.0)]
+        short = [(0, 1.0), (19 * self.S, 0.0)]
+        long_ = [(0, 1.0), (190 * self.S, 0.0)]
+        a = fan_deficit_fraction(golden, 20 * self.S, short, 20 * self.S)
+        b = fan_deficit_fraction(golden, 200 * self.S, long_, 200 * self.S)
+        assert a == pytest.approx(0.05)
+        assert b == pytest.approx(0.05)
+
+    def test_low_golden_duty_is_ignored(self):
+        golden = [(0, 0.04)]  # below the duty floor: nothing to collapse
+        suspect = [(0, 0.0)]
+        assert fan_deficit_fraction(golden, 10 * self.S, suspect, 10 * self.S) == 0.0
+
+    def test_empty_profiles_are_zero(self):
+        assert fan_deficit_fraction([], 0, [], 0) == 0.0
+        assert fan_deficit_fraction([(0, 1.0)], 10 * self.S, [], 0) == 0.0
+
+
+@pytest.mark.slow
+class TestDurationAwareFanDetection:
+    def test_t9_on_tiny_is_caught(self):
+        # The known full-grid miss: T9's 10s arm delay on the ~60s tiny
+        # coupon leaves the whole-print mean duty above the collapse
+        # threshold; the normalized-time deficit still sees it.
+        result = run_sweep(
+            [
+                ScenarioSpec(
+                    name="T9@tiny",
+                    part="tiny",
+                    attack="T9",
+                    detectors=("golden", "quality"),
+                    seed=42,
+                    noise_sigma=0.0,
+                )
+            ]
+        )
+        verdict = result.outcomes[0].verdicts["quality"]
+        assert verdict.trojan_likely
+        assert "fan duty deficit" in verdict.detail
+
+
+class TestVerdictSerialization:
+    def test_as_dict_is_plain_and_dropping_report(self):
+        verdict = Verdict(
+            detector="golden",
+            trojan_likely=True,
+            score=42.5,
+            detail="d",
+            report=object(),
+        )
+        flat = verdict.as_dict()
+        assert flat == {
+            "detector": "golden",
+            "trojan_likely": True,
+            "score": 42.5,
+            "detail": "d",
+        }
+        assert all(isinstance(k, str) for k in flat)
+
+    def test_without_report(self):
+        verdict = Verdict("q", False, 0.0, "ok", report=object())
+        stripped = verdict.without_report()
+        assert stripped.report is None
+        assert stripped.as_dict() == verdict.as_dict()
+        clean = Verdict("q", False, 0.0, "ok")
+        assert clean.without_report() is clean
+
+
+@pytest.mark.slow
+class TestSweepReports:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sweep(_mini_grid(), cache=SessionCache(), grid="mini")
+
+    def test_rows_cover_every_scenario_detector_pair(self, result):
+        rows = sweep_rows(result)
+        assert len(rows) == sum(len(o.verdicts) for o in result.outcomes)
+        assert {row["scenario"] for row in rows} == {
+            o.scenario.name for o in result.outcomes
+        }
+        for row in rows:
+            assert set(row) == set(CSV_COLUMNS)
+            assert row["outcome"] in ("ok", "detected", "missed", "false-positive")
+
+    def test_csv_round_trips(self, result):
+        parsed = list(csv.DictReader(io.StringIO(render_csv(result))))
+        assert [row["scenario"] for row in parsed] == [
+            row["scenario"] for row in sweep_rows(result)
+        ]
+        attack_rows = [row for row in parsed if row["kind"] == "attack"]
+        assert attack_rows and all(r["outcome"] == "detected" for r in attack_rows)
+
+    def test_html_is_self_contained_and_mentions_everything(self, result):
+        page = render_html(result)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<style>" in page
+        assert "src=" not in page and "href=" not in page  # no external assets
+        for outcome in result.outcomes:
+            assert outcome.scenario.name in page
+        assert "cache hits / misses" in page
+        assert "wall clock" in page
+
+    def test_summary_stats_match_result(self, result):
+        stats = summary_stats(result)
+        assert stats["scenarios"] == len(result.outcomes)
+        assert stats["attacks_detected"] == result.attacks_detected
+        assert stats["sessions_total"] == result.sessions_total == 4
+        assert stats["grid"] == "mini"
+
+    def test_write_reports_writes_requested_files(self, result, tmp_path):
+        csv_path = str(tmp_path / "sweep.csv")
+        html_path = str(tmp_path / "sweep.html")
+        written = write_reports(result, csv_path=csv_path, html_path=html_path)
+        assert written == [csv_path, html_path]
+        with open(csv_path, encoding="utf-8") as handle:
+            assert handle.readline().strip() == ",".join(CSV_COLUMNS)
+        with open(html_path, encoding="utf-8") as handle:
+            assert "<table>" in handle.read()
+        assert write_reports(result) == []

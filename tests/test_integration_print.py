@@ -23,7 +23,7 @@ class TestCleanPrint:
             )
 
     def test_deposited_layers_match_slicer(self, tiny_golden):
-        layers = [l for l in tiny_golden.plant.trace.layers() if l.extruded_mm > 0]
+        layers = [layer for layer in tiny_golden.plant.trace.layers() if layer.extruded_mm > 0]
         assert len(layers) == 3  # 0.9mm / 0.3mm
 
     def test_layer_spacing_nominal(self, tiny_golden):

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.errors import PlantError
 from repro.physics.deposition import PartTrace, TraceSample
 from repro.physics.kinematics import AxisMechanics
-from repro.physics.printer import PlantProfile, PrinterPlant
+from repro.physics.printer import PrinterPlant
 from repro.physics.quality import compare_traces
 from repro.physics.thermal import ThermalNode
 from repro.sim.kernel import Simulator

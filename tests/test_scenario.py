@@ -17,7 +17,6 @@ from repro.experiments.scenario import (
     CONTROL_SEED,
     GOLDEN_SEED,
     GRIDS,
-    PARTS,
     TROJAN_IDS,
     ScenarioSpec,
     clean_scenarios,
@@ -32,7 +31,6 @@ from repro.experiments.scenario import (
     register_program_part,
     run_scenarios,
     run_sweep,
-    trojan_scenarios,
 )
 
 
