@@ -9,17 +9,17 @@ export PYTHONPATH
 # the repo root (see .gitignore).
 REPRO_CI_CACHE_DIR ?= .repro-session-cache
 
-.PHONY: test lint bench sweep smoke ci
+.PHONY: test lint bench sweep smoke smoke-distrib ci
 
 test:
 	python -m pytest -x -q
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests benchmarks; \
+		ruff check src tests benchmarks scripts; \
 	else \
 		echo "ruff not installed (pip install ruff); falling back to a syntax check"; \
-		python -m compileall -q src tests benchmarks; \
+		python -m compileall -q src tests benchmarks scripts; \
 	fi
 
 bench:
@@ -39,6 +39,13 @@ smoke:
 		--cache-dir $(REPRO_CI_CACHE_DIR) \
 		--csv smoke-sweep.csv --html smoke-sweep.html
 
-# Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay
-# in lockstep: lint -> tier-1 tests -> incremental smoke sweep.
-ci: lint test smoke
+# Distributed smoke parity: the smoke grid through `--hosts 2` (subprocess
+# workers over a shared cache dir) must yield verdicts byte-identical to the
+# single-host run, and a repeat over the same cache must simulate nothing.
+smoke-distrib:
+	python scripts/smoke_distrib.py
+
+# Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay in
+# lockstep: lint -> tier-1 tests -> incremental smoke sweep -> distributed
+# smoke parity.
+ci: lint test smoke smoke-distrib

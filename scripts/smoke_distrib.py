@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Distributed smoke parity check (the `make smoke-distrib` target).
+
+Runs the smoke grid three ways and asserts the distribution layer changes
+*nothing* about the verdicts:
+
+1. single-host (`hosts=1`) into its own cache dir — the reference;
+2. `hosts=2` (two subprocess workers sharing a cache dir) — the CSV report
+   must be byte-identical to the reference;
+3. `hosts=2` again over the same shared cache dir — must simulate zero
+   sessions (the incremental invariant survives distribution).
+
+Exit code 0 means all three hold; any drift or failure exits 1 with a
+diagnostic. Run from the repo root: ``python scripts/smoke_distrib.py``
+(the script puts ``src/`` on ``sys.path`` itself).
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.experiments.batch import SessionCache  # noqa: E402
+from repro.experiments.report import render_csv  # noqa: E402
+from repro.experiments.scenario import grid_scenarios, run_sweep  # noqa: E402
+
+
+def fail(message: str) -> int:
+    print(f"smoke-distrib: FAIL — {message}")
+    return 1
+
+
+def main() -> int:
+    scenarios = grid_scenarios("smoke")
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-distrib-") as base:
+        serial = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=os.path.join(base, "serial-cache")),
+            grid="smoke",
+        )
+        if not serial.ok:
+            return fail(f"single-host smoke sweep not ok:\n{serial.render()}")
+
+        shared_cache_dir = os.path.join(base, "distrib-cache")
+        distributed = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=shared_cache_dir),
+            grid="smoke",
+            hosts=2,
+            work_dir=os.path.join(base, "work"),
+        )
+        if not distributed.ok:
+            return fail(f"--hosts 2 smoke sweep not ok:\n{distributed.render()}")
+        if render_csv(distributed) != render_csv(serial):
+            return fail(
+                "verdict drift between --hosts 1 and --hosts 2:\n"
+                f"--- hosts=1 ---\n{render_csv(serial)}\n"
+                f"--- hosts=2 ---\n{render_csv(distributed)}"
+            )
+        hosts_used = len(distributed.host_stats)
+        if not hosts_used:
+            return fail("--hosts 2 run reported no per-host stats")
+
+        repeat = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=shared_cache_dir),
+            grid="smoke",
+            hosts=2,
+            work_dir=os.path.join(base, "work-repeat"),
+        )
+        if repeat.sessions_simulated != 0 or repeat.cache_misses != 0:
+            return fail(
+                "repeat over the shared cache dir re-simulated "
+                f"{repeat.sessions_simulated} sessions "
+                f"({repeat.cache_misses} misses); expected 0"
+            )
+        if render_csv(repeat) != render_csv(serial):
+            return fail("verdict drift on the warm repeat")
+
+        print(
+            "smoke-distrib: OK — "
+            f"{len(scenarios)} scenarios, "
+            f"{serial.sessions_total} unique sessions; "
+            f"hosts=2 parity holds across {hosts_used} worker host(s) "
+            f"({distributed.wall_clock_s:.1f}s distributed vs "
+            f"{serial.wall_clock_s:.1f}s single-host); "
+            "warm repeat simulated 0 sessions"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,13 @@ Mirrors the workflows of the paper's tooling:
   ``ablation`` — regenerate the corresponding paper artifact;
 * ``sweep``    — expand a named scenario grid (parts × attacks × detectors
   × seeds) into one flat batch and score it; with ``--cache-dir`` the sweep
-  is incremental (repeats re-simulate nothing), and ``--csv`` / ``--html``
-  emit report files alongside the text table.
+  is incremental (repeats re-simulate nothing), ``--hosts N`` shards the
+  pending sessions across N worker hosts (subprocess workers over a shared
+  ``--work-dir``), and ``--csv`` / ``--html`` emit report files alongside
+  the text table;
+* ``worker``   — serve a distribution work dir: claim pending shards,
+  execute them, publish results. Run it by hand on any machine that shares
+  (or rsyncs) the coordinator's work dir and cache dir to join a sweep.
 
 Every experiment subcommand shares one option block (``--workers``,
 ``--no-cache``, ``--cache-dir``, ``--out``) wired through a single parent
@@ -194,11 +199,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         _emit(args, "\n".join(lines))
         return 0
-    result = run_sweep(scenarios, grid=args.grid, **_batch_kwargs(args))
+    if args.hosts > 1 and args.workers != 1:
+        # Each worker host runs its shard serially (the heartbeat-per-
+        # session contract); total parallelism is the host count.
+        print(
+            "note: --workers applies to single-host sweeps; with "
+            f"--hosts {args.hosts} parallelism is one session per host",
+            file=sys.stderr,
+        )
+    result = run_sweep(
+        scenarios,
+        grid=args.grid,
+        hosts=args.hosts,
+        work_dir=args.work_dir,
+        **_batch_kwargs(args),
+    )
     _emit(args, result.render())
     for path in write_reports(result, csv_path=args.csv, html_path=args.html):
         print(f"report -> {path}")
     return 0 if result.ok else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.distrib import Worker
+
+    worker = Worker(
+        args.work_dir,
+        worker_id=args.id,
+        cache=args.cache_dir,
+        poll_s=args.poll_s,
+        idle_timeout_s=args.idle_timeout_s,
+    )
+    executed = worker.run()
+    print(f"worker {worker.worker_id}: {executed} shard(s) executed")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -279,7 +313,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--html",
         help="also write the sweep as a self-contained HTML report",
     )
+    p.add_argument(
+        "--hosts",
+        type=int,
+        default=1,
+        help="shard the pending sessions across N worker hosts "
+        "(subprocess workers over a shared work dir; default: 1 = in-process)",
+    )
+    p.add_argument(
+        "--work-dir",
+        help="distribution work directory (pending/claimed/done shards); "
+        "defaults to a temp dir. Point external `repro worker` hosts here.",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve a distribution work dir (claim + execute pending shards)",
+    )
+    p.add_argument("work_dir", help="the coordinator's --work-dir")
+    p.add_argument(
+        "--cache-dir",
+        help="persistent session-cache directory (share the coordinator's)",
+    )
+    p.add_argument("--id", help="worker id (default: <hostname>-<pid>)")
+    p.add_argument(
+        "--poll-s",
+        type=float,
+        default=0.2,
+        help="queue poll interval in seconds",
+    )
+    p.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=None,
+        help="exit after the queue has stayed empty this long "
+        "(default: run until the coordinator writes STOP)",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     return parser
 

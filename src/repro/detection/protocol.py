@@ -71,6 +71,19 @@ class Verdict:
             detail=self.detail,
         )
 
+    def __getstate__(self):
+        """Pickle via :meth:`without_report`.
+
+        The ``report`` is the detector's native rich object and may hold
+        live state — :class:`RealtimeDetector` attaches the replayed
+        :class:`~repro.detection.realtime.StreamingDetector` itself, whose
+        alarm callback can be bound to a live bus. Dropping it here makes
+        every serialization boundary (process pools, the distribution
+        work-dir protocol, user pickles of scored sweeps) safe by
+        construction; the scored outcome itself always survives.
+        """
+        return dict(self.without_report().__dict__)
+
 
 @runtime_checkable
 class Detector(Protocol):

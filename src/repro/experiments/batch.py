@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.capture import PulseCapture, Transaction
 from repro.core.trojans import make_trojan
+from repro.errors import ReproError
 from repro.experiments.runner import PrintSession, SessionResult
 from repro.firmware.config import MarlinConfig
 from repro.firmware.marlin import PrinterStatus
@@ -166,6 +167,7 @@ class SessionSummary:
     tracer: Optional[Tracer] = None
     fan_profile: List[Tuple[int, float]] = field(default_factory=list)
     end_time_ns: int = 0
+    error: Optional[str] = None
 
     @property
     def completed(self) -> bool:
@@ -174,6 +176,11 @@ class SessionSummary:
     @property
     def killed(self) -> bool:
         return self.status is PrinterStatus.KILLED
+
+    @property
+    def failed(self) -> bool:
+        """True when the session's *execution* raised (see :func:`failure_summary`)."""
+        return self.status is PrinterStatus.FAILED
 
     @property
     def capture(self) -> PulseCapture:
@@ -191,6 +198,17 @@ class SessionSummary:
         clone = copy.copy(self)
         clone.label = label
         return clone
+
+    def __getstate__(self):
+        """Serialize without the ``_capture`` memo.
+
+        ``capture`` is rebuilt on demand from ``transactions``; pickling the
+        memo would ship every transaction twice across every process/host/
+        disk boundary a summary crosses.
+        """
+        state = dict(self.__dict__)
+        state.pop("_capture", None)
+        return state
 
 
 def _trojan_counters(trojan) -> Dict[str, float]:
@@ -283,16 +301,47 @@ def _execute_to_summary(spec: SessionSpec) -> SessionSummary:
     )
 
 
+def failure_summary(spec: SessionSpec, error: BaseException) -> SessionSummary:
+    """A FAILED-status summary standing in for a session that raised.
+
+    Carries the spec's label/key and the exception text, so a crashing
+    session surfaces as one reportable row instead of aborting its whole
+    batch and discarding every completed sibling.
+    """
+    return SessionSummary(
+        label=spec.label,
+        spec_key=spec.content_key(),
+        status=PrinterStatus.FAILED,
+        kill_reason=None,
+        timed_out=False,
+        duration_s=0.0,
+        events_dispatched=0,
+        transactions=[],
+        final_counts={},
+        missed_steps=0,
+        trace=PartTrace(),
+        mean_fan_duty=0.0,
+        hotend_peak_c=0.0,
+        hotend_damaged=False,
+        bed_peak_c=0.0,
+        bed_damaged=False,
+        trojan_id=spec.trojan_id,
+        error=f"{type(error).__name__}: {error}",
+    )
+
+
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 """Environment variable that makes the shared cache persistent on disk."""
 
-_CACHE_FORMAT = 2
+_CACHE_FORMAT = 3
 """On-disk entry format version; bumped when SessionSummary changes shape.
 
 Format history: 1 = golden-print-only cache; 2 = SessionSummary grew
 ``fan_profile``/``end_time_ns`` (duration-aware fan detection) and suspect
-sessions became cacheable. A mismatched version is a miss, so stale entries
-degrade to re-simulation, never to a wrong result.
+sessions became cacheable; 3 = SessionSummary grew ``error`` (failure-
+isolated batches) and stopped serializing the ``_capture`` memo. A
+mismatched version is a miss, so stale entries degrade to re-simulation,
+never to a wrong result.
 """
 
 
@@ -364,10 +413,20 @@ class SessionCache:
             self.hits += 1
         return entry
 
-    def put(self, key: str, summary: SessionSummary) -> None:
+    def put(self, key: str, summary: SessionSummary, persist: bool = True) -> None:
+        """Store an entry; ``persist=False`` keeps it in memory only.
+
+        Callers that *know* the entry is already on disk (a distribution
+        coordinator merging summaries its workers persisted) pass
+        ``persist=False`` to avoid rewriting every entry a second time.
+        """
         self._entries[key] = summary
-        if self.directory is not None:
+        if persist and self.directory is not None:
             self._store_to_disk(key, summary)
+
+    def has_on_disk(self, key: str) -> bool:
+        """True when a file for ``key`` exists (contents not validated)."""
+        return self.directory is not None and os.path.exists(self._path(key))
 
     def _store_to_disk(self, key: str, summary: SessionSummary) -> None:
         # A failed disk write (full/read-only filesystem) must not discard a
@@ -508,19 +567,37 @@ class BatchRunner:
                 max_workers=min(self.workers, len(pending))
             ) as pool:
                 futures = {
-                    pool.submit(_execute_to_summary, spec): key
+                    pool.submit(_execute_to_summary, spec): (key, spec)
                     for key, spec in ordered
                 }
                 executed: Dict[str, SessionSummary] = {}
                 for future in as_completed(futures):
-                    executed[futures[future]] = future.result()
+                    key, spec = futures[future]
+                    try:
+                        executed[key] = future.result()
+                    except Exception as exc:
+                        # One raising session (or a broken pool) must not
+                        # abandon the siblings that already completed.
+                        executed[key] = failure_summary(spec, exc)
             summaries = [executed[key] for key, _ in pending]
         else:
-            summaries = [_execute_to_summary(spec) for _, spec in pending]
+            summaries = []
+            for _key, spec in pending:
+                try:
+                    summaries.append(_execute_to_summary(spec))
+                except Exception as exc:
+                    summaries.append(failure_summary(spec, exc))
 
         for (key, _spec), summary in zip(pending, summaries):
             results[key] = summary
-            if self.cache is not None and key in cacheable_keys:
+            # Failures are returned but never cached: the condition that
+            # crashed this session may be transient (broken pool, OOM), and
+            # a cached failure would otherwise shadow a future clean run.
+            if (
+                self.cache is not None
+                and key in cacheable_keys
+                and not summary.failed
+            ):
                 self.cache.put(key, summary)
 
         out: List[SessionSummary] = []
@@ -538,6 +615,25 @@ def run_sessions(
     specs: Sequence[SessionSpec],
     workers: Optional[int] = 1,
     cache: CacheOption = None,
+    strict: bool = False,
 ) -> List[SessionSummary]:
-    """Convenience wrapper: one batch through a fresh :class:`BatchRunner`."""
-    return BatchRunner(workers=workers, cache=cache).run(specs)
+    """Convenience wrapper: one batch through a fresh :class:`BatchRunner`.
+
+    ``strict=True`` raises :class:`ReproError` if any session FAILED —
+    *after* the batch completed and the survivors were cached. Callers that
+    compute directly over summary fields (the drift/overhead artifacts)
+    use it so a crashed session fails their artifact loudly instead of
+    silently contributing empty data; sweep-style callers score FAILED
+    summaries as reportable rows instead.
+    """
+    summaries = BatchRunner(workers=workers, cache=cache).run(specs)
+    if strict:
+        failures = [s for s in summaries if s.failed]
+        if failures:
+            details = "; ".join(
+                f"{s.label or s.spec_key[:12]}: {s.error}" for s in failures[:5]
+            )
+            raise ReproError(
+                f"{len(failures)} of {len(summaries)} sessions failed: {details}"
+            )
+    return summaries

@@ -1,0 +1,845 @@
+"""Cross-host sweep distribution: shard, execute anywhere, merge.
+
+The spec/summary boundary is picklable and the :class:`SessionCache` is
+content-keyed on disk, so a sweep no longer has to run on one host: this
+module shards a batch's *pending* :class:`SessionSpec`s (the ones the cache
+cannot serve) across worker hosts by :meth:`SessionSpec.estimated_cost`
+(longest-expected-first, balanced bins), executes each shard through the
+existing :class:`~repro.experiments.batch.BatchRunner`, and merges the
+returned :class:`SessionSummary`s back into one result.
+
+The first transport is a **file-based work-dir protocol** — any filesystem
+the coordinator and workers can both reach (one machine, NFS, or an
+rsync'd directory) is a cluster:
+
+.. code-block:: text
+
+    work-dir/
+      pending/shard-0007.pkl        queued WorkShard (coordinator writes)
+      claimed/shard-0007@W.pkl      claimed by worker W (atomic rename)
+      done/shard-0007.pkl           ShardResult (atomic write; claim removed)
+      hearts/W                      worker W's heartbeat (mtime refreshed
+                                    between sessions = forward progress)
+      logs/W.log                    spawned local workers' stdio
+      STOP                          coordinator's shutdown signal
+
+Every file lands via atomic rename — the same torn-write discipline as the
+session cache — so a crashed writer never leaves a half-written shard under
+a final name, and claiming is race-free: exactly one worker wins the rename
+of a pending shard.
+
+Fault tolerance: the coordinator watches each claimed shard's worker. A
+worker whose process has exited (local transport) or whose heartbeat has
+gone stale (any transport) forfeits its claim — the shard is re-queued by
+renaming it back to ``pending/`` and another worker picks it up. If the
+local worker pool dies entirely, the coordinator drains the remaining
+shards inline, so a sweep completes as long as the coordinator itself
+survives.
+
+Entry points:
+
+* :func:`run_distributed` / :class:`Coordinator` — what
+  ``repro sweep --hosts N`` drives;
+* :class:`Worker` — the claim/execute/report loop behind the standalone
+  ``repro worker <work-dir>`` command, which is how real remote hosts join
+  a sweep (point them at a shared work dir and cache dir).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.experiments.batch import (
+    BatchRunner,
+    CacheOption,
+    SessionSpec,
+    SessionSummary,
+    resolve_cache,
+)
+
+WIRE_FORMAT = 1
+"""Work-dir payload format version; a mismatched shard/result is re-queued."""
+
+_PENDING, _CLAIMED, _DONE, _HEARTS, _LOGS = (
+    "pending",
+    "claimed",
+    "done",
+    "hearts",
+    "logs",
+)
+_STOP = "STOP"
+_SHARD_RE = re.compile(r"^shard-(\d+)(?:@(.+))?\.pkl$")
+
+
+@dataclass(frozen=True)
+class WorkShard:
+    """One worker-sized slice of a batch: an id plus its specs."""
+
+    shard_id: int
+    specs: Tuple[SessionSpec, ...]
+
+    def estimated_cost(self) -> float:
+        return sum(spec.estimated_cost() for spec in self.specs)
+
+
+@dataclass
+class ShardResult:
+    """What a worker ships back for one executed shard."""
+
+    shard_id: int
+    worker_id: str
+    summaries: List[SessionSummary]
+    wall_clock_s: float
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for summary in self.summaries if summary.failed)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A successfully claimed shard and the claim file that records it."""
+
+    shard: WorkShard
+    path: str
+
+
+def balanced_shards(
+    specs: Sequence[SessionSpec], bins: int
+) -> List[List[SessionSpec]]:
+    """Split specs into ≤ ``bins`` cost-balanced groups, longest-first.
+
+    Greedy LPT: walk the specs in descending :meth:`~SessionSpec.
+    estimated_cost` order, always assigning to the currently-lightest bin.
+    Deterministic (stable sort, lowest-index tie-break), so the same batch
+    shards the same way on every run.
+    """
+    bins = max(1, min(bins, len(specs)))
+    loads = [0.0] * bins
+    out: List[List[SessionSpec]] = [[] for _ in range(bins)]
+    ordered = sorted(specs, key=lambda spec: spec.estimated_cost(), reverse=True)
+    for spec in ordered:
+        lightest = min(range(bins), key=lambda b: (loads[b], b))
+        out[lightest].append(spec)
+        loads[lightest] += spec.estimated_cost()
+    return [group for group in out if group]
+
+
+def sanitize_worker_id(worker_id: str) -> str:
+    """Worker ids become file-name components; keep them unambiguous."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "-", worker_id) or "worker"
+
+
+def default_worker_id() -> str:
+    return sanitize_worker_id(f"{socket.gethostname()}-{os.getpid()}")
+
+
+def _atomic_pickle(path: str, payload: Any) -> None:
+    """Write ``payload`` under ``path`` via tmp-file + atomic rename."""
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".wire.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(
+                {"format": WIRE_FORMAT, "payload": payload},
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _load_pickle(path: str) -> Optional[Any]:
+    """Read a wire payload; any corruption or version skew reads as absent."""
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except Exception:
+        return None
+    if not isinstance(envelope, dict) or envelope.get("format") != WIRE_FORMAT:
+        return None
+    return envelope.get("payload")
+
+
+class WorkDir:
+    """The shared directory both sides of the protocol operate on.
+
+    Every transition is an atomic rename (claim: ``pending/ → claimed/``;
+    re-queue: ``claimed/ → pending/``) or an atomic write (enqueue, done),
+    so concurrent workers — processes or hosts — never observe a torn file
+    and never double-execute a shard they both tried to claim.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        for sub in (_PENDING, _CLAIMED, _DONE, _HEARTS, _LOGS):
+            os.makedirs(os.path.join(root, sub), exist_ok=True)
+
+    def _sub(self, sub: str, name: str = "") -> str:
+        return os.path.join(self.root, sub, name) if name else os.path.join(self.root, sub)
+
+    @staticmethod
+    def shard_file(shard_id: int) -> str:
+        return f"shard-{shard_id:04d}.pkl"
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear a previous sweep's protocol state from a reused work dir.
+
+        Stale ``done/`` files would satisfy this run's shard ids with old
+        summaries, a stale ``STOP`` would make joining workers exit
+        immediately, and stale claims would be pointlessly re-queued — so
+        the coordinator wipes all of them before enqueueing (one sweep per
+        work dir at a time; logs are kept, they only ever append).
+        """
+        try:
+            os.unlink(os.path.join(self.root, _STOP))
+        except OSError:
+            pass
+        for sub in (_PENDING, _CLAIMED, _DONE, _HEARTS):
+            for name in os.listdir(self._sub(sub)):
+                try:
+                    os.unlink(self._sub(sub, name))
+                except OSError:
+                    pass
+
+    def enqueue(self, shard: WorkShard) -> None:
+        _atomic_pickle(self._sub(_PENDING, self.shard_file(shard.shard_id)), shard)
+
+    def done_ids(self) -> List[int]:
+        ids = []
+        for name in os.listdir(self._sub(_DONE)):
+            match = _SHARD_RE.match(name)
+            if match:
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    def load_result(self, shard_id: int) -> Optional[ShardResult]:
+        payload = _load_pickle(self._sub(_DONE, self.shard_file(shard_id)))
+        return payload if isinstance(payload, ShardResult) else None
+
+    def discard_done(self, shard_id: int) -> None:
+        try:
+            os.unlink(self._sub(_DONE, self.shard_file(shard_id)))
+        except OSError:
+            pass
+
+    def claims(self) -> List[Tuple[int, str, str]]:
+        """Live claims as ``(shard_id, worker_id, path)`` triples."""
+        out = []
+        for name in sorted(os.listdir(self._sub(_CLAIMED))):
+            match = _SHARD_RE.match(name)
+            if match and match.group(2):
+                out.append(
+                    (int(match.group(1)), match.group(2), self._sub(_CLAIMED, name))
+                )
+        return out
+
+    def requeue(self, claim_path: str) -> bool:
+        """Return a dead worker's claimed shard to the pending queue.
+
+        The claim file still holds the original shard payload, so one
+        atomic rename restores it; a vanished claim (the worker completed
+        after all) is not an error — the done file wins.
+        """
+        match = _SHARD_RE.match(os.path.basename(claim_path))
+        if not match:
+            return False
+        pending_path = self._sub(_PENDING, self.shard_file(int(match.group(1))))
+        try:
+            os.rename(claim_path, pending_path)
+        except OSError:
+            return False
+        return True
+
+    def stop(self) -> None:
+        with open(os.path.join(self.root, _STOP), "w", encoding="utf-8") as handle:
+            handle.write("stop\n")
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def stop_requested(self) -> bool:
+        return os.path.exists(os.path.join(self.root, _STOP))
+
+    def pending_files(self) -> List[str]:
+        return sorted(
+            name
+            for name in os.listdir(self._sub(_PENDING))
+            if _SHARD_RE.match(name)
+        )
+
+    def claim(self, pending_name: str, worker_id: str) -> Optional[Claim]:
+        """Try to claim one pending shard; ``None`` if another worker won."""
+        match = _SHARD_RE.match(pending_name)
+        if not match or match.group(2):
+            return None
+        claim_path = self._sub(
+            _CLAIMED, f"shard-{int(match.group(1)):04d}@{worker_id}.pkl"
+        )
+        try:
+            os.rename(self._sub(_PENDING, pending_name), claim_path)
+        except OSError:
+            return None
+        payload = _load_pickle(claim_path)
+        if not isinstance(payload, WorkShard):
+            # Corrupt shard file: drop the claim; the coordinator re-enqueues
+            # from its in-memory copy once it notices the shard went missing.
+            try:
+                os.unlink(claim_path)
+            except OSError:
+                pass
+            return None
+        return Claim(shard=payload, path=claim_path)
+
+    def complete(self, claim: Claim, result: ShardResult) -> None:
+        _atomic_pickle(self._sub(_DONE, self.shard_file(claim.shard.shard_id)), result)
+        try:
+            os.unlink(claim.path)
+        except OSError:
+            pass
+
+    def beat(self, worker_id: str) -> None:
+        path = self._sub(_HEARTS, worker_id)
+        with open(path, "a", encoding="utf-8"):
+            pass
+        os.utime(path, None)
+
+    def heartbeat_age_s(self, worker_id: str) -> Optional[float]:
+        """Local-clock age of the heartbeat; ``None`` when it doesn't exist.
+
+        Only meaningful when beater and reader share a clock (same host).
+        The coordinator instead watches :meth:`heartbeat_mtime` for
+        *advancement* against its own clock, which survives cross-host
+        clock skew on shared filesystems.
+        """
+        try:
+            return max(0.0, time.time() - os.path.getmtime(self._sub(_HEARTS, worker_id)))
+        except OSError:
+            return None
+
+    def heartbeat_mtime(self, worker_id: str) -> Optional[float]:
+        """The heartbeat file's raw mtime; ``None`` when it doesn't exist."""
+        try:
+            return os.path.getmtime(self._sub(_HEARTS, worker_id))
+        except OSError:
+            return None
+
+    def log_path(self, worker_id: str) -> str:
+        return self._sub(_LOGS, f"{worker_id}.log")
+
+
+class Worker:
+    """The claim → execute → report loop one host runs.
+
+    Executes each claimed shard spec-by-spec through a serial
+    :class:`BatchRunner` (failure-isolated: a raising session becomes a
+    FAILED summary, never a dead worker), touching its heartbeat between
+    sessions so the coordinator can tell *slow* from *dead*. Exits when the
+    coordinator writes ``STOP``, or — with ``idle_timeout_s`` — after the
+    queue has stayed empty that long.
+    """
+
+    def __init__(
+        self,
+        work_dir: Union[str, WorkDir],
+        worker_id: Optional[str] = None,
+        cache: CacheOption = None,
+        poll_s: float = 0.2,
+        idle_timeout_s: Optional[float] = None,
+    ) -> None:
+        self.work = work_dir if isinstance(work_dir, WorkDir) else WorkDir(work_dir)
+        self.worker_id = sanitize_worker_id(worker_id or default_worker_id())
+        self.poll_s = poll_s
+        self.idle_timeout_s = idle_timeout_s
+        self.runner = BatchRunner(workers=1, cache=cache)
+
+    def run(self) -> int:
+        """Serve the queue until STOP (or idle timeout); returns shards done."""
+        executed = 0
+        idle_since = time.monotonic()
+        while True:
+            self.work.beat(self.worker_id)
+            if self.work.stop_requested():
+                # STOP beats a non-empty queue: shards left pending after a
+                # coordinator abort are abandoned work — nobody will ever
+                # collect their results.
+                break
+            claim = self._claim_next()
+            if claim is None:
+                if (
+                    self.idle_timeout_s is not None
+                    and time.monotonic() - idle_since >= self.idle_timeout_s
+                ):
+                    break
+                time.sleep(self.poll_s)
+                continue
+            self.execute(claim)
+            executed += 1
+            idle_since = time.monotonic()
+        return executed
+
+    def _claim_next(self) -> Optional[Claim]:
+        for name in self.work.pending_files():
+            claim = self.work.claim(name, self.worker_id)
+            if claim is not None:
+                return claim
+        return None
+
+    def execute(self, claim: Claim) -> ShardResult:
+        """Run one claimed shard and publish its result."""
+        started = time.perf_counter()
+        summaries: List[SessionSummary] = []
+        for spec in claim.shard.specs:
+            # One spec per runner call: the heartbeat between sessions is
+            # the forward-progress signal staleness detection keys on.
+            self.work.beat(self.worker_id)
+            summaries.extend(self.runner.run([spec]))
+        result = ShardResult(
+            shard_id=claim.shard.shard_id,
+            worker_id=self.worker_id,
+            summaries=summaries,
+            wall_clock_s=time.perf_counter() - started,
+        )
+        self.work.complete(claim, result)
+        return result
+
+
+@dataclass
+class DistributedResult:
+    """Merged outcome of one distributed batch."""
+
+    summaries: List[SessionSummary]
+    host_stats: List[Dict[str, Any]] = field(default_factory=list)
+    requeues: int = 0
+    shards: int = 0
+    sessions_dispatched: int = 0
+
+
+class Coordinator:
+    """Shard a batch across worker hosts and merge the summaries back.
+
+    With ``spawn_local=True`` (the default) the coordinator spawns
+    ``hosts`` local worker subprocesses (``repro worker <work-dir>``) — the
+    zero-config transport. External workers started by hand against the
+    same work dir join the same queue; ``spawn_local=False`` relies on them
+    entirely.
+
+    Failure handling, in escalating order:
+
+    * a worker whose *process* exited (local transport) or whose
+      *heartbeat* went stale forfeits its claims — each is re-queued by
+      atomic rename and another worker picks it up;
+    * a dead local worker is replaced while the respawn budget
+      (``max_respawns``, default ``hosts``) lasts;
+    * if every local worker is gone and the budget is spent, the
+      coordinator drains the remaining queue inline — a sweep fails only
+      if the coordinator itself dies.
+
+    ``heartbeat_timeout_s`` must exceed the wall clock of the longest
+    *single* session (workers beat between sessions, not during them):
+    a live worker mid-session beats nothing, and declaring it dead leads
+    to harmless but wasteful double execution of its shard. The 300 s
+    default clears every session in the registered grids by a wide margin.
+    """
+
+    def __init__(
+        self,
+        hosts: int = 2,
+        cache: CacheOption = None,
+        work_dir: Optional[str] = None,
+        heartbeat_timeout_s: float = 300.0,
+        poll_s: float = 0.1,
+        spawn_local: bool = True,
+        max_respawns: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        self.hosts = max(1, hosts)
+        self.cache = resolve_cache(cache)
+        self.work_dir = work_dir
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.poll_s = poll_s
+        self.spawn_local = spawn_local
+        self.max_respawns = self.hosts if max_respawns is None else max_respawns
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[SessionSpec]) -> DistributedResult:
+        """Execute all specs; summaries come back in the order specs were given.
+
+        Mirrors :meth:`BatchRunner.run`'s contract: duplicates are executed
+        once, cache-eligible keys are served from / stored to the cache
+        (failures excepted), and dedup/cache hits are relabeled per spec.
+        Only the *pending* specs — the ones the cache cannot serve — are
+        sharded out, which is what makes a repeat distributed sweep over a
+        warm cache dir a zero-worker no-op.
+        """
+        keys = [spec.content_key() for spec in specs]
+        cacheable_keys = {key for key, spec in zip(keys, specs) if spec.cacheable}
+        results: Dict[str, SessionSummary] = {}
+
+        pending: List[Tuple[str, SessionSpec]] = []
+        seen = set()
+        for key, spec in zip(keys, specs):
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.cache is not None and key in cacheable_keys:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[key] = hit
+                    continue
+            pending.append((key, spec))
+
+        host_stats: List[Dict[str, Any]] = []
+        requeues = 0
+        shard_count = 0
+        if pending:
+            executed, host_stats, requeues, shard_count = self._distribute(
+                [spec for _, spec in pending]
+            )
+            for key, spec in pending:
+                summary = executed[key]
+                results[key] = summary
+                if (
+                    self.cache is not None
+                    and key in cacheable_keys
+                    and not summary.failed
+                ):
+                    # Workers sharing the cache directory already persisted
+                    # their summaries; rewrite only what's missing (e.g. an
+                    # external worker run without --cache-dir).
+                    self.cache.put(
+                        key, summary, persist=not self.cache.has_on_disk(key)
+                    )
+
+        out: List[SessionSummary] = []
+        for key, spec in zip(keys, specs):
+            summary = results[key]
+            if summary.label != spec.label:
+                summary = summary.relabeled(spec.label)
+            out.append(summary)
+        return DistributedResult(
+            summaries=out,
+            host_stats=host_stats,
+            requeues=requeues,
+            shards=shard_count,
+            sessions_dispatched=len(pending),
+        )
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _worker_command(self, work: WorkDir, worker_id: str) -> List[str]:
+        """The subprocess command line for one spawned local worker."""
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            work.root,
+            "--id",
+            worker_id,
+            "--poll-s",
+            str(self.poll_s),
+            # Belt and braces: exit if the coordinator vanishes without
+            # managing to write STOP.
+            "--idle-timeout-s",
+            "300",
+        ]
+        if self.cache is not None and self.cache.directory:
+            command += ["--cache-dir", self.cache.directory]
+        return command
+
+    def _spawn(self, work: WorkDir, worker_id: str) -> subprocess.Popen:
+        env = dict(os.environ)
+        # The spawned interpreter must resolve this very repro package no
+        # matter what the caller's cwd-relative PYTHONPATH said.
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_root, env.get("PYTHONPATH")) if p
+        )
+        with open(work.log_path(worker_id), "ab") as log:
+            return subprocess.Popen(
+                self._worker_command(work, worker_id),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+
+    # ------------------------------------------------------------------
+    # The distribution loop
+    # ------------------------------------------------------------------
+    def _distribute(
+        self, specs: Sequence[SessionSpec]
+    ) -> Tuple[Dict[str, SessionSummary], List[Dict[str, Any]], int, int]:
+        root = self.work_dir
+        created_tmp = root is None
+        if created_tmp:
+            root = tempfile.mkdtemp(prefix="repro-distrib-")
+        work = WorkDir(root)
+        work.reset()
+        shards = {
+            index: WorkShard(shard_id=index, specs=tuple(group))
+            for index, group in enumerate(balanced_shards(specs, self.hosts))
+        }
+        for shard in shards.values():
+            work.enqueue(shard)
+
+        procs: Dict[str, subprocess.Popen] = {}
+        if self.spawn_local:
+            for index in range(min(self.hosts, len(shards))):
+                worker_id = f"local-{index}"
+                procs[worker_id] = self._spawn(work, worker_id)
+
+        done: Dict[int, ShardResult] = {}
+        requeues = 0
+        respawns = 0
+        # Local workers whose process has exited; their claims are always
+        # forfeit, even if _tend_pool already discarded the Popen handle.
+        dead_workers: set = set()
+        # worker_id -> (last observed heartbeat mtime, local monotonic time
+        # it was first seen at that value). Staleness is "the mtime hasn't
+        # advanced for heartbeat_timeout_s of *coordinator* time", which is
+        # immune to cross-host clock skew on shared filesystems.
+        hb_seen: Dict[str, Tuple[float, float]] = {}
+        deadline = (
+            time.monotonic() + self.timeout_s if self.timeout_s is not None else None
+        )
+        try:
+            while len(done) < len(shards):
+                self._collect_done(work, shards, done)
+                if len(done) >= len(shards):
+                    break
+                requeues += self._requeue_dead_claims(
+                    work, done, procs, dead_workers, hb_seen
+                )
+                self._reenqueue_lost(work, shards, done)
+                if self.spawn_local:
+                    respawns = self._tend_pool(
+                        work, shards, done, procs, dead_workers, respawns
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ReproError(
+                        f"distributed batch timed out after {self.timeout_s:.0f}s: "
+                        f"{len(done)}/{len(shards)} shards done, "
+                        f"{len(work.pending_files())} pending, "
+                        f"{len(work.claims())} claimed"
+                    )
+                time.sleep(self.poll_s)
+        finally:
+            work.stop()
+            self._shutdown(procs)
+            if created_tmp:
+                # The throwaway work dir (pickled specs include whole G-code
+                # programs) must not outlive the run, success or failure;
+                # every summary that matters is already merged in memory.
+                shutil.rmtree(root, ignore_errors=True)
+
+        executed: Dict[str, SessionSummary] = {}
+        per_host: Dict[str, Dict[str, Any]] = {}
+        for result in done.values():
+            for summary in result.summaries:
+                executed[summary.spec_key] = summary
+            stats = per_host.setdefault(
+                result.worker_id,
+                {"worker": result.worker_id, "shards": 0, "sessions": 0,
+                 "failures": 0, "wall_clock_s": 0.0},
+            )
+            stats["shards"] += 1
+            stats["sessions"] += len(result.summaries)
+            stats["failures"] += result.failures
+            stats["wall_clock_s"] = round(
+                stats["wall_clock_s"] + result.wall_clock_s, 3
+            )
+
+        missing = [spec for spec in specs if spec.content_key() not in executed]
+        if missing:
+            # Shouldn't happen (every shard is accounted for above), but a
+            # protocol bug must degrade to local execution, not a KeyError.
+            for summary in BatchRunner(workers=1, cache=self.cache).run(missing):
+                executed[summary.spec_key] = summary
+        host_stats = sorted(per_host.values(), key=lambda s: s["worker"])
+        return executed, host_stats, requeues, len(shards)
+
+    def _collect_done(
+        self,
+        work: WorkDir,
+        shards: Dict[int, WorkShard],
+        done: Dict[int, ShardResult],
+    ) -> None:
+        for shard_id in work.done_ids():
+            if shard_id in done or shard_id not in shards:
+                continue
+            result = work.load_result(shard_id)
+            if result is None:
+                # Torn/stale done file: burn it and re-enqueue from memory.
+                work.discard_done(shard_id)
+                work.enqueue(shards[shard_id])
+                continue
+            done[shard_id] = result
+
+    def _worker_dead(
+        self,
+        work: WorkDir,
+        worker_id: str,
+        procs: Dict[str, subprocess.Popen],
+        dead_workers: set,
+        hb_seen: Dict[str, Tuple[float, float]],
+    ) -> bool:
+        if worker_id in dead_workers:
+            return True  # its process already exited; claims stay forfeit
+        proc = procs.get(worker_id)
+        if proc is not None and proc.poll() is not None:
+            return True  # local transport: process exit is definitive
+        mtime = work.heartbeat_mtime(worker_id)
+        if mtime is None:
+            # No heartbeat at all: for an unknown (external) worker the
+            # claim has outlived its owner — workers beat before their
+            # first claim. A still-running local proc just hasn't started.
+            return proc is None
+        now = time.monotonic()
+        last = hb_seen.get(worker_id)
+        if last is None or mtime != last[0]:
+            hb_seen[worker_id] = (mtime, now)
+            return False
+        # The mtime has not advanced since we first saw it: measure the
+        # wait on *our* clock, so worker-host clock skew cannot condemn a
+        # live worker. A live-but-wedged process stops beating too, so
+        # staleness covers the wedge case the process check cannot.
+        return now - last[1] > self.heartbeat_timeout_s
+
+    def _requeue_dead_claims(
+        self,
+        work: WorkDir,
+        done: Dict[int, ShardResult],
+        procs: Dict[str, subprocess.Popen],
+        dead_workers: set,
+        hb_seen: Dict[str, Tuple[float, float]],
+    ) -> int:
+        requeued = 0
+        for shard_id, worker_id, claim_path in work.claims():
+            if shard_id in done:
+                continue
+            if self._worker_dead(
+                work, worker_id, procs, dead_workers, hb_seen
+            ) and work.requeue(claim_path):
+                requeued += 1
+        return requeued
+
+    def _reenqueue_lost(
+        self,
+        work: WorkDir,
+        shards: Dict[int, WorkShard],
+        done: Dict[int, ShardResult],
+    ) -> None:
+        """Restore shards that fell out of the protocol entirely.
+
+        A shard is *lost* when it is neither pending, claimed, nor done —
+        e.g. its claim file was dropped as corrupt. The coordinator's
+        in-memory copy is authoritative, so it simply enqueues again.
+        """
+        visible = set()
+        for name in work.pending_files():
+            match = _SHARD_RE.match(name)
+            if match:
+                visible.add(int(match.group(1)))
+        visible.update(shard_id for shard_id, _, _ in work.claims())
+        # The on-disk done listing, not just the collected dict: a shard
+        # completed since the last _collect_done is *not* lost.
+        visible.update(work.done_ids())
+        visible.update(done)
+        for shard_id, shard in shards.items():
+            if shard_id not in visible:
+                work.enqueue(shard)
+
+    def _tend_pool(
+        self,
+        work: WorkDir,
+        shards: Dict[int, WorkShard],
+        done: Dict[int, ShardResult],
+        procs: Dict[str, subprocess.Popen],
+        dead_workers: set,
+        respawns: int,
+    ) -> int:
+        """Keep the local pool at strength; drain inline as a last resort."""
+        outstanding = len(shards) - len(done)
+        for worker_id, proc in list(procs.items()):
+            if proc.poll() is None:
+                continue
+            procs.pop(worker_id)
+            # Remember the death: a claim from this worker that comes into
+            # view *after* this pass must still be requeued promptly, not
+            # after a full heartbeat staleness wait.
+            dead_workers.add(worker_id)
+            if outstanding > 0 and respawns < self.max_respawns:
+                respawns += 1
+                replacement = f"local-r{respawns}"
+                procs[replacement] = self._spawn(work, replacement)
+        if not procs and outstanding > 0 and work.pending_files():
+            # The whole pool is gone and the budget is spent: finish the
+            # queue ourselves rather than failing the sweep. A *separate*
+            # cache instance over the same directory keeps the coordinator's
+            # own hit/miss accounting (one lookup per unique key) honest.
+            inline_cache = None
+            if self.cache is not None and self.cache.directory:
+                from repro.experiments.batch import SessionCache
+
+                inline_cache = SessionCache(directory=self.cache.directory)
+            inline = Worker(
+                work,
+                worker_id="coordinator-inline",
+                cache=inline_cache,
+                poll_s=self.poll_s,
+                idle_timeout_s=0.0,
+            )
+            inline.run()
+        return respawns
+
+    def _shutdown(self, procs: Dict[str, subprocess.Popen]) -> None:
+        deadline = time.monotonic() + 5.0
+        for proc in procs.values():
+            while proc.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.05)
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs.values():
+            try:
+                proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def run_distributed(
+    specs: Sequence[SessionSpec],
+    hosts: int = 2,
+    cache: CacheOption = None,
+    work_dir: Optional[str] = None,
+    **coordinator_kwargs: Any,
+) -> DistributedResult:
+    """Convenience wrapper: one batch through a fresh :class:`Coordinator`."""
+    coordinator = Coordinator(
+        hosts=hosts, cache=cache, work_dir=work_dir, **coordinator_kwargs
+    )
+    return coordinator.run(specs)

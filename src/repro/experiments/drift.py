@@ -80,6 +80,9 @@ def run_drift(
         ],
         workers=workers,
         cache=cache,
+        # Drift stats computed over an empty transaction list would read as
+        # zero drift; a crashed session must abort this artifact instead.
+        strict=True,
     )
     stats = [
         drift_between(summaries[i].transactions, summaries[j].transactions)

@@ -75,6 +75,9 @@ def run_overhead(
         ],
         workers=workers,
         cache=cache,
+        # analyze_overhead needs the live tracer; a FAILED stand-in (tracer
+        # None) must abort this artifact loudly, not deep in analysis.
+        strict=True,
     )
     report = analyze_overhead(traced.tracer)
 

@@ -42,7 +42,9 @@ CSV_COLUMNS = (
 
 
 def _outcome_class(outcome: ScenarioOutcome) -> str:
-    """The scenario-level disposition: ok / detected / missed / false-positive."""
+    """Scenario-level disposition: ok / detected / missed / false-positive / failed."""
+    if outcome.failed:
+        return "failed"
     if outcome.scenario.is_attack:
         return "detected" if outcome.detected else "missed"
     return "false-positive" if outcome.detected else "ok"
@@ -88,7 +90,10 @@ def summary_stats(result: SweepResult) -> Dict[str, Any]:
         "cache_disk_hits": result.cache_disk_hits,
         "sessions_total": result.sessions_total,
         "sessions_simulated": result.sessions_simulated,
+        "sessions_failed": result.sessions_failed,
         "wall_clock_s": round(result.wall_clock_s, 2),
+        "hosts": len(result.host_stats),
+        "requeues": result.requeues,
     }
 
 
@@ -113,9 +118,11 @@ table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
 th, td { border: 1px solid #cbd5e0; padding: 0.35rem 0.55rem; text-align: left; }
 th { background: #edf2f7; }
 tr.missed td, tr.false-positive td { background: #fed7d7; }
+tr.failed td { background: #feebc8; }
 tr.detected td.verdict { color: #276749; font-weight: 600; }
 tr.missed td.verdict, tr.false-positive td.verdict { color: #9b2c2c; font-weight: 700; }
 .badge-ok { color: #276749; } .badge-bad { color: #9b2c2c; }
+h2 { font-size: 1.1rem; margin-top: 1.5rem; }
 """
 
 
@@ -140,8 +147,13 @@ def render_html(result: SweepResult, title: Optional[str] = None) -> str:
             "sessions simulated",
             f"{stats['sessions_simulated']}/{stats['sessions_total']}",
         ),
+        ("sessions failed", stats["sessions_failed"]),
         ("wall clock", f"{stats['wall_clock_s']:.1f}s"),
     ]
+    if stats["hosts"]:
+        tiles.append(("worker hosts", stats["hosts"]))
+    if stats["requeues"]:
+        tiles.append(("shards re-queued", stats["requeues"]))
     parts: List[str] = [
         "<!DOCTYPE html>",
         '<html lang="en"><head><meta charset="utf-8">',
@@ -165,7 +177,25 @@ def render_html(result: SweepResult, title: Optional[str] = None) -> str:
             css = ' class="verdict"' if column == "verdict" else ""
             parts.append(f"<td{css}>{html.escape(str(row[column]))}</td>")
         parts.append("</tr>")
-    parts.append("</tbody></table></body></html>")
+    parts.append("</tbody></table>")
+    if result.host_stats:
+        parts.append("<h2>Per-host economics</h2><table><thead><tr>")
+        for column in ("worker", "shards", "sessions", "failures", "wall clock"):
+            parts.append(f"<th>{html.escape(column)}</th>")
+        parts.append("</tr></thead><tbody>")
+        for host in result.host_stats:
+            parts.append("<tr>")
+            for value in (
+                host["worker"],
+                host["shards"],
+                host["sessions"],
+                host["failures"],
+                f"{host['wall_clock_s']:.1f}s",
+            ):
+                parts.append(f"<td>{html.escape(str(value))}</td>")
+            parts.append("</tr>")
+        parts.append("</tbody></table>")
+    parts.append("</body></html>")
     return "\n".join(parts)
 
 

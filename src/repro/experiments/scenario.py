@@ -460,8 +460,18 @@ def run_scenarios(
     workers: Optional[int] = 1,
     cache: CacheOption = None,
 ) -> List[ScenarioRun]:
-    """Execute every scenario's sessions as one flat deduplicated batch."""
-    summaries = run_sessions(_compile_all(scenarios), workers=workers, cache=cache)
+    """Execute every scenario's sessions as one flat deduplicated batch.
+
+    Strict: a session whose execution raised aborts the call (preserving
+    this API's pre-failure-isolation contract). Callers here — table1,
+    ablation — score the returned summaries directly; a FAILED stub with
+    an empty capture would read as a maximal mismatch and masquerade as a
+    TROJAN verdict. :func:`run_sweep` handles failures as reportable rows
+    instead.
+    """
+    summaries = run_sessions(
+        _compile_all(scenarios), workers=workers, cache=cache, strict=True
+    )
     return _pair_runs(scenarios, summaries)
 
 
@@ -482,6 +492,11 @@ class ScenarioOutcome:
     verdicts: Dict[str, Verdict]
 
     @property
+    def failed(self) -> bool:
+        """True when either session's *execution* raised (not scoreable)."""
+        return self.golden.failed or self.suspect.failed
+
+    @property
     def detected(self) -> bool:
         return any(v.trojan_likely for v in self.verdicts.values())
 
@@ -491,7 +506,7 @@ class ScenarioOutcome:
 
     @property
     def missed(self) -> bool:
-        return self.scenario.is_attack and not self.detected
+        return self.scenario.is_attack and not self.detected and not self.failed
 
 
 @dataclass
@@ -510,8 +525,11 @@ class SweepResult:
     cache_disk_hits: int = 0
     sessions_total: int = 0
     sessions_simulated: int = 0
+    sessions_failed: int = 0
     wall_clock_s: float = 0.0
     grid: str = ""
+    host_stats: List[Dict[str, Any]] = field(default_factory=list)
+    requeues: int = 0
 
     @property
     def attack_outcomes(self) -> List[ScenarioOutcome]:
@@ -520,6 +538,10 @@ class SweepResult:
     @property
     def clean_outcomes(self) -> List[ScenarioOutcome]:
         return [o for o in self.outcomes if not o.scenario.is_attack]
+
+    @property
+    def failed_outcomes(self) -> List[ScenarioOutcome]:
+        return [o for o in self.outcomes if o.failed]
 
     @property
     def attacks_detected(self) -> int:
@@ -531,10 +553,11 @@ class SweepResult:
 
     @property
     def ok(self) -> bool:
-        """Every attack caught by at least one detector, no false positives."""
+        """Every attack caught, no false positives, and no failed sessions."""
         return (
             self.attacks_detected == len(self.attack_outcomes)
             and self.false_positives == 0
+            and not self.failed_outcomes
         )
 
     def render(self) -> str:
@@ -567,7 +590,53 @@ class SweepResult:
                 f"{self.sessions_simulated}/{self.sessions_total} unique sessions "
                 f"simulated in {self.wall_clock_s:.1f}s wall clock"
             )
+        if self.sessions_failed:
+            names = ", ".join(o.scenario.name for o in self.failed_outcomes)
+            lines.append(
+                f"{self.sessions_failed} sessions FAILED "
+                f"(scenarios affected: {names or 'none scored'})"
+            )
+        if self.host_stats:
+            host_bits = "; ".join(
+                f"{h['worker']}: {h['shards']} shards / {h['sessions']} sessions "
+                f"in {h['wall_clock_s']:.1f}s"
+                for h in self.host_stats
+            )
+            note = f"hosts ({len(self.host_stats)}): {host_bits}"
+            if self.requeues:
+                note += f"; {self.requeues} shard(s) re-queued from dead workers"
+            lines.append(note)
         return "\n".join(lines)
+
+
+def _score_run(run: ScenarioRun) -> Dict[str, Verdict]:
+    """One scenario's verdicts — or failure placeholders when unscoreable.
+
+    A FAILED session (its execution raised; see
+    :func:`~repro.experiments.batch.failure_summary`) cannot be fitted or
+    scored; each detector instead reports a non-detection verdict carrying
+    the failure text, so the sweep renders the failure as a row instead of
+    dying on a stack trace mid-scoring.
+    """
+    verdicts: Dict[str, Verdict] = {}
+    failed = [
+        (side, summary)
+        for side, summary in (("golden", run.golden), ("suspect", run.suspect))
+        if summary.failed
+    ]
+    for det_name in run.scenario.detectors:
+        if failed:
+            side, summary = failed[0]
+            verdicts[det_name] = Verdict(
+                detector=det_name,
+                trojan_likely=False,
+                score=0.0,
+                detail=f"not scored: {side} session failed ({summary.error})",
+            )
+        else:
+            detector = _build_detector(det_name, run.scenario)
+            verdicts[det_name] = detector.fit(run.golden).score(run.suspect)
+    return verdicts
 
 
 def run_sweep(
@@ -575,6 +644,8 @@ def run_sweep(
     workers: Optional[int] = 1,
     cache: CacheOption = None,
     grid: str = "",
+    hosts: int = 1,
+    work_dir: Optional[str] = None,
 ) -> SweepResult:
     """Execute and score a scenario grid: one batch, then detector verdicts.
 
@@ -583,23 +654,37 @@ def run_sweep(
     a zero-resimulation no-op and growing a grid pays only for its delta.
     The returned result carries the cache hit/miss accounting and wall clock
     that the CSV/HTML reports (:mod:`repro.experiments.report`) surface.
+
+    With ``hosts > 1`` the batch's pending sessions are sharded across that
+    many worker hosts via :mod:`repro.experiments.distrib` (subprocess
+    workers over a file-based work dir — ``work_dir``, or a temp dir),
+    merged back into the same summary stream, and scored here exactly as a
+    single-host run would be; the result additionally carries per-host
+    economics (``host_stats``) and the dead-worker re-queue count.
     """
     resolved = resolve_cache(cache)
     before = resolved.stats() if resolved is not None else {}
     specs = _compile_all(scenarios)
     unique_keys = {spec.content_key() for spec in specs}
     started = time.perf_counter()
-    summaries = run_sessions(specs, workers=workers, cache=resolved)
-    runs = _pair_runs(scenarios, summaries)
-    outcomes: List[ScenarioOutcome] = []
-    for run in runs:
-        verdicts: Dict[str, Verdict] = {}
-        for det_name in run.scenario.detectors:
-            detector = _build_detector(det_name, run.scenario)
-            verdicts[det_name] = detector.fit(run.golden).score(run.suspect)
-        outcomes.append(
-            ScenarioOutcome(run.scenario, run.golden, run.suspect, verdicts)
+    host_stats: List[Dict[str, Any]] = []
+    requeues = 0
+    if hosts and hosts > 1:
+        from repro.experiments.distrib import run_distributed
+
+        distributed = run_distributed(
+            specs, hosts=hosts, cache=resolved, work_dir=work_dir
         )
+        summaries = distributed.summaries
+        host_stats = distributed.host_stats
+        requeues = distributed.requeues
+    else:
+        summaries = run_sessions(specs, workers=workers, cache=resolved)
+    runs = _pair_runs(scenarios, summaries)
+    outcomes = [
+        ScenarioOutcome(run.scenario, run.golden, run.suspect, _score_run(run))
+        for run in runs
+    ]
     wall_clock_s = time.perf_counter() - started
     after = resolved.stats() if resolved is not None else {}
     misses = after.get("misses", 0) - before.get("misses", 0)
@@ -610,8 +695,11 @@ def run_sweep(
         cache_disk_hits=after.get("disk_hits", 0) - before.get("disk_hits", 0),
         sessions_total=len(unique_keys),
         sessions_simulated=misses if resolved is not None else len(unique_keys),
+        sessions_failed=len({s.spec_key for s in summaries if s.failed}),
         wall_clock_s=wall_clock_s,
         grid=grid,
+        host_stats=host_stats,
+        requeues=requeues,
     )
 
 
@@ -780,11 +868,16 @@ def trojan_attack_variant(trojan_id: str, **overrides: Any) -> str:
     """Register (idempotently) a Trojan attack with overridden parameters.
 
     The name encodes the overrides (``"T2[keep_fraction=0.25]"``), so the
-    same variant registers once no matter how many sweeps declare it, and
-    two different parameterizations can never collide under one name. The
+    same variant registers once no matter how many sweeps declare it. The
     variant flows through the ordinary compile/cache path: its session's
     content key covers the overridden Trojan config, so each curve point is
     simulated exactly once ever (per cache directory).
+
+    A name collision with *different* parameters — a ``%g`` formatting
+    collision between two nearby floats, or a user-registered attack that
+    happens to share the name — raises :class:`ReproError` rather than
+    silently running the wrong Trojan config (mirroring how
+    :func:`register_program_part` rejects content mismatches).
     """
     base = get_attack(trojan_id)
     if base.kind != FPGA_ATTACK:
@@ -795,17 +888,30 @@ def trojan_attack_variant(trojan_id: str, **overrides: Any) -> str:
     if not suffix:
         return trojan_id
     name = f"{trojan_id}[{suffix}]"
-    if name not in ATTACKS:
-        register_attack(
-            AttackDef(
-                name=name,
-                kind=FPGA_ATTACK,
-                description=f"{base.description} ({suffix})",
-                trojan_id=base.trojan_id,
-                trojan_params={**dict(base.trojan_params), **overrides},
-                grace_s=base.grace_s,
+    params = {**dict(base.trojan_params), **overrides}
+    existing = ATTACKS.get(name)
+    if existing is not None:
+        if (
+            existing.kind != FPGA_ATTACK
+            or existing.trojan_id != base.trojan_id
+            or dict(existing.trojan_params) != params
+        ):
+            raise ReproError(
+                f"attack name {name!r} is already registered with different "
+                f"parameters ({dict(existing.trojan_params)!r} vs {params!r}); "
+                "refusing to run the wrong Trojan config under a shared name"
             )
+        return name
+    register_attack(
+        AttackDef(
+            name=name,
+            kind=FPGA_ATTACK,
+            description=f"{base.description} ({suffix})",
+            trojan_id=base.trojan_id,
+            trojan_params=params,
+            grace_s=base.grace_s,
         )
+    )
     return name
 
 

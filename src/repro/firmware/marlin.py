@@ -31,13 +31,20 @@ _WAIT_POLL_MS = 100
 
 
 class PrinterStatus(enum.Enum):
-    """Print-job lifecycle states."""
+    """Print-job lifecycle states.
+
+    ``FAILED`` is never entered by the firmware itself: it marks a session
+    whose *execution* raised (bad spec, worker crash) at the batch layer,
+    so a failed print session can be reported alongside real outcomes
+    instead of aborting a whole batch.
+    """
 
     IDLE = "idle"
     PRINTING = "printing"
     DONE = "done"
     KILLED = "killed"
     TIMED_OUT = "timed_out"
+    FAILED = "failed"
 
 
 class MarlinFirmware:

@@ -1,11 +1,13 @@
-"""BatchRunner tests: spec keying, dedup, cache, and serial/parallel parity."""
+"""BatchRunner tests: spec keying, dedup, cache, failure isolation, parity."""
 
+import pickle
 
 from repro.experiments.batch import (
     BatchRunner,
     GoldenPrintCache,
     SessionSpec,
     execute_spec,
+    failure_summary,
     run_sessions,
     shared_cache,
     summarize_result,
@@ -147,3 +149,102 @@ class TestBatchRunner:
         )
         assert bypass.completed and mitm.completed
         assert bypass.final_counts == mitm.final_counts
+
+
+class TestFailureIsolation:
+    """One raising session must not abandon its batch (or poison the cache)."""
+
+    def test_serial_batch_survives_a_crashing_spec(self, tiny_program):
+        cache = GoldenPrintCache()
+        specs = [
+            _spec(tiny_program, label="ok", cacheable=True),
+            # An unknown trojan id raises inside execute_spec.
+            _spec(tiny_program, trojan_id="T999", label="boom", cacheable=True),
+            _spec(tiny_program, noise_seed=12, label="ok2", cacheable=True),
+        ]
+        summaries = BatchRunner(workers=1, cache=cache).run(specs)
+        assert [s.label for s in summaries] == ["ok", "boom", "ok2"]
+        assert summaries[0].completed and summaries[2].completed
+        failed = summaries[1]
+        assert failed.failed
+        assert failed.status is PrinterStatus.FAILED
+        assert "T999" in failed.error
+        assert failed.transactions == []
+        # Survivors are cached; the failure is not.
+        assert len(cache) == 2
+        assert cache.get(specs[1].content_key()) is None
+
+    def test_parallel_batch_survives_a_crashing_spec(self, tiny_program):
+        specs = [
+            _spec(tiny_program, label="ok", cacheable=True),
+            _spec(tiny_program, trojan_id="T999", label="boom", cacheable=True),
+            _spec(tiny_program, noise_seed=12, label="ok2", cacheable=True),
+        ]
+        parallel = run_sessions(specs, workers=2)
+        assert [s.label for s in parallel] == ["ok", "boom", "ok2"]
+        assert parallel[1].failed and "T999" in parallel[1].error
+        serial = run_sessions(specs, workers=1)
+        for s, p in zip(serial, parallel):
+            assert s.status is p.status
+            assert s.transactions == p.transactions
+
+    def test_failure_is_retried_on_the_next_batch(self, tiny_program):
+        cache = GoldenPrintCache()
+        bad = _spec(tiny_program, trojan_id="T999", cacheable=True)
+        runner = BatchRunner(workers=1, cache=cache)
+        assert runner.run([bad])[0].failed
+        assert runner.run([bad])[0].failed
+        assert cache.hits == 0  # a failure is never served from the cache
+
+    def test_strict_mode_raises_after_caching_survivors(self, tiny_program):
+        import pytest
+
+        from repro.errors import ReproError
+
+        cache = GoldenPrintCache()
+        specs = [
+            _spec(tiny_program, label="ok", cacheable=True),
+            _spec(tiny_program, trojan_id="T999", label="boom", cacheable=True),
+        ]
+        with pytest.raises(ReproError, match="boom.*T999"):
+            run_sessions(specs, cache=cache, strict=True)
+        # The survivor was still executed and cached before the raise.
+        assert len(cache) == 1
+        assert cache.get(specs[0].content_key()) is not None
+
+    def test_strict_mode_is_silent_without_failures(self, tiny_program):
+        summaries = run_sessions([_spec(tiny_program)], strict=True)
+        assert summaries[0].completed
+
+    def test_failure_summary_carries_spec_identity(self, tiny_program):
+        spec = _spec(tiny_program, trojan_id="T2", label="who")
+        summary = failure_summary(spec, ValueError("boom"))
+        assert summary.label == "who"
+        assert summary.spec_key == spec.content_key()
+        assert summary.trojan_id == "T2"
+        assert summary.error == "ValueError: boom"
+        assert not summary.completed and not summary.killed
+
+
+class TestSummaryPickleBoundary:
+    def test_capture_memo_is_not_serialized(self, tiny_program):
+        summary = run_sessions([_spec(tiny_program)])[0]
+        rebuilt = summary.capture  # builds the memo
+        assert "_capture" in vars(summary)
+        loaded = pickle.loads(pickle.dumps(summary))
+        assert "_capture" not in vars(loaded)
+        # The capture is rebuilt on demand from the serialized transactions.
+        assert loaded.capture.transactions == rebuilt.transactions
+
+    def test_memo_free_pickle_is_smaller(self, tiny_program):
+        summary = run_sessions([_spec(tiny_program)])[0]
+        without_memo = len(pickle.dumps(summary))
+        _ = summary.capture
+        with_memo_state = dict(vars(summary))  # what the old pickle shipped
+        assert len(pickle.dumps(with_memo_state)) > without_memo
+
+    def test_relabeled_copy_rebuilds_capture_independently(self, tiny_program):
+        summary = run_sessions([_spec(tiny_program)])[0]
+        _ = summary.capture
+        clone = summary.relabeled("other")
+        assert clone.capture.transactions == summary.capture.transactions

@@ -155,7 +155,30 @@ class TestExperimentOptions:
             opt for action in sub.choices["sweep"]._actions
             for opt in action.option_strings
         }
-        assert {"--csv", "--html", "--grid", "--list"} <= opts
+        assert {"--csv", "--html", "--grid", "--list", "--hosts", "--work-dir"} <= opts
+
+    def test_worker_command_present_with_distribution_options(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, __import__("argparse")._SubParsersAction)
+        )
+        assert "worker" in sub.choices
+        opts = {
+            opt for action in sub.choices["worker"]._actions
+            for opt in action.option_strings
+        }
+        assert {"--cache-dir", "--id", "--poll-s", "--idle-timeout-s"} <= opts
+
+    def test_worker_on_stopped_dir_exits_cleanly(self, workdir, capsys):
+        from repro.experiments.distrib import WorkDir
+
+        root = os.path.join(workdir, "stopped-workdir")
+        WorkDir(root).stop()
+        assert main(["worker", root, "--id", "w1"]) == 0
+        assert "0 shard(s) executed" in capsys.readouterr().out
 
 
 class TestParser:

@@ -1,0 +1,458 @@
+"""Distribution tests: sharding, the work-dir protocol, requeue, merge parity.
+
+The properties that make ``repro sweep --hosts N`` trustworthy:
+
+* cost-balanced, deterministic sharding (longest-expected-first LPT);
+* the pending/claimed/done protocol is race-free and torn-write-safe
+  (every transition is an atomic rename);
+* a worker executes claimed shards failure-isolated and publishes results;
+* the coordinator re-queues a dead worker's shard and the merged batch
+  still matches the single-host run bit for bit;
+* a warm shared cache makes a repeat distributed run a zero-worker no-op.
+"""
+
+import os
+import sys
+import textwrap
+
+import pytest
+
+from repro.experiments.batch import (
+    SessionCache,
+    SessionSpec,
+    run_sessions,
+)
+from repro.experiments.distrib import (
+    Coordinator,
+    ShardResult,
+    WorkDir,
+    WorkShard,
+    Worker,
+    balanced_shards,
+    run_distributed,
+    sanitize_worker_id,
+)
+
+
+def _spec(tiny_program, **overrides):
+    defaults = dict(program=tiny_program, noise_sigma=0.0, cacheable=True)
+    defaults.update(overrides)
+    return SessionSpec(**defaults)
+
+
+def _costed(tiny_program, grace_s, label):
+    """A spec whose estimated_cost is controlled via the grace window."""
+    return _spec(tiny_program, grace_s=grace_s, label=label)
+
+
+class TestBalancedShards:
+    def test_covers_every_spec_exactly_once(self, tiny_program):
+        specs = [
+            _spec(tiny_program, noise_sigma=0.0005, noise_seed=i, label=f"s{i}")
+            for i in range(5)
+        ]
+        groups = balanced_shards(specs, 2)
+        flat = [spec for group in groups for spec in group]
+        assert sorted(s.label for s in flat) == sorted(s.label for s in specs)
+        assert len(groups) == 2
+
+    def test_never_more_bins_than_specs(self, tiny_program):
+        specs = [_spec(tiny_program, label="only")]
+        assert len(balanced_shards(specs, 8)) == 1
+
+    def test_lpt_balances_uneven_costs(self, tiny_program):
+        # grace_s dominates estimated_cost at +40/s, giving controlled costs.
+        specs = [
+            _costed(tiny_program, grace, label)
+            for grace, label in ((80.0, "huge"), (50.0, "big"),
+                                 (30.0, "mid1"), (30.0, "mid2"), (10.0, "small"))
+        ]
+        groups = balanced_shards(specs, 2)
+        loads = [sum(s.estimated_cost() for s in group) for group in groups]
+        # LPT guarantee: the spread never exceeds the largest single cost.
+        assert abs(loads[0] - loads[1]) <= max(s.estimated_cost() for s in specs)
+        # The most expensive spec is placed first, alone in its bin so far.
+        assert groups[0][0].label == "huge"
+
+    def test_deterministic(self, tiny_program):
+        specs = [
+            _spec(tiny_program, noise_sigma=0.0005, noise_seed=i, label=f"s{i}")
+            for i in range(6)
+        ]
+        first = [[s.label for s in g] for g in balanced_shards(specs, 3)]
+        second = [[s.label for s in g] for g in balanced_shards(specs, 3)]
+        assert first == second
+
+
+class TestWorkerIds:
+    def test_sanitized_for_filenames(self):
+        assert sanitize_worker_id("host@!/evil id") == "host---evil-id"
+        assert sanitize_worker_id("node.local-42") == "node.local-42"
+        assert sanitize_worker_id("") == "worker"
+
+
+class TestWorkDirProtocol:
+    def test_enqueue_claim_complete_roundtrip(self, tiny_program, tmp_path):
+        work = WorkDir(str(tmp_path))
+        shard = WorkShard(3, (_spec(tiny_program, label="x"),))
+        work.enqueue(shard)
+        assert work.pending_files() == ["shard-0003.pkl"]
+
+        claim = work.claim("shard-0003.pkl", "w1")
+        assert claim is not None
+        assert claim.shard.shard_id == 3
+        assert claim.shard.specs[0].label == "x"
+        assert work.pending_files() == []
+        assert work.claims() == [(3, "w1", claim.path)]
+
+        result = ShardResult(3, "w1", [], 0.5)
+        work.complete(claim, result)
+        assert work.done_ids() == [3]
+        assert work.claims() == []  # claim file removed on completion
+        loaded = work.load_result(3)
+        assert loaded.worker_id == "w1" and loaded.shard_id == 3
+
+    def test_claim_is_exclusive(self, tiny_program, tmp_path):
+        work = WorkDir(str(tmp_path))
+        work.enqueue(WorkShard(0, (_spec(tiny_program),)))
+        assert work.claim("shard-0000.pkl", "w1") is not None
+        assert work.claim("shard-0000.pkl", "w2") is None
+
+    def test_requeue_restores_pending(self, tiny_program, tmp_path):
+        work = WorkDir(str(tmp_path))
+        work.enqueue(WorkShard(0, (_spec(tiny_program, label="re"),)))
+        claim = work.claim("shard-0000.pkl", "dead-worker")
+        assert work.pending_files() == []
+        assert work.requeue(claim.path)
+        assert work.pending_files() == ["shard-0000.pkl"]
+        # Another worker can now claim the restored shard intact.
+        reclaimed = work.claim("shard-0000.pkl", "w2")
+        assert reclaimed.shard.specs[0].label == "re"
+
+    def test_corrupt_shard_is_dropped_not_executed(self, tmp_path):
+        work = WorkDir(str(tmp_path))
+        path = os.path.join(str(tmp_path), "pending", "shard-0001.pkl")
+        with open(path, "wb") as handle:
+            handle.write(b"torn write garbage")
+        assert work.claim("shard-0001.pkl", "w1") is None
+        assert work.claims() == []  # the poisoned claim was not kept
+
+    def test_corrupt_done_file_reads_as_absent(self, tmp_path):
+        work = WorkDir(str(tmp_path))
+        with open(os.path.join(str(tmp_path), "done", "shard-0002.pkl"), "wb") as handle:
+            handle.write(b"\x80garbage")
+        assert work.done_ids() == [2]
+        assert work.load_result(2) is None
+
+    def test_stop_flag(self, tmp_path):
+        work = WorkDir(str(tmp_path))
+        assert not work.stop_requested()
+        work.stop()
+        assert work.stop_requested()
+
+    def test_heartbeat_age(self, tmp_path):
+        work = WorkDir(str(tmp_path))
+        assert work.heartbeat_age_s("nobody") is None
+        work.beat("w1")
+        age = work.heartbeat_age_s("w1")
+        assert age is not None and age < 5.0
+
+    def test_reset_clears_previous_sweep_state(self, tiny_program, tmp_path):
+        work = WorkDir(str(tmp_path))
+        work.enqueue(WorkShard(0, (_spec(tiny_program),)))
+        claim = work.claim("shard-0000.pkl", "w1")
+        work.complete(claim, ShardResult(0, "w1", [], 0.1))
+        work.enqueue(WorkShard(1, (_spec(tiny_program),)))
+        work.claim("shard-0001.pkl", "w1")
+        work.beat("w1")
+        work.stop()
+        work.reset()
+        assert not work.stop_requested()
+        assert work.pending_files() == []
+        assert work.claims() == []
+        assert work.done_ids() == []
+        assert work.heartbeat_age_s("w1") is None
+
+
+@pytest.mark.slow
+class TestWorker:
+    def test_executes_claimed_shard_and_publishes(self, tiny_program, tmp_path):
+        work = WorkDir(str(tmp_path / "work"))
+        spec = _spec(tiny_program, label="one")
+        work.enqueue(WorkShard(0, (spec,)))
+        worker = Worker(work, worker_id="w1", idle_timeout_s=0.0)
+        assert worker.run() == 1
+        result = work.load_result(0)
+        assert result.worker_id == "w1"
+        assert [s.label for s in result.summaries] == ["one"]
+        assert result.summaries[0].completed
+        assert result.failures == 0
+        assert work.heartbeat_age_s("w1") is not None
+        # Parity with an in-process run of the same spec.
+        assert result.summaries[0].transactions == run_sessions([spec])[0].transactions
+
+    def test_crashing_spec_becomes_failed_summary_not_dead_worker(
+        self, tiny_program, tmp_path
+    ):
+        work = WorkDir(str(tmp_path / "work"))
+        work.enqueue(
+            WorkShard(0, (_spec(tiny_program, trojan_id="T999", label="boom"),))
+        )
+        assert Worker(work, worker_id="w1", idle_timeout_s=0.0).run() == 1
+        result = work.load_result(0)
+        assert result.failures == 1
+        assert result.summaries[0].failed
+        assert "T999" in result.summaries[0].error
+
+    def test_worker_honors_stop(self, tmp_path):
+        work = WorkDir(str(tmp_path / "work"))
+        work.stop()
+        assert Worker(work, worker_id="w1").run() == 0
+
+    def test_stop_beats_leftover_pending_work(self, tiny_program, tmp_path):
+        # Shards orphaned by an aborted coordinator are abandoned work:
+        # a worker must exit on STOP without executing them.
+        work = WorkDir(str(tmp_path / "work"))
+        work.enqueue(WorkShard(0, (_spec(tiny_program, label="orphan"),)))
+        work.stop()
+        assert Worker(work, worker_id="w1").run() == 0
+        assert work.done_ids() == []
+        assert work.pending_files() == ["shard-0000.pkl"]
+
+
+@pytest.mark.slow
+class TestCoordinator:
+    def _specs(self, tiny_program):
+        return [
+            _spec(tiny_program, label="a"),
+            _spec(tiny_program, noise_sigma=0.0005, noise_seed=7, label="b"),
+            _spec(tiny_program, noise_sigma=0.0005, noise_seed=8, label="c"),
+            _spec(
+                tiny_program,
+                trojan_id="T2",
+                trojan_params={"keep_fraction": 0.5},
+                label="d",
+            ),
+        ]
+
+    def test_distributed_matches_serial(self, tiny_program, tmp_path):
+        specs = self._specs(tiny_program)
+        serial = run_sessions(specs)
+        cache = SessionCache(directory=str(tmp_path / "cache"))
+        result = run_distributed(
+            specs,
+            hosts=2,
+            cache=cache,
+            work_dir=str(tmp_path / "work"),
+            timeout_s=240,
+        )
+        assert [s.label for s in result.summaries] == ["a", "b", "c", "d"]
+        for expected, got in zip(serial, result.summaries):
+            assert got.transactions == expected.transactions
+            assert got.status is expected.status
+            assert got.final_counts == expected.final_counts
+        assert result.shards == 2
+        assert result.sessions_dispatched == 4
+        assert sum(h["sessions"] for h in result.host_stats) == 4
+        assert all(h["failures"] == 0 for h in result.host_stats)
+
+        # Warm repeat over the same cache dir: nothing dispatched, nothing
+        # spawned, summaries identical.
+        warm_cache = SessionCache(directory=str(tmp_path / "cache"))
+        again = run_distributed(
+            specs,
+            hosts=2,
+            cache=warm_cache,
+            work_dir=str(tmp_path / "work2"),
+            timeout_s=60,
+        )
+        assert again.sessions_dispatched == 0
+        assert again.shards == 0
+        assert warm_cache.misses == 0
+        for expected, got in zip(serial, again.summaries):
+            assert got.transactions == expected.transactions
+
+    def test_reused_work_dir_is_safe_across_sweeps(self, tiny_program, tmp_path):
+        """README documents a fixed shared --work-dir; stale state (done
+        files, STOP, claims) from sweep N must not corrupt sweep N+1."""
+        work_dir = str(tmp_path / "work")
+        specs = self._specs(tiny_program)[:2]
+        first = run_distributed(
+            specs,
+            hosts=2,
+            cache=SessionCache(directory=str(tmp_path / "cache-a")),
+            work_dir=work_dir,
+            timeout_s=240,
+        )
+        # A fresh cache dir forces full re-execution through the same
+        # (now stale: STOP + done files) work dir.
+        second = run_distributed(
+            specs,
+            hosts=2,
+            cache=SessionCache(directory=str(tmp_path / "cache-b")),
+            work_dir=work_dir,
+            timeout_s=240,
+        )
+        assert second.sessions_dispatched == 2
+        for a, b in zip(first.summaries, second.summaries):
+            assert a.transactions == b.transactions
+            assert a.status is b.status
+
+    def test_merged_summaries_not_rewritten_to_disk(self, tiny_program, tmp_path):
+        cache = SessionCache(directory=str(tmp_path / "cache"))
+        writes = []
+        original_store = cache._store_to_disk
+
+        def counting_store(key, summary):
+            writes.append(key)
+            original_store(key, summary)
+
+        cache._store_to_disk = counting_store
+        spec = _spec(tiny_program, label="once")
+        result = run_distributed(
+            [spec],
+            hosts=1,
+            cache=cache,
+            work_dir=str(tmp_path / "work"),
+            timeout_s=240,
+        )
+        key = spec.content_key()
+        # The worker subprocess persisted the entry; the coordinator merged
+        # it into memory without rewriting the file itself.
+        assert result.summaries[0].completed
+        assert cache.has_on_disk(key)
+        assert writes == []
+        assert cache.get(key) is not None  # served from memory
+
+    def test_duplicate_specs_executed_once_and_relabeled(
+        self, tiny_program, tmp_path
+    ):
+        base = _spec(tiny_program, label="first")
+        twin = _spec(tiny_program, label="second")
+        result = run_distributed(
+            [base, twin],
+            hosts=2,
+            cache=SessionCache(directory=str(tmp_path / "cache")),
+            work_dir=str(tmp_path / "work"),
+            timeout_s=240,
+        )
+        assert result.sessions_dispatched == 1
+        assert [s.label for s in result.summaries] == ["first", "second"]
+        assert (
+            result.summaries[0].transactions == result.summaries[1].transactions
+        )
+
+    def test_killed_worker_shard_is_requeued(self, tiny_program, tmp_path):
+        """A worker that dies holding a claim must not sink the batch."""
+        wedge = tmp_path / "wedge.py"
+        wedge.write_text(
+            textwrap.dedent(
+                """
+                import os, sys, time
+                from repro.experiments.distrib import WorkDir
+
+                work = WorkDir(sys.argv[1])
+                work.beat("wedge")
+                while True:
+                    for name in work.pending_files():
+                        if work.claim(name, "wedge"):
+                            os._exit(1)  # die holding the claim
+                    time.sleep(0.01)
+                """
+            )
+        )
+
+        class Sabotaged(Coordinator):
+            spawned_wedge = False
+
+            def _worker_command(self, work, worker_id):
+                if not Sabotaged.spawned_wedge:
+                    Sabotaged.spawned_wedge = True
+                    return [sys.executable, str(wedge), work.root]
+                # Delay every real worker so the wedge deterministically
+                # wins a claim before dying.
+                return [
+                    sys.executable,
+                    "-c",
+                    "import subprocess, sys, time; time.sleep(4.0); "
+                    "sys.exit(subprocess.call(sys.argv[1:]))",
+                    *super()._worker_command(work, worker_id),
+                ]
+
+        specs = self._specs(tiny_program)[:2]
+        serial = run_sessions(specs)
+        coordinator = Sabotaged(
+            hosts=2,
+            cache=SessionCache(directory=str(tmp_path / "cache")),
+            work_dir=str(tmp_path / "work"),
+            heartbeat_timeout_s=2.0,
+            timeout_s=240,
+        )
+        result = coordinator.run(specs)
+        assert result.requeues >= 1
+        for expected, got in zip(serial, result.summaries):
+            assert got.transactions == expected.transactions
+            assert got.status is expected.status
+
+    def test_lost_pool_drains_inline(self, tiny_program, tmp_path):
+        """With no spawnable workers at all, the coordinator finishes alone."""
+        coordinator = Coordinator(
+            hosts=2,
+            cache=SessionCache(directory=str(tmp_path / "cache")),
+            work_dir=str(tmp_path / "work"),
+            spawn_local=True,
+            max_respawns=0,
+            timeout_s=240,
+        )
+        # Sabotage every spawn into an instant exit.
+        def instant_exit(work, worker_id):
+            return [sys.executable, "-c", "raise SystemExit(1)"]
+
+        coordinator._worker_command = instant_exit
+        specs = self._specs(tiny_program)[:2]
+        result = coordinator.run(specs)
+        assert [s.label for s in result.summaries] == ["a", "b"]
+        assert all(s.completed for s in result.summaries)
+        assert any(
+            h["worker"] == "coordinator-inline" for h in result.host_stats
+        )
+
+
+@pytest.mark.slow
+class TestDistributedSweep:
+    def test_run_sweep_hosts_matches_single_host_verdicts(self, tmp_path):
+        from repro.experiments.scenario import grid_scenarios, run_sweep
+
+        scenarios = grid_scenarios("smoke")
+        serial = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=str(tmp_path / "serial-cache")),
+            grid="smoke",
+        )
+        distributed = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=str(tmp_path / "distrib-cache")),
+            grid="smoke",
+            hosts=2,
+            work_dir=str(tmp_path / "work"),
+        )
+        assert distributed.ok == serial.ok
+        assert distributed.sessions_simulated == serial.sessions_simulated
+        assert len(distributed.host_stats) >= 1
+        for a, b in zip(serial.outcomes, distributed.outcomes):
+            assert {k: v.as_dict() for k, v in a.verdicts.items()} == {
+                k: v.as_dict() for k, v in b.verdicts.items()
+            }
+
+        # The acceptance criterion: a repeat over the same cache dir
+        # simulates zero sessions and keeps the verdicts.
+        repeat = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=str(tmp_path / "distrib-cache")),
+            grid="smoke",
+            hosts=2,
+            work_dir=str(tmp_path / "work2"),
+        )
+        assert repeat.sessions_simulated == 0
+        assert repeat.cache_misses == 0
+        assert repeat.ok == serial.ok

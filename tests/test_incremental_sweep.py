@@ -16,11 +16,13 @@ The properties that make `repro sweep` an incremental, resumable engine:
 import csv
 import io
 import os
+import pickle
 
 import pytest
 
 import repro.experiments.batch as batch
 from repro.detection.protocol import Verdict
+from repro.errors import ReproError
 from repro.experiments.batch import GoldenPrintCache, SessionCache
 from repro.experiments.report import (
     CSV_COLUMNS,
@@ -252,10 +254,51 @@ class TestParametricGrids:
         assert trojan_attack_variant("T2") == "T2"
 
     def test_variant_of_gcode_attack_rejected(self):
-        from repro.errors import ReproError
-
         with pytest.raises(ReproError):
             trojan_attack_variant("dr0wned-void", factor=0.5)
+
+    @pytest.fixture
+    def attack_registry(self):
+        """Snapshot/restore ATTACKS so collision tests can't leak entries."""
+        from repro.experiments.scenario import ATTACKS
+
+        snapshot = dict(ATTACKS)
+        yield ATTACKS
+        ATTACKS.clear()
+        ATTACKS.update(snapshot)
+
+    def test_float_formatting_collision_raises_not_wrong_trojan(
+        self, attack_registry
+    ):
+        # %g folds 0.5000000001 onto "0.5": same name, different physics.
+        # Silently reusing the registered variant would sweep the wrong
+        # Trojan config — it must raise instead.
+        name = trojan_attack_variant("T2", keep_fraction=0.5)
+        assert name == "T2[keep_fraction=0.5]"
+        with pytest.raises(ReproError, match="different"):
+            trojan_attack_variant("T2", keep_fraction=0.5000000001)
+
+    def test_user_registered_attack_under_variant_name_raises(
+        self, attack_registry
+    ):
+        from repro.experiments.scenario import AttackDef, register_attack
+
+        register_attack(
+            AttackDef(
+                name="T2[keep_fraction=0.33]",
+                kind="fpga",
+                trojan_id="T2",
+                trojan_params={"keep_fraction": 0.9},
+            )
+        )
+        with pytest.raises(ReproError, match="already registered"):
+            trojan_attack_variant("T2", keep_fraction=0.33)
+
+    def test_reregistering_identical_variant_stays_idempotent(
+        self, attack_registry
+    ):
+        first = trojan_attack_variant("T9", arm_delay_s=3.5)
+        assert trojan_attack_variant("T9", arm_delay_s=3.5) == first
 
     def test_variant_sessions_have_distinct_content_keys(self):
         base = compile_scenario(
@@ -354,6 +397,84 @@ class TestVerdictSerialization:
         clean = Verdict("q", False, 0.0, "ok")
         assert clean.without_report() is clean
 
+    def test_pickle_drops_the_live_report(self):
+        # A lambda report stands in for live detector state (e.g. the
+        # StreamingDetector RealtimeDetector attaches): unpicklable as-is.
+        verdict = Verdict("realtime", True, 14.0, "alarm", report=lambda: None)
+        with pytest.raises(Exception):
+            pickle.dumps(verdict.report)
+        loaded = pickle.loads(pickle.dumps(verdict))
+        assert loaded.report is None
+        assert loaded.as_dict() == verdict.as_dict()
+        assert loaded.trojan_likely is True
+
+
+class TestFailedScenarios:
+    """A failing session surfaces as a FAILED row, not a dead sweep."""
+
+    @pytest.fixture
+    def broken_attack(self):
+        from repro.experiments.scenario import ATTACKS, AttackDef, register_attack
+
+        snapshot = dict(ATTACKS)
+        register_attack(
+            AttackDef(
+                name="broken-trojan",
+                kind="fpga",
+                description="registered id that no worker can instantiate",
+                trojan_id="T999",
+            )
+        )
+        yield "broken-trojan"
+        ATTACKS.clear()
+        ATTACKS.update(snapshot)
+
+    def test_sweep_reports_failure_instead_of_raising(self, broken_attack):
+        scenarios = [
+            ScenarioSpec(
+                name="broken@tiny",
+                part="tiny",
+                attack=broken_attack,
+                detectors=("golden", "quality"),
+                seed=42,
+                noise_sigma=0.0,
+            )
+        ]
+        result = run_sweep(scenarios)
+        outcome = result.outcomes[0]
+        assert outcome.failed
+        assert not outcome.detected
+        assert not outcome.missed  # failed, not silently missed
+        assert result.sessions_failed == 1
+        assert not result.ok
+        for verdict in outcome.verdicts.values():
+            assert not verdict.trojan_likely
+            assert "session failed" in verdict.detail
+            assert "T999" in verdict.detail
+        assert "FAILED" in result.render()
+
+    def test_failed_outcome_flows_into_reports(self, broken_attack):
+        scenarios = [
+            ScenarioSpec(
+                name="broken@tiny",
+                part="tiny",
+                attack=broken_attack,
+                detectors=("golden",),
+                seed=42,
+                noise_sigma=0.0,
+            )
+        ]
+        result = run_sweep(scenarios)
+        rows = sweep_rows(result)
+        assert all(row["outcome"] == "failed" for row in rows)
+        assert all(row["suspect_status"] == "failed" for row in rows)
+        stats = summary_stats(result)
+        assert stats["sessions_failed"] == 1
+        assert stats["ok"] is False
+        page = render_html(result)
+        assert 'class="failed"' in page
+        assert "sessions failed" in page
+
 
 @pytest.mark.slow
 class TestSweepReports:
@@ -369,7 +490,9 @@ class TestSweepReports:
         }
         for row in rows:
             assert set(row) == set(CSV_COLUMNS)
-            assert row["outcome"] in ("ok", "detected", "missed", "false-positive")
+            assert row["outcome"] in (
+                "ok", "detected", "missed", "false-positive", "failed",
+            )
 
     def test_csv_round_trips(self, result):
         parsed = list(csv.DictReader(io.StringIO(render_csv(result))))

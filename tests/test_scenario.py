@@ -279,6 +279,36 @@ class TestSweepEngine:
         assert runs[0].golden.completed and runs[0].suspect.completed
         assert runs[0].golden.transactions != runs[0].suspect.transactions
 
+    def test_run_scenarios_is_strict_about_failed_sessions(self):
+        # Callers of this API score summaries directly; a FAILED stub with
+        # an empty capture would masquerade as a TROJAN verdict, so the
+        # pre-failure-isolation contract (raise) is preserved here.
+        from repro.experiments.scenario import AttackDef, register_attack
+
+        snapshot = dict(ATTACKS)
+        try:
+            register_attack(
+                AttackDef(
+                    name="broken-for-strict",
+                    kind="fpga",
+                    trojan_id="T999",
+                )
+            )
+            with pytest.raises(ReproError, match="T999"):
+                run_scenarios(
+                    [
+                        ScenarioSpec(
+                            name="broken@tiny",
+                            part="tiny",
+                            attack="broken-for-strict",
+                            noise_sigma=0.0,
+                        )
+                    ]
+                )
+        finally:
+            ATTACKS.clear()
+            ATTACKS.update(snapshot)
+
     def test_second_sweep_with_same_cache_dir_resimulates_zero_goldens(
         self, small_grid, tmp_path_factory
     ):
