@@ -31,19 +31,24 @@ sweep:
 	python -m repro sweep --grid full --workers 0 || \
 		echo "sweep exited $$? — a detection gap or false positive is reported above"
 
-# The incremental smoke sweep: persistent session cache + CSV/HTML reports.
+# The incremental smoke sweep: persistent session cache + CSV/HTML reports
+# (written under benchmarks/out/, not the repo root; both are gitignored).
 # A warm cache makes this a zero-resimulation no-op; unlike `make sweep`,
 # a detection gap here IS a failure (the smoke grid must stay green).
 smoke:
 	python -m repro sweep --grid smoke \
 		--cache-dir $(REPRO_CI_CACHE_DIR) \
-		--csv smoke-sweep.csv --html smoke-sweep.html
+		--csv benchmarks/out/smoke-sweep.csv \
+		--html benchmarks/out/smoke-sweep.html
 
-# Distributed smoke parity: the smoke grid through `--hosts 2` (subprocess
-# workers over a shared cache dir) must yield verdicts byte-identical to the
-# single-host run, and a repeat over the same cache must simulate nothing.
+# Distributed smoke parity: the smoke grid through serial, `--hosts 2
+# --workers 2` (worker-side scoring, verdict-row payloads), a warm repeat,
+# and `--ship-summaries` must yield byte-identical verdict CSVs; the repeat
+# must simulate nothing and verdict payloads must undercut summary payloads
+# >= 5x. The measured bytes are recorded in benchmarks/out/.
 smoke-distrib:
-	python scripts/smoke_distrib.py
+	python scripts/smoke_distrib.py --workers 2 \
+		--record benchmarks/out/distributed_sweep.txt
 
 # Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay in
 # lockstep: lint -> tier-1 tests -> incremental smoke sweep -> distributed

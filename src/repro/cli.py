@@ -14,12 +14,15 @@ Mirrors the workflows of the paper's tooling:
 * ``sweep``    — expand a named scenario grid (parts × attacks × detectors
   × seeds) into one flat batch and score it; with ``--cache-dir`` the sweep
   is incremental (repeats re-simulate nothing), ``--hosts N`` shards the
-  pending sessions across N worker hosts (subprocess workers over a shared
-  ``--work-dir``), and ``--csv`` / ``--html`` emit report files alongside
-  the text table;
+  pending scenarios across N worker hosts (subprocess workers over a shared
+  ``--work-dir``) which *score worker-side* and ship only verdict rows back
+  (``--ship-summaries`` restores the full-summary transport), ``--workers
+  M`` composes with ``--hosts`` for N×M total parallelism, and ``--csv`` /
+  ``--html`` emit report files alongside the text table;
 * ``worker``   — serve a distribution work dir: claim pending shards,
-  execute them, publish results. Run it by hand on any machine that shares
-  (or rsyncs) the coordinator's work dir and cache dir to join a sweep.
+  execute (and score) them, publish results. Run it by hand on any machine
+  that shares (or rsyncs) the coordinator's work dir and cache dir to join
+  a sweep; ``--workers M`` runs each shard as a parallel batch.
 
 Every experiment subcommand shares one option block (``--workers``,
 ``--no-cache``, ``--cache-dir``, ``--out``) wired through a single parent
@@ -199,19 +202,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         _emit(args, "\n".join(lines))
         return 0
-    if args.hosts > 1 and args.workers != 1:
-        # Each worker host runs its shard serially (the heartbeat-per-
-        # session contract); total parallelism is the host count.
-        print(
-            "note: --workers applies to single-host sweeps; with "
-            f"--hosts {args.hosts} parallelism is one session per host",
-            file=sys.stderr,
-        )
     result = run_sweep(
         scenarios,
         grid=args.grid,
         hosts=args.hosts,
         work_dir=args.work_dir,
+        ship_summaries=args.ship_summaries,
         **_batch_kwargs(args),
     )
     _emit(args, result.render())
@@ -229,6 +225,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         cache=args.cache_dir,
         poll_s=args.poll_s,
         idle_timeout_s=args.idle_timeout_s,
+        workers=args.workers,
     )
     executed = worker.run()
     print(f"worker {worker.worker_id}: {executed} shard(s) executed")
@@ -317,13 +314,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--hosts",
         type=int,
         default=1,
-        help="shard the pending sessions across N worker hosts "
-        "(subprocess workers over a shared work dir; default: 1 = in-process)",
+        help="shard the pending scenarios across N worker hosts "
+        "(subprocess workers over a shared work dir; default: 1 = in-process). "
+        "Composes with --workers: each host runs its shard through a "
+        "parallel batch of that many processes (total parallelism N x M)",
     )
     p.add_argument(
         "--work-dir",
         help="distribution work directory (pending/claimed/done shards); "
         "defaults to a temp dir. Point external `repro worker` hosts here.",
+    )
+    p.add_argument(
+        "--ship-summaries",
+        action="store_true",
+        help="distributed sweeps: ship full SessionSummary pickles back "
+        "instead of the default verdict-rows-only payload (use when this "
+        "process needs the summaries themselves, e.g. to warm an in-memory "
+        "cache without a shared --cache-dir)",
     )
     p.set_defaults(func=_cmd_sweep)
 
@@ -335,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir",
         help="persistent session-cache directory (share the coordinator's)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run each claimed shard through this many parallel processes "
+        "(0 = one per CPU; the heartbeat ticks per completed session)",
     )
     p.add_argument("--id", help="worker id (default: <hostname>-<pid>)")
     p.add_argument(

@@ -24,7 +24,16 @@ this module stays import-light and free of experiment-layer dependencies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Protocol, Type, runtime_checkable
+from typing import (
+    Any,
+    Dict,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Type,
+    runtime_checkable,
+)
 
 from repro.detection.baselines import SideChannelDetector, SideChannelModel
 from repro.detection.comparator import DEFAULT_MARGIN, CaptureComparator
@@ -401,3 +410,67 @@ def make_detector(name: str, **params) -> Detector:
             f"unknown detector {name!r}; expected one of {sorted(DETECTOR_CLASSES)}"
         ) from None
     return cls(**params)
+
+
+@dataclass(frozen=True)
+class ScoreSpec:
+    """A picklable recipe for scoring one suspect against one golden.
+
+    Carries detector *names and constructor parameters* — never live
+    detector objects — so the recipe can cross any process/host boundary
+    (notably the distribution work-dir protocol, where workers score their
+    own sessions and ship only :class:`Verdict` rows back). Wherever it
+    runs, :meth:`score_pair` instantiates through the same
+    :func:`make_detector` registry the serial sweep uses, so worker-side
+    verdicts are identical to coordinator-side ones by construction.
+    """
+
+    entries: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]
+
+    @classmethod
+    def for_detectors(
+        cls, names: Sequence[str], margin: float = DEFAULT_MARGIN
+    ) -> "ScoreSpec":
+        """The standard scenario recipe: thread ``margin`` where it applies.
+
+        Only the margin-based comparison detectors (``golden``,
+        ``realtime``) take the scenario margin; the others are built with
+        their defaults — the same policy the serial sweep has always used.
+        """
+        entries = []
+        for name in names:
+            params: Tuple[Tuple[str, Any], ...] = ()
+            if name in ("golden", "realtime"):
+                params = (("margin", margin),)
+            entries.append((name, params))
+        return cls(entries=tuple(entries))
+
+    def score_pair(self, golden, suspect) -> Dict[str, Verdict]:
+        """Fit every detector on ``golden`` and score ``suspect``.
+
+        A FAILED session (its *execution* raised; duck-typed via
+        ``.failed``/``.error``) cannot be fitted or scored: each detector
+        instead reports a non-detection verdict carrying the failure text,
+        so a crashed session surfaces as a reportable row wherever the
+        scoring happens to run.
+        """
+        verdicts: Dict[str, Verdict] = {}
+        failed = [
+            (side, summary)
+            for side, summary in (("golden", golden), ("suspect", suspect))
+            if getattr(summary, "failed", False)
+        ]
+        for name, params in self.entries:
+            if failed:
+                side, summary = failed[0]
+                error = getattr(summary, "error", None)
+                verdicts[name] = Verdict(
+                    detector=name,
+                    trojan_likely=False,
+                    score=0.0,
+                    detail=f"not scored: {side} session failed ({error})",
+                )
+            else:
+                detector = make_detector(name, **dict(params))
+                verdicts[name] = detector.fit(golden).score(suspect)
+        return verdicts

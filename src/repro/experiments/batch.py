@@ -41,7 +41,17 @@ import tempfile
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.capture import PulseCapture, Transaction
 from repro.core.trojans import make_trojan
@@ -428,6 +438,19 @@ class SessionCache:
         """True when a file for ``key`` exists (contents not validated)."""
         return self.directory is not None and os.path.exists(self._path(key))
 
+    def probe(self, key: str) -> bool:
+        """Cheap presence check: no loading, no hit/miss accounting.
+
+        True when the key is in memory or a file for it exists on disk.
+        Because the file's contents are not validated, a probe can say
+        True for an entry a subsequent :meth:`get` rejects as corrupt —
+        callers that act on a probe must handle that ``get`` miss. The
+        distribution coordinator uses this to decide *where* a session
+        will be scored without deserializing summaries it would never
+        read.
+        """
+        return key in self._entries or self.has_on_disk(key)
+
     def _store_to_disk(self, key: str, summary: SessionSummary) -> None:
         # A failed disk write (full/read-only filesystem) must not discard a
         # completed batch: the in-memory entry is already stored, so degrade
@@ -531,8 +554,22 @@ class BatchRunner:
         self.workers = max(1, workers)
         self.cache = resolve_cache(cache)
 
-    def run(self, specs: Sequence[SessionSpec]) -> List[SessionSummary]:
-        """Run all specs; returns summaries in the order specs were given."""
+    def run(
+        self,
+        specs: Sequence[SessionSpec],
+        progress: Optional[Callable[[SessionSummary], None]] = None,
+    ) -> List[SessionSummary]:
+        """Run all specs; returns summaries in the order specs were given.
+
+        ``progress`` is invoked from the *calling* process once per
+        completed session (cache hits excluded — they cost nothing and
+        prove nothing). Distribution workers hook their heartbeat here, so
+        forward progress stays coordinator-visible even when the whole
+        shard runs as one parallel batch: each completed future ticks the
+        heartbeat, exactly like the old between-sessions beat of the serial
+        path. A raising ``progress`` callback is deliberately not shielded
+        — it is the caller's own code.
+        """
         keys = [spec.content_key() for spec in specs]
         results: Dict[str, SessionSummary] = {}
 
@@ -579,6 +616,8 @@ class BatchRunner:
                         # One raising session (or a broken pool) must not
                         # abandon the siblings that already completed.
                         executed[key] = failure_summary(spec, exc)
+                    if progress is not None:
+                        progress(executed[key])
             summaries = [executed[key] for key, _ in pending]
         else:
             summaries = []
@@ -587,6 +626,8 @@ class BatchRunner:
                     summaries.append(_execute_to_summary(spec))
                 except Exception as exc:
                     summaries.append(failure_summary(spec, exc))
+                if progress is not None:
+                    progress(summaries[-1])
 
         for (key, _spec), summary in zip(pending, summaries):
             results[key] = summary

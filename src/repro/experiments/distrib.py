@@ -36,10 +36,32 @@ local worker pool dies entirely, the coordinator drains the remaining
 shards inline, so a sweep completes as long as the coordinator itself
 survives.
 
+Two transports ride on the same protocol:
+
+* **summary shipping** (:meth:`Coordinator.run`) — shards are flat
+  :class:`SessionSpec` lists and workers ship back full
+  :class:`SessionSummary` pickles. This is what direct-scoring callers
+  (and ``repro sweep --ship-summaries``) use: the coordinator ends up
+  holding every capture and fan profile.
+* **verdict shipping** (:meth:`Coordinator.run_scored`) — shards are
+  scenario-level :class:`ScenarioJob`\\ s carrying a picklable
+  :class:`~repro.detection.protocol.ScoreSpec`; the worker executes *and
+  scores* each scenario, and the ``done/`` payload is verdict rows plus
+  per-session :class:`SessionDigest` metadata — orders of magnitude
+  smaller than summaries for big grids, since transaction streams and fan
+  profiles never travel (full summaries still land in the shared
+  ``--cache-dir``, written by the workers themselves).
+
+Each worker runs its whole shard through one *parallel*
+:class:`~repro.experiments.batch.BatchRunner` batch (``--hosts N`` and
+``--workers M`` compose multiplicatively), ticking its heartbeat from the
+batch's per-session completion callback so the coordinator still sees
+forward progress mid-shard.
+
 Entry points:
 
-* :func:`run_distributed` / :class:`Coordinator` — what
-  ``repro sweep --hosts N`` drives;
+* :func:`run_distributed` / :func:`run_distributed_scored` /
+  :class:`Coordinator` — what ``repro sweep --hosts N`` drives;
 * :class:`Worker` — the claim/execute/report loop behind the standalone
   ``repro worker <work-dir>`` command, which is how real remote hosts join
   a sweep (point them at a shared work dir and cache dir).
@@ -57,8 +79,9 @@ import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.detection.protocol import ScoreSpec, Verdict
 from repro.errors import ReproError
 from repro.experiments.batch import (
     BatchRunner,
@@ -67,9 +90,40 @@ from repro.experiments.batch import (
     SessionSummary,
     resolve_cache,
 )
+from repro.firmware.marlin import PrinterStatus
 
-WIRE_FORMAT = 1
-"""Work-dir payload format version; a mismatched shard/result is re-queued."""
+PAYLOAD_SHRINK_FLOOR = 5.0
+"""Verdict shipping must undercut summary shipping by at least this factor.
+
+The policy number the CI parity script and the distribution benchmark both
+enforce; it lives here so retuning it (e.g. after a summary-schema change)
+cannot desynchronize the two checks.
+"""
+
+WIRE_FORMAT = 2
+"""Work-dir payload format version.
+
+Bumped whenever the pickled shard/result schema changes shape (2: shards
+may carry scenario jobs, results may carry verdict rows + digests). A
+payload whose envelope names a *different* version is a protocol-level
+incompatibility — some host is running different code — and raises
+:class:`WireFormatError` rather than being quietly re-queued: silent
+re-queueing of a version skew loops forever, and deserializing the payload
+anyway risks scoring garbage.
+"""
+
+
+class WireFormatError(ReproError):
+    """A work-dir payload was written by an incompatible protocol version."""
+
+    def __init__(self, path: str, found: Any) -> None:
+        super().__init__(
+            f"work-dir payload {os.path.basename(path)!r} has wire format "
+            f"{found!r}, but this process speaks {WIRE_FORMAT}; every host "
+            "sharing a work dir must run the same repro version"
+        )
+        self.path = path
+        self.found = found
 
 _PENDING, _CLAIMED, _DONE, _HEARTS, _LOGS = (
     "pending",
@@ -83,28 +137,158 @@ _SHARD_RE = re.compile(r"^shard-(\d+)(?:@(.+))?\.pkl$")
 
 
 @dataclass(frozen=True)
-class WorkShard:
-    """One worker-sized slice of a batch: an id plus its specs."""
+class SessionDigest:
+    """The wire-sized reduction of a :class:`SessionSummary`.
 
-    shard_id: int
-    specs: Tuple[SessionSpec, ...]
+    Everything the sweep/report layer reads off a scored scenario's
+    sessions — status, duration, failure text — without the transaction
+    stream, deposition trace, or fan profile that make full summaries
+    heavy. This is the per-session metadata that travels in verdict-
+    shipping mode.
+    """
+
+    label: str
+    spec_key: str
+    status: PrinterStatus
+    kill_reason: Optional[str]
+    timed_out: bool
+    duration_s: float
+    error: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status is PrinterStatus.DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.status is PrinterStatus.FAILED
+
+    @classmethod
+    def from_summary(
+        cls, summary: SessionSummary, label: Optional[str] = None
+    ) -> "SessionDigest":
+        return cls(
+            label=summary.label if label is None else label,
+            spec_key=summary.spec_key,
+            status=summary.status,
+            kill_reason=summary.kill_reason,
+            timed_out=summary.timed_out,
+            duration_s=summary.duration_s,
+            error=summary.error,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One scenario as worker-executable work: sessions + scoring recipe.
+
+    Ships the *compiled* golden/suspect :class:`SessionSpec`\\ s rather
+    than the scenario name, so the worker never needs the coordinator's
+    part/attack registries (ad-hoc parts and runtime-registered variant
+    attacks included); the :class:`ScoreSpec` likewise carries detector
+    names + parameters, never live detectors.
+    """
+
+    index: int
+    name: str
+    golden: SessionSpec
+    suspect: SessionSpec
+    score: ScoreSpec
 
     def estimated_cost(self) -> float:
-        return sum(spec.estimated_cost() for spec in self.specs)
+        return self.golden.estimated_cost() + self.suspect.estimated_cost()
+
+
+@dataclass
+class ScenarioVerdicts:
+    """One scored scenario as it travels back from a worker."""
+
+    index: int
+    verdicts: Dict[str, Verdict]
+    golden: SessionDigest
+    suspect: SessionDigest
+
+
+def _score_job(
+    job: ScenarioJob, golden: SessionSummary, suspect: SessionSummary
+) -> ScenarioVerdicts:
+    """Score one job's sessions into the wire row shape.
+
+    The same call runs worker-side (fresh summaries) and coordinator-side
+    (cache-served summaries), so where a scenario happens to be scored can
+    never change its verdicts. Reports are stripped eagerly: rows must
+    carry exactly what the wire carries.
+    """
+    verdicts = {
+        name: verdict.without_report()
+        for name, verdict in job.score.score_pair(golden, suspect).items()
+    }
+    return ScenarioVerdicts(
+        index=job.index,
+        verdicts=verdicts,
+        golden=SessionDigest.from_summary(golden, label=job.golden.label),
+        suspect=SessionDigest.from_summary(suspect, label=job.suspect.label),
+    )
+
+
+@dataclass(frozen=True)
+class WorkShard:
+    """One worker-sized slice of a batch.
+
+    Exactly one of ``specs`` (summary-shipping mode) or ``jobs``
+    (verdict-shipping mode) is non-empty; the worker picks its execution
+    path off which one it finds.
+    """
+
+    shard_id: int
+    specs: Tuple[SessionSpec, ...] = ()
+    jobs: Tuple[ScenarioJob, ...] = ()
+
+    def estimated_cost(self) -> float:
+        return sum(spec.estimated_cost() for spec in self.specs) + sum(
+            job.estimated_cost() for job in self.jobs
+        )
 
 
 @dataclass
 class ShardResult:
-    """What a worker ships back for one executed shard."""
+    """What a worker ships back for one executed shard.
+
+    ``summaries`` is populated in summary-shipping mode, ``rows`` in
+    verdict-shipping mode. ``session_count`` is the number of unique
+    sessions the worker handled for this shard (for per-host economics);
+    when ``None`` (older callers/tests) it falls back to
+    ``len(summaries)``.
+    """
 
     shard_id: int
     worker_id: str
     summaries: List[SessionSummary]
     wall_clock_s: float
+    rows: List[ScenarioVerdicts] = field(default_factory=list)
+    session_count: Optional[int] = None
+
+    @property
+    def sessions(self) -> int:
+        if self.session_count is not None:
+            return self.session_count
+        return len(self.summaries)
 
     @property
     def failures(self) -> int:
-        return sum(1 for summary in self.summaries if summary.failed)
+        """Unique failed sessions in this shard.
+
+        Keyed by spec key so a failed golden shared by several scenario
+        rows counts once, matching how summary mode counts it.
+        """
+        failed = {s.spec_key for s in self.summaries if s.failed}
+        failed.update(
+            digest.spec_key
+            for row in self.rows
+            for digest in (row.golden, row.suspect)
+            if digest.failed
+        )
+        return len(failed)
 
 
 @dataclass(frozen=True)
@@ -115,25 +299,72 @@ class Claim:
     path: str
 
 
-def balanced_shards(
-    specs: Sequence[SessionSpec], bins: int
-) -> List[List[SessionSpec]]:
-    """Split specs into ≤ ``bins`` cost-balanced groups, longest-first.
+def _lpt_bins(items: Sequence[Any], bins: int, cost) -> List[List[Any]]:
+    """Greedy LPT: descending-cost items onto the currently-lightest bin.
 
-    Greedy LPT: walk the specs in descending :meth:`~SessionSpec.
-    estimated_cost` order, always assigning to the currently-lightest bin.
     Deterministic (stable sort, lowest-index tie-break), so the same batch
     shards the same way on every run.
     """
-    bins = max(1, min(bins, len(specs)))
+    bins = max(1, min(bins, len(items)))
     loads = [0.0] * bins
-    out: List[List[SessionSpec]] = [[] for _ in range(bins)]
-    ordered = sorted(specs, key=lambda spec: spec.estimated_cost(), reverse=True)
-    for spec in ordered:
+    out: List[List[Any]] = [[] for _ in range(bins)]
+    ordered = sorted(range(len(items)), key=lambda i: cost(items[i]), reverse=True)
+    for index in ordered:
         lightest = min(range(bins), key=lambda b: (loads[b], b))
-        out[lightest].append(spec)
-        loads[lightest] += spec.estimated_cost()
+        out[lightest].append(items[index])
+        loads[lightest] += cost(items[index])
     return [group for group in out if group]
+
+
+def balanced_shards(
+    specs: Sequence[SessionSpec], bins: int
+) -> List[List[SessionSpec]]:
+    """Split specs into ≤ ``bins`` cost-balanced groups, longest-first."""
+    return _lpt_bins(specs, bins, lambda spec: spec.estimated_cost())
+
+
+def _group_cost(jobs: Sequence[ScenarioJob]) -> float:
+    """A job group's cost with shared goldens counted once, not per job."""
+    total = 0.0
+    seen: Set[str] = set()
+    for job in jobs:
+        total += job.suspect.estimated_cost()
+        key = job.golden.content_key()
+        if key not in seen:
+            seen.add(key)
+            total += job.golden.estimated_cost()
+    return total
+
+
+def scenario_shards(
+    jobs: Sequence[ScenarioJob], bins: int
+) -> List[List[ScenarioJob]]:
+    """Split scenario jobs into ≤ ``bins`` cost-balanced groups.
+
+    Jobs sharing a golden print are kept together when possible (their
+    shard's :class:`BatchRunner` then simulates the golden once), but not
+    at the price of idle hosts: when there are fewer golden-groups than
+    bins, the heaviest group is split — duplicating at most one golden per
+    split, a deliberate trade of one redundant simulation for a whole
+    host's parallelism (a shared ``--cache-dir`` usually absorbs even
+    that: whichever worker finishes the golden first persists it).
+    """
+    if not jobs:
+        return []
+    groups: Dict[str, List[ScenarioJob]] = {}
+    for job in jobs:
+        groups.setdefault(job.golden.content_key(), []).append(job)
+    target = min(bins, len(jobs))
+    binned = _lpt_bins(list(groups.values()), target, _group_cost)
+    shards = [[job for group in shard for job in group] for shard in binned]
+    while len(shards) < target:
+        splittable = [i for i, shard in enumerate(shards) if len(shard) > 1]
+        if not splittable:
+            break
+        heaviest = max(splittable, key=lambda i: (_group_cost(shards[i]), -i))
+        halves = _lpt_bins(shards[heaviest], 2, lambda j: j.estimated_cost())
+        shards[heaviest : heaviest + 1] = halves
+    return shards
 
 
 def sanitize_worker_id(worker_id: str) -> str:
@@ -166,14 +397,25 @@ def _atomic_pickle(path: str, payload: Any) -> None:
 
 
 def _load_pickle(path: str) -> Optional[Any]:
-    """Read a wire payload; any corruption or version skew reads as absent."""
+    """Read a wire payload.
+
+    Corruption (a torn write, truncation, unpicklable bytes) reads as
+    absent — the worst outcome is a re-queue/re-simulation. A *cleanly
+    readable envelope carrying a different format version* is not
+    corruption, it is a host running different code, and silently treating
+    it as absent would either loop (coordinator re-enqueues, the skewed
+    worker "completes" again) or deserialize a payload whose schema this
+    process does not understand — so it raises :class:`WireFormatError`.
+    """
     try:
         with open(path, "rb") as handle:
             envelope = pickle.load(handle)
     except Exception:
         return None
-    if not isinstance(envelope, dict) or envelope.get("format") != WIRE_FORMAT:
+    if not isinstance(envelope, dict) or "format" not in envelope:
         return None
+    if envelope["format"] != WIRE_FORMAT:
+        raise WireFormatError(path, envelope["format"])
     return envelope.get("payload")
 
 
@@ -233,8 +475,21 @@ class WorkDir:
         return sorted(ids)
 
     def load_result(self, shard_id: int) -> Optional[ShardResult]:
+        """The shard's result; ``None`` when absent/corrupt.
+
+        Raises :class:`WireFormatError` when the done file was written by
+        an incompatible protocol version — the coordinator must fail loud
+        on that, never merge or silently re-queue it.
+        """
         payload = _load_pickle(self._sub(_DONE, self.shard_file(shard_id)))
         return payload if isinstance(payload, ShardResult) else None
+
+    def result_size(self, shard_id: int) -> int:
+        """The done file's size in bytes (0 when absent) — payload economics."""
+        try:
+            return os.path.getsize(self._sub(_DONE, self.shard_file(shard_id)))
+        except OSError:
+            return 0
 
     def discard_done(self, shard_id: int) -> None:
         try:
@@ -288,7 +543,13 @@ class WorkDir:
         )
 
     def claim(self, pending_name: str, worker_id: str) -> Optional[Claim]:
-        """Try to claim one pending shard; ``None`` if another worker won."""
+        """Try to claim one pending shard; ``None`` if another worker won.
+
+        Raises :class:`WireFormatError` — after renaming the shard *back*
+        to pending, so a compatible worker can still take it — when the
+        shard was enqueued by an incompatible coordinator; executing a
+        payload whose schema this worker does not speak is never an option.
+        """
         match = _SHARD_RE.match(pending_name)
         if not match or match.group(2):
             return None
@@ -299,7 +560,14 @@ class WorkDir:
             os.rename(self._sub(_PENDING, pending_name), claim_path)
         except OSError:
             return None
-        payload = _load_pickle(claim_path)
+        try:
+            payload = _load_pickle(claim_path)
+        except WireFormatError:
+            try:
+                os.rename(claim_path, self._sub(_PENDING, pending_name))
+            except OSError:
+                pass
+            raise
         if not isinstance(payload, WorkShard):
             # Corrupt shard file: drop the claim; the coordinator re-enqueues
             # from its in-memory copy once it notices the shard went missing.
@@ -350,12 +618,18 @@ class WorkDir:
 class Worker:
     """The claim → execute → report loop one host runs.
 
-    Executes each claimed shard spec-by-spec through a serial
-    :class:`BatchRunner` (failure-isolated: a raising session becomes a
-    FAILED summary, never a dead worker), touching its heartbeat between
-    sessions so the coordinator can tell *slow* from *dead*. Exits when the
-    coordinator writes ``STOP``, or — with ``idle_timeout_s`` — after the
-    queue has stayed empty that long.
+    Executes each claimed shard as **one** :class:`BatchRunner` batch —
+    parallel across ``workers`` processes when asked, deduplicated and
+    cost-scheduled within the shard, failure-isolated (a raising session
+    becomes a FAILED summary, never a dead worker) — ticking its heartbeat
+    from the batch's per-session completion callback, so the coordinator
+    sees forward progress even while the whole shard is in flight. A
+    scenario shard (verdict-shipping mode) is additionally *scored* here:
+    detectors are built from the shipped
+    :class:`~repro.detection.protocol.ScoreSpec` and only verdict rows +
+    session digests travel back. Exits when the coordinator writes
+    ``STOP``, or — with ``idle_timeout_s`` — after the queue has stayed
+    empty that long.
     """
 
     def __init__(
@@ -365,12 +639,16 @@ class Worker:
         cache: CacheOption = None,
         poll_s: float = 0.2,
         idle_timeout_s: Optional[float] = None,
+        workers: Optional[int] = 1,
     ) -> None:
         self.work = work_dir if isinstance(work_dir, WorkDir) else WorkDir(work_dir)
         self.worker_id = sanitize_worker_id(worker_id or default_worker_id())
         self.poll_s = poll_s
         self.idle_timeout_s = idle_timeout_s
-        self.runner = BatchRunner(workers=1, cache=cache)
+        self.runner = BatchRunner(workers=workers, cache=cache)
+        # Pending shards whose wire format this worker cannot speak: left in
+        # the queue for a compatible worker, never re-claimed, never executed.
+        self._incompatible: Set[str] = set()
 
     def run(self) -> int:
         """Serve the queue until STOP (or idle timeout); returns shards done."""
@@ -399,25 +677,55 @@ class Worker:
 
     def _claim_next(self) -> Optional[Claim]:
         for name in self.work.pending_files():
-            claim = self.work.claim(name, self.worker_id)
+            if name in self._incompatible:
+                continue
+            try:
+                claim = self.work.claim(name, self.worker_id)
+            except WireFormatError as exc:
+                # The shard went back to pending; remember it so this loop
+                # doesn't spin on it, and say so in the worker log.
+                self._incompatible.add(name)
+                print(f"worker {self.worker_id}: skipping {name}: {exc}", flush=True)
+                continue
             if claim is not None:
                 return claim
         return None
 
+    def _beat(self, _summary: SessionSummary) -> None:
+        """Per-completed-session progress hook → coordinator-visible beat."""
+        self.work.beat(self.worker_id)
+
     def execute(self, claim: Claim) -> ShardResult:
-        """Run one claimed shard and publish its result."""
+        """Run (and, for scenario shards, score) one claimed shard."""
         started = time.perf_counter()
+        self.work.beat(self.worker_id)
+        shard = claim.shard
         summaries: List[SessionSummary] = []
-        for spec in claim.shard.specs:
-            # One spec per runner call: the heartbeat between sessions is
-            # the forward-progress signal staleness detection keys on.
-            self.work.beat(self.worker_id)
-            summaries.extend(self.runner.run([spec]))
+        rows: List[ScenarioVerdicts] = []
+        if shard.jobs:
+            specs = [
+                spec for job in shard.jobs for spec in (job.golden, job.suspect)
+            ]
+            executed = self.runner.run(specs, progress=self._beat)
+            for job, golden, suspect in zip(
+                shard.jobs, executed[0::2], executed[1::2]
+            ):
+                # Scoring a big shard takes real wall clock after the last
+                # session completes; keep beating so the coordinator's
+                # staleness window stays bounded by one scenario, not one
+                # shard.
+                self.work.beat(self.worker_id)
+                rows.append(_score_job(job, golden, suspect))
+        else:
+            specs = list(shard.specs)
+            summaries = self.runner.run(specs, progress=self._beat)
         result = ShardResult(
-            shard_id=claim.shard.shard_id,
+            shard_id=shard.shard_id,
             worker_id=self.worker_id,
             summaries=summaries,
             wall_clock_s=time.perf_counter() - started,
+            rows=rows,
+            session_count=len({spec.content_key() for spec in specs}),
         )
         self.work.complete(claim, result)
         return result
@@ -425,13 +733,32 @@ class Worker:
 
 @dataclass
 class DistributedResult:
-    """Merged outcome of one distributed batch."""
+    """Merged outcome of one distributed batch (summary-shipping mode)."""
 
     summaries: List[SessionSummary]
     host_stats: List[Dict[str, Any]] = field(default_factory=list)
     requeues: int = 0
     shards: int = 0
     sessions_dispatched: int = 0
+    payload_bytes: int = 0
+
+
+@dataclass
+class ScoredResult:
+    """Merged outcome of one distributed *scored* sweep (verdict shipping).
+
+    ``rows`` is ordered by job index — one entry per input scenario job,
+    whether it was scored worker-side or (cache-served pairs) by the
+    coordinator itself. ``payload_bytes`` is the total size of the
+    ``done/`` files collected, i.e. what actually travelled back.
+    """
+
+    rows: List[ScenarioVerdicts]
+    host_stats: List[Dict[str, Any]] = field(default_factory=list)
+    requeues: int = 0
+    shards: int = 0
+    sessions_dispatched: int = 0
+    payload_bytes: int = 0
 
 
 class Coordinator:
@@ -455,10 +782,15 @@ class Coordinator:
       if the coordinator itself dies.
 
     ``heartbeat_timeout_s`` must exceed the wall clock of the longest
-    *single* session (workers beat between sessions, not during them):
+    *single* session (workers beat per completed session, not during one):
     a live worker mid-session beats nothing, and declaring it dead leads
     to harmless but wasteful double execution of its shard. The 300 s
     default clears every session in the registered grids by a wide margin.
+
+    ``workers`` is the per-host :class:`BatchRunner` process count — the
+    ``--hosts N --workers M`` composition: total parallelism is N×M, and a
+    worker mid-parallel-shard still beats on every session completion, so
+    internal parallelism cannot get a live worker condemned as wedged.
     """
 
     def __init__(
@@ -471,6 +803,7 @@ class Coordinator:
         spawn_local: bool = True,
         max_respawns: Optional[int] = None,
         timeout_s: Optional[float] = None,
+        workers: Optional[int] = 1,
     ) -> None:
         self.hosts = max(1, hosts)
         self.cache = resolve_cache(cache)
@@ -480,6 +813,7 @@ class Coordinator:
         self.spawn_local = spawn_local
         self.max_respawns = self.hosts if max_respawns is None else max_respawns
         self.timeout_s = timeout_s
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # Public API
@@ -514,9 +848,10 @@ class Coordinator:
         host_stats: List[Dict[str, Any]] = []
         requeues = 0
         shard_count = 0
+        payload_bytes = 0
         if pending:
-            executed, host_stats, requeues, shard_count = self._distribute(
-                [spec for _, spec in pending]
+            executed, host_stats, requeues, shard_count, payload_bytes = (
+                self._distribute([spec for _, spec in pending])
             )
             for key, spec in pending:
                 summary = executed[key]
@@ -545,6 +880,119 @@ class Coordinator:
             requeues=requeues,
             shards=shard_count,
             sessions_dispatched=len(pending),
+            payload_bytes=payload_bytes,
+        )
+
+    def run_scored(self, jobs: Sequence[ScenarioJob]) -> ScoredResult:
+        """Execute and *score* scenario jobs; only verdict rows travel back.
+
+        The cache is *probed* (presence only, nothing deserialized) once
+        per unique session key; full summaries are loaded only for jobs
+        whose golden **and** suspect are both present — those are scored
+        right here, so a warm repeat dispatches nothing and spawns nobody.
+        Every other job ships to a worker untouched: when the cache has a
+        shared directory, a partial hit's cached half is served to the
+        worker from disk, never loaded into (and pinned in) coordinator
+        memory (with a memory-only cache the worker simply re-simulates
+        it, and the dispatch count says so). Dispatched
+        workers execute their sessions through a parallel
+        :class:`BatchRunner`, score them via the job's
+        :class:`~repro.detection.protocol.ScoreSpec`, and publish
+        :class:`ScenarioVerdicts` rows (digests + report-free verdicts) —
+        never full summaries. Full summaries persist only where they
+        belong: in the workers' shared ``--cache-dir``, when one is set.
+        ``sessions_dispatched`` on the result is the number of unique
+        sessions the cache could not serve — what a sweep reports as
+        "sessions simulated".
+        """
+        probed: Dict[str, bool] = {}
+        loaded: Dict[str, Optional[SessionSummary]] = {}
+
+        def available(spec: SessionSpec) -> bool:
+            if self.cache is None or not spec.cacheable:
+                return False
+            key = spec.content_key()
+            if key not in probed:
+                probed[key] = self.cache.probe(key)
+            return probed[key]
+
+        def load(spec: SessionSpec) -> Optional[SessionSummary]:
+            key = spec.content_key()
+            if key not in loaded:
+                loaded[key] = self.cache.get(key)
+                if loaded[key] is None:
+                    # The probe saw a file get() rejected (torn/corrupt/
+                    # stale): treat the key as absent so its jobs dispatch
+                    # and the workers re-simulate it.
+                    probed[key] = False
+            return loaded[key]
+
+        rows: Dict[int, ScenarioVerdicts] = {}
+        remote: List[ScenarioJob] = []
+        for job in jobs:
+            if available(job.golden) and available(job.suspect):
+                golden, suspect = load(job.golden), load(job.suspect)
+                if golden is not None and suspect is not None:
+                    rows[job.index] = _score_job(job, golden, suspect)
+                    continue
+            remote.append(job)
+        # The scored summaries have served their purpose; release this
+        # frame's references (the cache keeps its own memo per its policy).
+        loaded.clear()
+
+        host_stats: List[Dict[str, Any]] = []
+        requeues = 0
+        shard_count = 0
+        payload_bytes = 0
+        dispatched_sessions = 0
+        if remote:
+            # The dispatch count is what the sweep reports as "sessions
+            # simulated", so count every key the workers cannot actually
+            # be served: absent keys, keys whose probe a load() exposed as
+            # corrupt (probed flipped to False), and keys present only in
+            # *this process's memory* — an in-memory entry serves nobody
+            # else, only the shared disk does.
+            def served(key: str) -> bool:
+                return (
+                    self.cache is not None
+                    and probed.get(key, False)
+                    and self.cache.has_on_disk(key)
+                )
+
+            dispatched_sessions = len(
+                {
+                    spec.content_key()
+                    for job in remote
+                    for spec in (job.golden, job.suspect)
+                    if not served(spec.content_key())
+                }
+            )
+            shards = {
+                index: WorkShard(shard_id=index, jobs=tuple(group))
+                for index, group in enumerate(
+                    scenario_shards(remote, self.hosts)
+                )
+            }
+            shard_count = len(shards)
+            done, host_stats, requeues, payload_bytes = self._drive(shards)
+            for result in done.values():
+                for row in result.rows:
+                    rows[row.index] = row
+            missing = [job for job in remote if job.index not in rows]
+            if missing:
+                # Shouldn't happen (every shard is accounted for), but a
+                # protocol bug must degrade to local scoring, not a KeyError.
+                runner = BatchRunner(workers=self.workers, cache=self.cache)
+                for job in missing:
+                    golden, suspect = runner.run([job.golden, job.suspect])
+                    rows[job.index] = _score_job(job, golden, suspect)
+        return ScoredResult(
+            rows=[rows[job.index] for job in jobs],
+            host_stats=host_stats,
+            requeues=requeues,
+            shards=shard_count,
+            sessions_dispatched=dispatched_sessions,
+            payload_bytes=payload_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -567,6 +1015,8 @@ class Coordinator:
             "--idle-timeout-s",
             "300",
         ]
+        if self.workers is None or self.workers != 1:
+            command += ["--workers", str(self.workers if self.workers else 0)]
         if self.cache is not None and self.cache.directory:
             command += ["--cache-dir", self.cache.directory]
         return command
@@ -592,17 +1042,41 @@ class Coordinator:
     # ------------------------------------------------------------------
     def _distribute(
         self, specs: Sequence[SessionSpec]
-    ) -> Tuple[Dict[str, SessionSummary], List[Dict[str, Any]], int, int]:
+    ) -> Tuple[Dict[str, SessionSummary], List[Dict[str, Any]], int, int, int]:
+        """Summary-shipping mode: shard flat specs, merge full summaries."""
+        shards = {
+            index: WorkShard(shard_id=index, specs=tuple(group))
+            for index, group in enumerate(balanced_shards(specs, self.hosts))
+        }
+        done, host_stats, requeues, payload_bytes = self._drive(shards)
+        executed: Dict[str, SessionSummary] = {}
+        for result in done.values():
+            for summary in result.summaries:
+                executed[summary.spec_key] = summary
+        missing = [spec for spec in specs if spec.content_key() not in executed]
+        if missing:
+            # Shouldn't happen (every shard is accounted for above), but a
+            # protocol bug must degrade to local execution, not a KeyError.
+            runner = BatchRunner(workers=self.workers, cache=self.cache)
+            for summary in runner.run(missing):
+                executed[summary.spec_key] = summary
+        return executed, host_stats, requeues, len(shards), payload_bytes
+
+    def _drive(
+        self, shards: Dict[int, WorkShard]
+    ) -> Tuple[Dict[int, ShardResult], List[Dict[str, Any]], int, int]:
+        """The transport-agnostic loop: enqueue, tend workers, collect done.
+
+        Returns the collected shard results plus per-host economics, the
+        dead-worker re-queue count, and the total ``done/`` payload bytes
+        that travelled back (the number verdict shipping exists to shrink).
+        """
         root = self.work_dir
         created_tmp = root is None
         if created_tmp:
             root = tempfile.mkdtemp(prefix="repro-distrib-")
         work = WorkDir(root)
         work.reset()
-        shards = {
-            index: WorkShard(shard_id=index, specs=tuple(group))
-            for index, group in enumerate(balanced_shards(specs, self.hosts))
-        }
         for shard in shards.values():
             work.enqueue(shard)
 
@@ -613,6 +1087,7 @@ class Coordinator:
                 procs[worker_id] = self._spawn(work, worker_id)
 
         done: Dict[int, ShardResult] = {}
+        payload_sizes: Dict[int, int] = {}
         requeues = 0
         respawns = 0
         # Local workers whose process has exited; their claims are always
@@ -628,7 +1103,7 @@ class Coordinator:
         )
         try:
             while len(done) < len(shards):
-                self._collect_done(work, shards, done)
+                self._collect_done(work, shards, done, payload_sizes)
                 if len(done) >= len(shards):
                     break
                 requeues += self._requeue_dead_claims(
@@ -653,51 +1128,54 @@ class Coordinator:
             if created_tmp:
                 # The throwaway work dir (pickled specs include whole G-code
                 # programs) must not outlive the run, success or failure;
-                # every summary that matters is already merged in memory.
+                # every result that matters is already merged in memory.
                 shutil.rmtree(root, ignore_errors=True)
 
-        executed: Dict[str, SessionSummary] = {}
         per_host: Dict[str, Dict[str, Any]] = {}
         for result in done.values():
-            for summary in result.summaries:
-                executed[summary.spec_key] = summary
             stats = per_host.setdefault(
                 result.worker_id,
                 {"worker": result.worker_id, "shards": 0, "sessions": 0,
                  "failures": 0, "wall_clock_s": 0.0},
             )
             stats["shards"] += 1
-            stats["sessions"] += len(result.summaries)
+            stats["sessions"] += result.sessions
             stats["failures"] += result.failures
             stats["wall_clock_s"] = round(
                 stats["wall_clock_s"] + result.wall_clock_s, 3
             )
-
-        missing = [spec for spec in specs if spec.content_key() not in executed]
-        if missing:
-            # Shouldn't happen (every shard is accounted for above), but a
-            # protocol bug must degrade to local execution, not a KeyError.
-            for summary in BatchRunner(workers=1, cache=self.cache).run(missing):
-                executed[summary.spec_key] = summary
         host_stats = sorted(per_host.values(), key=lambda s: s["worker"])
-        return executed, host_stats, requeues, len(shards)
+        return done, host_stats, requeues, sum(payload_sizes.values())
 
     def _collect_done(
         self,
         work: WorkDir,
         shards: Dict[int, WorkShard],
         done: Dict[int, ShardResult],
+        payload_sizes: Dict[int, int],
     ) -> None:
         for shard_id in work.done_ids():
             if shard_id in done or shard_id not in shards:
                 continue
-            result = work.load_result(shard_id)
+            size = work.result_size(shard_id)
+            try:
+                result = work.load_result(shard_id)
+            except WireFormatError as exc:
+                # A worker running different code "completed" this shard.
+                # Its payload cannot be trusted or even deserialized — and
+                # re-queueing would just collect the same skewed result
+                # forever. Fail the sweep loudly instead.
+                raise ReproError(
+                    f"shard {shard_id} was completed by an incompatible "
+                    f"worker: {exc}"
+                ) from exc
             if result is None:
                 # Torn/stale done file: burn it and re-enqueue from memory.
                 work.discard_done(shard_id)
                 work.enqueue(shards[shard_id])
                 continue
             done[shard_id] = result
+            payload_sizes[shard_id] = size
 
     def _worker_dead(
         self,
@@ -812,6 +1290,7 @@ class Coordinator:
                 cache=inline_cache,
                 poll_s=self.poll_s,
                 idle_timeout_s=0.0,
+                workers=self.workers,
             )
             inline.run()
         return respawns
@@ -843,3 +1322,17 @@ def run_distributed(
         hosts=hosts, cache=cache, work_dir=work_dir, **coordinator_kwargs
     )
     return coordinator.run(specs)
+
+
+def run_distributed_scored(
+    jobs: Sequence[ScenarioJob],
+    hosts: int = 2,
+    cache: CacheOption = None,
+    work_dir: Optional[str] = None,
+    **coordinator_kwargs: Any,
+) -> ScoredResult:
+    """Convenience wrapper: one scored sweep through a fresh :class:`Coordinator`."""
+    coordinator = Coordinator(
+        hosts=hosts, cache=cache, work_dir=work_dir, **coordinator_kwargs
+    )
+    return coordinator.run_scored(jobs)

@@ -94,6 +94,8 @@ def summary_stats(result: SweepResult) -> Dict[str, Any]:
         "wall_clock_s": round(result.wall_clock_s, 2),
         "hosts": len(result.host_stats),
         "requeues": result.requeues,
+        "transport": result.transport,
+        "payload_bytes": result.payload_bytes,
     }
 
 
@@ -154,6 +156,13 @@ def render_html(result: SweepResult, title: Optional[str] = None) -> str:
         tiles.append(("worker hosts", stats["hosts"]))
     if stats["requeues"]:
         tiles.append(("shards re-queued", stats["requeues"]))
+    if stats["payload_bytes"]:
+        tiles.append(
+            (
+                f"done/ payload ({stats['transport'] or 'results'})",
+                f"{stats['payload_bytes']} B",
+            )
+        )
     parts: List[str] = [
         "<!DOCTYPE html>",
         '<html lang="en"><head><meta charset="utf-8">',

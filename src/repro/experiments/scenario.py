@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.detection.protocol import Detector, Verdict, make_detector
+from repro.detection.protocol import ScoreSpec, Verdict
 from repro.errors import ReproError
 from repro.experiments.batch import (
     CacheOption,
@@ -475,20 +475,32 @@ def run_scenarios(
     return _pair_runs(scenarios, summaries)
 
 
-def _build_detector(name: str, scenario: ScenarioSpec) -> Detector:
-    """Instantiate a scenario's detector, threading the margin where it applies."""
-    if name in ("golden", "realtime"):
-        return make_detector(name, margin=scenario.margin)
-    return make_detector(name)
+def scenario_score_spec(scenario: ScenarioSpec) -> ScoreSpec:
+    """The scenario's scoring recipe as a picklable :class:`ScoreSpec`.
+
+    This is the *only* place a scenario's detector set is turned into
+    detector constructions (margin threaded into the margin-based
+    detectors, defaults elsewhere), so serial sweeps and worker-side
+    scoring in distributed sweeps are the same computation by definition.
+    """
+    return ScoreSpec.for_detectors(scenario.detectors, margin=scenario.margin)
 
 
 @dataclass
 class ScenarioOutcome:
-    """One scenario scored by its full detector set."""
+    """One scenario scored by its full detector set.
+
+    ``golden``/``suspect`` are full :class:`SessionSummary`\\ s when the
+    scoring ran in this process, or wire-sized
+    :class:`~repro.experiments.distrib.SessionDigest`\\ s when a
+    distributed sweep scored the scenario worker-side (verdict shipping) —
+    both expose the fields this layer and the reports read (``status``,
+    ``duration_s``, ``failed``, ``error``, ``spec_key``).
+    """
 
     scenario: ScenarioSpec
-    golden: SessionSummary
-    suspect: SessionSummary
+    golden: Any
+    suspect: Any
     verdicts: Dict[str, Verdict]
 
     @property
@@ -530,6 +542,8 @@ class SweepResult:
     grid: str = ""
     host_stats: List[Dict[str, Any]] = field(default_factory=list)
     requeues: int = 0
+    transport: str = ""
+    payload_bytes: int = 0
 
     @property
     def attack_outcomes(self) -> List[ScenarioOutcome]:
@@ -606,37 +620,24 @@ class SweepResult:
             if self.requeues:
                 note += f"; {self.requeues} shard(s) re-queued from dead workers"
             lines.append(note)
+            if self.payload_bytes:
+                lines.append(
+                    f"done/ payload: {self.payload_bytes} bytes shipped as "
+                    f"{self.transport or 'results'}"
+                )
         return "\n".join(lines)
 
 
 def _score_run(run: ScenarioRun) -> Dict[str, Verdict]:
     """One scenario's verdicts — or failure placeholders when unscoreable.
 
-    A FAILED session (its execution raised; see
-    :func:`~repro.experiments.batch.failure_summary`) cannot be fitted or
-    scored; each detector instead reports a non-detection verdict carrying
-    the failure text, so the sweep renders the failure as a row instead of
-    dying on a stack trace mid-scoring.
+    Delegates to the scenario's :class:`ScoreSpec` (the exact recipe a
+    distribution worker would receive), including its FAILED-session
+    handling: a session whose execution raised becomes a non-detection
+    verdict carrying the failure text, so the sweep renders the failure as
+    a row instead of dying on a stack trace mid-scoring.
     """
-    verdicts: Dict[str, Verdict] = {}
-    failed = [
-        (side, summary)
-        for side, summary in (("golden", run.golden), ("suspect", run.suspect))
-        if summary.failed
-    ]
-    for det_name in run.scenario.detectors:
-        if failed:
-            side, summary = failed[0]
-            verdicts[det_name] = Verdict(
-                detector=det_name,
-                trojan_likely=False,
-                score=0.0,
-                detail=f"not scored: {side} session failed ({summary.error})",
-            )
-        else:
-            detector = _build_detector(det_name, run.scenario)
-            verdicts[det_name] = detector.fit(run.golden).score(run.suspect)
-    return verdicts
+    return scenario_score_spec(run.scenario).score_pair(run.golden, run.suspect)
 
 
 def run_sweep(
@@ -646,6 +647,7 @@ def run_sweep(
     grid: str = "",
     hosts: int = 1,
     work_dir: Optional[str] = None,
+    ship_summaries: bool = False,
 ) -> SweepResult:
     """Execute and score a scenario grid: one batch, then detector verdicts.
 
@@ -655,39 +657,93 @@ def run_sweep(
     The returned result carries the cache hit/miss accounting and wall clock
     that the CSV/HTML reports (:mod:`repro.experiments.report`) surface.
 
-    With ``hosts > 1`` the batch's pending sessions are sharded across that
-    many worker hosts via :mod:`repro.experiments.distrib` (subprocess
-    workers over a file-based work dir — ``work_dir``, or a temp dir),
-    merged back into the same summary stream, and scored here exactly as a
-    single-host run would be; the result additionally carries per-host
-    economics (``host_stats``) and the dead-worker re-queue count.
+    With ``hosts > 1`` the sweep distributes via
+    :mod:`repro.experiments.distrib` (subprocess workers over a file-based
+    work dir — ``work_dir``, or a temp dir), and ``workers`` becomes the
+    *per-host* parallelism: each worker runs its shard through a parallel
+    ``BatchRunner``, so total parallelism is ``hosts × workers``. By
+    default the workers also *score* their scenarios and ship back only
+    verdict rows + session digests (full summaries persist in the shared
+    cache directory, written by the workers); ``ship_summaries=True``
+    restores the old full-summary transport — needed when the caller wants
+    the summaries themselves (or runs without a shared cache *directory*
+    and wants this process's in-memory cache warmed). Either way the
+    verdicts are identical to a single-host run by construction, and the
+    result additionally carries per-host economics (``host_stats``), the
+    dead-worker re-queue count, and the ``done/`` payload byte count.
     """
     resolved = resolve_cache(cache)
     before = resolved.stats() if resolved is not None else {}
-    specs = _compile_all(scenarios)
+    pairs = [compile_scenario(scenario) for scenario in scenarios]
+    specs = [spec for pair in pairs for spec in pair]
     unique_keys = {spec.content_key() for spec in specs}
     started = time.perf_counter()
     host_stats: List[Dict[str, Any]] = []
     requeues = 0
-    if hosts and hosts > 1:
-        from repro.experiments.distrib import run_distributed
+    transport = ""
+    payload_bytes = 0
+    simulated_override: Optional[int] = None
+    if hosts and hosts > 1 and not ship_summaries:
+        from repro.experiments.distrib import ScenarioJob, run_distributed_scored
 
-        distributed = run_distributed(
-            specs, hosts=hosts, cache=resolved, work_dir=work_dir
+        jobs = [
+            ScenarioJob(
+                index=index,
+                name=scenario.name,
+                golden=golden,
+                suspect=suspect,
+                score=scenario_score_spec(scenario),
+            )
+            for index, (scenario, (golden, suspect)) in enumerate(
+                zip(scenarios, pairs)
+            )
+        ]
+        scored = run_distributed_scored(
+            jobs, hosts=hosts, cache=resolved, work_dir=work_dir, workers=workers
         )
-        summaries = distributed.summaries
-        host_stats = distributed.host_stats
-        requeues = distributed.requeues
+        outcomes = [
+            ScenarioOutcome(scenario, row.golden, row.suspect, row.verdicts)
+            for scenario, row in zip(scenarios, scored.rows)
+        ]
+        host_stats = scored.host_stats
+        requeues = scored.requeues
+        transport = "verdict rows"
+        payload_bytes = scored.payload_bytes
+        # The coordinator probes the cache (no miss accounting) and loads
+        # only what it scores locally, so "sessions simulated" is its
+        # dispatch count, not this cache instance's miss delta.
+        simulated_override = scored.sessions_dispatched
     else:
-        summaries = run_sessions(specs, workers=workers, cache=resolved)
-    runs = _pair_runs(scenarios, summaries)
-    outcomes = [
-        ScenarioOutcome(run.scenario, run.golden, run.suspect, _score_run(run))
-        for run in runs
-    ]
+        if hosts and hosts > 1:
+            from repro.experiments.distrib import run_distributed
+
+            distributed = run_distributed(
+                specs, hosts=hosts, cache=resolved, work_dir=work_dir,
+                workers=workers,
+            )
+            summaries = distributed.summaries
+            host_stats = distributed.host_stats
+            requeues = distributed.requeues
+            transport = "summaries"
+            payload_bytes = distributed.payload_bytes
+        else:
+            summaries = run_sessions(specs, workers=workers, cache=resolved)
+        runs = _pair_runs(scenarios, summaries)
+        outcomes = [
+            ScenarioOutcome(run.scenario, run.golden, run.suspect, _score_run(run))
+            for run in runs
+        ]
     wall_clock_s = time.perf_counter() - started
     after = resolved.stats() if resolved is not None else {}
     misses = after.get("misses", 0) - before.get("misses", 0)
+    if simulated_override is not None:
+        misses = simulated_override
+    failed_keys = {
+        session.spec_key
+        for outcome in outcomes
+        for session in (outcome.golden, outcome.suspect)
+        if session.failed
+    }
     return SweepResult(
         outcomes=outcomes,
         cache_hits=after.get("hits", 0) - before.get("hits", 0),
@@ -695,11 +751,13 @@ def run_sweep(
         cache_disk_hits=after.get("disk_hits", 0) - before.get("disk_hits", 0),
         sessions_total=len(unique_keys),
         sessions_simulated=misses if resolved is not None else len(unique_keys),
-        sessions_failed=len({s.spec_key for s in summaries if s.failed}),
+        sessions_failed=len(failed_keys),
         wall_clock_s=wall_clock_s,
         grid=grid,
         host_stats=host_stats,
         requeues=requeues,
+        transport=transport,
+        payload_bytes=payload_bytes,
     )
 
 

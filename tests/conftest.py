@@ -2,6 +2,10 @@
 
 Expensive end-to-end artifacts (full simulated prints) are session-scoped so
 the many integration tests that inspect them pay for each print exactly once.
+
+The batch/distribution/sweep test modules share one spec/grid/dirs setup
+(:func:`spec_factory`, :func:`tiny_grid`, :func:`sweep_env`) instead of each
+re-rolling its own ``_spec`` helper and ``tmp_path / "cache"`` boilerplate.
 """
 
 from __future__ import annotations
@@ -49,6 +53,91 @@ def tiny_golden_noisy(tiny_program) -> SessionResult:
 def tiny_control_noisy(tiny_program) -> SessionResult:
     """A second clean noisy print (an independent noise realization)."""
     return run_print(tiny_program, noise_sigma=0.0005, noise_seed=12)
+
+
+@pytest.fixture(scope="session")
+def spec_factory(tiny_program):
+    """Factory of :class:`SessionSpec` makers over the tiny test coupon.
+
+    ``spec_factory(**defaults)`` binds a module's preferred defaults once
+    and returns a ``make(**overrides)`` callable, so each test file says
+    what is *different* about its specs instead of repeating the whole
+    constructor — e.g. ``spec = spec_factory(noise_sigma=0.0, cacheable=True)``
+    then ``spec(label="a")``.
+    """
+    from repro.experiments.batch import SessionSpec
+
+    def bind(**defaults):
+        def make(**overrides):
+            fields = dict(program=tiny_program)
+            fields.update(defaults)
+            fields.update(overrides)
+            return SessionSpec(**fields)
+
+        return make
+
+    return bind
+
+
+@pytest.fixture(scope="session")
+def tiny_grid():
+    """The seconds-long reference grid: two scenarios, four unique sessions.
+
+    One clean baseline (golden + independent noise realization) and one T2
+    attack (noise-free golden + trojaned suspect) on the tiny coupon — the
+    smallest grid that still exercises attack & clean dispositions, two
+    detector sets, and session dedup/caching. Treat it as read-only
+    (concatenate, don't append).
+    """
+    from repro.experiments.scenario import CONTROL_SEED, ScenarioSpec
+
+    return [
+        ScenarioSpec(
+            name="clean@tiny",
+            part="tiny",
+            attack=None,
+            detectors=("golden", "realtime"),
+            seed=CONTROL_SEED,
+        ),
+        ScenarioSpec(
+            name="T2@tiny",
+            part="tiny",
+            attack="T2",
+            detectors=("golden", "quality"),
+            seed=42,
+            noise_sigma=0.0,
+        ),
+    ]
+
+
+class SweepEnv:
+    """Per-test tmp cache/work directories, named on demand.
+
+    De-duplicates the ``SessionCache(directory=str(tmp_path / "cache"))`` /
+    ``str(tmp_path / "work")`` boilerplate of every sweep and distribution
+    test; distinct names give distinct directories, repeated names share
+    one (that's how warm-cache tests re-open "the same" cache dir).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = root
+
+    def path(self, name: str) -> str:
+        return str(self.root / name)
+
+    def cache(self, name: str = "cache"):
+        from repro.experiments.batch import SessionCache
+
+        return SessionCache(directory=self.path(name))
+
+    def work_dir(self, name: str = "work") -> str:
+        return self.path(name)
+
+
+@pytest.fixture
+def sweep_env(tmp_path) -> SweepEnv:
+    """A fresh :class:`SweepEnv` rooted in this test's ``tmp_path``."""
+    return SweepEnv(tmp_path)
 
 
 def build_bench(sim: Simulator, config: MarlinConfig = None):

@@ -2,10 +2,11 @@
 
 import pickle
 
+import pytest
+
 from repro.experiments.batch import (
     BatchRunner,
     GoldenPrintCache,
-    SessionSpec,
     execute_spec,
     failure_summary,
     run_sessions,
@@ -15,41 +16,41 @@ from repro.experiments.batch import (
 from repro.firmware.marlin import PrinterStatus
 
 
-def _spec(tiny_program, **overrides):
-    defaults = dict(program=tiny_program, noise_sigma=0.0005, noise_seed=11)
-    defaults.update(overrides)
-    return SessionSpec(**defaults)
+@pytest.fixture
+def spec(spec_factory):
+    """This module's historical defaults: a noisy print of the tiny coupon."""
+    return spec_factory(noise_sigma=0.0005, noise_seed=11)
 
 
 class TestSessionSpecKeys:
-    def test_key_is_stable(self, tiny_program):
-        assert _spec(tiny_program).content_key() == _spec(tiny_program).content_key()
+    def test_key_is_stable(self, spec):
+        assert spec().content_key() == spec().content_key()
 
-    def test_key_changes_with_physics_fields(self, tiny_program):
-        base = _spec(tiny_program).content_key()
-        assert _spec(tiny_program, noise_seed=12).content_key() != base
-        assert _spec(tiny_program, uart_period_ms=50).content_key() != base
-        assert _spec(tiny_program, trojan_id="T2").content_key() != base
+    def test_key_changes_with_physics_fields(self, spec):
+        base = spec().content_key()
+        assert spec(noise_seed=12).content_key() != base
+        assert spec(uart_period_ms=50).content_key() != base
+        assert spec(trojan_id="T2").content_key() != base
         assert (
-            _spec(tiny_program, trojan_id="T2", trojan_params={"keep_fraction": 0.7}).content_key()
-            != _spec(tiny_program, trojan_id="T2").content_key()
+            spec(trojan_id="T2", trojan_params={"keep_fraction": 0.7}).content_key()
+            != spec(trojan_id="T2").content_key()
         )
 
-    def test_key_ignores_presentation_fields(self, tiny_program):
+    def test_key_ignores_presentation_fields(self, spec):
         assert (
-            _spec(tiny_program, label="a", cacheable=True).content_key()
-            == _spec(tiny_program, label="b").content_key()
+            spec(label="a", cacheable=True).content_key()
+            == spec(label="b").content_key()
         )
 
-    def test_key_changes_with_program(self, standard_program, tiny_program):
-        assert _spec(tiny_program).content_key() != _spec(standard_program).content_key()
+    def test_key_changes_with_program(self, spec, standard_program):
+        assert spec().content_key() != spec(program=standard_program).content_key()
 
 
 class TestSummaryFidelity:
-    def test_summary_matches_live_result(self, tiny_program):
-        spec = _spec(tiny_program, label="golden")
-        result = execute_spec(spec)
-        summary = summarize_result(result, label="golden", spec_key=spec.content_key())
+    def test_summary_matches_live_result(self, spec):
+        one = spec(label="golden")
+        result = execute_spec(one)
+        summary = summarize_result(result, label="golden", spec_key=one.content_key())
         assert summary.status is result.status
         assert summary.completed == result.completed
         assert summary.final_counts == result.final_counts()
@@ -58,72 +59,72 @@ class TestSummaryFidelity:
         assert summary.trace is result.plant.trace
         assert summary.missed_steps == result.missed_steps
 
-    def test_trojan_counters_harvested(self, tiny_program):
-        spec = _spec(tiny_program, trojan_id="T2", trojan_params={"keep_fraction": 0.5})
-        summary = run_sessions([spec])[0]
+    def test_trojan_counters_harvested(self, spec):
+        summary = run_sessions(
+            [spec(trojan_id="T2", trojan_params={"keep_fraction": 0.5})]
+        )[0]
         assert summary.trojan_id == "T2"
         assert summary.trojan_category == "PM"
         assert summary.trojan_stats.get("pulses_masked", 0) > 0
 
 
 class TestBatchRunner:
-    def test_serial_batch_preserves_order_and_labels(self, tiny_program):
+    def test_serial_batch_preserves_order_and_labels(self, spec):
         specs = [
-            _spec(tiny_program, noise_seed=21, label="first"),
-            _spec(tiny_program, noise_seed=22, label="second"),
+            spec(noise_seed=21, label="first"),
+            spec(noise_seed=22, label="second"),
         ]
         summaries = run_sessions(specs)
         assert [s.label for s in summaries] == ["first", "second"]
         assert all(s.completed for s in summaries)
         assert summaries[0].transactions != summaries[1].transactions
 
-    def test_identical_specs_deduplicated(self, tiny_program):
+    def test_identical_specs_deduplicated(self, spec):
         cache = GoldenPrintCache()
         specs = [
-            _spec(tiny_program, label="a", cacheable=True),
-            _spec(tiny_program, label="b", cacheable=True),
+            spec(label="a", cacheable=True),
+            spec(label="b", cacheable=True),
         ]
         summaries = BatchRunner(workers=1, cache=cache).run(specs)
         assert len(cache) == 1  # computed once
         assert summaries[0].transactions == summaries[1].transactions
         assert [s.label for s in summaries] == ["a", "b"]
 
-    def test_cache_hit_across_batches(self, tiny_program):
+    def test_cache_hit_across_batches(self, spec):
         cache = GoldenPrintCache()
-        spec = _spec(tiny_program, cacheable=True)
-        first = BatchRunner(workers=1, cache=cache).run([spec])[0]
+        one = spec(cacheable=True)
+        first = BatchRunner(workers=1, cache=cache).run([one])[0]
         assert cache.hits == 0
-        second = BatchRunner(workers=1, cache=cache).run([spec])[0]
+        second = BatchRunner(workers=1, cache=cache).run([one])[0]
         assert cache.hits == 1
         assert second.transactions == first.transactions
 
-    def test_cache_participation_is_order_independent(self, tiny_program):
+    def test_cache_participation_is_order_independent(self, spec):
         # Regression: a non-cacheable spec ahead of an identical cacheable
         # one used to suppress both cache lookup and population.
         cache = GoldenPrintCache()
         specs = [
-            _spec(tiny_program, label="plain", cacheable=False),
-            _spec(tiny_program, label="golden", cacheable=True),
+            spec(label="plain", cacheable=False),
+            spec(label="golden", cacheable=True),
         ]
         BatchRunner(workers=1, cache=cache).run(specs)
         assert len(cache) == 1  # populated despite the non-cacheable twin
         BatchRunner(workers=1, cache=cache).run(specs)
         assert cache.hits == 1  # and consulted on the next batch
 
-    def test_uncacheable_specs_bypass_cache(self, tiny_program):
+    def test_uncacheable_specs_bypass_cache(self, spec):
         cache = GoldenPrintCache()
-        spec = _spec(tiny_program, cacheable=False)
-        BatchRunner(workers=1, cache=cache).run([spec])
+        BatchRunner(workers=1, cache=cache).run([spec(cacheable=False)])
         assert len(cache) == 0
 
-    def test_cache_true_resolves_to_shared_cache(self, tiny_program):
+    def test_cache_true_resolves_to_shared_cache(self):
         runner = BatchRunner(workers=1, cache=True)
         assert runner.cache is shared_cache()
 
-    def test_parallel_matches_serial_exactly(self, tiny_program):
+    def test_parallel_matches_serial_exactly(self, spec):
         specs = [
-            _spec(tiny_program, noise_seed=31, label="golden"),
-            _spec(tiny_program, noise_seed=32, label="control"),
+            spec(noise_seed=31, label="golden"),
+            spec(noise_seed=32, label="control"),
         ]
         serial = run_sessions(specs, workers=1)
         parallel = run_sessions(specs, workers=2)
@@ -134,33 +135,73 @@ class TestBatchRunner:
             assert s.duration_s == p.duration_s
             assert s.events_dispatched == p.events_dispatched
 
-    def test_timeout_propagates_through_batch(self, tiny_program):
-        summary = run_sessions([_spec(tiny_program, timeout_s=1.0)])[0]
+    def test_timeout_propagates_through_batch(self, spec):
+        summary = run_sessions([spec(timeout_s=1.0)])[0]
         assert summary.status is PrinterStatus.TIMED_OUT
         assert summary.timed_out
         assert not summary.completed
 
-    def test_route_through_fpga_spec(self, tiny_program):
+    def test_route_through_fpga_spec(self, spec):
         bypass, mitm = run_sessions(
             [
-                _spec(tiny_program, noise_sigma=0.0),
-                _spec(tiny_program, noise_sigma=0.0, route_all_through_fpga=True),
+                spec(noise_sigma=0.0),
+                spec(noise_sigma=0.0, route_all_through_fpga=True),
             ]
         )
         assert bypass.completed and mitm.completed
         assert bypass.final_counts == mitm.final_counts
 
 
+class TestProgressCallback:
+    """The per-completed-session hook distribution workers heartbeat from."""
+
+    def test_serial_run_reports_each_session(self, spec):
+        seen = []
+        summaries = BatchRunner(workers=1).run(
+            [spec(noise_seed=41), spec(noise_seed=42)], progress=seen.append
+        )
+        assert len(seen) == 2
+        assert {s.spec_key for s in seen} == {s.spec_key for s in summaries}
+
+    def test_parallel_run_reports_each_session(self, spec):
+        seen = []
+        summaries = BatchRunner(workers=2).run(
+            [spec(noise_seed=43), spec(noise_seed=44)], progress=seen.append
+        )
+        assert len(seen) == 2
+        assert {s.spec_key for s in seen} == {s.spec_key for s in summaries}
+
+    def test_cache_hits_and_dedup_do_not_report(self, spec):
+        cache = GoldenPrintCache()
+        one = spec(cacheable=True, label="a")
+        twin = spec(cacheable=True, label="b")
+        runner = BatchRunner(workers=1, cache=cache)
+        seen = []
+        runner.run([one, twin], progress=seen.append)
+        assert len(seen) == 1  # dedup: one execution, one progress tick
+        seen.clear()
+        runner.run([one], progress=seen.append)
+        assert seen == []  # cache hit: nothing executed, nothing reported
+
+    def test_failed_session_still_reports_progress(self, spec):
+        seen = []
+        BatchRunner(workers=1).run(
+            [spec(trojan_id="T999", label="boom")], progress=seen.append
+        )
+        assert len(seen) == 1
+        assert seen[0].failed
+
+
 class TestFailureIsolation:
     """One raising session must not abandon its batch (or poison the cache)."""
 
-    def test_serial_batch_survives_a_crashing_spec(self, tiny_program):
+    def test_serial_batch_survives_a_crashing_spec(self, spec):
         cache = GoldenPrintCache()
         specs = [
-            _spec(tiny_program, label="ok", cacheable=True),
+            spec(label="ok", cacheable=True),
             # An unknown trojan id raises inside execute_spec.
-            _spec(tiny_program, trojan_id="T999", label="boom", cacheable=True),
-            _spec(tiny_program, noise_seed=12, label="ok2", cacheable=True),
+            spec(trojan_id="T999", label="boom", cacheable=True),
+            spec(noise_seed=12, label="ok2", cacheable=True),
         ]
         summaries = BatchRunner(workers=1, cache=cache).run(specs)
         assert [s.label for s in summaries] == ["ok", "boom", "ok2"]
@@ -174,11 +215,11 @@ class TestFailureIsolation:
         assert len(cache) == 2
         assert cache.get(specs[1].content_key()) is None
 
-    def test_parallel_batch_survives_a_crashing_spec(self, tiny_program):
+    def test_parallel_batch_survives_a_crashing_spec(self, spec):
         specs = [
-            _spec(tiny_program, label="ok", cacheable=True),
-            _spec(tiny_program, trojan_id="T999", label="boom", cacheable=True),
-            _spec(tiny_program, noise_seed=12, label="ok2", cacheable=True),
+            spec(label="ok", cacheable=True),
+            spec(trojan_id="T999", label="boom", cacheable=True),
+            spec(noise_seed=12, label="ok2", cacheable=True),
         ]
         parallel = run_sessions(specs, workers=2)
         assert [s.label for s in parallel] == ["ok", "boom", "ok2"]
@@ -188,23 +229,21 @@ class TestFailureIsolation:
             assert s.status is p.status
             assert s.transactions == p.transactions
 
-    def test_failure_is_retried_on_the_next_batch(self, tiny_program):
+    def test_failure_is_retried_on_the_next_batch(self, spec):
         cache = GoldenPrintCache()
-        bad = _spec(tiny_program, trojan_id="T999", cacheable=True)
+        bad = spec(trojan_id="T999", cacheable=True)
         runner = BatchRunner(workers=1, cache=cache)
         assert runner.run([bad])[0].failed
         assert runner.run([bad])[0].failed
         assert cache.hits == 0  # a failure is never served from the cache
 
-    def test_strict_mode_raises_after_caching_survivors(self, tiny_program):
-        import pytest
-
+    def test_strict_mode_raises_after_caching_survivors(self, spec):
         from repro.errors import ReproError
 
         cache = GoldenPrintCache()
         specs = [
-            _spec(tiny_program, label="ok", cacheable=True),
-            _spec(tiny_program, trojan_id="T999", label="boom", cacheable=True),
+            spec(label="ok", cacheable=True),
+            spec(trojan_id="T999", label="boom", cacheable=True),
         ]
         with pytest.raises(ReproError, match="boom.*T999"):
             run_sessions(specs, cache=cache, strict=True)
@@ -212,23 +251,23 @@ class TestFailureIsolation:
         assert len(cache) == 1
         assert cache.get(specs[0].content_key()) is not None
 
-    def test_strict_mode_is_silent_without_failures(self, tiny_program):
-        summaries = run_sessions([_spec(tiny_program)], strict=True)
+    def test_strict_mode_is_silent_without_failures(self, spec):
+        summaries = run_sessions([spec()], strict=True)
         assert summaries[0].completed
 
-    def test_failure_summary_carries_spec_identity(self, tiny_program):
-        spec = _spec(tiny_program, trojan_id="T2", label="who")
-        summary = failure_summary(spec, ValueError("boom"))
+    def test_failure_summary_carries_spec_identity(self, spec):
+        one = spec(trojan_id="T2", label="who")
+        summary = failure_summary(one, ValueError("boom"))
         assert summary.label == "who"
-        assert summary.spec_key == spec.content_key()
+        assert summary.spec_key == one.content_key()
         assert summary.trojan_id == "T2"
         assert summary.error == "ValueError: boom"
         assert not summary.completed and not summary.killed
 
 
 class TestSummaryPickleBoundary:
-    def test_capture_memo_is_not_serialized(self, tiny_program):
-        summary = run_sessions([_spec(tiny_program)])[0]
+    def test_capture_memo_is_not_serialized(self, spec):
+        summary = run_sessions([spec()])[0]
         rebuilt = summary.capture  # builds the memo
         assert "_capture" in vars(summary)
         loaded = pickle.loads(pickle.dumps(summary))
@@ -236,15 +275,15 @@ class TestSummaryPickleBoundary:
         # The capture is rebuilt on demand from the serialized transactions.
         assert loaded.capture.transactions == rebuilt.transactions
 
-    def test_memo_free_pickle_is_smaller(self, tiny_program):
-        summary = run_sessions([_spec(tiny_program)])[0]
+    def test_memo_free_pickle_is_smaller(self, spec):
+        summary = run_sessions([spec()])[0]
         without_memo = len(pickle.dumps(summary))
         _ = summary.capture
         with_memo_state = dict(vars(summary))  # what the old pickle shipped
         assert len(pickle.dumps(with_memo_state)) > without_memo
 
-    def test_relabeled_copy_rebuilds_capture_independently(self, tiny_program):
-        summary = run_sessions([_spec(tiny_program)])[0]
+    def test_relabeled_copy_rebuilds_capture_independently(self, spec):
+        summary = run_sessions([spec()])[0]
         _ = summary.capture
         clone = summary.relabeled("other")
         assert clone.capture.transactions == summary.capture.transactions

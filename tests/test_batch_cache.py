@@ -101,6 +101,39 @@ class TestDiskPersistence:
         assert cache.get(spec.content_key()) is not None  # reloaded from disk
         assert cache.disk_hits == 1
 
+    def test_probe_sees_memory_and_disk_without_loading_or_counting(
+        self, tiny_program, tmp_path
+    ):
+        spec = _spec(tiny_program)
+        cache = GoldenPrintCache(directory=str(tmp_path))
+        BatchRunner(workers=1, cache=cache).run([spec])
+        cache.hits = cache.misses = cache.disk_hits = 0
+        assert cache.probe(spec.content_key())  # in memory
+        assert not cache.probe("absent-key")
+
+        reader = GoldenPrintCache(directory=str(tmp_path))
+        assert reader.probe(spec.content_key())  # on disk
+        assert len(reader) == 0  # ...but nothing was deserialized
+        # Probes never touch the hit/miss accounting.
+        for instance in (cache, reader):
+            assert (instance.hits, instance.misses, instance.disk_hits) == (0, 0, 0)
+
+    def test_probe_true_for_corrupt_entry_then_get_misses(
+        self, tiny_program, tmp_path
+    ):
+        # The documented probe caveat: presence is not validity. A caller
+        # acting on a probe must tolerate the subsequent get() miss.
+        spec = _spec(tiny_program)
+        GoldenPrintCache(directory=str(tmp_path)).put(
+            spec.content_key(), BatchRunner(workers=1).run([spec])[0]
+        )
+        path = os.path.join(str(tmp_path), f"{spec.content_key()}.summary.pkl")
+        with open(path, "wb") as handle:
+            handle.write(b"torn write garbage")
+        reader = GoldenPrintCache(directory=str(tmp_path))
+        assert reader.probe(spec.content_key())
+        assert reader.get(spec.content_key()) is None
+
 
 class TestCorruptedEntries:
     @pytest.fixture

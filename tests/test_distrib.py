@@ -1,69 +1,91 @@
 """Distribution tests: sharding, the work-dir protocol, requeue, merge parity.
 
-The properties that make ``repro sweep --hosts N`` trustworthy:
+The properties that make ``repro sweep --hosts N [--workers M]`` trustworthy:
 
-* cost-balanced, deterministic sharding (longest-expected-first LPT);
+* cost-balanced, deterministic sharding — spec-level LPT for summary
+  shipping, golden-grouped scenario LPT (with host-filling splits) for
+  verdict shipping;
 * the pending/claimed/done protocol is race-free and torn-write-safe
-  (every transition is an atomic rename);
-* a worker executes claimed shards failure-isolated and publishes results;
+  (every transition is an atomic rename), and a *version-skewed* payload
+  fails loud instead of being executed, merged, or silently re-queued;
+* a worker executes claimed shards as one parallel failure-isolated batch,
+  beating its heartbeat per completed session, so worker-internal
+  parallelism never reads as a wedge — while a genuinely hung worker still
+  forfeits its claims;
+* worker-side scoring ships verdict rows + digests whose verdicts match
+  coordinator-side scoring exactly, at a fraction of the payload bytes;
 * the coordinator re-queues a dead worker's shard and the merged batch
   still matches the single-host run bit for bit;
 * a warm shared cache makes a repeat distributed run a zero-worker no-op.
 """
 
 import os
+import pickle
 import sys
 import textwrap
+import time
 
 import pytest
 
-from repro.experiments.batch import (
-    SessionCache,
-    SessionSpec,
-    run_sessions,
-)
+from repro.detection.protocol import ScoreSpec
+from repro.errors import ReproError
+from repro.experiments.batch import run_sessions
 from repro.experiments.distrib import (
+    WIRE_FORMAT,
     Coordinator,
+    ScenarioJob,
+    SessionDigest,
     ShardResult,
+    WireFormatError,
     WorkDir,
     WorkShard,
     Worker,
     balanced_shards,
     run_distributed,
+    run_distributed_scored,
     sanitize_worker_id,
+    scenario_shards,
 )
 
 
-def _spec(tiny_program, **overrides):
-    defaults = dict(program=tiny_program, noise_sigma=0.0, cacheable=True)
-    defaults.update(overrides)
-    return SessionSpec(**defaults)
+@pytest.fixture
+def spec(spec_factory):
+    """This module's defaults: noise-free, cacheable tiny-coupon specs."""
+    return spec_factory(noise_sigma=0.0, cacheable=True)
 
 
-def _costed(tiny_program, grace_s, label):
-    """A spec whose estimated_cost is controlled via the grace window."""
-    return _spec(tiny_program, grace_s=grace_s, label=label)
+def _job(index, spec, *, name=None, golden=None, detectors=("golden",), **suspect):
+    """A scenario job over ``spec``-made sessions with a golden comparison."""
+    name = name or f"sc{index}"
+    golden = golden if golden is not None else spec(label=f"{name}/golden")
+    suspect.setdefault("noise_sigma", 0.0005)
+    suspect.setdefault("noise_seed", 100 + index)
+    return ScenarioJob(
+        index=index,
+        name=name,
+        golden=golden,
+        suspect=spec(label=f"{name}/suspect", **suspect),
+        score=ScoreSpec.for_detectors(detectors),
+    )
 
 
 class TestBalancedShards:
-    def test_covers_every_spec_exactly_once(self, tiny_program):
+    def test_covers_every_spec_exactly_once(self, spec):
         specs = [
-            _spec(tiny_program, noise_sigma=0.0005, noise_seed=i, label=f"s{i}")
-            for i in range(5)
+            spec(noise_sigma=0.0005, noise_seed=i, label=f"s{i}") for i in range(5)
         ]
         groups = balanced_shards(specs, 2)
-        flat = [spec for group in groups for spec in group]
+        flat = [s for group in groups for s in group]
         assert sorted(s.label for s in flat) == sorted(s.label for s in specs)
         assert len(groups) == 2
 
-    def test_never_more_bins_than_specs(self, tiny_program):
-        specs = [_spec(tiny_program, label="only")]
-        assert len(balanced_shards(specs, 8)) == 1
+    def test_never_more_bins_than_specs(self, spec):
+        assert len(balanced_shards([spec(label="only")], 8)) == 1
 
-    def test_lpt_balances_uneven_costs(self, tiny_program):
+    def test_lpt_balances_uneven_costs(self, spec):
         # grace_s dominates estimated_cost at +40/s, giving controlled costs.
         specs = [
-            _costed(tiny_program, grace, label)
+            spec(grace_s=grace, label=label)
             for grace, label in ((80.0, "huge"), (50.0, "big"),
                                  (30.0, "mid1"), (30.0, "mid2"), (10.0, "small"))
         ]
@@ -74,13 +96,59 @@ class TestBalancedShards:
         # The most expensive spec is placed first, alone in its bin so far.
         assert groups[0][0].label == "huge"
 
-    def test_deterministic(self, tiny_program):
+    def test_deterministic(self, spec):
         specs = [
-            _spec(tiny_program, noise_sigma=0.0005, noise_seed=i, label=f"s{i}")
-            for i in range(6)
+            spec(noise_sigma=0.0005, noise_seed=i, label=f"s{i}") for i in range(6)
         ]
         first = [[s.label for s in g] for g in balanced_shards(specs, 3)]
         second = [[s.label for s in g] for g in balanced_shards(specs, 3)]
+        assert first == second
+
+
+class TestScenarioSharding:
+    def test_jobs_sharing_a_golden_stay_together(self, spec):
+        goldens = [spec(label=f"g{i}", grace_s=float(i + 1)) for i in range(4)]
+        jobs = [
+            _job(index=3 * i + j, spec=spec, golden=golden, name=f"sc{i}-{j}")
+            for i, golden in enumerate(goldens)
+            for j in range(3)
+        ]
+        shards = scenario_shards(jobs, 2)
+        assert len(shards) == 2
+        assert sorted(job.index for shard in shards for job in shard) == list(
+            range(12)
+        )
+        # No golden key appears in more than one shard.
+        placements = {}
+        for shard_index, shard in enumerate(shards):
+            for job in shard:
+                placements.setdefault(job.golden.content_key(), set()).add(
+                    shard_index
+                )
+        assert all(len(where) == 1 for where in placements.values())
+
+    def test_single_golden_group_splits_to_fill_hosts(self, spec):
+        golden = spec(label="g")
+        jobs = [_job(index=i, spec=spec, golden=golden) for i in range(6)]
+        shards = scenario_shards(jobs, 2)
+        # One golden group would idle a host; it is split instead —
+        # duplicating the golden once is the deliberate trade.
+        assert len(shards) == 2
+        assert all(shard for shard in shards)
+        assert sorted(job.index for shard in shards for job in shard) == list(
+            range(6)
+        )
+
+    def test_never_more_shards_than_jobs(self, spec):
+        golden = spec(label="g")
+        jobs = [_job(index=i, spec=spec, golden=golden) for i in range(2)]
+        assert len(scenario_shards(jobs, 8)) == 2
+        assert scenario_shards([], 4) == []
+
+    def test_deterministic(self, spec):
+        jobs = [_job(index=i, spec=spec) for i in range(5)]
+        first = [[j.index for j in shard] for shard in scenario_shards(jobs, 3)]
+        second = [[j.index for j in shard] for shard in scenario_shards(jobs, 3)]
         assert first == second
 
 
@@ -92,9 +160,9 @@ class TestWorkerIds:
 
 
 class TestWorkDirProtocol:
-    def test_enqueue_claim_complete_roundtrip(self, tiny_program, tmp_path):
+    def test_enqueue_claim_complete_roundtrip(self, spec, tmp_path):
         work = WorkDir(str(tmp_path))
-        shard = WorkShard(3, (_spec(tiny_program, label="x"),))
+        shard = WorkShard(3, (spec(label="x"),))
         work.enqueue(shard)
         assert work.pending_files() == ["shard-0003.pkl"]
 
@@ -111,16 +179,18 @@ class TestWorkDirProtocol:
         assert work.claims() == []  # claim file removed on completion
         loaded = work.load_result(3)
         assert loaded.worker_id == "w1" and loaded.shard_id == 3
+        assert work.result_size(3) > 0
+        assert work.result_size(99) == 0
 
-    def test_claim_is_exclusive(self, tiny_program, tmp_path):
+    def test_claim_is_exclusive(self, spec, tmp_path):
         work = WorkDir(str(tmp_path))
-        work.enqueue(WorkShard(0, (_spec(tiny_program),)))
+        work.enqueue(WorkShard(0, (spec(),)))
         assert work.claim("shard-0000.pkl", "w1") is not None
         assert work.claim("shard-0000.pkl", "w2") is None
 
-    def test_requeue_restores_pending(self, tiny_program, tmp_path):
+    def test_requeue_restores_pending(self, spec, tmp_path):
         work = WorkDir(str(tmp_path))
-        work.enqueue(WorkShard(0, (_spec(tiny_program, label="re"),)))
+        work.enqueue(WorkShard(0, (spec(label="re"),)))
         claim = work.claim("shard-0000.pkl", "dead-worker")
         assert work.pending_files() == []
         assert work.requeue(claim.path)
@@ -157,12 +227,12 @@ class TestWorkDirProtocol:
         age = work.heartbeat_age_s("w1")
         assert age is not None and age < 5.0
 
-    def test_reset_clears_previous_sweep_state(self, tiny_program, tmp_path):
+    def test_reset_clears_previous_sweep_state(self, spec, tmp_path):
         work = WorkDir(str(tmp_path))
-        work.enqueue(WorkShard(0, (_spec(tiny_program),)))
+        work.enqueue(WorkShard(0, (spec(),)))
         claim = work.claim("shard-0000.pkl", "w1")
         work.complete(claim, ShardResult(0, "w1", [], 0.1))
-        work.enqueue(WorkShard(1, (_spec(tiny_program),)))
+        work.enqueue(WorkShard(1, (spec(),)))
         work.claim("shard-0001.pkl", "w1")
         work.beat("w1")
         work.stop()
@@ -174,12 +244,92 @@ class TestWorkDirProtocol:
         assert work.heartbeat_age_s("w1") is None
 
 
+class TestWireFormatSkew:
+    """A payload from a different protocol version must fail loud.
+
+    Corruption (torn writes) degrades to a re-queue/re-simulation; a
+    *cleanly readable* envelope carrying another version means some host
+    runs different code — deserializing its payload would score garbage,
+    and silently re-queueing would loop forever.
+    """
+
+    @staticmethod
+    def _write_envelope(path, fmt, payload=None):
+        with open(path, "wb") as handle:
+            pickle.dump({"format": fmt, "payload": payload}, handle)
+
+    def test_done_version_mismatch_raises(self, tmp_path):
+        work = WorkDir(str(tmp_path))
+        self._write_envelope(
+            os.path.join(str(tmp_path), "done", "shard-0000.pkl"), WIRE_FORMAT + 1
+        )
+        with pytest.raises(WireFormatError, match="wire format"):
+            work.load_result(0)
+
+    def test_collect_done_fails_loud_never_requeues(self, spec, tmp_path):
+        work = WorkDir(str(tmp_path))
+        shards = {0: WorkShard(0, (spec(),))}
+        self._write_envelope(
+            os.path.join(str(tmp_path), "done", "shard-0000.pkl"), WIRE_FORMAT + 1
+        )
+        coordinator = Coordinator(hosts=1, spawn_local=False)
+        with pytest.raises(ReproError, match="incompatible"):
+            coordinator._collect_done(work, shards, {}, {})
+        # Crucially it did NOT silently re-enqueue the shard: that would
+        # collect the same skewed result forever.
+        assert work.pending_files() == []
+
+    def test_corrupt_done_degrades_to_requeue(self, spec, tmp_path):
+        work = WorkDir(str(tmp_path))
+        shards = {0: WorkShard(0, (spec(),))}
+        with open(
+            os.path.join(str(tmp_path), "done", "shard-0000.pkl"), "wb"
+        ) as handle:
+            handle.write(b"torn write garbage")
+        done = {}
+        Coordinator(hosts=1, spawn_local=False)._collect_done(
+            work, shards, done, {}
+        )
+        assert done == {}
+        assert work.pending_files() == ["shard-0000.pkl"]  # re-enqueued
+
+    def test_claim_restores_pending_on_version_mismatch(self, tmp_path):
+        work = WorkDir(str(tmp_path))
+        self._write_envelope(
+            os.path.join(str(tmp_path), "pending", "shard-0000.pkl"),
+            WIRE_FORMAT + 1,
+        )
+        with pytest.raises(WireFormatError):
+            work.claim("shard-0000.pkl", "w1")
+        # The shard went back to pending for a compatible worker; no claim
+        # was kept, and nothing was executed.
+        assert work.pending_files() == ["shard-0000.pkl"]
+        assert work.claims() == []
+
+    def test_worker_skips_incompatible_shard_without_executing(self, tmp_path):
+        work = WorkDir(str(tmp_path))
+        self._write_envelope(
+            os.path.join(str(tmp_path), "pending", "shard-0000.pkl"),
+            WIRE_FORMAT + 1,
+        )
+        worker = Worker(work, worker_id="w1", idle_timeout_s=0.0)
+        assert worker.run() == 0
+        assert work.pending_files() == ["shard-0000.pkl"]
+        assert work.done_ids() == []
+
+    def test_same_version_payload_roundtrips(self, spec, tmp_path):
+        work = WorkDir(str(tmp_path))
+        work.enqueue(WorkShard(0, (spec(label="ok"),)))
+        claim = work.claim("shard-0000.pkl", "w1")
+        assert claim is not None and claim.shard.specs[0].label == "ok"
+
+
 @pytest.mark.slow
 class TestWorker:
-    def test_executes_claimed_shard_and_publishes(self, tiny_program, tmp_path):
+    def test_executes_claimed_shard_and_publishes(self, spec, tmp_path):
         work = WorkDir(str(tmp_path / "work"))
-        spec = _spec(tiny_program, label="one")
-        work.enqueue(WorkShard(0, (spec,)))
+        one = spec(label="one")
+        work.enqueue(WorkShard(0, (one,)))
         worker = Worker(work, worker_id="w1", idle_timeout_s=0.0)
         assert worker.run() == 1
         result = work.load_result(0)
@@ -187,33 +337,122 @@ class TestWorker:
         assert [s.label for s in result.summaries] == ["one"]
         assert result.summaries[0].completed
         assert result.failures == 0
+        assert result.sessions == 1
         assert work.heartbeat_age_s("w1") is not None
         # Parity with an in-process run of the same spec.
-        assert result.summaries[0].transactions == run_sessions([spec])[0].transactions
+        assert result.summaries[0].transactions == run_sessions([one])[0].transactions
+
+    def test_scenario_shard_ships_verdict_rows_not_summaries(self, spec, tmp_path):
+        work = WorkDir(str(tmp_path / "work"))
+        job = _job(index=7, spec=spec)
+        work.enqueue(WorkShard(0, jobs=(job,)))
+        assert Worker(work, worker_id="w1", idle_timeout_s=0.0).run() == 1
+        result = work.load_result(0)
+        assert result.summaries == []  # nothing heavy travelled
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.index == 7
+        assert row.golden.completed and row.suspect.completed
+        assert set(row.verdicts) == {"golden"}
+        assert row.verdicts["golden"].report is None
+        assert result.sessions == 2
+        # The row's verdicts match scoring the same sessions locally.
+        golden, suspect = run_sessions([job.golden, job.suspect])
+        local = job.score.score_pair(golden, suspect)
+        assert {k: v.as_dict() for k, v in row.verdicts.items()} == {
+            k: v.as_dict() for k, v in local.items()
+        }
+
+    def test_shared_golden_digests_keep_each_jobs_label(self, spec, tmp_path):
+        """Two jobs whose goldens share a content key (labels differ) are
+        deduplicated by the batch runner — but each row's digest must still
+        carry that job's own label, exactly as coordinator-side scoring
+        would report it."""
+        work = WorkDir(str(tmp_path / "work"))
+        jobs = tuple(
+            ScenarioJob(
+                index=i,
+                name=name,
+                golden=spec(label=f"{name}/golden"),
+                suspect=spec(
+                    label=f"{name}/suspect",
+                    noise_sigma=0.0005,
+                    noise_seed=200 + i,
+                ),
+                score=ScoreSpec.for_detectors(("golden",)),
+            )
+            for i, name in enumerate(("a", "b"))
+        )
+        work.enqueue(WorkShard(0, jobs=jobs))
+        assert Worker(work, worker_id="w1", idle_timeout_s=0.0).run() == 1
+        result = work.load_result(0)
+        assert [row.golden.label for row in result.rows] == [
+            "a/golden",
+            "b/golden",
+        ]
+        assert [row.suspect.label for row in result.rows] == [
+            "a/suspect",
+            "b/suspect",
+        ]
+        assert result.sessions == 3  # shared golden executed once
+
+    def test_shared_failed_golden_counts_as_one_failure(self, spec, tmp_path):
+        work = WorkDir(str(tmp_path / "work"))
+        jobs = tuple(
+            ScenarioJob(
+                index=i,
+                name=name,
+                golden=spec(label=f"{name}/golden", trojan_id="T999"),
+                suspect=spec(
+                    label=f"{name}/suspect",
+                    noise_sigma=0.0005,
+                    noise_seed=210 + i,
+                ),
+                score=ScoreSpec.for_detectors(("golden",)),
+            )
+            for i, name in enumerate(("a", "b"))
+        )
+        work.enqueue(WorkShard(0, jobs=jobs))
+        assert Worker(work, worker_id="w1", idle_timeout_s=0.0).run() == 1
+        result = work.load_result(0)
+        assert all(row.golden.failed for row in result.rows)
+        assert result.failures == 1  # one failed session, not one per row
 
     def test_crashing_spec_becomes_failed_summary_not_dead_worker(
-        self, tiny_program, tmp_path
+        self, spec, tmp_path
     ):
         work = WorkDir(str(tmp_path / "work"))
-        work.enqueue(
-            WorkShard(0, (_spec(tiny_program, trojan_id="T999", label="boom"),))
-        )
+        work.enqueue(WorkShard(0, (spec(trojan_id="T999", label="boom"),)))
         assert Worker(work, worker_id="w1", idle_timeout_s=0.0).run() == 1
         result = work.load_result(0)
         assert result.failures == 1
         assert result.summaries[0].failed
         assert "T999" in result.summaries[0].error
 
+    def test_crashing_scenario_session_becomes_failed_digest(self, spec, tmp_path):
+        work = WorkDir(str(tmp_path / "work"))
+        job = _job(index=0, spec=spec, trojan_id="T999", noise_sigma=0.0)
+        work.enqueue(WorkShard(0, jobs=(job,)))
+        assert Worker(work, worker_id="w1", idle_timeout_s=0.0).run() == 1
+        result = work.load_result(0)
+        assert result.failures == 1
+        row = result.rows[0]
+        assert row.suspect.failed and "T999" in row.suspect.error
+        assert not row.golden.failed
+        for verdict in row.verdicts.values():
+            assert not verdict.trojan_likely
+            assert "session failed" in verdict.detail
+
     def test_worker_honors_stop(self, tmp_path):
         work = WorkDir(str(tmp_path / "work"))
         work.stop()
         assert Worker(work, worker_id="w1").run() == 0
 
-    def test_stop_beats_leftover_pending_work(self, tiny_program, tmp_path):
+    def test_stop_beats_leftover_pending_work(self, spec, tmp_path):
         # Shards orphaned by an aborted coordinator are abandoned work:
         # a worker must exit on STOP without executing them.
         work = WorkDir(str(tmp_path / "work"))
-        work.enqueue(WorkShard(0, (_spec(tiny_program, label="orphan"),)))
+        work.enqueue(WorkShard(0, (spec(label="orphan"),)))
         work.stop()
         assert Worker(work, worker_id="w1").run() == 0
         assert work.done_ids() == []
@@ -221,29 +460,141 @@ class TestWorker:
 
 
 @pytest.mark.slow
+class TestHeartbeatUnderParallelism:
+    def test_worker_beats_per_completed_session_mid_shard(self, spec, tmp_path):
+        """A parallel shard is one BatchRunner call, yet the heartbeat must
+        keep ticking mid-shard: the per-session progress callback is what
+        keeps a live worker from reading as wedged."""
+        work = WorkDir(str(tmp_path / "work"))
+        specs = tuple(
+            spec(noise_sigma=0.0005, noise_seed=50 + i, label=f"s{i}")
+            for i in range(3)
+        )
+        work.enqueue(WorkShard(0, specs=specs))
+        worker = Worker(work, worker_id="w1", idle_timeout_s=0.0, workers=2)
+        claim = work.claim("shard-0000.pkl", "w1")
+        beats = []
+        original = work.beat
+        work.beat = lambda worker_id: (beats.append(worker_id), original(worker_id))
+        worker.execute(claim)
+        # One beat at shard start + one per completed session.
+        assert len(beats) == 1 + len(specs)
+        assert set(beats) == {"w1"}
+
+    def test_advancing_heartbeat_survives_any_shard_length(
+        self, tmp_path, monkeypatch
+    ):
+        """The staleness check, driven deterministically: as long as the
+        heartbeat mtime keeps advancing (which per-completion beats
+        guarantee mid-shard), a worker is never condemned no matter how
+        long its shard runs — while a frozen heartbeat is condemned once
+        heartbeat_timeout_s of coordinator time passes."""
+        import repro.experiments.distrib as distrib
+
+        work = WorkDir(str(tmp_path))
+        heart = os.path.join(str(tmp_path), "hearts", "w1")
+        coordinator = Coordinator(
+            hosts=1, spawn_local=False, heartbeat_timeout_s=5.0
+        )
+        clock = [0.0]
+        monkeypatch.setattr(distrib.time, "monotonic", lambda: clock[0])
+        work.beat("w1")
+        hb_seen = {}
+        # Hours of coordinator time, but the mtime advances between checks
+        # (a completion beat landed): never dead.
+        for step in range(1, 10):
+            os.utime(heart, (step, step))
+            assert not coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+            clock[0] += 3600.0
+        # One final beat anchors the staleness timer at the current clock;
+        # then the heartbeat freezes (hung worker) and the worker is
+        # condemned only after heartbeat_timeout_s of coordinator time.
+        os.utime(heart, (100, 100))
+        assert not coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+        clock[0] += 4.9
+        assert not coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+        clock[0] += 0.2
+        assert coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+
+    def test_hung_worker_still_forfeits_claims(self, spec, sweep_env, tmp_path):
+        """Per-completion beats must not shield a *genuinely* wedged worker:
+        a process that claims a shard, then stops beating — while staying
+        alive — goes heartbeat-stale and forfeits the claim."""
+        wedge = tmp_path / "wedge.py"
+        wedge.write_text(
+            textwrap.dedent(
+                """
+                import sys, time
+                from repro.experiments.distrib import WorkDir
+
+                work = WorkDir(sys.argv[1])
+                work.beat("wedge")
+                while True:
+                    for name in work.pending_files():
+                        if work.claim(name, "wedge"):
+                            time.sleep(600)  # hang: alive, never beating again
+                    time.sleep(0.01)
+                """
+            )
+        )
+
+        class Sabotaged(Coordinator):
+            spawned_wedge = False
+
+            def _worker_command(self, work, worker_id):
+                if not Sabotaged.spawned_wedge:
+                    Sabotaged.spawned_wedge = True
+                    return [sys.executable, str(wedge), work.root]
+                # Delay every real worker so the wedge deterministically
+                # wins a claim before hanging.
+                return [
+                    sys.executable,
+                    "-c",
+                    "import subprocess, sys, time; time.sleep(4.0); "
+                    "sys.exit(subprocess.call(sys.argv[1:]))",
+                    *super()._worker_command(work, worker_id),
+                ]
+
+        specs = [spec(label="a"), spec(noise_sigma=0.0005, noise_seed=7, label="b")]
+        serial = run_sessions(specs)
+        started = time.monotonic()
+        coordinator = Sabotaged(
+            hosts=2,
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
+            heartbeat_timeout_s=2.0,
+            timeout_s=240,
+        )
+        result = coordinator.run(specs)
+        assert time.monotonic() - started < 200  # finished well before timeout
+        assert result.requeues >= 1
+        for expected, got in zip(serial, result.summaries):
+            assert got.transactions == expected.transactions
+            assert got.status is expected.status
+
+
+@pytest.mark.slow
 class TestCoordinator:
-    def _specs(self, tiny_program):
+    def _specs(self, spec):
         return [
-            _spec(tiny_program, label="a"),
-            _spec(tiny_program, noise_sigma=0.0005, noise_seed=7, label="b"),
-            _spec(tiny_program, noise_sigma=0.0005, noise_seed=8, label="c"),
-            _spec(
-                tiny_program,
+            spec(label="a"),
+            spec(noise_sigma=0.0005, noise_seed=7, label="b"),
+            spec(noise_sigma=0.0005, noise_seed=8, label="c"),
+            spec(
                 trojan_id="T2",
                 trojan_params={"keep_fraction": 0.5},
                 label="d",
             ),
         ]
 
-    def test_distributed_matches_serial(self, tiny_program, tmp_path):
-        specs = self._specs(tiny_program)
+    def test_distributed_matches_serial(self, spec, sweep_env):
+        specs = self._specs(spec)
         serial = run_sessions(specs)
-        cache = SessionCache(directory=str(tmp_path / "cache"))
         result = run_distributed(
             specs,
             hosts=2,
-            cache=cache,
-            work_dir=str(tmp_path / "work"),
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
             timeout_s=240,
         )
         assert [s.label for s in result.summaries] == ["a", "b", "c", "d"]
@@ -253,17 +604,18 @@ class TestCoordinator:
             assert got.final_counts == expected.final_counts
         assert result.shards == 2
         assert result.sessions_dispatched == 4
+        assert result.payload_bytes > 0
         assert sum(h["sessions"] for h in result.host_stats) == 4
         assert all(h["failures"] == 0 for h in result.host_stats)
 
         # Warm repeat over the same cache dir: nothing dispatched, nothing
         # spawned, summaries identical.
-        warm_cache = SessionCache(directory=str(tmp_path / "cache"))
+        warm_cache = sweep_env.cache()
         again = run_distributed(
             specs,
             hosts=2,
             cache=warm_cache,
-            work_dir=str(tmp_path / "work2"),
+            work_dir=sweep_env.work_dir("work2"),
             timeout_s=60,
         )
         assert again.sessions_dispatched == 0
@@ -272,15 +624,15 @@ class TestCoordinator:
         for expected, got in zip(serial, again.summaries):
             assert got.transactions == expected.transactions
 
-    def test_reused_work_dir_is_safe_across_sweeps(self, tiny_program, tmp_path):
+    def test_reused_work_dir_is_safe_across_sweeps(self, spec, sweep_env):
         """README documents a fixed shared --work-dir; stale state (done
         files, STOP, claims) from sweep N must not corrupt sweep N+1."""
-        work_dir = str(tmp_path / "work")
-        specs = self._specs(tiny_program)[:2]
+        work_dir = sweep_env.work_dir()
+        specs = self._specs(spec)[:2]
         first = run_distributed(
             specs,
             hosts=2,
-            cache=SessionCache(directory=str(tmp_path / "cache-a")),
+            cache=sweep_env.cache("cache-a"),
             work_dir=work_dir,
             timeout_s=240,
         )
@@ -289,7 +641,7 @@ class TestCoordinator:
         second = run_distributed(
             specs,
             hosts=2,
-            cache=SessionCache(directory=str(tmp_path / "cache-b")),
+            cache=sweep_env.cache("cache-b"),
             work_dir=work_dir,
             timeout_s=240,
         )
@@ -298,8 +650,8 @@ class TestCoordinator:
             assert a.transactions == b.transactions
             assert a.status is b.status
 
-    def test_merged_summaries_not_rewritten_to_disk(self, tiny_program, tmp_path):
-        cache = SessionCache(directory=str(tmp_path / "cache"))
+    def test_merged_summaries_not_rewritten_to_disk(self, spec, sweep_env):
+        cache = sweep_env.cache()
         writes = []
         original_store = cache._store_to_disk
 
@@ -308,15 +660,15 @@ class TestCoordinator:
             original_store(key, summary)
 
         cache._store_to_disk = counting_store
-        spec = _spec(tiny_program, label="once")
+        one = spec(label="once")
         result = run_distributed(
-            [spec],
+            [one],
             hosts=1,
             cache=cache,
-            work_dir=str(tmp_path / "work"),
+            work_dir=sweep_env.work_dir(),
             timeout_s=240,
         )
-        key = spec.content_key()
+        key = one.content_key()
         # The worker subprocess persisted the entry; the coordinator merged
         # it into memory without rewriting the file itself.
         assert result.summaries[0].completed
@@ -324,16 +676,14 @@ class TestCoordinator:
         assert writes == []
         assert cache.get(key) is not None  # served from memory
 
-    def test_duplicate_specs_executed_once_and_relabeled(
-        self, tiny_program, tmp_path
-    ):
-        base = _spec(tiny_program, label="first")
-        twin = _spec(tiny_program, label="second")
+    def test_duplicate_specs_executed_once_and_relabeled(self, spec, sweep_env):
+        base = spec(label="first")
+        twin = spec(label="second")
         result = run_distributed(
             [base, twin],
             hosts=2,
-            cache=SessionCache(directory=str(tmp_path / "cache")),
-            work_dir=str(tmp_path / "work"),
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
             timeout_s=240,
         )
         assert result.sessions_dispatched == 1
@@ -342,7 +692,7 @@ class TestCoordinator:
             result.summaries[0].transactions == result.summaries[1].transactions
         )
 
-    def test_killed_worker_shard_is_requeued(self, tiny_program, tmp_path):
+    def test_killed_worker_shard_is_requeued(self, spec, sweep_env, tmp_path):
         """A worker that dies holding a claim must not sink the batch."""
         wedge = tmp_path / "wedge.py"
         wedge.write_text(
@@ -379,12 +729,12 @@ class TestCoordinator:
                     *super()._worker_command(work, worker_id),
                 ]
 
-        specs = self._specs(tiny_program)[:2]
+        specs = self._specs(spec)[:2]
         serial = run_sessions(specs)
         coordinator = Sabotaged(
             hosts=2,
-            cache=SessionCache(directory=str(tmp_path / "cache")),
-            work_dir=str(tmp_path / "work"),
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
             heartbeat_timeout_s=2.0,
             timeout_s=240,
         )
@@ -394,12 +744,12 @@ class TestCoordinator:
             assert got.transactions == expected.transactions
             assert got.status is expected.status
 
-    def test_lost_pool_drains_inline(self, tiny_program, tmp_path):
+    def test_lost_pool_drains_inline(self, spec, sweep_env):
         """With no spawnable workers at all, the coordinator finishes alone."""
         coordinator = Coordinator(
             hosts=2,
-            cache=SessionCache(directory=str(tmp_path / "cache")),
-            work_dir=str(tmp_path / "work"),
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
             spawn_local=True,
             max_respawns=0,
             timeout_s=240,
@@ -409,7 +759,7 @@ class TestCoordinator:
             return [sys.executable, "-c", "raise SystemExit(1)"]
 
         coordinator._worker_command = instant_exit
-        specs = self._specs(tiny_program)[:2]
+        specs = self._specs(spec)[:2]
         result = coordinator.run(specs)
         assert [s.label for s in result.summaries] == ["a", "b"]
         assert all(s.completed for s in result.summaries)
@@ -419,25 +769,151 @@ class TestCoordinator:
 
 
 @pytest.mark.slow
+class TestScoredDistribution:
+    """Verdict shipping: worker-side scoring, digests, payload economics."""
+
+    def _jobs(self, spec, detectors=("golden",)):
+        golden = spec(label="shared/golden")
+        return [
+            _job(index=i, spec=spec, golden=golden, detectors=detectors)
+            for i in range(3)
+        ]
+
+    def _local_rows(self, jobs):
+        out = []
+        for job in jobs:
+            golden, suspect = run_sessions([job.golden, job.suspect])
+            out.append(job.score.score_pair(golden, suspect))
+        return out
+
+    def test_scored_verdicts_match_local_scoring(self, spec, sweep_env):
+        jobs = self._jobs(spec)
+        expected = self._local_rows(jobs)
+        result = run_distributed_scored(
+            jobs,
+            hosts=2,
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
+            timeout_s=240,
+        )
+        assert [row.index for row in result.rows] == [0, 1, 2]
+        assert result.payload_bytes > 0
+        assert result.sessions_dispatched == 4  # shared golden counted once
+        for row, local in zip(result.rows, expected):
+            assert {k: v.as_dict() for k, v in row.verdicts.items()} == {
+                k: v.as_dict() for k, v in local.items()
+            }
+            assert isinstance(row.golden, SessionDigest)
+            assert row.golden.completed and row.suspect.completed
+
+    def test_warm_cache_scores_on_the_coordinator(self, spec, sweep_env):
+        jobs = self._jobs(spec)
+        first = run_distributed_scored(
+            jobs,
+            hosts=2,
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
+            timeout_s=240,
+        )
+        warm_cache = sweep_env.cache()
+        again = run_distributed_scored(
+            jobs,
+            hosts=2,
+            cache=warm_cache,
+            work_dir=sweep_env.work_dir("work2"),
+            timeout_s=60,
+        )
+        # Nothing dispatched, nothing spawned, zero payload — and the
+        # coordinator-side scoring of cached pairs yields the same verdicts.
+        assert again.sessions_dispatched == 0
+        assert again.shards == 0
+        assert again.payload_bytes == 0
+        assert warm_cache.misses == 0
+        for a, b in zip(first.rows, again.rows):
+            assert {k: v.as_dict() for k, v in a.verdicts.items()} == {
+                k: v.as_dict() for k, v in b.verdicts.items()
+            }
+
+    def test_corrupt_cached_entry_dispatches_instead_of_scoring_garbage(
+        self, spec, sweep_env
+    ):
+        """run_scored probes presence without validating contents; a probe
+        that lied (torn cache entry) must turn into a dispatch + worker
+        re-simulation, never a wrong or missing row."""
+        jobs = self._jobs(spec)
+        first = run_distributed_scored(
+            jobs,
+            hosts=2,
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir(),
+            timeout_s=240,
+        )
+        suspect_key = jobs[1].suspect.content_key()
+        path = os.path.join(sweep_env.path("cache"), f"{suspect_key}.summary.pkl")
+        assert os.path.exists(path)
+        with open(path, "wb") as handle:
+            handle.write(b"torn write garbage")
+        again = run_distributed_scored(
+            jobs,
+            hosts=2,
+            cache=sweep_env.cache(),
+            work_dir=sweep_env.work_dir("work2"),
+            timeout_s=240,
+        )
+        assert again.sessions_dispatched == 1  # exactly the corrupted session
+        for a, b in zip(first.rows, again.rows):
+            assert {k: v.as_dict() for k, v in a.verdicts.items()} == {
+                k: v.as_dict() for k, v in b.verdicts.items()
+            }
+
+    def test_verdict_payload_is_many_times_smaller_than_summaries(
+        self, spec, sweep_env
+    ):
+        jobs = self._jobs(spec)
+        scored = run_distributed_scored(
+            jobs,
+            hosts=2,
+            cache=sweep_env.cache("cache-scored"),
+            work_dir=sweep_env.work_dir("work-scored"),
+            timeout_s=240,
+        )
+        specs = [s for job in jobs for s in (job.golden, job.suspect)]
+        shipped = run_distributed(
+            specs,
+            hosts=2,
+            cache=sweep_env.cache("cache-shipped"),
+            work_dir=sweep_env.work_dir("work-shipped"),
+            timeout_s=240,
+        )
+        assert scored.payload_bytes > 0 and shipped.payload_bytes > 0
+        # The acceptance bar is >= 5x on the full grid; even this 4-session
+        # micro-batch clears it by a wide margin.
+        assert shipped.payload_bytes >= 5 * scored.payload_bytes
+
+
+@pytest.mark.slow
 class TestDistributedSweep:
-    def test_run_sweep_hosts_matches_single_host_verdicts(self, tmp_path):
+    def test_run_sweep_hosts_matches_single_host_verdicts(self, sweep_env):
         from repro.experiments.scenario import grid_scenarios, run_sweep
 
         scenarios = grid_scenarios("smoke")
         serial = run_sweep(
             scenarios,
-            cache=SessionCache(directory=str(tmp_path / "serial-cache")),
+            cache=sweep_env.cache("serial-cache"),
             grid="smoke",
         )
         distributed = run_sweep(
             scenarios,
-            cache=SessionCache(directory=str(tmp_path / "distrib-cache")),
+            cache=sweep_env.cache("distrib-cache"),
             grid="smoke",
             hosts=2,
-            work_dir=str(tmp_path / "work"),
+            workers=2,
+            work_dir=sweep_env.work_dir(),
         )
         assert distributed.ok == serial.ok
         assert distributed.sessions_simulated == serial.sessions_simulated
+        assert distributed.transport == "verdict rows"
+        assert distributed.payload_bytes > 0
         assert len(distributed.host_stats) >= 1
         for a, b in zip(serial.outcomes, distributed.outcomes):
             assert {k: v.as_dict() for k, v in a.verdicts.items()} == {
@@ -448,11 +924,38 @@ class TestDistributedSweep:
         # simulates zero sessions and keeps the verdicts.
         repeat = run_sweep(
             scenarios,
-            cache=SessionCache(directory=str(tmp_path / "distrib-cache")),
+            cache=sweep_env.cache("distrib-cache"),
             grid="smoke",
             hosts=2,
-            work_dir=str(tmp_path / "work2"),
+            workers=2,
+            work_dir=sweep_env.work_dir("work2"),
         )
         assert repeat.sessions_simulated == 0
         assert repeat.cache_misses == 0
         assert repeat.ok == serial.ok
+
+    def test_ship_summaries_mode_keeps_verdicts_and_costs_more_bytes(
+        self, sweep_env
+    ):
+        from repro.experiments.report import render_csv
+        from repro.experiments.scenario import grid_scenarios, run_sweep
+
+        scenarios = grid_scenarios("smoke")
+        scored = run_sweep(
+            scenarios,
+            cache=sweep_env.cache("scored-cache"),
+            grid="smoke",
+            hosts=2,
+            work_dir=sweep_env.work_dir("work-scored"),
+        )
+        shipped = run_sweep(
+            scenarios,
+            cache=sweep_env.cache("shipped-cache"),
+            grid="smoke",
+            hosts=2,
+            ship_summaries=True,
+            work_dir=sweep_env.work_dir("work-shipped"),
+        )
+        assert shipped.transport == "summaries"
+        assert render_csv(shipped) == render_csv(scored)
+        assert shipped.payload_bytes >= 5 * scored.payload_bytes

@@ -1,0 +1,77 @@
+"""Randomized distributed-vs-serial parity: the invariant that rots silently.
+
+Every execution topology — serial in-process, ``--hosts 2`` (verdict
+shipping, worker-side scoring), ``--hosts 2 --workers 2`` (per-host
+parallel batches on top) — must produce **byte-identical** verdict CSV
+rows for the same scenarios. Each topology runs against its *own* cold
+cache directory, so the parity is between genuinely independent
+executions, not between a run and its cache.
+
+The subsets are seeded-random draws from the union of the ``smoke`` and
+``t2-curve`` grids: small enough to keep the harness in tier-1 time, random
+enough that sharding boundaries, golden-group splits, and detector mixes
+shift from seed to seed instead of pinning one lucky configuration.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.report import render_csv
+from repro.experiments.scenario import grid_scenarios, run_sweep
+
+
+def _scenario_pool():
+    """The draw pool: smoke + t2-curve, deduplicated by scenario name."""
+    pool = []
+    seen = set()
+    for grid in ("smoke", "t2-curve"):
+        for scenario in grid_scenarios(grid):
+            if scenario.name not in seen:
+                seen.add(scenario.name)
+                pool.append(scenario)
+    return pool
+
+
+def _csv_rows(result):
+    """The verdict rows only (no header), the unit of byte-parity."""
+    return render_csv(result).splitlines()[1:]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", (1105, 2207, 3309))
+def test_random_subset_parity_across_topologies(seed, sweep_env):
+    pool = _scenario_pool()
+    rng = random.Random(seed)
+    subset = rng.sample(pool, k=rng.randint(2, 3))
+
+    serial = run_sweep(
+        subset,
+        cache=sweep_env.cache("serial-cache"),
+        grid=f"parity-{seed}",
+    )
+    hosts_only = run_sweep(
+        subset,
+        cache=sweep_env.cache("hosts-cache"),
+        grid=f"parity-{seed}",
+        hosts=2,
+        work_dir=sweep_env.work_dir("hosts-work"),
+    )
+    composed = run_sweep(
+        subset,
+        cache=sweep_env.cache("composed-cache"),
+        grid=f"parity-{seed}",
+        hosts=2,
+        workers=2,
+        work_dir=sweep_env.work_dir("composed-work"),
+    )
+
+    reference = _csv_rows(serial)
+    assert reference  # the draw produced scoreable scenarios
+    assert _csv_rows(hosts_only) == reference
+    assert _csv_rows(composed) == reference
+    # Same independent executions → same simulation economics.
+    for distributed in (hosts_only, composed):
+        assert distributed.ok == serial.ok
+        assert distributed.sessions_simulated == serial.sessions_simulated
+        assert distributed.transport == "verdict rows"

@@ -34,7 +34,6 @@ from repro.experiments.report import (
 )
 from repro.experiments.scenario import (
     AXIS_SWEEPS,
-    CONTROL_SEED,
     ScenarioSpec,
     compile_scenario,
     grid_names,
@@ -44,26 +43,9 @@ from repro.experiments.scenario import (
 )
 from repro.physics.quality import fan_deficit_fraction
 
-
-def _mini_grid():
-    """Two scenarios, four unique sessions, a couple of simulated seconds."""
-    return [
-        ScenarioSpec(
-            name="clean@tiny",
-            part="tiny",
-            attack=None,
-            detectors=("golden", "realtime"),
-            seed=CONTROL_SEED,
-        ),
-        ScenarioSpec(
-            name="T2@tiny",
-            part="tiny",
-            attack="T2",
-            detectors=("golden", "quality"),
-            seed=42,
-            noise_sigma=0.0,
-        ),
-    ]
+# The two-scenario / four-session reference grid lives in conftest.py as the
+# shared session-scoped ``tiny_grid`` fixture (it is also what the batch and
+# distribution suites exercise).
 
 
 def _forbid_simulation(monkeypatch):
@@ -106,18 +88,20 @@ class TestSessionCacheAlias:
 @pytest.mark.slow
 class TestIncrementalSweeps:
     @pytest.fixture(scope="class")
-    def warm_dir(self, tmp_path_factory):
-        """A cache directory populated by one cold mini-grid sweep."""
+    def warm_dir(self, tmp_path_factory, tiny_grid):
+        """A cache directory populated by one cold tiny-grid sweep."""
         directory = str(tmp_path_factory.mktemp("session-cache"))
-        result = run_sweep(_mini_grid(), cache=SessionCache(directory=directory))
+        result = run_sweep(tiny_grid, cache=SessionCache(directory=directory))
         assert result.ok
         assert result.sessions_simulated == result.sessions_total == 4
         return directory, result
 
-    def test_repeat_sweep_hits_cache_completely(self, warm_dir, monkeypatch):
+    def test_repeat_sweep_hits_cache_completely(
+        self, warm_dir, tiny_grid, monkeypatch
+    ):
         directory, first = warm_dir
         _forbid_simulation(monkeypatch)
-        second = run_sweep(_mini_grid(), cache=SessionCache(directory=directory))
+        second = run_sweep(tiny_grid, cache=SessionCache(directory=directory))
         assert second.cache_misses == 0
         assert second.sessions_simulated == 0
         assert second.cache_hits == first.sessions_total
@@ -128,10 +112,12 @@ class TestIncrementalSweeps:
                 k: v.as_dict() for k, v in b.verdicts.items()
             }
 
-    def test_grown_grid_simulates_only_the_delta(self, warm_dir, monkeypatch):
+    def test_grown_grid_simulates_only_the_delta(
+        self, warm_dir, tiny_grid, monkeypatch
+    ):
         directory, _ = warm_dir
         counted = _count_simulations(monkeypatch)
-        grown = _mini_grid() + [
+        grown = tiny_grid + [
             ScenarioSpec(
                 name="T5@tiny",
                 part="tiny",
@@ -149,10 +135,10 @@ class TestIncrementalSweeps:
         assert result.sessions_total == 5
 
     def test_schema_version_bump_invalidates_stale_entries(
-        self, warm_dir, monkeypatch
+        self, warm_dir, tiny_grid, monkeypatch
     ):
         directory, _ = warm_dir
-        key = compile_scenario(_mini_grid()[1])[1].content_key()
+        key = compile_scenario(tiny_grid[1])[1].content_key()
         assert SessionCache(directory=directory).get(key) is not None
         monkeypatch.setattr(batch, "_CACHE_FORMAT", batch._CACHE_FORMAT + 1)
         stale = SessionCache(directory=directory)
@@ -160,16 +146,16 @@ class TestIncrementalSweeps:
         assert stale.misses == 1
 
     def test_corrupted_suspect_entry_degrades_to_resimulation(
-        self, warm_dir, monkeypatch
+        self, warm_dir, tiny_grid, monkeypatch
     ):
         directory, first = warm_dir
-        suspect_key = compile_scenario(_mini_grid()[1])[1].content_key()
+        suspect_key = compile_scenario(tiny_grid[1])[1].content_key()
         path = os.path.join(directory, f"{suspect_key}.summary.pkl")
         assert os.path.exists(path)
         with open(path, "wb") as handle:
             handle.write(b"torn write garbage")
         counted = _count_simulations(monkeypatch)
-        result = run_sweep(_mini_grid(), cache=SessionCache(directory=directory))
+        result = run_sweep(tiny_grid, cache=SessionCache(directory=directory))
         assert counted == ["T2@tiny/T2"]
         assert result.ok == first.ok
         # The re-simulation repopulated the entry for the next sweep.
@@ -479,8 +465,8 @@ class TestFailedScenarios:
 @pytest.mark.slow
 class TestSweepReports:
     @pytest.fixture(scope="class")
-    def result(self):
-        return run_sweep(_mini_grid(), cache=SessionCache(), grid="mini")
+    def result(self, tiny_grid):
+        return run_sweep(tiny_grid, cache=SessionCache(), grid="mini")
 
     def test_rows_cover_every_scenario_detector_pair(self, result):
         rows = sweep_rows(result)
