@@ -9,7 +9,7 @@ export PYTHONPATH
 # the repo root (see .gitignore).
 REPRO_CI_CACHE_DIR ?= .repro-session-cache
 
-.PHONY: test lint bench sweep smoke smoke-distrib ci
+.PHONY: test lint lint-det bench sweep smoke smoke-distrib ci
 
 test:
 	python -m pytest -x -q
@@ -21,6 +21,15 @@ lint:
 		echo "ruff not installed (pip install ruff); falling back to a syntax check"; \
 		python -m compileall -q src tests benchmarks scripts; \
 	fi
+
+# The in-repo determinism & wire-safety analyzer (src/repro/analysis/lint):
+# DET001-DET004 guard the byte-identical-verdict contract (no builtin
+# hash() keying, no unseeded RNG, no wall clock in sim code, no bare set
+# iteration feeding serialization); WIRE001/WIRE002 guard the pickle wire
+# format (atomic writes via repro.util, vetted wire-class fields).
+# Rule docs: `python -m repro lint --rules`.
+lint-det:
+	python -m repro lint src scripts benchmarks
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
@@ -51,6 +60,6 @@ smoke-distrib:
 		--record benchmarks/out/distributed_sweep.txt
 
 # Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay in
-# lockstep: lint -> tier-1 tests -> incremental smoke sweep -> distributed
-# smoke parity.
-ci: lint test smoke smoke-distrib
+# lockstep: lint -> determinism lint -> tier-1 tests -> incremental smoke
+# sweep -> distributed smoke parity.
+ci: lint lint-det test smoke smoke-distrib

@@ -1,0 +1,53 @@
+"""``repro lint`` — the determinism & wire-safety static analyzer.
+
+The repo's core promise is byte-identical verdicts across serial,
+``--hosts N``, and ``--hosts N --workers M`` topologies. Every parity
+bug so far was a *static* pattern — randomized ``hash()`` seeding,
+non-atomic work-dir writes, unversioned pickles on the wire — so this
+package detects those patterns mechanically at commit time, before the
+dynamic parity harness ever runs.
+
+Public surface:
+
+* :func:`run_lint` / :class:`LintResult` — lint paths, get findings;
+* :func:`render_text` / :func:`render_json` / :func:`rule_catalog` —
+  the CLI output shapes;
+* :data:`REGISTRY` / :class:`Rule` / :class:`Finding` — the rule engine
+  (see :mod:`repro.analysis.lint.rules` for the catalog and the
+  invariant each rule guards);
+* :class:`LintConfig` — the ``[tool.repro.lint]`` pyproject table.
+
+Suppression syntax, honored on the offending line or a comment line
+directly above it::
+
+    started = time.perf_counter()  # repro: lint-ignore[DET003] wall-clock economics
+
+``repro lint --rules`` prints the full catalog.
+"""
+
+from repro.analysis.lint.engine import (
+    JSON_SCHEMA_VERSION,
+    LintConfig,
+    LintResult,
+    load_config,
+    render_json,
+    render_text,
+    rule_catalog,
+    run_lint,
+)
+from repro.analysis.lint.rules import REGISTRY, RULES_BY_CODE, Finding, Rule
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "REGISTRY",
+    "RULES_BY_CODE",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "load_config",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "run_lint",
+]

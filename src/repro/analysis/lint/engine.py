@@ -1,0 +1,258 @@
+"""The ``repro lint`` engine: discovery, config, suppressions, output.
+
+Wiring around the rule catalog (:mod:`repro.analysis.lint.rules`):
+
+* **Discovery** — walks the requested paths for ``.py`` files (skipping
+  hidden directories and ``__pycache__``), parses each once, and hands
+  the shared AST to every applicable rule.
+* **Config** — ``[tool.repro.lint]`` in ``pyproject.toml`` provides the
+  default path set and per-rule tables (``include``/``exempt`` path
+  scoping plus rule-specific options such as WIRE002's wire allowlist).
+  Paths in the config are relative to the pyproject's directory.
+* **Suppressions** — ``# repro: lint-ignore[RULE]`` (comma-separate for
+  several rules, ``*`` for all) on the offending line, or on a comment
+  line directly above it, moves matching findings into the suppressed
+  list instead of the failing one. Suppressions are expected to carry a
+  one-line justification after the bracket.
+* **Output** — stable text (``path:line:col: CODE message``) and JSON
+  (schema version pinned by tests) renderings, plus the rule catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+import tomllib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.rules import (
+    REGISTRY,
+    Finding,
+    ModuleContext,
+    Rule,
+)
+
+JSON_SCHEMA_VERSION = 1
+"""Bumped whenever the JSON rendering changes shape (CI consumers key on it)."""
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_*\s,]+)\]")
+
+
+@dataclass
+class LintConfig:
+    """The resolved ``[tool.repro.lint]`` table."""
+
+    paths: Tuple[str, ...] = ()
+    rule_options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def from_pyproject(cls, pyproject_path: str) -> "LintConfig":
+        with open(pyproject_path, "rb") as handle:
+            data = tomllib.load(handle)
+        table = data.get("tool", {}).get("repro", {}).get("lint", {})
+        paths = tuple(table.get("paths", ()))
+        rule_options = {
+            key: dict(value)
+            for key, value in table.items()
+            if isinstance(value, dict)
+        }
+        return cls(paths=paths, rule_options=rule_options)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files: int
+    root: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def load_config(root: str) -> LintConfig:
+    """The config for ``root`` (its ``pyproject.toml``, or empty defaults)."""
+    pyproject = os.path.join(root, "pyproject.toml")
+    if os.path.exists(pyproject):
+        try:
+            return LintConfig.from_pyproject(pyproject)
+        except (OSError, tomllib.TOMLDecodeError):
+            pass
+    return LintConfig()
+
+
+def discover(paths: Sequence[str], root: str) -> List[str]:
+    """All ``.py`` files under the given paths (absolute, sorted, unique)."""
+    out: Set[str] = set()
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            if absolute.endswith(".py"):
+                out.add(os.path.abspath(absolute))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(
+                d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in filenames:
+                if name.endswith(".py"):
+                    out.add(os.path.abspath(os.path.join(dirpath, name)))
+    return sorted(out)
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Per-line suppressed rule codes.
+
+    A trailing comment covers its own line; a standalone comment line
+    covers the following line too (the conventional "reason above the
+    offending statement" style).
+    """
+    covered: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+        covered.setdefault(lineno, set()).update(codes)
+        if line.lstrip().startswith("#"):
+            covered.setdefault(lineno + 1, set()).update(codes)
+    return covered
+
+
+def _suppressed(finding: Finding, covered: Dict[int, Set[str]]) -> bool:
+    codes = covered.get(finding.line, ())
+    return finding.rule in codes or "*" in codes
+
+
+def build_rules(config: LintConfig) -> List[Rule]:
+    """Instantiate the whole registry with the config's per-rule options."""
+    return [cls(config.rule_options.get(cls.code, {})) for cls in REGISTRY]
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    root: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint ``paths`` (or the config's default path set) under ``root``."""
+    root = os.path.abspath(root or os.getcwd())
+    if config is None:
+        config = load_config(root)
+    targets = list(paths) if paths else list(config.paths) or ["."]
+    rules = build_rules(config)
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    files = discover(targets, root)
+    for absolute in files:
+        rel = os.path.relpath(absolute, root).replace(os.sep, "/")
+        try:
+            with open(absolute, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=rel)
+        except (OSError, SyntaxError, ValueError) as exc:
+            findings.append(
+                Finding(
+                    rule="SYNTAX",
+                    path=rel,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    message=f"could not parse: {exc}",
+                )
+            )
+            continue
+        module = ModuleContext(path=rel, tree=tree, source=source)
+        covered = _suppressions(source)
+        for rule in rules:
+            if not rule.applies_to(rel):
+                continue
+            for finding in rule.check(module):
+                if _suppressed(finding, covered):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+
+    def key(f: Finding) -> Tuple[str, int, int, str]:
+        return (f.path, f.line, f.col, f.rule)
+
+    return LintResult(
+        findings=sorted(findings, key=key),
+        suppressed=sorted(suppressed, key=key),
+        files=len(files),
+        root=root,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    by_rule: Dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    tally = ", ".join(f"{code} x{count}" for code, count in sorted(by_rule.items()))
+    if result.findings:
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files} file(s)"
+            + (f" [{tally}]" if tally else "")
+            + (
+                f"; {len(result.suppressed)} suppressed"
+                if result.suppressed
+                else ""
+            )
+        )
+    else:
+        lines.append(
+            f"clean: {result.files} file(s), 0 findings"
+            + (f", {len(result.suppressed)} suppressed" if result.suppressed else "")
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    def row(finding: Finding) -> Dict[str, Any]:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+        }
+
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "files": result.files,
+        "findings": [row(f) for f in result.findings],
+        "suppressed": [row(f) for f in result.suppressed],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rule_catalog() -> str:
+    """The human-readable rule catalog (``repro lint --rules``)."""
+    blocks = []
+    for cls in REGISTRY:
+        scope = (
+            ", ".join(cls.default_include)
+            if cls.default_include
+            else "all checked paths (narrow via [tool.repro.lint.%s] include)" % cls.code
+        )
+        blocks.append(
+            "\n".join(
+                [
+                    f"{cls.code} ({cls.name}) — {cls.summary}",
+                    f"  why:   {cls.rationale}",
+                    f"  fix:   {cls.fix}",
+                    f"  scope: {scope}",
+                ]
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,704 @@
+"""The ``repro lint`` rule catalog.
+
+Every rule here guards an invariant the repo's byte-identical-verdict
+contract actually depends on — each one is the static form of a parity
+bug that has already happened (or nearly happened) in this codebase:
+
+* **DET001** — builtin ``hash()`` is randomized per process
+  (``PYTHONHASHSEED``); PR 2 fixed a Trojan-seeding bug caused by exactly
+  this. Seeding and keying must use ``zlib.crc32`` (see
+  ``core/trojans/base.py``) or a real digest.
+* **DET002** — module-level ``random``/``numpy.random`` draws share
+  process-global unseeded state; construct a seeded ``random.Random``.
+* **DET003** — wall-clock reads inside simulation code leak host time
+  into results that must be functions of the sim clock alone.
+* **DET004** — set iteration order is arbitrary; a set feeding any
+  ordered construction (lists, tuples, joins — and through them wire
+  payloads, cache keys, reports) must be sorted first.
+* **WIRE001** — binary payloads must land via
+  :func:`repro.util.atomic_write` / ``atomic_pickle`` (``mkstemp`` +
+  ``os.replace``), never a bare ``open(..., "wb")``/``pickle.dump``: a
+  crashed writer must not leave a torn file under a final name.
+* **WIRE002** — classes that travel in wire payloads must either define
+  pickle hooks (``__getstate__``/``__reduce__``) or be explicitly
+  allowlisted, in which case their declared fields are checked against a
+  wire-safe type set — a new memo-carrying or unpicklable attribute
+  fails lint instead of poisoning a shard.
+
+Rules are :class:`ast.NodeVisitor`-based and registered in
+:data:`REGISTRY`; the engine (:mod:`repro.analysis.lint.engine`) handles
+discovery, per-rule path scoping from ``[tool.repro.lint]``, and
+``# repro: lint-ignore[RULE]`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file as the rules see it."""
+
+    path: str  # project-relative, forward slashes
+    tree: ast.Module
+    source: str
+
+
+def _walk_with_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted origins for every import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from random import randint`` -> ``{"randint": "random.randint"}``;
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``.
+    Conditional/function-local imports are included — for linting purposes
+    a name bound to a module anywhere in the file counts everywhere.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _dotted(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain to its canonical dotted origin.
+
+    ``np.random.rand`` -> ``"numpy.random.rand"`` when ``np`` aliases
+    numpy; returns ``None`` for anything that does not bottom out in a
+    plain name.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = imports.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _assigned_names(tree: ast.Module) -> Set[str]:
+    """Every plain name the module binds (assignments, defs, args, imports)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, ast.arg):
+            names.add(node.arg)
+    return names
+
+
+class Rule:
+    """Base class: metadata + the per-module ``check`` hook."""
+
+    code: str = "RULE000"
+    name: str = "rule"
+    summary: str = ""
+    rationale: str = ""
+    fix: str = ""
+    #: path prefixes the rule applies to when the config does not say;
+    #: ``None`` means every checked file.
+    default_include: Optional[Tuple[str, ...]] = None
+
+    def __init__(self, options: Optional[Dict[str, Any]] = None) -> None:
+        self.options = dict(options or {})
+        include = self.options.get("include", self.default_include)
+        self.include: Optional[Tuple[str, ...]] = (
+            tuple(include) if include else None
+        )
+        self.exempt: Tuple[str, ...] = tuple(self.options.get("exempt", ()))
+
+    # ------------------------------------------------------------------
+    def applies_to(self, rel_path: str) -> bool:
+        def under(prefixes: Sequence[str]) -> bool:
+            return any(
+                rel_path == p or rel_path.startswith(p.rstrip("/") + "/")
+                for p in prefixes
+            )
+
+        if self.exempt and under(self.exempt):
+            return False
+        return self.include is None or under(self.include)
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# DET001 — builtin hash() for seeding/keying
+# ----------------------------------------------------------------------
+class BuiltinHashRule(Rule):
+    code = "DET001"
+    name = "builtin-hash"
+    summary = "builtin hash() is randomized per process; never seed or key with it"
+    rationale = (
+        "str/bytes hashing is salted by PYTHONHASHSEED, so hash() of the same "
+        "value differs between processes and runs. Any RNG seed, cache key, or "
+        "shard assignment derived from it silently diverges across hosts — the "
+        "exact PR 2 bug where every stochastic Trojan drew different values per "
+        "process. Use zlib.crc32 (the core/trojans/base.py idiom) or hashlib."
+    )
+    fix = "replace hash(x) with zlib.crc32(repr(x).encode()) or a hashlib digest"
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        if "hash" in _assigned_names(module.tree):
+            return []  # a local/imported `hash` shadows the builtin
+        findings = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "builtin hash() is process-salted (PYTHONHASHSEED); "
+                        "use zlib.crc32/hashlib for anything that must "
+                        "reproduce across processes",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# DET002 — unseeded module-level RNG draws
+# ----------------------------------------------------------------------
+class UnseededRandomRule(Rule):
+    code = "DET002"
+    name = "unseeded-random"
+    summary = "module-level random/numpy.random draws use process-global unseeded state"
+    rationale = (
+        "random.random()/randint()/choice() and numpy.random.* draw from one "
+        "process-wide generator whose state depends on import order, worker "
+        "count, and whatever ran before — three things the serial vs distributed "
+        "topologies never agree on. Simulation code must draw from an explicitly "
+        "seeded random.Random instance (see TrojanContext.rng_for)."
+    )
+    fix = "construct random.Random(seed) (CRC-32-mixed per consumer) and draw from it"
+
+    _RANDOM_OK = {"Random", "SystemRandom", "getstate", "setstate"}
+    _NUMPY_OK = {"default_rng", "RandomState", "Generator", "SeedSequence",
+                 "get_state", "set_state"}
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        imports = _walk_with_imports(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func, imports)
+            if dotted is None:
+                continue
+            if dotted.startswith("random."):
+                attr = dotted.split(".", 1)[1]
+                if attr == "Random" and not node.args:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "random.Random() without a seed falls back to OS "
+                            "entropy; pass an explicit seed",
+                        )
+                    )
+                elif "." not in attr and attr not in self._RANDOM_OK:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"random.{attr}() draws from the process-global "
+                            "unseeded generator; draw from an explicitly "
+                            "seeded random.Random instance",
+                        )
+                    )
+            elif dotted.startswith("numpy.random."):
+                attr = dotted.rsplit(".", 1)[1]
+                if attr not in self._NUMPY_OK:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"numpy.random.{attr}() uses the global numpy "
+                            "generator; use numpy.random.default_rng(seed)",
+                        )
+                    )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# DET003 — wall-clock reads in simulation code
+# ----------------------------------------------------------------------
+class WallClockRule(Rule):
+    code = "DET003"
+    name = "wall-clock"
+    summary = "wall-clock reads inside simulation code; results must use the sim clock"
+    rationale = (
+        "time.time()/perf_counter()/datetime.now() read the host, not the "
+        "simulation: any value derived from them differs per run and per host, "
+        "so it can never appear in a verdict, a cache key, or a wire payload. "
+        "Simulation code must consume Simulator.now (sim-time ns). time.monotonic "
+        "is deliberately not flagged — it is the sanctioned clock for timeouts "
+        "and polling cadence, which are coordination, not results. Legitimate "
+        "wall-clock sites (heartbeat staleness, wall-clock economics reported "
+        "next to results) carry a `# repro: lint-ignore[DET003]` with a reason."
+    )
+    fix = "use the sim clock (Simulator.now) or suppress with a justified lint-ignore"
+
+    _WALL_CLOCK = {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        imports = _walk_with_imports(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func, imports)
+            if dotted in self._WALL_CLOCK:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{dotted}() reads the host wall clock; simulation "
+                        "results must be functions of the sim clock only",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# DET004 — ordered consumption of bare sets
+# ----------------------------------------------------------------------
+class SetOrderRule(Rule):
+    code = "DET004"
+    name = "set-ordering"
+    summary = "a bare set feeds an ordered construction; its iteration order is arbitrary"
+    rationale = (
+        "Set iteration order depends on insertion history and per-process string "
+        "hashing, so a set feeding a list, tuple, join, or loop that builds "
+        "ordered output produces different bytes on different hosts — fatal for "
+        "anything serialized, cache-keyed, or shipped over the wire. Membership "
+        "tests, len(), and sorted()/min()/max()/sum() over sets are fine; it is "
+        "the *ordered consumption* that must go through sorted() first."
+    )
+    fix = "wrap the set in sorted(...) before iterating into ordered output"
+
+    _ORDERED_CALLS = {"list", "tuple", "enumerate"}
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        set_names = self._set_valued_names(module.tree)
+        findings: List[Finding] = []
+
+        def is_set_expr(node: ast.AST) -> bool:
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")
+            ):
+                return True
+            if isinstance(node, ast.Name) and node.id in set_names:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in set_names:
+                return True
+            return False
+
+        def describe(node: ast.AST) -> str:
+            if isinstance(node, ast.Name):
+                return f"set {node.id!r}"
+            if isinstance(node, ast.Attribute):
+                return f"set {node.attr!r}"
+            return "a set expression"
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and is_set_expr(node.iter):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.iter,
+                        f"for-loop iterates {describe(node.iter)} directly; "
+                        "iteration order is arbitrary — sort it first",
+                    )
+                )
+            elif isinstance(node, ast.ListComp):
+                gen = node.generators[0]
+                if is_set_expr(gen.iter):
+                    findings.append(
+                        self.finding(
+                            module,
+                            gen.iter,
+                            f"list comprehension over {describe(gen.iter)} "
+                            "builds ordered output from arbitrary set order",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                target = None
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in self._ORDERED_CALLS
+                    and node.args
+                ):
+                    target = node.args[0]
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                ):
+                    target = node.args[0]
+                if target is None:
+                    continue
+                consumer = (
+                    node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else "str.join"
+                )
+                if is_set_expr(target):
+                    findings.append(
+                        self.finding(
+                            module,
+                            target,
+                            f"{consumer}() over {describe(target)} freezes "
+                            "arbitrary set order into ordered output",
+                        )
+                    )
+                elif isinstance(target, ast.GeneratorExp) and is_set_expr(
+                    target.generators[0].iter
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            target.generators[0].iter,
+                            f"{consumer}() consumes a generator over "
+                            f"{describe(target.generators[0].iter)}; the set's "
+                            "arbitrary order becomes ordered output",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _set_valued_names(tree: ast.Module) -> Set[str]:
+        """Names (and attribute names) only ever assigned set expressions.
+
+        Conservative: a name that is *ever* rebound to something that is
+        not syntactically a set drops out, so mixed-type reuse cannot
+        false-positive.
+        """
+        set_bound: Set[str] = set()
+        other_bound: Set[str] = set()
+
+        def value_is_set(value: ast.AST) -> bool:
+            return isinstance(value, (ast.Set, ast.SetComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("set", "frozenset")
+            )
+
+        def record(target: ast.AST, value: Optional[ast.AST]) -> None:
+            names: List[str] = []
+            if isinstance(target, ast.Name):
+                names = [target.id]
+            elif isinstance(target, ast.Attribute):
+                names = [target.attr]
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                other_bound.update(
+                    el.id for el in target.elts if isinstance(el, ast.Name)
+                )
+                return
+            for name in names:
+                if value is not None and value_is_set(value):
+                    set_bound.add(name)
+                else:
+                    other_bound.add(name)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    record(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                record(node.target, node.value)
+            elif isinstance(node, ast.arg):
+                other_bound.add(node.arg)
+        return set_bound - other_bound
+
+
+# ----------------------------------------------------------------------
+# WIRE001 — non-atomic binary writes / raw pickle.dump
+# ----------------------------------------------------------------------
+class AtomicWriteRule(Rule):
+    code = "WIRE001"
+    name = "non-atomic-write"
+    summary = "binary payload written without the atomic mkstemp + os.replace helper"
+    rationale = (
+        "The work-dir protocol and the session cache both promise that a file "
+        "under a final name is complete: claims are atomic renames and a torn "
+        "read degrades safely only because writers never put partial bytes at "
+        "a final path. A bare open(..., 'wb') + write (or pickle.dump) breaks "
+        "that promise the first time a worker dies mid-write. Every binary "
+        "payload must go through repro.util.atomic_write / atomic_pickle — "
+        "the helper module itself is the rule's one configured exemption."
+    )
+    fix = "route the write through repro.util.atomic_write / atomic_pickle"
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        imports = _walk_with_imports(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func, imports)
+            if dotted == "pickle.dump":
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "raw pickle.dump() to a handle; use "
+                        "repro.util.atomic_pickle so a crashed writer cannot "
+                        "leave a torn payload under a final name",
+                    )
+                )
+                continue
+            mode = self._write_binary_mode(node, dotted)
+            if mode is not None:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"open(..., {mode!r}) writes binary bytes in place; "
+                        "use repro.util.atomic_write (mkstemp + os.replace)",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _write_binary_mode(node: ast.Call, dotted: Optional[str]) -> Optional[str]:
+        """The mode string when this call opens a file for binary writing."""
+        mode_index: Optional[int] = None
+        if dotted in ("open", "io.open", "os.fdopen"):
+            mode_index = 1
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+            mode_index = 0  # pathlib-style some_path.open("wb")
+        if mode_index is None:
+            return None
+        mode_node: Optional[ast.AST] = None
+        if len(node.args) > mode_index:
+            mode_node = node.args[mode_index]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode_node = keyword.value
+        if not (isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str)):
+            return None
+        mode = mode_node.value
+        # Pure append streams ("ab") only ever add bytes at the end; the
+        # torn-write hazard is truncate/create/update modes.
+        if "b" in mode and any(flag in mode for flag in ("w", "x", "+")):
+            return mode
+        return None
+
+
+# ----------------------------------------------------------------------
+# WIRE002 — wire classes must be pickle-safe by construction
+# ----------------------------------------------------------------------
+class WireClassRule(Rule):
+    code = "WIRE002"
+    name = "wire-class-safety"
+    summary = "a wire-payload class must define pickle hooks or be allowlisted with safe fields"
+    rationale = (
+        "Everything pickled into the work dir (shards, results, verdict rows, "
+        "cache entries) crosses process and host boundaries. A class on that "
+        "path either controls its own serialized state (__getstate__/__reduce__ "
+        "— how SessionSummary drops its _capture memo and Verdict drops live "
+        "reports) or is allowlisted as a plain data carrier, in which case every "
+        "declared field must be a wire-safe type. Adding an unpicklable or "
+        "memo-carrying attribute then fails lint at commit time instead of "
+        "poisoning a shard at 2 a.m. on some worker host."
+    )
+    fix = (
+        "define __getstate__/__reduce__ on the class, or add it to "
+        "[tool.repro.lint.WIRE002] wire-allowlist and keep its fields wire-safe"
+    )
+
+    _HOOKS = {
+        "__getstate__",
+        "__reduce__",
+        "__reduce_ex__",
+        "__getnewargs__",
+        "__getnewargs_ex__",
+    }
+    _SAFE_BUILTINS = {
+        "int", "float", "str", "bool", "bytes", "complex",
+        "None", "NoneType",
+        "Optional", "Union", "Literal", "ClassVar", "Final",
+        "List", "Dict", "Tuple", "Set", "FrozenSet",
+        "Sequence", "Mapping", "MutableMapping", "Iterable", "Collection",
+        "list", "dict", "tuple", "set", "frozenset",
+    }
+    #: the protocol's payload classes; the engine's config normally
+    #: overrides this, the default keeps the rule useful config-free.
+    _DEFAULT_WIRE_CLASSES = (
+        "WorkShard",
+        "ShardResult",
+        "ScenarioJob",
+        "ScenarioVerdicts",
+        "SessionDigest",
+        "SessionSpec",
+        "SessionSummary",
+        "ScoreSpec",
+        "Verdict",
+    )
+
+    def __init__(self, options: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(options)
+        self.wire_classes: Set[str] = set(
+            self.options.get("wire-classes", self._DEFAULT_WIRE_CLASSES)
+        )
+        self.allowlist: Set[str] = set(self.options.get("wire-allowlist", ()))
+        self.safe_types: Set[str] = (
+            self._SAFE_BUILTINS
+            | self.wire_classes
+            | set(self.options.get("safe-types", ()))
+        )
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in self.wire_classes:
+                continue
+            has_hooks = any(
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name in self._HOOKS
+                for item in node.body
+            )
+            if has_hooks:
+                continue
+            if node.name not in self.allowlist:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"class {node.name} travels in wire payloads but "
+                        "defines no __getstate__/__reduce__ and is not in "
+                        "the wire allowlist",
+                    )
+                )
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.AnnAssign):
+                    continue
+                field_name = (
+                    item.target.id
+                    if isinstance(item.target, ast.Name)
+                    else "<field>"
+                )
+                for bad in self._unsafe_names(item.annotation):
+                    findings.append(
+                        self.finding(
+                            module,
+                            item,
+                            f"{node.name}.{field_name}: type {bad!r} is not "
+                            "wire-safe; give the class __getstate__/"
+                            "__reduce__, or add the type to the WIRE002 "
+                            "safe-types/wire-classes config with a "
+                            "justification",
+                        )
+                    )
+        return findings
+
+    def _unsafe_names(self, annotation: ast.AST) -> Iterable[str]:
+        """Type names in an annotation that are not wire-safe."""
+        bad: List[str] = []
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, ast.Name):
+                if node.id not in self.safe_types:
+                    bad.append(node.id)
+            elif isinstance(node, ast.Attribute):
+                if node.attr not in self.safe_types:
+                    bad.append(node.attr)
+            elif isinstance(node, ast.Subscript):
+                visit(node.value)
+                visit(node.slice)
+            elif isinstance(node, ast.Tuple):
+                for el in node.elts:
+                    visit(el)
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+                visit(node.left)
+                visit(node.right)
+            elif isinstance(node, ast.Constant):
+                if isinstance(node.value, str):
+                    # A quoted forward reference: check its head identifier.
+                    match = re.match(r"[A-Za-z_][A-Za-z0-9_]*", node.value)
+                    if match and match.group(0) not in self.safe_types:
+                        bad.append(match.group(0))
+                # None / Ellipsis constants are fine.
+
+        visit(annotation)
+        return bad
+
+
+REGISTRY: Tuple[Type[Rule], ...] = (
+    BuiltinHashRule,
+    UnseededRandomRule,
+    WallClockRule,
+    SetOrderRule,
+    AtomicWriteRule,
+    WireClassRule,
+)
+
+RULES_BY_CODE: Dict[str, Type[Rule]] = {cls.code: cls for cls in REGISTRY}

@@ -22,7 +22,13 @@ Mirrors the workflows of the paper's tooling:
 * ``worker``   — serve a distribution work dir: claim pending shards,
   execute (and score) them, publish results. Run it by hand on any machine
   that shares (or rsyncs) the coordinator's work dir and cache dir to join
-  a sweep; ``--workers M`` runs each shard as a parallel batch.
+  a sweep; ``--workers M`` runs each shard as a parallel batch;
+* ``lint``     — the determinism & wire-safety static analyzer
+  (:mod:`repro.analysis.lint`): AST rules guarding the byte-identical-
+  verdict contract (builtin ``hash()`` seeding, unseeded RNG draws,
+  wall-clock reads in sim code, unsorted set consumption, non-atomic
+  binary writes, unsafe wire-class fields). Exit 1 on any unsuppressed
+  finding; ``--rules`` prints the catalog, ``--json`` machine output.
 
 Every experiment subcommand shares one option block (``--workers``,
 ``--no-cache``, ``--cache-dir``, ``--out``) wired through a single parent
@@ -216,6 +222,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import (
+        render_json,
+        render_text,
+        rule_catalog,
+        run_lint,
+    )
+
+    if args.rules:
+        print(rule_catalog())
+        return 0
+    result = run_lint(paths=args.paths or None, root=args.root)
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.experiments.distrib import Worker
 
@@ -333,6 +355,34 @@ def build_parser() -> argparse.ArgumentParser:
         "cache without a shared --cache-dir)",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the determinism & wire-safety static analyzer "
+        "(exit 1 on unsuppressed findings)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint "
+        "(default: the [tool.repro.lint] paths in pyproject.toml)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON instead of text",
+    )
+    p.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalog (code, rationale, fix, scope) and exit",
+    )
+    p.add_argument(
+        "--root",
+        default=None,
+        help="project root holding pyproject.toml (default: current directory)",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "worker",

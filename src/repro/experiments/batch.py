@@ -37,7 +37,6 @@ import copy
 import hashlib
 import os
 import pickle
-import tempfile
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -63,6 +62,7 @@ from repro.gcode.ast import GcodeProgram
 from repro.gcode.writer import write_line
 from repro.physics.deposition import PartTrace
 from repro.sim.trace import Tracer
+from repro.util import atomic_pickle
 
 
 @dataclass(frozen=True)
@@ -456,20 +456,9 @@ class SessionCache:
         # completed batch: the in-memory entry is already stored, so degrade
         # to a warning and lose only cross-run persistence for this entry.
         payload = {"format": _CACHE_FORMAT, "key": key, "summary": summary}
-        tmp_path = None
         try:
-            fd, tmp_path = tempfile.mkstemp(
-                dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
-            )
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, self._path(key))
+            atomic_pickle(self._path(key), payload, prefix=f".{key[:16]}.")
         except (OSError, pickle.PickleError) as exc:
-            if tmp_path is not None:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
             warnings.warn(
                 f"session cache entry {key[:16]}… not persisted to "
                 f"{self.directory}: {exc}",

@@ -91,6 +91,7 @@ from repro.experiments.batch import (
     resolve_cache,
 )
 from repro.firmware.marlin import PrinterStatus
+from repro.util import atomic_pickle
 
 PAYLOAD_SHRINK_FLOOR = 5.0
 """Verdict shipping must undercut summary shipping by at least this factor.
@@ -377,23 +378,16 @@ def default_worker_id() -> str:
 
 
 def _atomic_pickle(path: str, payload: Any) -> None:
-    """Write ``payload`` under ``path`` via tmp-file + atomic rename."""
-    directory = os.path.dirname(path)
-    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".wire.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(
-                {"format": WIRE_FORMAT, "payload": payload},
-                handle,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+    """Write an enveloped wire payload under ``path`` via tmp-file + rename.
+
+    The torn-write discipline itself lives in
+    :func:`repro.util.atomic_pickle` (the WIRE001-enforced helper); this
+    wrapper only adds the :data:`WIRE_FORMAT` envelope every work-dir
+    payload must carry.
+    """
+    atomic_pickle(
+        path, {"format": WIRE_FORMAT, "payload": payload}, prefix=".wire."
+    )
 
 
 def _load_pickle(path: str) -> Optional[Any]:
@@ -600,6 +594,7 @@ class WorkDir:
         clock skew on shared filesystems.
         """
         try:
+            # repro: lint-ignore[DET003] heartbeat staleness is wall-clock by definition (file mtime vs this host's clock)
             return max(0.0, time.time() - os.path.getmtime(self._sub(_HEARTS, worker_id)))
         except OSError:
             return None
@@ -697,6 +692,7 @@ class Worker:
 
     def execute(self, claim: Claim) -> ShardResult:
         """Run (and, for scenario shards, score) one claimed shard."""
+        # repro: lint-ignore[DET003] shard wall-clock economics (host_stats reporting), never verdict content
         started = time.perf_counter()
         self.work.beat(self.worker_id)
         shard = claim.shard
@@ -723,7 +719,7 @@ class Worker:
             shard_id=shard.shard_id,
             worker_id=self.worker_id,
             summaries=summaries,
-            wall_clock_s=time.perf_counter() - started,
+            wall_clock_s=time.perf_counter() - started,  # repro: lint-ignore[DET003] economics
             rows=rows,
             session_count=len({spec.content_key() for spec in specs}),
         )

@@ -677,6 +677,7 @@ def run_sweep(
     pairs = [compile_scenario(scenario) for scenario in scenarios]
     specs = [spec for pair in pairs for spec in pair]
     unique_keys = {spec.content_key() for spec in specs}
+    # repro: lint-ignore[DET003] sweep wall-clock reporting (wall_clock_s column), never verdict content
     started = time.perf_counter()
     host_stats: List[Dict[str, Any]] = []
     requeues = 0
@@ -733,7 +734,7 @@ def run_sweep(
             ScenarioOutcome(run.scenario, run.golden, run.suspect, _score_run(run))
             for run in runs
         ]
-    wall_clock_s = time.perf_counter() - started
+    wall_clock_s = time.perf_counter() - started  # repro: lint-ignore[DET003] reporting only
     after = resolved.stats() if resolved is not None else {}
     misses = after.get("misses", 0) - before.get("misses", 0)
     if simulated_override is not None:

@@ -1,0 +1,407 @@
+"""The determinism & wire-safety analyzer (``repro lint``).
+
+Fixture-driven: every rule gets at least one violating + one clean
+snippet pair, suppressions are honored with both placements, the JSON
+output schema is pinned, and — the reason the analyzer exists — a
+regression demo proves DET001 flags the exact PR 2 ``hash()``-seeding
+bug if it is ever re-introduced. The final test is the merge gate
+itself: the analyzer must run clean over the whole repo.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.lint import (
+    JSON_SCHEMA_VERSION,
+    REGISTRY,
+    RULES_BY_CODE,
+    LintConfig,
+    load_config,
+    render_json,
+    render_text,
+    rule_catalog,
+    run_lint,
+)
+from repro.cli import main
+from repro.util import atomic_pickle, atomic_write
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def lint_snippet(tmp_path, source, config=None, name="snippet.py"):
+    """Lint one snippet in an isolated root; returns the LintResult."""
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return run_lint(
+        paths=[str(path)], root=str(tmp_path), config=config or LintConfig()
+    )
+
+
+def codes(result):
+    return [f.rule for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Fixture pairs: (rule, violating snippet, clean snippet)
+# ----------------------------------------------------------------------
+FIXTURES = [
+    (
+        "DET001",
+        "key = hash(name) % 1024\n",
+        "import zlib\nkey = zlib.crc32(name.encode()) % 1024\n",
+    ),
+    (
+        "DET001",
+        "import random\n"
+        "def rng(seed, tag):\n"
+        "    return random.Random(seed ^ hash(tag))\n",
+        "import random\nimport zlib\n"
+        "def rng(seed, tag):\n"
+        "    return random.Random(seed ^ zlib.crc32(tag.encode()))\n",
+    ),
+    (
+        "DET002",
+        "import random\njitter = random.gauss(0.0, 1.0)\n",
+        "import random\njitter = random.Random(42).gauss(0.0, 1.0)\n",
+    ),
+    (
+        "DET002",
+        "from random import shuffle\nshuffle(items)\n",
+        "import random\nrandom.Random(7).shuffle(items)\n",
+    ),
+    (
+        "DET002",
+        "import numpy as np\nnoise = np.random.rand(8)\n",
+        "import numpy as np\nnoise = np.random.default_rng(3).random(8)\n",
+    ),
+    (
+        "DET003",
+        "import time\nstamp = time.time()\n",
+        "import time\nelapsed = time.monotonic()\n",
+    ),
+    (
+        "DET003",
+        "from datetime import datetime\nwhen = datetime.now()\n",
+        "when_ns = sim.now\n",
+    ),
+    (
+        "DET004",
+        "keys = {s.key for s in specs}\nrows = list(keys)\n",
+        "keys = {s.key for s in specs}\nrows = sorted(keys)\n",
+    ),
+    (
+        "DET004",
+        'header = ",".join({"a", "b", "c"})\n',
+        'header = ",".join(sorted({"a", "b", "c"}))\n',
+    ),
+    (
+        "DET004",
+        "seen = set()\nfor item in seen:\n    emit(item)\n",
+        "seen = set()\nfor item in sorted(seen):\n    emit(item)\n"
+        "count = len(seen)\nhit = item in seen\n",
+    ),
+    (
+        "WIRE001",
+        'import pickle\n'
+        'def save(path, payload):\n'
+        '    with open(path, "wb") as handle:\n'
+        '        pickle.dump(payload, handle)\n',
+        "from repro.util import atomic_pickle\n"
+        "def save(path, payload):\n"
+        "    atomic_pickle(path, payload)\n",
+    ),
+    (
+        "WIRE001",
+        'handle = open(path, "r+b")\n',
+        'with open(path, "rb") as handle:\n    data = handle.read()\n'
+        'with open(log, "ab") as handle:\n    handle.write(b"line")\n',
+    ),
+    (
+        "WIRE002",
+        "class ScenarioJob:\n    index: int\n",
+        "class ScenarioJob:\n"
+        "    index: int\n"
+        "    def __getstate__(self):\n"
+        "        return dict(self.__dict__)\n",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,bad,clean",
+    FIXTURES,
+    ids=[f"{rule}-{i}" for i, (rule, _, _) in enumerate(FIXTURES)],
+)
+def test_fixture_pairs(tmp_path, rule, bad, clean):
+    bad_result = lint_snippet(tmp_path, bad, name="bad.py")
+    assert rule in codes(bad_result), f"{rule} missed its violating fixture"
+    clean_result = lint_snippet(tmp_path, clean, name="clean.py")
+    assert rule not in codes(clean_result), (
+        f"{rule} false-positived on its clean fixture: {clean_result.findings}"
+    )
+
+
+def test_violating_fixtures_exit_nonzero_via_cli(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text("key = hash(name)\n", encoding="utf-8")
+    assert main(["lint", str(path), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "bad.py" in out
+
+
+# ----------------------------------------------------------------------
+# The PR 2 regression demo: the exact hash()-seeding bug, re-introduced
+# ----------------------------------------------------------------------
+PR2_BUG = '''\
+import random
+
+class TrojanContext:
+    seed: int = 0
+
+    def rng_for(self, trojan_id: str) -> random.Random:
+        """A deterministic per-Trojan RNG (reproducible experiments)."""
+        return random.Random((self.seed << 8) ^ hash(trojan_id))
+'''
+
+PR2_FIX = '''\
+import random
+import zlib
+
+class TrojanContext:
+    seed: int = 0
+
+    def rng_for(self, trojan_id: str) -> random.Random:
+        return random.Random((self.seed << 8) ^ zlib.crc32(trojan_id.encode()))
+'''
+
+
+def test_regression_pr2_hash_seeding_is_flagged(tmp_path):
+    """Re-introducing PR 2's hash()-based rng_for seeding must fail lint."""
+    result = lint_snippet(tmp_path, PR2_BUG, name="base.py")
+    assert codes(result) == ["DET001"]
+    (finding,) = result.findings
+    assert finding.line == 8  # the rng_for return statement
+    assert "PYTHONHASHSEED" in finding.message
+
+
+def test_regression_pr2_shipped_fix_is_clean(tmp_path):
+    result = lint_snippet(tmp_path, PR2_FIX, name="base.py")
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_suppression_same_line(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import time\n"
+        "t = time.time()  # repro: lint-ignore[DET003] wall-clock benchmark\n",
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET003"]
+
+
+def test_suppression_comment_line_above(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import time\n"
+        "# repro: lint-ignore[DET003] wall-clock benchmark\n"
+        "t = time.time()\n",
+    )
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET003"]
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import time\n"
+        "t = time.time()  # repro: lint-ignore[DET001] wrong rule named\n",
+    )
+    assert codes(result) == ["DET003"]
+    assert not result.suppressed
+
+
+def test_suppression_star_and_multiple_codes(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import time\n"
+        "a = time.time()  # repro: lint-ignore[*] measured on purpose\n"
+        "b = list({1, 2}) and hash(b)  # repro: lint-ignore[DET001, DET004] demo\n",
+    )
+    assert result.ok
+    assert sorted(f.rule for f in result.suppressed) == [
+        "DET001",
+        "DET003",
+        "DET004",
+    ]
+
+
+# ----------------------------------------------------------------------
+# Config: path scoping and pyproject loading
+# ----------------------------------------------------------------------
+def test_rule_path_scoping(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "bench").mkdir()
+    for sub in ("src", "bench"):
+        (tmp_path / sub / "mod.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+    config = LintConfig(rule_options={"DET003": {"include": ["src"]}})
+    result = run_lint(paths=["src", "bench"], root=str(tmp_path), config=config)
+    assert [(f.rule, f.path) for f in result.findings] == [("DET003", "src/mod.py")]
+
+
+def test_rule_exempt_paths(tmp_path):
+    (tmp_path / "io.py").write_text(
+        'import pickle\n'
+        'def save(path, payload):\n'
+        '    with open(path, "wb") as handle:\n'
+        '        pickle.dump(payload, handle)\n',
+        encoding="utf-8",
+    )
+    config = LintConfig(rule_options={"WIRE001": {"exempt": ["io.py"]}})
+    result = run_lint(paths=["io.py"], root=str(tmp_path), config=config)
+    assert result.ok
+
+
+def test_load_config_from_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint]\n"
+        'paths = ["src"]\n'
+        "[tool.repro.lint.DET003]\n"
+        'include = ["src/sim"]\n',
+        encoding="utf-8",
+    )
+    config = load_config(str(tmp_path))
+    assert config.paths == ("src",)
+    assert config.rule_options["DET003"]["include"] == ["src/sim"]
+
+
+def test_wire002_allowlisted_class_with_unsafe_field(tmp_path):
+    config = LintConfig(
+        rule_options={"WIRE002": {"wire-allowlist": ["ScenarioJob"]}}
+    )
+    bad = (
+        "class ScenarioJob:\n"
+        "    index: int\n"
+        "    detector: GoldenComparisonDetector\n"
+    )
+    result = lint_snippet(tmp_path, bad, config=config)
+    assert codes(result) == ["WIRE002"]
+    assert "GoldenComparisonDetector" in result.findings[0].message
+    clean = "class ScenarioJob:\n    index: int\n    name: str\n"
+    assert lint_snippet(tmp_path, clean, config=config).ok
+
+
+def test_wire002_safe_types_config_extends_the_vocabulary(tmp_path):
+    config = LintConfig(
+        rule_options={
+            "WIRE002": {
+                "wire-allowlist": ["ScenarioJob"],
+                "safe-types": ["GcodeProgram"],
+            }
+        }
+    )
+    result = lint_snippet(
+        tmp_path, "class ScenarioJob:\n    program: GcodeProgram\n", config=config
+    )
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# Output shapes
+# ----------------------------------------------------------------------
+def test_json_output_schema_is_stable(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import time\n"
+        "a = hash(b)\n"
+        "c = time.time()  # repro: lint-ignore[DET003] demo\n",
+    )
+    payload = json.loads(render_json(result))
+    assert sorted(payload) == ["files", "findings", "ok", "schema", "suppressed"]
+    assert payload["schema"] == JSON_SCHEMA_VERSION
+    assert payload["files"] == 1
+    assert payload["ok"] is False
+    (finding,) = payload["findings"]
+    assert sorted(finding) == ["col", "line", "message", "path", "rule"]
+    assert finding["rule"] == "DET001"
+    (suppressed,) = payload["suppressed"]
+    assert suppressed["rule"] == "DET003"
+
+
+def test_text_output_names_file_line_and_rule(tmp_path):
+    result = lint_snippet(tmp_path, "key = hash(name)\n", name="mod.py")
+    text = render_text(result)
+    assert "mod.py:1:" in text
+    assert "DET001" in text
+    assert "1 finding(s)" in text
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    result = lint_snippet(tmp_path, "def broken(:\n")
+    assert codes(result) == ["SYNTAX"]
+
+
+def test_rule_catalog_documents_every_rule():
+    catalog = rule_catalog()
+    for cls in REGISTRY:
+        assert cls.code in catalog
+        assert cls.summary in catalog
+    assert main(["lint", "--rules"]) == 0
+
+
+def test_registry_codes_are_unique_and_documented():
+    assert len(RULES_BY_CODE) == len(REGISTRY)
+    for cls in REGISTRY:
+        assert cls.rationale and cls.fix and cls.summary and cls.name
+
+
+# ----------------------------------------------------------------------
+# The merge gate: the analyzer runs clean over the whole repository
+# ----------------------------------------------------------------------
+def test_repo_is_lint_clean():
+    """`repro lint src scripts benchmarks` must exit 0 on the merged tree."""
+    result = run_lint(root=REPO_ROOT)
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings
+    )
+    # The justified wall-clock sites (heartbeat staleness, wall-clock
+    # economics in distrib/scenario) are suppressed, not silently missed.
+    assert len(result.suppressed) >= 5
+    assert all(f.rule == "DET003" for f in result.suppressed)
+
+
+# ----------------------------------------------------------------------
+# The WIRE001-enforced helper itself
+# ----------------------------------------------------------------------
+def test_atomic_write_writes_and_replaces(tmp_path):
+    target = tmp_path / "payload.bin"
+    atomic_write(str(target), lambda handle: handle.write(b"first"))
+    atomic_write(str(target), lambda handle: handle.write(b"second"))
+    assert target.read_bytes() == b"second"
+    assert [p.name for p in tmp_path.iterdir()] == ["payload.bin"]
+
+
+def test_atomic_write_failure_leaves_no_trace(tmp_path):
+    target = tmp_path / "payload.bin"
+
+    def explode(handle):
+        handle.write(b"partial")
+        raise RuntimeError("writer died mid-payload")
+
+    with pytest.raises(RuntimeError):
+        atomic_write(str(target), explode)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_atomic_pickle_round_trip(tmp_path):
+    target = tmp_path / "obj.pkl"
+    atomic_pickle(str(target), {"rows": [1, 2, 3]})
+    with open(target, "rb") as handle:
+        assert pickle.load(handle) == {"rows": [1, 2, 3]}
