@@ -9,7 +9,7 @@ export PYTHONPATH
 # the repo root (see .gitignore).
 REPRO_CI_CACHE_DIR ?= .repro-session-cache
 
-.PHONY: test lint lint-det bench sweep smoke smoke-distrib ci
+.PHONY: test lint lint-det bench sweep smoke smoke-distrib speed-gate ci
 
 test:
 	python -m pytest -x -q
@@ -59,7 +59,13 @@ smoke-distrib:
 	python scripts/smoke_distrib.py --workers 2 \
 		--record benchmarks/out/distributed_sweep.txt
 
+# Fast-path throughput non-regression gate: re-measures the smoke grid's
+# cold sessions/sec through the vectorized fast path and fails if it drops
+# below the floor recorded in benchmarks/bench_session_speed.py.
+speed-gate:
+	python benchmarks/bench_session_speed.py --check
+
 # Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay in
 # lockstep: lint -> determinism lint -> tier-1 tests -> incremental smoke
-# sweep -> distributed smoke parity.
-ci: lint lint-det test smoke smoke-distrib
+# sweep -> distributed smoke parity -> fast-path speed gate.
+ci: lint lint-det test smoke smoke-distrib speed-gate

@@ -214,6 +214,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         hosts=args.hosts,
         work_dir=args.work_dir,
         ship_summaries=args.ship_summaries,
+        fast_path=not args.precise,
         **_batch_kwargs(args),
     )
     _emit(args, result.render())
@@ -345,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--work-dir",
         help="distribution work directory (pending/claimed/done shards); "
         "defaults to a temp dir. Point external `repro worker` hosts here.",
+    )
+    p.add_argument(
+        "--precise",
+        action="store_true",
+        help="force the per-event precise simulation path instead of the "
+        "default batched fast path (verdicts are byte-identical either way; "
+        "fast and precise sessions cache under distinct keys)",
     )
     p.add_argument(
         "--ship-summaries",

@@ -31,7 +31,11 @@ class AxisTracker:
         self._dir_wires = {axis: harness.upstream(f"{axis}_DIR") for axis in AXES}
         self._first_step_listeners: List[Callable[[int], None]] = []
         for axis in AXES:
-            harness.upstream(f"{axis}_STEP").on_pulse(self._make_handler(axis))
+            harness.upstream(f"{axis}_STEP").on_pulse(
+                self._make_handler(axis),
+                batch=self._make_batch_handler(axis),
+                ready=self._batch_ready,
+            )
 
     def _make_handler(self, axis: str):
         dir_wire = self._dir_wires[axis]
@@ -44,6 +48,22 @@ class AxisTracker:
                 self.first_step_ns = time_ns
                 for listener in list(self._first_step_listeners):
                     listener(time_ns)
+
+        return handle
+
+    def _batch_ready(self, _count: int) -> bool:
+        # The first armed step fires listeners that schedule kernel events
+        # (the UART export sync) — that pulse must dispatch individually.
+        return not self.armed or self.first_step_ns >= 0
+
+    def _make_batch_handler(self, axis: str):
+        dir_wire = self._dir_wires[axis]
+
+        def handle(_wire, times_ns, _width_ns: int) -> None:
+            if not self.armed:
+                return
+            count = len(times_ns)
+            self.counts[axis] += count if dir_wire.value else -count
 
         return handle
 

@@ -25,9 +25,14 @@ class LayerChangeWatcher:
         self.layer_events = 0
         self._listeners: List[Callable[[int], None]] = []
         self._z_dir = harness.upstream("Z_DIR")
+        # Z pulses stay per-step (no batch handler): the layer decision and
+        # its listeners depend on exact interleaving with X/Y counts, so any
+        # step window containing a Z pulse falls back to precise dispatch —
+        # which also means the X/Y bulk increments below can never reorder
+        # around a Z pulse.
         harness.upstream("Z_STEP").on_pulse(self._on_z_step)
-        harness.upstream("X_STEP").on_pulse(self._on_xy_step)
-        harness.upstream("Y_STEP").on_pulse(self._on_xy_step)
+        harness.upstream("X_STEP").on_pulse(self._on_xy_step, batch=self._on_xy_batch)
+        harness.upstream("Y_STEP").on_pulse(self._on_xy_step, batch=self._on_xy_batch)
 
     def on_layer_change(self, callback: Callable[[int], None]) -> None:
         """Subscribe ``callback(time_ns)`` to layer-change events."""
@@ -35,6 +40,9 @@ class LayerChangeWatcher:
 
     def _on_xy_step(self, _wire, _time_ns: int, _width_ns: int) -> None:
         self._xy_steps_since_z += 1
+
+    def _on_xy_batch(self, _wire, times_ns, _width_ns: int) -> None:
+        self._xy_steps_since_z += len(times_ns)
 
     def _on_z_step(self, _wire, time_ns: int, _width_ns: int) -> None:
         moved_enough = self._xy_steps_since_z >= _MIN_XY_STEPS_BETWEEN_LAYERS

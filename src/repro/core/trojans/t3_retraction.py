@@ -50,10 +50,19 @@ class RetractionTrojan(Trojan):
 
     def _on_attach(self) -> None:
         self._e_dir = self.ctx.harness.upstream("E_DIR")
-        self.ctx.harness.upstream("Y_STEP").on_pulse(self._note_y_step)
+        # Batch-capable tap: only the *latest* Y time is read, and it is only
+        # read while intercepting E_STEP pulses — which always dispatch
+        # per-step (interception vetoes batching), after any Y bulk window
+        # they could share a chunk with has fully applied.
+        self.ctx.harness.upstream("Y_STEP").on_pulse(
+            self._note_y_step, batch=self._note_y_batch
+        )
 
     def _note_y_step(self, _wire, time_ns: int, _width_ns: int) -> None:
         self._last_y_step_ns = time_ns
+
+    def _note_y_batch(self, _wire, times_ns, _width_ns: int) -> None:
+        self._last_y_step_ns = int(times_ns[-1])
 
     def _y_recent(self, time_ns: int) -> bool:
         return time_ns - self._last_y_step_ns <= _Y_RECENT_WINDOW_NS

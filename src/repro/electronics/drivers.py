@@ -9,7 +9,7 @@ Microstep resolution is set by the RAMPS configuration jumpers (1/16 default).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import ElectronicsError
 from repro.sim.signals import DigitalWire, StepWire
@@ -35,6 +35,8 @@ class A4988Driver:
         on_step: Callable[[int, int], None],
         microsteps: int = 16,
         invert_direction: bool = False,
+        on_step_batch: Optional[Callable[[int, int, int], None]] = None,
+        on_step_ready: Optional[Callable[[int, int], bool]] = None,
     ) -> None:
         if microsteps not in VALID_MICROSTEPS:
             raise ElectronicsError(f"A4988 microstep setting must be one of {VALID_MICROSTEPS}")
@@ -44,9 +46,15 @@ class A4988Driver:
         self._direction_wire = direction
         self._enable_wire = enable
         self._on_step = on_step
+        self._on_step_batch = on_step_batch
+        self._on_step_ready = on_step_ready
         self.steps_taken = 0
         self.missed_steps = 0
-        step.on_pulse(self._handle_pulse)
+        step.on_pulse(
+            self._handle_pulse,
+            batch=self._handle_pulse_batch,
+            ready=self._pulse_batch_ready,
+        )
 
     @property
     def enabled(self) -> bool:
@@ -65,3 +73,20 @@ class A4988Driver:
             return
         self.steps_taken += 1
         self._on_step(self.direction, time_ns)
+
+    def _pulse_batch_ready(self, count: int) -> bool:
+        # EN and DIR are level signals driven by kernel events; a batch spans
+        # an event-free window, so both are constant across its pulses.
+        if not self.enabled:
+            return True  # the whole run is missed steps — trivially bulkable
+        if self._on_step_batch is None or self._on_step_ready is None:
+            return False
+        return self._on_step_ready(self.direction, count)
+
+    def _handle_pulse_batch(self, _wire: StepWire, times_ns, _width_ns: int) -> None:
+        count = len(times_ns)
+        if not self.enabled:
+            self.missed_steps += count
+            return
+        self.steps_taken += count
+        self._on_step_batch(self.direction, count, int(times_ns[-1]))

@@ -56,7 +56,11 @@ class SignalPath:
     def _attach_forwarder(self) -> None:
         kind = self.spec.kind
         if kind is SignalKind.STEP:
-            self.upstream.on_pulse(self._on_step)
+            self.upstream.on_pulse(
+                self._on_step,
+                batch=self._on_step_batch,
+                ready=self._step_batch_ready,
+            )
         elif kind is SignalKind.DIGITAL:
             self.upstream.on_edge(self._on_level)
         elif kind is SignalKind.PWM:
@@ -69,6 +73,14 @@ class SignalPath:
             self._interceptor(self, "pulse", width_ns, time_ns)
         else:
             self.downstream.pulse(width_ns)
+
+    def _step_batch_ready(self, count: int) -> bool:
+        # An interceptor (FPGA Trojan mux) sees every pulse individually and
+        # may schedule kernel events per pulse — never batch through it.
+        return self._interceptor is None and self.downstream.batch_ready(count)
+
+    def _on_step_batch(self, _wire: StepWire, times_ns, width_ns: int) -> None:
+        self.downstream.pulse_batch(times_ns, width_ns)
 
     def _on_level(self, _wire: DigitalWire, value: int, time_ns: int) -> None:
         if self._interceptor is not None:

@@ -48,6 +48,12 @@ class RampsBoard:
                 enable=harness.downstream(f"{axis}_EN"),
                 on_step=lambda direction, t, _axis=axis: plant.motor_step(_axis, direction, t),
                 microsteps=microsteps,
+                on_step_batch=lambda direction, count, t, _axis=axis: plant.motor_step_batch(
+                    _axis, direction, count, t
+                ),
+                on_step_ready=lambda direction, count, _axis=axis: plant.can_batch_steps(
+                    _axis, direction, count
+                ),
             )
 
         # Heater / fan MOSFETs: downstream PWM duty → plant power.
@@ -77,7 +83,10 @@ class RampsBoard:
             axis = name.split("_")[0]
             endstop = Endstop(name, harness.upstream(name), trigger_position_mm=0.0)
             self.endstops[axis] = endstop
-            plant.axes[axis].on_move(self._make_endstop_updater(endstop))
+            plant.axes[axis].on_move(
+                self._make_endstop_updater(endstop),
+                range_ok=self._make_endstop_range_ok(endstop),
+            )
             endstop.update(plant.axes[axis].position_mm)
 
         # Thermistors: plant temperature → divider voltage on the upstream
@@ -99,6 +108,17 @@ class RampsBoard:
             endstop.update(position_mm)
 
         return update
+
+    @staticmethod
+    def _make_endstop_range_ok(endstop: Endstop):
+        # The switch state is pure position (pressed ⟺ pos ≤ trigger): a run
+        # whose span sits strictly on one side of the trigger can never
+        # transition, so the final-position update is per-step-equivalent.
+        def range_ok(lo_mm: float, hi_mm: float) -> bool:
+            trigger = endstop.trigger_position_mm
+            return lo_mm > trigger or hi_mm <= trigger
+
+        return range_ok
 
     def _refresh_thermistors(self) -> None:
         for channel in self.thermistors.values():

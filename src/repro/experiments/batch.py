@@ -88,6 +88,8 @@ class SessionSpec:
     trace_signals: bool = False
     use_host_protocol: bool = False
     route_all_through_fpga: bool = False
+    fast_path: bool = False
+    wire_traces_only: bool = False
     label: str = ""
     cacheable: bool = False
 
@@ -136,6 +138,8 @@ class SessionSpec:
                     self.trace_signals,
                     self.use_host_protocol,
                     self.route_all_through_fpga,
+                    self.fast_path,
+                    self.wire_traces_only,
                 )
             ).encode()
         )
@@ -294,6 +298,8 @@ def execute_spec(spec: SessionSpec) -> SessionResult:
         uart_period_ms=spec.uart_period_ms,
         trace_signals=spec.trace_signals,
         use_host_protocol=spec.use_host_protocol,
+        fast_path=spec.fast_path,
+        wire_traces_only=spec.wire_traces_only,
     )
     if spec.route_all_through_fpga:
         session.board.route_through_fpga(

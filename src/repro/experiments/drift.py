@@ -75,6 +75,7 @@ def run_drift(
                 noise_seed=seed,
                 label=f"seed{seed}",
                 cacheable=True,
+                fast_path=True,
             )
             for seed in seeds
         ],

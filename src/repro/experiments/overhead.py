@@ -70,8 +70,15 @@ def run_overhead(
 
     traced, mitm = run_sessions(
         [
-            SessionSpec(program=program, trace_signals=True, label="bypass"),
-            SessionSpec(program=program, route_all_through_fpga=True, label="mitm"),
+            SessionSpec(
+                program=program, trace_signals=True, label="bypass", fast_path=True
+            ),
+            SessionSpec(
+                program=program,
+                route_all_through_fpga=True,
+                label="mitm",
+                fast_path=True,
+            ),
         ],
         workers=workers,
         cache=cache,

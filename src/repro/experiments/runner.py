@@ -92,13 +92,20 @@ class PrintSession:
         uart_period_ms: int = 100,
         trace_signals: bool = False,
         use_host_protocol: bool = False,
+        fast_path: bool = False,
+        wire_traces_only: bool = False,
     ) -> None:
+        if wire_traces_only and trojan is not None:
+            raise ReproError("wire_traces_only replay cannot host a Trojan")
         self.program = program
         self.sim = Simulator()
         self.harness = SignalHarness(self.sim)
         self.plant = PrinterPlant(self.sim, plant_profile)
         self.ramps = RampsBoard(self.sim, self.harness, self.plant)
-        self.firmware = MarlinFirmware(self.sim, config or MarlinConfig(), self.harness)
+        self.firmware = MarlinFirmware(
+            self.sim, config or MarlinConfig(), self.harness, fast_path=fast_path
+        )
+        self.wire_traces_only = wire_traces_only
 
         # The OFFRAMPS platform and its monitoring modules.
         self.fabric = FpgaFabric(self.sim)
@@ -106,13 +113,18 @@ class PrintSession:
         self.homing_detector = HomingDetector(self.harness)
         self.tracker = AxisTracker(self.harness)
         self.uart_bus = UartBus()
-        self.exporter = UartExporter(
-            self.sim,
-            self.tracker,
-            self.homing_detector,
-            bus=self.uart_bus,
-            period_ms=uart_period_ms,
-        )
+        # Replay mode consumes only the wire traces: skip the periodic UART
+        # export (and with it the tracker arm/first-step sync) so the event
+        # queue carries nothing but motion — the capture stays empty.
+        self.exporter: Optional[UartExporter] = None
+        if not wire_traces_only:
+            self.exporter = UartExporter(
+                self.sim,
+                self.tracker,
+                self.homing_detector,
+                bus=self.uart_bus,
+                period_ms=uart_period_ms,
+            )
         self.capture = PulseCapture(self.uart_bus)
 
         self.trojan_control = TrojanControl(
@@ -130,7 +142,7 @@ class PrintSession:
             self.trojan_control.enable(trojan.trojan_id)
 
         self.tracer: Optional[Tracer] = None
-        if trace_signals:
+        if trace_signals or wire_traces_only:
             self.tracer = Tracer()
             self.tracer.watch(self.harness.upstream(name) for name in _CONTROL_SIGNALS)
 
@@ -154,7 +166,8 @@ class PrintSession:
             raise ReproError("a PrintSession can only run once")
         self._ran = True
 
-        self.plant.start_sampling()
+        if not self.wire_traces_only:
+            self.plant.start_sampling()
         if self._use_host_protocol:
             self.firmware.attach_source(SerialHost(self.program))
         else:
@@ -172,7 +185,8 @@ class PrintSession:
 
         duration_s = self.sim.now / 1e9
         # Teardown: stop periodic activity so the event queue can drain.
-        self.exporter.stop()
+        if self.exporter is not None:
+            self.exporter.stop()
         self.firmware.power_off()
         self.ramps.shutdown()
         self.plant.stop_sampling()
@@ -206,6 +220,8 @@ def run_print(
     trace_signals: bool = False,
     use_host_protocol: bool = False,
     config: Optional[MarlinConfig] = None,
+    fast_path: bool = False,
+    wire_traces_only: bool = False,
 ) -> SessionResult:
     """Convenience wrapper: one call, one printed part, one result."""
     base_config = config or MarlinConfig()
@@ -219,5 +235,7 @@ def run_print(
         uart_period_ms=uart_period_ms,
         trace_signals=trace_signals,
         use_host_protocol=use_host_protocol,
+        fast_path=fast_path,
+        wire_traces_only=wire_traces_only,
     )
     return session.run(grace_s=grace_s)

@@ -369,7 +369,9 @@ class ScenarioSpec:
         return self.attack is not None
 
 
-def compile_scenario(scenario: ScenarioSpec) -> Tuple[SessionSpec, SessionSpec]:
+def compile_scenario(
+    scenario: ScenarioSpec, fast_path: bool = True
+) -> Tuple[SessionSpec, SessionSpec]:
     """Compile a scenario to its (golden, suspect) SessionSpec pair.
 
     Noise seeds are normalized to 0 whenever ``noise_sigma == 0`` so that
@@ -384,10 +386,19 @@ def compile_scenario(scenario: ScenarioSpec) -> Tuple[SessionSpec, SessionSpec]:
     :class:`~repro.experiments.batch.SessionCache`. A repeat sweep over a
     persistent cache directory re-simulates nothing; a grown grid simulates
     only its delta.
+
+    ``fast_path`` (on by default) compiles both sessions for the batched
+    step-emission fast path; it is part of the content key, so fast and
+    precise runs of the same scenario never alias in the cache. The parity
+    harness pins their verdict rows byte-identical regardless.
     """
     program = part_program(scenario.part)
     noise = scenario.noise_sigma
-    common = dict(noise_sigma=noise, uart_period_ms=scenario.uart_period_ms)
+    common = dict(
+        noise_sigma=noise,
+        uart_period_ms=scenario.uart_period_ms,
+        fast_path=fast_path,
+    )
     golden = SessionSpec(
         program=program,
         noise_seed=scenario.golden_seed if noise > 0 else 0,
@@ -437,11 +448,13 @@ class ScenarioRun:
     suspect: SessionSummary
 
 
-def _compile_all(scenarios: Sequence[ScenarioSpec]) -> List[SessionSpec]:
+def _compile_all(
+    scenarios: Sequence[ScenarioSpec], fast_path: bool = True
+) -> List[SessionSpec]:
     """Every scenario's (golden, suspect) specs, flattened in order."""
     specs: List[SessionSpec] = []
     for scenario in scenarios:
-        specs.extend(compile_scenario(scenario))
+        specs.extend(compile_scenario(scenario, fast_path=fast_path))
     return specs
 
 
@@ -459,6 +472,7 @@ def run_scenarios(
     scenarios: Sequence[ScenarioSpec],
     workers: Optional[int] = 1,
     cache: CacheOption = None,
+    fast_path: bool = True,
 ) -> List[ScenarioRun]:
     """Execute every scenario's sessions as one flat deduplicated batch.
 
@@ -470,7 +484,10 @@ def run_scenarios(
     instead.
     """
     summaries = run_sessions(
-        _compile_all(scenarios), workers=workers, cache=cache, strict=True
+        _compile_all(scenarios, fast_path=fast_path),
+        workers=workers,
+        cache=cache,
+        strict=True,
     )
     return _pair_runs(scenarios, summaries)
 
@@ -648,6 +665,7 @@ def run_sweep(
     hosts: int = 1,
     work_dir: Optional[str] = None,
     ship_summaries: bool = False,
+    fast_path: bool = True,
 ) -> SweepResult:
     """Execute and score a scenario grid: one batch, then detector verdicts.
 
@@ -671,10 +689,15 @@ def run_sweep(
     verdicts are identical to a single-host run by construction, and the
     result additionally carries per-host economics (``host_stats``), the
     dead-worker re-queue count, and the ``done/`` payload byte count.
+
+    Sessions compile for the batched step-emission fast path by default;
+    ``fast_path=False`` (CLI ``--precise``) forces the per-event reference
+    path. The two populate distinct cache keys and, by the parity harness's
+    contract, identical verdict rows.
     """
     resolved = resolve_cache(cache)
     before = resolved.stats() if resolved is not None else {}
-    pairs = [compile_scenario(scenario) for scenario in scenarios]
+    pairs = [compile_scenario(scenario, fast_path=fast_path) for scenario in scenarios]
     specs = [spec for pair in pairs for spec in pair]
     unique_keys = {spec.content_key() for spec in specs}
     # repro: lint-ignore[DET003] sweep wall-clock reporting (wall_clock_s column), never verdict content

@@ -74,7 +74,7 @@ def table1_spec(
 ) -> SessionSpec:
     """The Table I session for one Trojan (None = golden T0) as a spec."""
     if trojan_id is None:
-        return SessionSpec(program=program, label="T0", cacheable=True)
+        return SessionSpec(program=program, label="T0", cacheable=True, fast_path=True)
     attack = get_attack(trojan_id)
     return SessionSpec(
         program=program,
@@ -83,6 +83,7 @@ def table1_spec(
         trojan_seed=seed,
         grace_s=attack.grace_s,
         label=trojan_id,
+        fast_path=True,
     )
 
 

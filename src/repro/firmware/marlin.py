@@ -50,13 +50,19 @@ class PrinterStatus(enum.Enum):
 class MarlinFirmware:
     """A Marlin-like controller bound to one harness."""
 
-    def __init__(self, sim: Simulator, config: MarlinConfig, harness: SignalHarness) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MarlinConfig,
+        harness: SignalHarness,
+        fast_path: bool = False,
+    ) -> None:
         self.sim = sim
         self.config = config
         self.harness = harness
         self.state = MachineState(config)
         self.planner = MotionPlanner(config)
-        self.stepper = StepperExecutor(sim, config, harness, self.planner)
+        self.stepper = StepperExecutor(sim, config, harness, self.planner, fast_path=fast_path)
         self.homing = HomingController(sim, config, harness, self.stepper, self.state)
 
         self.hotend = HeaterController(

@@ -40,11 +40,16 @@ class MotionBlock:
     entry_speed: float = 0.0
     exit_speed: float = 0.0
     busy: bool = False
+    _step_event_count: Optional[int] = None
 
     @property
     def step_event_count(self) -> int:
-        """Number of step events: the dominant axis's |steps|."""
-        return max(abs(count) for count in self.steps.values())
+        """Number of step events: the dominant axis's |steps| (memoized —
+        ``steps`` is never mutated after construction and the stepper ISR
+        reads this per event)."""
+        if self._step_event_count is None:
+            self._step_event_count = max(abs(count) for count in self.steps.values())
+        return self._step_event_count
 
     def max_allowable_entry(self, exit_speed: float) -> float:
         """Fastest entry speed that can still decelerate to ``exit_speed``."""

@@ -9,6 +9,21 @@ schedules events one at a time so aborts and endstop stops are immediate.
 The optional *time-noise* model scales each block's execution rate by a
 zero-mean random factor — the "time noise" of asynchronous manufacturing
 systems the paper cites as the reason for its 5 % detection margin.
+
+Fast path (``fast_path=True``, requires numpy): step times are solved as
+array ops (:meth:`StepperExecutor._step_times_array`, pinned int-for-int
+equal to the scalar reference) and steps are emitted in *chunks* — one
+kernel event per run of steps spanning an event-free window, with pulses
+delivered in bulk through :meth:`~repro.sim.signals.StepWire.pulse_batch`.
+Every consumer on the wire must declare itself batch-capable for the
+window's pulse count; anything that needs per-step granularity (a Trojan
+interceptor on the path, an endstop the run would cross, a travel-limit
+clamp, the armed tracker's first-step sync, a plain test tap) vetoes the
+batch and that step dispatches precisely. Chunks never span a pending
+kernel event, never outrun ``Simulator.run``'s window, and the final step
+of a block is always precise, so aborts, homing, and block-done chaining
+keep their exact per-event semantics — the byte-identical-verdict contract
+is preserved by construction, not by luck.
 """
 
 from __future__ import annotations
@@ -17,14 +32,26 @@ import math
 import random
 from typing import Callable, Dict, List, Optional
 
+try:  # the fast path vectorizes over numpy; without it we run precise-only.
+    import numpy as np
+except ImportError:  # pragma: no cover - the container ships numpy
+    np = None
+
 from repro.errors import FirmwareError
 from repro.firmware.config import MarlinConfig
 from repro.firmware.planner import AXES, MotionBlock, MotionPlanner
 from repro.electronics.harness import SignalHarness
 from repro.sim.kernel import EventHandle, Simulator
-from repro.sim.time import US
+from repro.sim.time import MS, US
 
 _DIR_SETTLE_NS = 2 * US  # DIR→STEP setup time honoured at block start
+
+# Latency ceiling for one emitted chunk of steps. Chunks already stop at the
+# next pending kernel event — in a full session the 20 ms deposition sampler
+# and 50 ms thermistor refresh bound every window — so this cap only matters
+# when the queue is otherwise empty; it bounds how far a single bulk event
+# can run ahead of anything a test or module might schedule next.
+FAST_CHUNK_MAX_NS = 20 * MS
 
 
 class StepperExecutor:
@@ -36,11 +63,13 @@ class StepperExecutor:
         config: MarlinConfig,
         harness: SignalHarness,
         planner: MotionPlanner,
+        fast_path: bool = False,
     ) -> None:
         self.sim = sim
         self.config = config
         self.harness = harness
         self.planner = planner
+        self.fast_path = bool(fast_path and np is not None)
         self._rng = random.Random(config.time_noise_seed)
 
         self._step_wires = {axis: harness.upstream(f"{axis}_STEP") for axis in AXES}
@@ -56,6 +85,20 @@ class StepperExecutor:
         self._block_start_ns = 0
         self._handle: Optional[EventHandle] = None
         self._homing = False
+        # Fast-path per-block state (None while executing precisely):
+        # _pulse_cum[axis][j] = cumulative pulses after j step events (the
+        # closed-form DDA), _pulse_idx[axis] = sorted event indices at which
+        # the axis pulses, _abs_times = absolute ns of every step event.
+        self._pulse_cum: Optional[Dict[str, "np.ndarray"]] = None
+        self._pulse_idx: Optional[Dict[str, "np.ndarray"]] = None
+        self._abs_times: Optional["np.ndarray"] = None
+        # Some vetoes are one-step transient (the armed tracker's first-step
+        # sync), others block-stable (an interceptor on the path, an endstop
+        # in range). Retrying the window scan after every vetoed step would
+        # cost more than the precise path it falls back to, so after a few
+        # consecutive vetoes chunking is abandoned for the rest of the block.
+        self._chunking = False
+        self._veto_streak = 0
 
         self.on_block_done: List[Callable[[], None]] = []
         self.on_idle: List[Callable[[], None]] = []
@@ -100,12 +143,45 @@ class StepperExecutor:
         for axis in AXES:
             if block.steps[axis] != 0:
                 self._dir_wires[axis].drive(1 if block.steps[axis] > 0 else 0)
-        self._times = self._step_times(block)
         self._block_start_ns = self.sim.now
+        if self.fast_path:
+            times = self._step_times_array(block)
+            self._times = times
+            self._abs_times = self._block_start_ns + times
+            cum: Dict[str, "np.ndarray"] = {}
+            idx: Dict[str, "np.ndarray"] = {}
+            for axis in AXES:
+                axis_steps = abs(block.steps[axis])
+                if axis_steps == 0:
+                    continue
+                # Closed form of the DDA: after j events the accumulator is
+                # (count//2 + j*a) mod count, and the axis has pulsed
+                # (count//2 + j*a) // count times — event j-1 pulses exactly
+                # when that quotient increments.
+                cumulative = (
+                    count // 2 + np.arange(0, count + 1, dtype=np.int64) * axis_steps
+                ) // count
+                cum[axis] = cumulative
+                idx[axis] = np.nonzero(cumulative[1:] > cumulative[:-1])[0]
+            self._pulse_cum = cum
+            self._pulse_idx = idx
+            self._chunking = True
+            self._veto_streak = 0
+        else:
+            self._times = self._step_times(block)
+            self._pulse_cum = None
+            self._pulse_idx = None
+            self._abs_times = None
+            self._chunking = False
         self._schedule_next()
 
-    def _step_times(self, block: MotionBlock) -> List[int]:
-        """Absolute-offset (ns) times of each step event within the block."""
+    def _block_profile(self, block: MotionBlock):
+        """Solve the block's trapezoid; shared by scalar and vector paths.
+
+        Returns ``(d_accel, d_cruise, v_peak, t_accel, t_cruise, noise)``.
+        Draws at most one noise sample from the RNG, so scalar and vector
+        executions consume the stream identically.
+        """
         v_entry, v_exit = block.entry_speed, block.exit_speed
         v_nominal, accel, distance = block.nominal_speed, block.acceleration, block.distance_mm
 
@@ -128,6 +204,18 @@ class StepperExecutor:
         sigma = self.config.time_noise_sigma
         if sigma > 0:
             noise = 1.0 + max(-3 * sigma, min(3 * sigma, self._rng.gauss(0.0, sigma)))
+        return d_accel, d_cruise, v_peak, t_accel, t_cruise, noise
+
+    def _step_times(self, block: MotionBlock) -> List[int]:
+        """Absolute-offset (ns) times of each step event within the block.
+
+        The scalar reference implementation. :meth:`_step_times_array` must
+        return exactly these integers — the property test in
+        ``tests/test_fast_path.py`` pins the equality.
+        """
+        d_accel, d_cruise, v_peak, t_accel, t_cruise, noise = self._block_profile(block)
+        v_entry = block.entry_speed
+        accel, distance = block.acceleration, block.distance_mm
 
         count = block.step_event_count
         times: List[int] = []
@@ -148,21 +236,76 @@ class StepperExecutor:
                 times[i] = times[i - 1]
         return times
 
+    def _step_times_array(self, block: MotionBlock) -> "np.ndarray":
+        """Vectorized :meth:`_step_times`: same integers, numpy throughput.
+
+        Every operation mirrors the scalar path's order and associativity
+        (``(2*accel)*s`` not ``2*(accel*s)``, scalar ``t_accel + t_cruise``
+        folded first, truncation via int64 cast) so IEEE-754 rounding — and
+        therefore the emitted nanosecond — is bit-identical.
+        """
+        d_accel, d_cruise, v_peak, t_accel, t_cruise, noise = self._block_profile(block)
+        v_entry = block.entry_speed
+        accel, distance = block.acceleration, block.distance_mm
+
+        count = block.step_event_count
+        k = np.arange(1, count + 1, dtype=np.float64)
+        s = distance * k / count
+
+        t = np.empty(count, dtype=np.float64)
+        accel_mask = s <= d_accel + 1e-12
+        cruise_mask = ~accel_mask & (s <= d_accel + d_cruise + 1e-12)
+        decel_mask = ~(accel_mask | cruise_mask)
+        if accel_mask.any():
+            sa = s[accel_mask]
+            t[accel_mask] = (
+                np.sqrt(np.maximum(v_entry**2 + 2 * accel * sa, 0.0)) - v_entry
+            ) / accel
+        if cruise_mask.any():
+            sc = s[cruise_mask]
+            t[cruise_mask] = t_accel + (sc - d_accel) / v_peak
+        if decel_mask.any():
+            s_decel = s[decel_mask] - d_accel - d_cruise
+            v_term = np.sqrt(np.maximum(v_peak**2 - 2 * accel * s_decel, 0.0))
+            t[decel_mask] = (t_accel + t_cruise) + (v_peak - v_term) / accel
+
+        times = _DIR_SETTLE_NS + (t * noise * 1e9).astype(np.int64)
+        # Guarantee strictly nondecreasing times (rounding can tie).
+        return np.maximum.accumulate(times)
+
     def _schedule_next(self) -> None:
         if self._block is None:
             return
-        if self._index >= len(self._times):
+        n = len(self._times)
+        if self._index >= n:
             self._finish_block()
             return
-        at = self._block_start_ns + self._times[self._index]
-        self._handle = self.sim.schedule_at(at, self._emit_step)
+        at = self._block_start_ns + int(self._times[self._index])
+        if self._chunking and self._index < n - 1:
+            # The final step of a block always dispatches precisely so
+            # _finish_block (and the command pump it wakes) runs at the
+            # last step's own timestamp, exactly as in precise mode.
+            self._handle = self.sim.schedule_at(at, self._emit_chunk)
+        else:
+            self._handle = self.sim.schedule_at(at, self._emit_step)
 
     def _emit_step(self) -> None:
         block = self._block
         if block is None:
             return
-        count = block.step_event_count
         width = self.config.step_pulse_width_ns
+        if self._pulse_cum is not None:
+            # Fast block, precise step: read the closed-form DDA instead of
+            # the accumulator (which bulk emission does not maintain).
+            i = self._index
+            for axis, cumulative in self._pulse_cum.items():
+                if cumulative[i + 1] > cumulative[i]:
+                    self._step_wires[axis].pulse(width)
+                    self.steps_emitted[axis] += 1 if block.steps[axis] > 0 else -1
+            self._index += 1
+            self._schedule_next()
+            return
+        count = block.step_event_count
         for axis in AXES:
             axis_steps = abs(block.steps[axis])
             if axis_steps == 0:
@@ -175,10 +318,71 @@ class StepperExecutor:
         self._index += 1
         self._schedule_next()
 
+    def _emit_chunk(self) -> None:
+        """Emit every step in the largest provably-safe event-free window.
+
+        Fires at the first pending step's own timestamp. The window ends
+        strictly before the next pending kernel event (so no foreign
+        callback ever observes half-applied bulk state), at the kernel's
+        ``run`` bound, at :data:`FAST_CHUNK_MAX_NS`, and always before the
+        block's final step. If the window is empty or any wire consumer
+        vetoes bulk delivery, exactly one step dispatches precisely and
+        the next scheduling decision tries again.
+        """
+        block = self._block
+        if block is None:
+            return
+        abs_times = self._abs_times
+        i0 = self._index
+        n = len(abs_times)
+
+        limit = self._block_start_ns + int(self._times[i0]) + FAST_CHUNK_MAX_NS
+        until = self.sim.run_until_ns
+        if until is not None and until < limit:
+            limit = until
+        # Steps at or before `limit` (inclusive: run() dispatches events at
+        # exactly until_ns), but strictly before the next pending event.
+        i1 = int(np.searchsorted(abs_times, limit, side="right"))
+        next_event = self.sim.next_event_time()
+        if next_event is not None:
+            i1 = min(i1, int(np.searchsorted(abs_times, next_event, side="left")))
+        i1 = min(i1, n - 1)
+
+        if i1 <= i0:
+            self._emit_step()
+            return
+
+        width = self.config.step_pulse_width_ns
+        spans = []
+        for axis, indices in self._pulse_idx.items():
+            lo = int(np.searchsorted(indices, i0, side="left"))
+            hi = int(np.searchsorted(indices, i1, side="left"))
+            if hi > lo:
+                spans.append((axis, indices, lo, hi))
+        for axis, _indices, lo, hi in spans:
+            if not self._step_wires[axis].batch_ready(hi - lo):
+                self._veto_streak += 1
+                if self._veto_streak >= 3:
+                    self._chunking = False
+                self._emit_step()
+                return
+        self._veto_streak = 0
+
+        for axis, indices, lo, hi in spans:
+            times = abs_times[indices[lo:hi]]
+            self._step_wires[axis].pulse_batch(times, width)
+            pulses = hi - lo
+            self.steps_emitted[axis] += pulses if block.steps[axis] > 0 else -pulses
+        self._index = i1
+        self._schedule_next()
+
     def _finish_block(self) -> None:
         block = self._block
         self._block = None
         self._handle = None
+        self._pulse_cum = None
+        self._pulse_idx = None
+        self._abs_times = None
         if block is not None:
             self.planner.release_block(block)
             self.blocks_executed += 1
@@ -248,3 +452,6 @@ class StepperExecutor:
             self.planner.release_block(self._block)
             self._block = None
         self._homing = False
+        self._pulse_cum = None
+        self._pulse_idx = None
+        self._abs_times = None

@@ -36,14 +36,27 @@ class AxisMechanics:
         self.crash_steps = 0
         self.total_steps = 0
         self._listeners: List[Callable[[str, float, int], None]] = []
+        self._range_oks: List[Optional[Callable[[float, float], bool]]] = []
 
     @property
     def position_mm(self) -> float:
         return self.position_steps / self.steps_per_mm
 
-    def on_move(self, callback: Callable[[str, float, int], None]) -> None:
-        """Subscribe ``callback(axis_name, position_mm, time_ns)`` to motion."""
+    def on_move(
+        self,
+        callback: Callable[[str, float, int], None],
+        range_ok: Optional[Callable[[float, float], bool]] = None,
+    ) -> None:
+        """Subscribe ``callback(axis_name, position_mm, time_ns)`` to motion.
+
+        ``range_ok(lo_mm, hi_mm)`` declares the listener insensitive to
+        intermediate positions inside that span: when every accepted step
+        of a monotonic run stays within [lo, hi] and range_ok approves,
+        one callback at the final position is equivalent to one per step.
+        Listeners without ``range_ok`` veto batching entirely.
+        """
         self._listeners.append(callback)
+        self._range_oks.append(range_ok)
 
     def step(self, direction: int, time_ns: int) -> None:
         """Advance one microstep in ``direction`` (+1/-1), honouring limits."""
@@ -60,5 +73,41 @@ class AxisMechanics:
             return
         self.position_steps = candidate
         position_mm = candidate / self.steps_per_mm
+        for listener in self._listeners:
+            listener(self.name, position_mm, time_ns)
+
+    def batch_ok(self, direction: int, count: int) -> bool:
+        """Can ``count`` steps in ``direction`` be applied as one update?
+
+        True only when (a) the whole monotonic run stays inside the travel
+        limits — the end position suffices since every intermediate lies
+        between start and end — and (b) every listener declared, via its
+        ``range_ok``, that it cannot observe a transition inside the span.
+        """
+        if direction not in (1, -1):
+            return False
+        end = self.position_steps + direction * count
+        end_mm = end / self.steps_per_mm
+        if self.min_mm is not None and end_mm < self.min_mm:
+            return False
+        if self.max_mm is not None and end_mm > self.max_mm:
+            return False
+        start_mm = self.position_steps / self.steps_per_mm
+        lo_mm = min(start_mm, end_mm)
+        hi_mm = max(start_mm, end_mm)
+        for range_ok in self._range_oks:
+            if range_ok is None or not range_ok(lo_mm, hi_mm):
+                return False
+        return True
+
+    def step_batch(self, direction: int, count: int, time_ns: int) -> None:
+        """Apply ``count`` accepted steps at once; one listener call at the end.
+
+        Only valid after :meth:`batch_ok` approved the same run — no limit
+        clamping happens here, and listeners see only the final position.
+        """
+        self.total_steps += count
+        self.position_steps += direction * count
+        position_mm = self.position_steps / self.steps_per_mm
         for listener in self._listeners:
             listener(self.name, position_mm, time_ns)

@@ -106,6 +106,19 @@ class PrinterPlant:
             raise PlantError(f"unknown axis {axis!r}") from None
         mechanics.step(direction, time_ns)
 
+    def can_batch_steps(self, axis: str, direction: int, count: int) -> bool:
+        """True when ``count`` steps on ``axis`` can be applied in bulk."""
+        mechanics = self.axes.get(axis)
+        return mechanics is not None and mechanics.batch_ok(direction, count)
+
+    def motor_step_batch(self, axis: str, direction: int, count: int, time_ns: int) -> None:
+        """Apply a :meth:`can_batch_steps`-approved run of microsteps at once."""
+        try:
+            mechanics = self.axes[axis]
+        except KeyError:
+            raise PlantError(f"unknown axis {axis!r}") from None
+        mechanics.step_batch(direction, count, time_ns)
+
     def set_hotend_power(self, power_w: float, time_ns: int) -> None:
         self.hotend.set_power(power_w, time_ns)
 

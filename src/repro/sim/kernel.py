@@ -23,7 +23,7 @@ class EventHandle:
     :meth:`cancel` at any time before that.
     """
 
-    __slots__ = ("time_ns", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time_ns", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
     def __init__(
         self,
@@ -31,6 +31,7 @@ class EventHandle:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time_ns = time_ns
         self.seq = seq
@@ -38,9 +39,12 @@ class EventHandle:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
+        if not self.cancelled and not self.fired and self._sim is not None:
+            self._sim._pending -= 1
         self.cancelled = True
 
     @property
@@ -74,8 +78,10 @@ class Simulator:
         self._queue: List[EventHandle] = []
         self._seq: int = 0
         self._dispatched: int = 0
+        self._pending: int = 0
         self._running: bool = False
         self._stop_requested: bool = False
+        self._run_until_ns: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -92,8 +98,30 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        """Number of queued, non-cancelled events.
+
+        O(1): a live counter maintained on schedule/cancel/dispatch rather
+        than a full-queue scan (the heap still holds cancelled carcasses
+        until they bubble to the head).
+        """
+        return self._pending
+
+    @property
+    def run_until_ns(self) -> Optional[int]:
+        """The ``until_ns`` bound of the :meth:`run` call in progress.
+
+        ``None`` outside :meth:`run` (or when running unbounded). Batch-
+        emitting components clip their chunks to this so a single bulk
+        event never emits activity past the window the caller asked for.
+        """
+        return self._run_until_ns
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the next runnable event, or ``None`` if idle.
+
+        Prunes cancelled heads as a side effect, like dispatch would.
+        """
+        return self._next_pending_time()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -111,8 +139,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time_ns}ns, already at t={self._now}ns"
             )
-        handle = EventHandle(time_ns, self._seq, callback, args)
+        handle = EventHandle(time_ns, self._seq, callback, args, self)
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -135,6 +164,7 @@ class Simulator:
                 continue
             self._now = handle.time_ns
             handle.fired = True
+            self._pending -= 1
             self._dispatched += 1
             handle.callback(*handle.args)
             return True
@@ -157,20 +187,33 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         self._stop_requested = False
+        self._run_until_ns = until_ns
         dispatched = 0
+        # Bind hot names once: the loop below is the innermost dispatch path.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if self._stop_requested:
                     break
                 if max_events is not None and dispatched >= max_events:
                     break
-                head = self._queue[0]
+                head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
                 if until_ns is not None and head.time_ns > until_ns:
                     break
-                self.step()
+                # Dispatch inline: the head we just inspected is the event
+                # to run, so pop it directly instead of re-peeking through
+                # step() (which would pop, re-check cancellation, and
+                # re-branch). step() stays as the public single-step API.
+                heappop(queue)
+                self._now = head.time_ns
+                head.fired = True
+                self._pending -= 1
+                self._dispatched += 1
+                head.callback(*head.args)
                 dispatched += 1
             if until_ns is not None and self._now < until_ns and not self._stop_requested:
                 next_time = self._next_pending_time()
@@ -178,6 +221,7 @@ class Simulator:
                     self._now = until_ns
         finally:
             self._running = False
+            self._run_until_ns = None
         return dispatched
 
     def _next_pending_time(self) -> Optional[int]:

@@ -21,6 +21,11 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, List, Optional
 
+try:  # numpy accelerates batched-pulse bookkeeping; plain loops otherwise.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
 from repro.errors import SimulationError
 from repro.sim.kernel import Simulator
 
@@ -105,14 +110,46 @@ class StepWire(Wire):
     def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, name)
         self._subscribers: List[Callable[["StepWire", int, int], Any]] = []
+        self._batch_handlers: List[Optional[Callable[["StepWire", Any, int], Any]]] = []
+        self._ready_checks: List[Optional[Callable[[int], bool]]] = []
         self.pulse_count = 0
         self.last_pulse_ns: Optional[int] = None
         self.min_interval_ns: Optional[int] = None
         self.min_width_ns: Optional[int] = None
 
-    def on_pulse(self, callback: Callable[["StepWire", int, int], Any]) -> None:
-        """Subscribe ``callback(wire, time_ns, width_ns)`` to pulses."""
+    def on_pulse(
+        self,
+        callback: Callable[["StepWire", int, int], Any],
+        *,
+        batch: Optional[Callable[["StepWire", Any, int], Any]] = None,
+        ready: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        """Subscribe ``callback(wire, time_ns, width_ns)`` to pulses.
+
+        A subscriber may additionally declare itself batch-capable by
+        providing ``batch(wire, times_ns, width_ns)`` — called once for a
+        whole run of pulses with their explicit timestamps — plus an
+        optional ``ready(count)`` predicate consulted before every batch.
+        Dispatching ``batch`` must be observably identical to dispatching
+        ``callback`` once per timestamp whenever ``ready`` returned True.
+        """
         self._subscribers.append(callback)
+        self._batch_handlers.append(batch)
+        self._ready_checks.append(ready)
+
+    def batch_ready(self, count: int) -> bool:
+        """True when every subscriber can absorb ``count`` pulses in bulk.
+
+        Any subscriber without a batch handler (tests, ad-hoc taps) or
+        whose readiness check declines vetoes batching — the emitter then
+        falls back to per-pulse dispatch, which is always correct.
+        """
+        for handler, ready in zip(self._batch_handlers, self._ready_checks):
+            if handler is None:
+                return False
+            if ready is not None and not ready(count):
+                return False
+        return True
 
     def pulse(self, width_ns: int = DEFAULT_WIDTH_NS) -> None:
         """Emit one step pulse at the current simulation time."""
@@ -129,6 +166,48 @@ class StepWire(Wire):
         self.pulse_count += 1
         for callback in list(self._subscribers):
             callback(self, now, width_ns)
+
+    def pulse_batch(self, times_ns: Any, width_ns: int = DEFAULT_WIDTH_NS) -> None:
+        """Emit a run of pulses at explicit ``times_ns`` (nondecreasing ints).
+
+        Only valid after :meth:`batch_ready` approved the same count: stats
+        update exactly as ``count`` sequential :meth:`pulse` calls would,
+        then each subscriber's batch handler runs once, in subscription
+        order. Timestamps are passed explicitly because the kernel clock
+        sits at the *chunk* event's time, not at each pulse's.
+        """
+        count = len(times_ns)
+        if count == 0:
+            return
+        if width_ns <= 0:
+            raise SimulationError(f"pulse width must be positive, got {width_ns}ns")
+        first = int(times_ns[0])
+        last = int(times_ns[-1])
+        min_gap = self.min_interval_ns
+        prev = self.last_pulse_ns
+        if prev is not None:
+            gap = first - prev
+            if gap > 0 and (min_gap is None or gap < min_gap):
+                min_gap = gap
+        if _np is not None and isinstance(times_ns, _np.ndarray):
+            diffs = _np.diff(times_ns)
+            positive = diffs[diffs > 0]
+            if positive.size:
+                batch_min = int(positive.min())
+                if min_gap is None or batch_min < min_gap:
+                    min_gap = batch_min
+        else:
+            for i in range(1, count):
+                gap = int(times_ns[i]) - int(times_ns[i - 1])
+                if gap > 0 and (min_gap is None or gap < min_gap):
+                    min_gap = gap
+        self.min_interval_ns = min_gap
+        if self.min_width_ns is None or width_ns < self.min_width_ns:
+            self.min_width_ns = width_ns
+        self.last_pulse_ns = last
+        self.pulse_count += count
+        for handler in list(self._batch_handlers):
+            handler(self, times_ns, width_ns)
 
     @property
     def max_frequency_hz(self) -> Optional[float]:

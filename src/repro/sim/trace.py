@@ -92,7 +92,10 @@ class Tracer:
             wire.on_pulse(
                 lambda _w, t, width, _tr=trace: _tr.events.append(
                     TraceEvent(t, "pulse", float(width))
-                )
+                ),
+                batch=lambda _w, times, width, _tr=trace: _tr.events.extend(
+                    TraceEvent(int(t), "pulse", float(width)) for t in times
+                ),
             )
         elif isinstance(wire, DigitalWire):
             wire.on_edge(

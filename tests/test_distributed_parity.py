@@ -1,10 +1,17 @@
-"""Randomized distributed-vs-serial parity: the invariant that rots silently.
+"""Randomized fast/precise/distributed parity: invariants that rot silently.
 
-Every execution topology — serial in-process, ``--hosts 2`` (verdict
-shipping, worker-side scoring), ``--hosts 2 --workers 2`` (per-host
-parallel batches on top) — must produce **byte-identical** verdict CSV
-rows for the same scenarios. Each topology runs against its *own* cold
-cache directory, so the parity is between genuinely independent
+Two byte-identity contracts, one harness:
+
+* **Topology parity** — serial in-process, ``--hosts 2`` (verdict shipping,
+  worker-side scoring), ``--hosts 2 --workers 2`` (per-host parallel batches
+  on top) must produce **byte-identical** verdict CSV rows for the same
+  scenarios.
+* **Execution-path parity** — the vectorized/batched fast path and the
+  per-step precise path must produce **byte-identical** verdict CSV rows,
+  serially and across the distributed topologies.
+
+Each run gets its *own* cold cache directory (and fast/precise sessions key
+differently anyway), so every parity below is between genuinely independent
 executions, not between a run and its cache.
 
 The subsets are seeded-random draws from the union of the ``smoke`` and
@@ -75,3 +82,71 @@ def test_random_subset_parity_across_topologies(seed, sweep_env):
         assert distributed.ok == serial.ok
         assert distributed.sessions_simulated == serial.sessions_simulated
         assert distributed.transport == "verdict rows"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", (4411, 5513))
+def test_fast_vs_precise_parity_serial(seed, sweep_env):
+    """The byte-identical-verdict contract, at the sweep level."""
+    pool = _scenario_pool()
+    rng = random.Random(seed)
+    subset = rng.sample(pool, k=rng.randint(2, 3))
+
+    precise = run_sweep(
+        subset,
+        cache=sweep_env.cache("precise-cache"),
+        grid=f"precise-{seed}",
+        fast_path=False,
+    )
+    fast = run_sweep(
+        subset,
+        cache=sweep_env.cache("fast-cache"),
+        grid=f"fast-{seed}",
+        fast_path=True,
+    )
+    reference = _csv_rows(precise)
+    assert reference
+    assert _csv_rows(fast) == reference
+    assert fast.ok == precise.ok
+    assert fast.sessions_simulated == precise.sessions_simulated
+
+
+@pytest.mark.slow
+def test_fast_vs_precise_parity_composed_topology(sweep_env):
+    """Fast path under ``--hosts 2 --workers 2`` == precise path serial."""
+    pool = _scenario_pool()
+    subset = random.Random(6617).sample(pool, k=2)
+
+    precise_serial = run_sweep(
+        subset,
+        cache=sweep_env.cache("precise-cache"),
+        grid="xpath",
+        fast_path=False,
+    )
+    fast_composed = run_sweep(
+        subset,
+        cache=sweep_env.cache("fast-composed-cache"),
+        grid="xpath",
+        hosts=2,
+        workers=2,
+        work_dir=sweep_env.work_dir("fast-composed-work"),
+        fast_path=True,
+    )
+    reference = _csv_rows(precise_serial)
+    assert reference
+    assert _csv_rows(fast_composed) == reference
+
+
+@pytest.mark.slow
+def test_fast_and_precise_sessions_never_share_cache(sweep_env):
+    """The fast_path flag is part of the session content key: a precise
+    sweep against a cache warmed by a fast sweep must recompute, not alias."""
+    pool = _scenario_pool()
+    subset = [pool[0]]
+    shared = sweep_env.cache("shared-cache")
+
+    fast = run_sweep(subset, cache=shared, grid="alias", fast_path=True)
+    precise = run_sweep(subset, cache=shared, grid="alias", fast_path=False)
+    assert _csv_rows(precise) == _csv_rows(fast)
+    # A cache hit would have left sessions_simulated at 0.
+    assert precise.sessions_simulated == fast.sessions_simulated > 0

@@ -148,11 +148,11 @@ class TestCompilation:
 
         legacy_golden = SessionSpec(
             program=program, noise_sigma=0.0005, noise_seed=GOLDEN_SEED,
-            uart_period_ms=100, cacheable=True,
+            uart_period_ms=100, cacheable=True, fast_path=True,
         )
         legacy_suspect = SessionSpec(
             program=Flaw3dReduction(0.5).apply(program),
-            noise_sigma=0.0005, noise_seed=2001, uart_period_ms=100,
+            noise_sigma=0.0005, noise_seed=2001, uart_period_ms=100, fast_path=True,
         )
         assert golden.content_key() == legacy_golden.content_key()
         assert suspect.content_key() == legacy_suspect.content_key()

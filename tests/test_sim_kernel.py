@@ -175,6 +175,77 @@ class TestRunControl:
         sim.run()
 
 
+class TestPendingCounter:
+    """``pending_events`` is a live counter now, not an O(n) queue scan."""
+
+    def test_counts_scheduled_events(self, sim):
+        for i in range(4):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.pending_events == 4
+
+    def test_dispatch_decrements(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run(until_ns=15)
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_decrements_immediately(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_double_cancel_decrements_once(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_decrement(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run(until_ns=15)
+        handle.cancel()  # already fired: a no-op, not a double-count
+        assert sim.pending_events == 1
+
+    def test_step_decrements(self, sim):
+        sim.schedule(10, lambda: None)
+        assert sim.step() is True
+        assert sim.pending_events == 0
+
+
+class TestRunIntrospection:
+    """The fast path reads the kernel's dispatch window and next deadline."""
+
+    def test_next_event_time(self, sim):
+        assert sim.next_event_time() is None
+        sim.schedule(50, lambda: None)
+        sim.schedule(10, lambda: None)
+        assert sim.next_event_time() == 10
+
+    def test_next_event_time_skips_cancelled(self, sim):
+        early = sim.schedule(10, lambda: None)
+        sim.schedule(50, lambda: None)
+        early.cancel()
+        assert sim.next_event_time() == 50
+
+    def test_run_until_ns_visible_during_run_only(self, sim):
+        seen = []
+        sim.schedule(10, lambda: seen.append(sim.run_until_ns))
+        assert sim.run_until_ns is None
+        sim.run(until_ns=100)
+        assert seen == [100]
+        assert sim.run_until_ns is None
+
+    def test_run_until_ns_none_for_unbounded_run(self, sim):
+        seen = []
+        sim.schedule(10, lambda: seen.append(sim.run_until_ns))
+        sim.run()
+        assert seen == [None]
+
+
 class TestPeriodicTasks:
     def test_fires_every_period(self, sim):
         ticks = []
