@@ -9,7 +9,7 @@ export PYTHONPATH
 # the repo root (see .gitignore).
 REPRO_CI_CACHE_DIR ?= .repro-session-cache
 
-.PHONY: test lint lint-det bench sweep smoke smoke-distrib speed-gate ci
+.PHONY: test lint lint-det bench sweep smoke smoke-service smoke-distrib speed-gate ci serve
 
 test:
 	python -m pytest -x -q
@@ -31,8 +31,12 @@ lint:
 lint-det:
 	python -m repro lint src scripts benchmarks
 
+# Micro-benchmarks. With pytest-benchmark installed these report timing
+# stats; without it, benchmarks/conftest.py substitutes a pass-through
+# `benchmark` fixture so the suite still runs as a plain correctness check
+# (the repo keeps zero mandatory third-party deps).
 bench:
-	python -m pytest benchmarks/ --benchmark-only
+	python -m pytest benchmarks/ -q
 
 # sweep's nonzero exit means "detection gap reported", not "crash" — don't
 # fail the make run over it.
@@ -49,6 +53,22 @@ smoke:
 		--cache-dir $(REPRO_CI_CACHE_DIR) \
 		--csv benchmarks/out/smoke-sweep.csv \
 		--html benchmarks/out/smoke-sweep.html
+
+# Service smoke: drive the sweep service end-to-end in-process (WSGI app +
+# SQLite job store): submit the smoke grid over HTTP, poll to completion,
+# assert the served report.csv is byte-identical to the `make smoke` CSV,
+# and assert a warm resubmission (same instance AND a second instance over
+# the same store file) is answered from the store with 0 sessions simulated.
+# Runs after `make smoke` so the reference CSV and session cache are warm.
+smoke-service:
+	python scripts/smoke_service.py \
+		--cache-dir $(REPRO_CI_CACHE_DIR) \
+		--record benchmarks/out/smoke-service.txt
+
+# Run the sweep service locally (zero-dep stdlib server unless the
+# [service] extra's FastAPI stack is importable).
+serve:
+	python -m repro serve --cache-dir $(REPRO_CI_CACHE_DIR)
 
 # Distributed smoke parity: the smoke grid through serial, `--hosts 2
 # --workers 2` (worker-side scoring, verdict-row payloads), a warm repeat,
@@ -67,5 +87,6 @@ speed-gate:
 
 # Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay in
 # lockstep: lint -> determinism lint -> tier-1 tests -> incremental smoke
-# sweep -> distributed smoke parity -> fast-path speed gate.
-ci: lint lint-det test smoke smoke-distrib speed-gate
+# sweep -> service smoke (HTTP parity + store dedup) -> distributed smoke
+# parity -> fast-path speed gate.
+ci: lint lint-det test smoke smoke-service smoke-distrib speed-gate

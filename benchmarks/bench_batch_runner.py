@@ -9,8 +9,9 @@ Three claims about the :class:`~repro.experiments.batch.BatchRunner`:
    across worker processes beats the serial path by >= 2x. On a single-core
    host the wall-clock comparison is still recorded, but no speedup is
    demanded (there is nothing to parallelize onto).
-3. **Cache** — re-running an experiment with the shared golden-print cache
-   skips the cacheable golden session entirely.
+3. **Cache** — re-running an experiment with the content-keyed session
+   cache skips every session entirely (all ten Table I sessions are
+   cacheable, golden and suspects alike).
 """
 
 import os
@@ -41,14 +42,15 @@ def test_batch_runner_parity_speedup_and_cache(benchmark, out_dir):
     # Parity: the parallel path reproduces the serial rows exactly.
     assert parallel_rows == serial_rows
 
-    # Cache: a keyed cache makes the golden session free on the second run.
+    # Cache: the content-keyed cache makes every session free on a rerun.
     cache = GoldenPrintCache()
     run_table1(workers=1, cache=cache)
-    assert len(cache) == 1  # the golden (T0) session is the cacheable one
+    cached_sessions = len(cache)
+    assert cached_sessions == 10  # golden + nine suspects, all content-keyed
     t0 = time.perf_counter()
     cached_rows = run_table1(workers=1, cache=cache)
     cached_s = time.perf_counter() - t0
-    assert cache.hits == 1
+    assert cache.hits == cached_sessions
     assert cached_rows == serial_rows
 
     lines = [

@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Service parity + dedup smoke check (`make smoke-service`).
+
+Drives the sweep service end-to-end, entirely in-process (the WSGI app
+through :class:`repro.service.ServiceClient` — no socket, no third-party
+HTTP stack), and asserts the service adds transport and storage without
+changing a byte of science:
+
+1. **submit** the smoke grid against a fresh SQLite job store (sharing
+   the CI session-cache dir) and **poll** ``GET /jobs/{id}`` to
+   completion, the way a remote client would;
+2. the fetched ``GET /jobs/{id}/report.csv`` must be **byte-identical**
+   to the CSV `make smoke` writes (``benchmarks/out/smoke-sweep.csv``) —
+   one sweep semantics whether you arrive via CLI or HTTP. The reference
+   is regenerated through the real CLI if missing;
+3. **re-submitting** the identical grid must be answered from the store:
+   HTTP 200 (not 201), ``deduped_from`` pointing at the first job,
+   ``sessions_simulated == 0`` in its stats, and the same CSV bytes;
+4. a **second service instance over the same store file** (a different
+   "user") must dedup the same way — the across-runs contract.
+
+Exit code 0 means every check held; any drift exits 1 with a diagnostic.
+With ``--record PATH`` the measured numbers are written there (the CI
+target records into ``benchmarks/out/smoke-service.txt``).
+
+Run from the repo root: ``python scripts/smoke_service.py [--grid smoke]
+[--cache-dir DIR] [--record PATH]`` (the script puts ``src/`` on
+``sys.path`` itself).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.service import ServiceClient, create_app  # noqa: E402
+
+
+class ServiceSmokeFailure(Exception):
+    pass
+
+
+def reference_csv(path: str, cache_dir: str, grid: str) -> bytes:
+    """The `make smoke` CSV bytes, regenerating via the real CLI if absent."""
+    if not os.path.exists(path):
+        from repro.cli import main as repro_main
+
+        print(f"reference {path} missing; generating via `repro sweep`")
+        code = repro_main(
+            ["sweep", "--grid", grid, "--cache-dir", cache_dir, "--csv", path]
+        )
+        if code != 0:
+            raise ServiceSmokeFailure(f"reference sweep exited {code}")
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def wait_done(client: ServiceClient, job_id: int, timeout_s: float = 600.0) -> dict:
+    """Poll GET /jobs/{id} to a terminal state, like a remote client."""
+    deadline = time.monotonic() + timeout_s
+    polls = 0
+    while True:
+        response = client.get(f"/jobs/{job_id}")
+        if response.status_code != 200:
+            raise ServiceSmokeFailure(
+                f"poll GET /jobs/{job_id} -> {response.status_code}: {response.text}"
+            )
+        job = response.json()
+        polls += 1
+        if job["state"] in ("done", "failed"):
+            job["polls"] = polls
+            return job
+        if time.monotonic() >= deadline:
+            raise ServiceSmokeFailure(
+                f"job {job_id} still {job['state']} "
+                f"({job['sessions_done']}/{job['sessions_total']}) "
+                f"after {timeout_s:.0f}s"
+            )
+        time.sleep(0.1)
+
+
+def expect_dedup(response, source_id: int, label: str) -> dict:
+    """A resubmission response must be answered from the store, not simulated."""
+    if response.status_code != 200:
+        raise ServiceSmokeFailure(
+            f"{label}: expected HTTP 200 (deduped), got {response.status_code}: "
+            f"{response.text}"
+        )
+    job = response.json()
+    if job["state"] != "done" or job["deduped_from"] != source_id:
+        raise ServiceSmokeFailure(
+            f"{label}: expected a job born done deduped from {source_id}, got "
+            f"{json.dumps(job)}"
+        )
+    simulated = (job["stats"] or {}).get("sessions_simulated")
+    if simulated != 0:
+        raise ServiceSmokeFailure(
+            f"{label}: deduped job reports {simulated} sessions simulated; "
+            "expected 0"
+        )
+    return job
+
+
+def check_service(grid: str, cache_dir: str, reference: bytes, base: str) -> str:
+    db = os.path.join(base, "jobs.sqlite3")
+    app = create_app(db=db, cache=cache_dir)
+    client = ServiceClient(app)
+
+    health = client.get("/healthz").json()
+    if health.get("status") != "ok":
+        raise ServiceSmokeFailure(f"unhealthy service: {health}")
+
+    submitted = client.post("/jobs", {"grid": grid})
+    if submitted.status_code != 201:
+        raise ServiceSmokeFailure(
+            f"submit: expected HTTP 201, got {submitted.status_code}: "
+            f"{submitted.text}"
+        )
+    job = wait_done(client, submitted.json()["id"])
+    if job["state"] != "done" or not job["ok"]:
+        raise ServiceSmokeFailure(
+            f"job {job['id']} finished {job['state']} (ok={job['ok']}): "
+            f"{job['error'] or 'detection gap in the smoke grid'}"
+        )
+
+    served = client.get(f"/jobs/{job['id']}/report.csv")
+    if served.status_code != 200:
+        raise ServiceSmokeFailure(
+            f"report.csv -> {served.status_code}: {served.text}"
+        )
+    if served.content != reference:
+        raise ServiceSmokeFailure(
+            "service CSV drifted from `make smoke` reference:\n"
+            f"--- make smoke ---\n{reference.decode('utf-8')}\n"
+            f"--- service ---\n{served.text}"
+        )
+
+    # Warm resubmission, same instance: answered from the store.
+    deduped = expect_dedup(
+        client.post("/jobs", {"grid": grid}), job["id"], "warm resubmit"
+    )
+    if client.get(f"/jobs/{deduped['id']}/report.csv").content != reference:
+        raise ServiceSmokeFailure("deduped job served different CSV bytes")
+    app.manager.close()
+
+    # A second instance over the same store file — the across-runs contract.
+    app2 = create_app(db=db, cache=cache_dir)
+    client2 = ServiceClient(app2)
+    rerun = expect_dedup(
+        client2.post("/jobs", {"grid": grid}), job["id"], "second instance"
+    )
+    if client2.get(f"/jobs/{rerun['id']}/report.csv").content != reference:
+        raise ServiceSmokeFailure("second instance served different CSV bytes")
+    total = client2.get("/healthz").json()["jobs"]
+    app2.manager.close()
+
+    stats = job["stats"] or {}
+    return "\n".join(
+        [
+            f"grid: {grid} ({job['scenarios']} scenarios, "
+            f"{job['sessions_total']} unique sessions)",
+            f"submitted job {job['id']}: done after {job['polls']} polls, "
+            f"{stats.get('wall_clock_s', 0.0):.2f}s wall clock, "
+            f"{stats.get('sessions_simulated', 0)} simulated / "
+            f"{stats.get('cache_hits', 0) + stats.get('cache_disk_hits', 0)} "
+            "from cache",
+            f"report.csv: byte-identical to benchmarks/out/{grid}-sweep.csv "
+            f"({len(reference)} B)",
+            f"warm resubmit (job {deduped['id']}): HTTP 200, "
+            f"deduped_from={deduped['deduped_from']}, 0 sessions simulated",
+            f"second service instance (job {rerun['id']}): deduped across "
+            f"runs from the same store, 0 sessions simulated",
+            f"store: {total} jobs total",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", default="smoke", help="grid to submit")
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CI_CACHE_DIR", ".repro-session-cache"),
+        help="session-cache dir shared with `make smoke` (default: "
+        "$REPRO_CI_CACHE_DIR or .repro-session-cache)",
+    )
+    parser.add_argument(
+        "--reference",
+        default=None,
+        help="the `make smoke` CSV to compare against "
+        "(default: benchmarks/out/<grid>-sweep.csv)",
+    )
+    parser.add_argument(
+        "--record",
+        help="also write the measured numbers to this file "
+        "(CI records benchmarks/out/smoke-service.txt)",
+    )
+    args = parser.parse_args(argv)
+    ref_path = args.reference or os.path.join(
+        "benchmarks", "out", f"{args.grid}-sweep.csv"
+    )
+
+    try:
+        reference = reference_csv(ref_path, args.cache_dir, args.grid)
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-service-") as base:
+            section = check_service(args.grid, args.cache_dir, reference, base)
+    except ServiceSmokeFailure as failure:
+        print(f"smoke-service: FAIL — {failure}")
+        return 1
+    print("smoke-service: OK\n" + section)
+    if args.record:
+        os.makedirs(os.path.dirname(args.record) or ".", exist_ok=True)
+        with open(args.record, "w", encoding="utf-8") as handle:
+            handle.write(
+                "sweep service: HTTP parity + store dedup\n"
+                "(scripts/smoke_service.py; WSGI app driven in-process)\n\n"
+            )
+            handle.write(section)
+            handle.write("\n")
+        print(f"recorded -> {args.record}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -239,6 +239,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    backend = args.backend
+    if backend == "auto":
+        try:
+            import fastapi  # noqa: F401
+
+            backend = "fastapi"
+        except ImportError:
+            backend = "wsgi"
+    cache = args.cache_dir if args.cache_dir else not args.no_cache
+    workers = args.workers  # None = honor each submission's own setting
+    if backend == "fastapi":
+        from repro.service.fastapi_app import (
+            create_fastapi_app,
+            run_uvicorn_server,
+        )
+
+        app = create_fastapi_app(db=args.db, cache=cache, workers=workers)
+        run_uvicorn_server(app, args.host, args.port)
+    else:
+        from repro.service.app import create_app, run_wsgi_server
+
+        app = create_app(db=args.db, cache=cache, workers=workers)
+        run_wsgi_server(app, args.host, args.port)
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.experiments.distrib import Worker
 
@@ -391,6 +418,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="project root holding pyproject.toml (default: current directory)",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep service (HTTP API + persistent SQLite job store)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument(
+        "--db",
+        default=".repro-service/jobs.sqlite3",
+        help="SQLite job-store path; identical submissions dedup against "
+        "completed jobs already in this store (':memory:' for ephemeral)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="persistent session-cache directory shared with CLI sweeps "
+        "(default: in-memory per-process cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the session cache entirely",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pin every job to this many worker processes "
+        "(default: honor each submission's own 'workers' field)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("auto", "wsgi", "fastapi"),
+        default="auto",
+        help="HTTP frontend: the zero-dependency stdlib WSGI server, the "
+        "FastAPI/uvicorn stack from the [service] extra, or auto-detect "
+        "(fastapi when importable, else wsgi)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "worker",

@@ -652,6 +652,7 @@ def run_sessions(
     workers: Optional[int] = 1,
     cache: CacheOption = None,
     strict: bool = False,
+    progress: Optional[Callable[[SessionSummary], None]] = None,
 ) -> List[SessionSummary]:
     """Convenience wrapper: one batch through a fresh :class:`BatchRunner`.
 
@@ -661,8 +662,13 @@ def run_sessions(
     use it so a crashed session fails their artifact loudly instead of
     silently contributing empty data; sweep-style callers score FAILED
     summaries as reportable rows instead.
+
+    ``progress`` is forwarded to :meth:`BatchRunner.run`: one call per
+    *completed* session (cache hits excluded). Distribution workers
+    heartbeat through it; the service layer ticks its job-store progress
+    counters through it.
     """
-    summaries = BatchRunner(workers=workers, cache=cache).run(specs)
+    summaries = BatchRunner(workers=workers, cache=cache).run(specs, progress=progress)
     if strict:
         failures = [s for s in summaries if s.failed]
         if failures:

@@ -1,19 +1,31 @@
 """Sweep reports: the text table's CSV and self-contained-HTML siblings.
 
-A :class:`~repro.experiments.scenario.SweepResult` already knows every
-scenario's verdicts and the sweep's cache/wall-clock economics; this module
-flattens that into
+Verdict rows are the unit of truth here, not the in-memory
+:class:`~repro.experiments.scenario.SweepResult` that produced them. A
+sweep flattens into
 
-* :func:`sweep_rows` — one plain-dict row per scenario × detector (the
-  single source both serializers consume, built from
-  :meth:`~repro.detection.protocol.Verdict.as_dict`, so the CSV/HTML
+* :func:`sweep_rows` — one plain-dict row per scenario × detector (built
+  from :meth:`~repro.detection.protocol.Verdict.as_dict`, so serialized
   verdicts agree with the text output by construction);
-* :func:`render_csv` — RFC-4180 CSV via :mod:`csv`;
-* :func:`render_html` — one self-contained HTML file (inline CSS, no
-  external assets) with the per-scenario verdict table and the sweep's
-  summary statistics: attacks detected, false positives, cache hits/misses,
-  sessions simulated, wall clock;
+* :func:`summary_stats` — the sweep's headline numbers as one plain dict.
+
+Both are JSON/SQL-safe by construction: the service layer
+(:mod:`repro.service`) persists exactly these shapes in its SQLite job
+store and the renderers below consume them back *without* needing the
+original ``SweepResult`` — a report can be rendered from rows fetched out
+of a store just as well as from a sweep that finished a second ago:
+
+* :func:`render_csv_rows` / :func:`render_csv` — RFC-4180 CSV via
+  :mod:`csv` (rows-first core, ``SweepResult`` convenience wrapper);
+* :func:`render_html_rows` / :func:`render_html` — one self-contained
+  HTML file (inline CSS, no external assets) with the per-scenario verdict
+  table and the summary statistics: attacks detected, false positives,
+  cache hits/misses, sessions simulated, wall clock;
 * :func:`write_reports` — write either/both next to the text artifact.
+
+Because the CSV serializer is shared, a verdict CSV fetched from the
+service's store is byte-identical to the one ``repro sweep --csv`` writes
+for the same grid — the invariant ``make smoke-service`` pins in CI.
 """
 
 from __future__ import annotations
@@ -21,7 +33,7 @@ from __future__ import annotations
 import csv
 import html
 import io
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.scenario import ScenarioOutcome, SweepResult
 
@@ -38,7 +50,7 @@ CSV_COLUMNS = (
     "suspect_status",
     "duration_s",
 )
-"""The row schema shared by the CSV and HTML renderers."""
+"""The row schema shared by the CSV/HTML renderers and the service job store."""
 
 
 def _outcome_class(outcome: ScenarioOutcome) -> str:
@@ -76,7 +88,7 @@ def sweep_rows(result: SweepResult) -> List[Dict[str, Any]]:
 
 
 def summary_stats(result: SweepResult) -> Dict[str, Any]:
-    """The sweep's headline numbers (shared by HTML and benchmarks)."""
+    """The sweep's headline numbers (shared by HTML, benchmarks, job store)."""
     return {
         "grid": result.grid,
         "scenarios": len(result.outcomes),
@@ -99,14 +111,26 @@ def summary_stats(result: SweepResult) -> Dict[str, Any]:
     }
 
 
-def render_csv(result: SweepResult) -> str:
-    """The sweep as CSV, one row per scenario × detector."""
+def render_csv_rows(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Verdict rows as CSV — the serializer both the CLI and service share.
+
+    Rows may come straight from :func:`sweep_rows` or back out of the
+    service's SQLite store; extra keys are ignored so store rows can carry
+    bookkeeping columns without perturbing the bytes.
+    """
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS, lineterminator="\n")
+    writer = csv.DictWriter(
+        buffer, fieldnames=CSV_COLUMNS, lineterminator="\n", extrasaction="ignore"
+    )
     writer.writeheader()
-    for row in sweep_rows(result):
+    for row in rows:
         writer.writerow(row)
     return buffer.getvalue()
+
+
+def render_csv(result: SweepResult) -> str:
+    """The sweep as CSV, one row per scenario × detector."""
+    return render_csv_rows(sweep_rows(result))
 
 
 _HTML_STYLE = """
@@ -128,11 +152,20 @@ h2 { font-size: 1.1rem; margin-top: 1.5rem; }
 """
 
 
-def render_html(result: SweepResult, title: Optional[str] = None) -> str:
-    """The sweep as one self-contained HTML page (inline CSS, no assets)."""
-    stats = summary_stats(result)
+def render_html_rows(
+    rows: Sequence[Mapping[str, Any]],
+    stats: Mapping[str, Any],
+    host_stats: Sequence[Mapping[str, Any]] = (),
+    title: Optional[str] = None,
+) -> str:
+    """Verdict rows + stats as one self-contained HTML page.
+
+    The rows-first core of :func:`render_html`: everything it consumes is
+    plain JSON-safe dicts, so the service renders job reports directly from
+    its store without rebuilding a ``SweepResult``.
+    """
     title = title or (
-        f"repro sweep — grid {result.grid!r}" if result.grid else "repro sweep"
+        f"repro sweep — grid {stats['grid']!r}" if stats.get("grid") else "repro sweep"
     )
     badge = (
         '<span class="badge-ok">all attacks caught, no false positives</span>'
@@ -180,19 +213,19 @@ def render_html(result: SweepResult, title: Optional[str] = None) -> str:
     for column in CSV_COLUMNS:
         parts.append(f"<th>{html.escape(column)}</th>")
     parts.append("</tr></thead><tbody>")
-    for row in sweep_rows(result):
+    for row in rows:
         parts.append(f'<tr class="{row["outcome"]}">')
         for column in CSV_COLUMNS:
             css = ' class="verdict"' if column == "verdict" else ""
             parts.append(f"<td{css}>{html.escape(str(row[column]))}</td>")
         parts.append("</tr>")
     parts.append("</tbody></table>")
-    if result.host_stats:
+    if host_stats:
         parts.append("<h2>Per-host economics</h2><table><thead><tr>")
         for column in ("worker", "shards", "sessions", "failures", "wall clock"):
             parts.append(f"<th>{html.escape(column)}</th>")
         parts.append("</tr></thead><tbody>")
-        for host in result.host_stats:
+        for host in host_stats:
             parts.append("<tr>")
             for value in (
                 host["worker"],
@@ -206,6 +239,13 @@ def render_html(result: SweepResult, title: Optional[str] = None) -> str:
         parts.append("</tbody></table>")
     parts.append("</body></html>")
     return "\n".join(parts)
+
+
+def render_html(result: SweepResult, title: Optional[str] = None) -> str:
+    """The sweep as one self-contained HTML page (inline CSS, no assets)."""
+    return render_html_rows(
+        sweep_rows(result), summary_stats(result), result.host_stats, title
+    )
 
 
 def write_reports(

@@ -666,6 +666,7 @@ def run_sweep(
     work_dir: Optional[str] = None,
     ship_summaries: bool = False,
     fast_path: bool = True,
+    progress: Optional[Callable[[SessionSummary], None]] = None,
 ) -> SweepResult:
     """Execute and score a scenario grid: one batch, then detector verdicts.
 
@@ -694,6 +695,13 @@ def run_sweep(
     ``fast_path=False`` (CLI ``--precise``) forces the per-event reference
     path. The two populate distinct cache keys and, by the parity harness's
     contract, identical verdict rows.
+
+    ``progress`` (in-process sweeps only) is invoked once per *completed*
+    session — cache hits excluded — exactly the
+    :meth:`~repro.experiments.batch.BatchRunner.run` callback contract.
+    The service layer (:mod:`repro.service`) streams job progress through
+    it. Distributed sweeps ignore it: their workers already report forward
+    progress through the work-dir heartbeat protocol.
     """
     resolved = resolve_cache(cache)
     before = resolved.stats() if resolved is not None else {}
@@ -751,7 +759,9 @@ def run_sweep(
             transport = "summaries"
             payload_bytes = distributed.payload_bytes
         else:
-            summaries = run_sessions(specs, workers=workers, cache=resolved)
+            summaries = run_sessions(
+                specs, workers=workers, cache=resolved, progress=progress
+            )
         runs = _pair_runs(scenarios, summaries)
         outcomes = [
             ScenarioOutcome(run.scenario, run.golden, run.suspect, _score_run(run))

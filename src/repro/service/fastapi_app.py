@@ -1,0 +1,146 @@
+"""Optional FastAPI frontend — ``pip install .[service]`` to enable.
+
+Same HTTP surface as the zero-dependency WSGI app in
+:mod:`repro.service.app`, rebuilt as FastAPI routers for deployments that
+want the production ASGI stack (uvicorn workers, OpenAPI docs at
+``/docs``, pydantic request validation at the edge). Every handler is a
+one-liner over the same :class:`~repro.service.jobs.JobManager`; business
+behavior — validation, dedup, progress, report bytes — lives below the
+frontend split, so the two apps cannot drift apart.
+
+The import is gated: the core package keeps zero third-party
+dependencies, and this module raises a actionable :class:`ReproError`
+when FastAPI is absent instead of an ImportError at the call site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.experiments.report import render_csv_rows, render_html_rows
+from repro.service.jobs import JobManager
+from repro.service.schemas import SchemaError, grid_listing
+from repro.service.store import JobStore
+
+
+def _require_fastapi():
+    try:
+        import fastapi  # noqa: F401
+    except ImportError:
+        raise ReproError(
+            "the FastAPI frontend needs the [service] extra "
+            "(pip install '.[service]'); the zero-dependency server is "
+            "available as `repro serve --backend wsgi`"
+        ) from None
+    return fastapi
+
+
+def create_fastapi_app(
+    db: str = ":memory:",
+    cache: Any = True,
+    workers: Optional[int] = None,
+    background: bool = True,
+):
+    """Build the FastAPI app (raises :class:`ReproError` without the extra)."""
+    fastapi = _require_fastapi()
+    from fastapi import FastAPI, HTTPException, Request
+    from fastapi.responses import PlainTextResponse, StreamingResponse
+
+    manager = JobManager(
+        JobStore(db), cache=cache, workers=workers, background=background
+    )
+    app = FastAPI(
+        title="repro serve",
+        description="Sweep-as-a-service over the OFFRAMPS reproduction engine",
+    )
+    app.state.manager = manager
+
+    def require_job(job_id: int) -> dict:
+        job = manager.job(job_id)
+        if job is None:
+            raise HTTPException(status_code=404, detail=f"no job {job_id}")
+        return job
+
+    def require_rows(job_id: int):
+        job = require_job(job_id)
+        try:
+            manager.require_done(job_id)
+        except ReproError as exc:
+            raise HTTPException(status_code=409, detail=str(exc)) from None
+        return job, manager.rows(job_id)
+
+    @app.get("/healthz")
+    def healthz():
+        return {"status": "ok", "jobs": manager.store.count()}
+
+    @app.get("/grids")
+    def grids():
+        return {"grids": grid_listing()}
+
+    @app.post("/jobs")
+    async def submit(request: Request):
+        try:
+            payload = await request.json()
+        except ValueError:
+            raise HTTPException(
+                status_code=400, detail="invalid JSON body"
+            ) from None
+        try:
+            job, created = manager.submit(payload)
+        except SchemaError as exc:
+            raise HTTPException(status_code=400, detail=str(exc)) from None
+        return fastapi.responses.JSONResponse(
+            job, status_code=201 if created else 200
+        )
+
+    @app.get("/jobs")
+    def list_jobs(limit: int = 50):
+        return {"jobs": manager.jobs(limit=limit)}
+
+    @app.get("/jobs/{job_id}")
+    def job(job_id: int):
+        return require_job(job_id)
+
+    @app.get("/jobs/{job_id}/events")
+    def events(job_id: int, timeout_s: float = 3600.0):
+        require_job(job_id)
+        return StreamingResponse(
+            manager.event_stream(job_id, timeout_s=timeout_s),
+            media_type="text/event-stream",
+        )
+
+    @app.get("/jobs/{job_id}/verdicts")
+    def verdicts(job_id: int):
+        job, rows = require_rows(job_id)
+        return {"job": job["id"], "stats": job["stats"], "rows": rows}
+
+    @app.get("/jobs/{job_id}/report.csv")
+    def report_csv(job_id: int):
+        _job, rows = require_rows(job_id)
+        return PlainTextResponse(
+            render_csv_rows(rows), media_type="text/csv; charset=utf-8"
+        )
+
+    @app.get("/jobs/{job_id}/report.html")
+    def report_html(job_id: int):
+        job, rows = require_rows(job_id)
+        title = f"repro serve — job {job['id']}" + (
+            f" (grid {job['grid']!r})" if job["grid"] else ""
+        )
+        return fastapi.responses.HTMLResponse(
+            render_html_rows(rows, job["stats"] or {}, title=title)
+        )
+
+    return app
+
+
+def run_uvicorn_server(app, host: str, port: int) -> None:
+    """Serve the FastAPI app with uvicorn (part of the [service] extra)."""
+    try:
+        import uvicorn
+    except ImportError:
+        raise ReproError(
+            "uvicorn is not installed (pip install '.[service]')"
+        ) from None
+    uvicorn.run(app, host=host, port=port)

@@ -1,0 +1,357 @@
+"""The persistent job store: sweeps and their verdict rows in SQLite.
+
+One SQLite file holds two tables:
+
+* ``jobs`` — one row per submission: its content-derived
+  ``submission_key``, lifecycle state (``queued → running → done`` or
+  ``failed``), progress counters (``sessions_done`` / ``sessions_total``,
+  ticked by the batch runner's per-completed-session callback), the
+  sweep's summary stats as JSON, and — for submissions served entirely
+  from the store — the id of the job that actually computed the verdicts
+  (``deduped_from``);
+* ``verdict_rows`` — one row per scenario × detector, exactly the
+  :data:`repro.experiments.report.CSV_COLUMNS` schema, so a report fetched
+  from the store renders byte-identical to the CSV the CLI writes.
+
+Durability discipline mirrors the session cache's: the worst failure mode
+must be recomputation, never a wrong answer.
+
+* The schema carries a version (SQLite ``PRAGMA user_version``); opening a
+  store written under a *different* version drops it and starts fresh —
+  stale rows can never be served under new semantics.
+* A corrupt/unreadable database file is quarantined (renamed to
+  ``<path>.corrupt``) and replaced by a fresh store, with a warning.
+* Jobs left ``queued``/``running`` by a crashed service process are marked
+  ``failed`` on the next open (:meth:`JobStore.fail_inflight`) instead of
+  being reported as forever-running.
+
+All methods are thread-safe (one connection guarded by a lock —
+submissions arrive on request threads while the executor thread writes
+progress), and everything stored is plain JSON/SQL scalars: no pickles
+cross this boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import warnings
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.report import CSV_COLUMNS
+
+SERVICE_SCHEMA_VERSION = 1
+"""Bump when the jobs/verdict_rows schema (or their semantics) change.
+
+A mismatched on-disk version invalidates the whole store: cheap (verdicts
+recompute from the session cache, which has its own versioning) and safe
+(old rows are never reinterpreted under new column meanings).
+"""
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_TERMINAL = (DONE, FAILED)
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    submission_key TEXT NOT NULL,
+    grid TEXT NOT NULL DEFAULT '',
+    label TEXT NOT NULL DEFAULT '',
+    state TEXT NOT NULL DEFAULT '{QUEUED}',
+    scenarios INTEGER NOT NULL DEFAULT 0,
+    sessions_total INTEGER NOT NULL DEFAULT 0,
+    sessions_done INTEGER NOT NULL DEFAULT 0,
+    ok INTEGER,
+    error TEXT,
+    stats_json TEXT,
+    deduped_from INTEGER,
+    created_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_key_state ON jobs (submission_key, state);
+CREATE TABLE IF NOT EXISTS verdict_rows (
+    job_id INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    scenario TEXT NOT NULL,
+    part TEXT NOT NULL,
+    attack TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    detector TEXT NOT NULL,
+    verdict TEXT NOT NULL,
+    score REAL NOT NULL,
+    detail TEXT NOT NULL,
+    outcome TEXT NOT NULL,
+    suspect_status TEXT NOT NULL,
+    duration_s REAL NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
+"""
+
+
+def _now() -> float:
+    """Wall-clock job bookkeeping (created/started/finished columns).
+
+    Job timestamps are operator-facing metadata; they never reach verdict
+    content, which stays on the simulated clock.
+    """
+    return time.time()  # repro: lint-ignore[DET003] job-store bookkeeping timestamps only
+
+
+class JobStore:
+    """SQLite-backed store of sweep jobs and their verdict rows."""
+
+    def __init__(
+        self, path: str, schema_version: Optional[int] = None
+    ) -> None:
+        self.path = path
+        self.schema_version = (
+            SERVICE_SCHEMA_VERSION if schema_version is None else schema_version
+        )
+        self._lock = threading.RLock()
+        parent = os.path.dirname(os.path.abspath(path))
+        if path != ":memory:" and parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = self._open()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path, check_same_thread=False, isolation_level=None
+        )
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    def _open(self) -> sqlite3.Connection:
+        conn = self._connect()
+        try:
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            has_tables = conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' AND name='jobs'"
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            # Not a SQLite file (torn write, garbage, another format):
+            # quarantine it and start fresh — degraded, never wrong.
+            conn.close()
+            quarantine = f"{self.path}.corrupt"
+            os.replace(self.path, quarantine)
+            warnings.warn(
+                f"job store {self.path} is unreadable ({exc}); "
+                f"quarantined to {quarantine} and starting a fresh store",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            conn = self._connect()
+            version, has_tables = 0, None
+        if has_tables and version != self.schema_version:
+            # Schema bump: old rows must never be served under new
+            # semantics. Verdicts recompute from the session cache.
+            conn.executescript(
+                "DROP TABLE IF EXISTS jobs; DROP TABLE IF EXISTS verdict_rows;"
+            )
+        conn.executescript(_SCHEMA)
+        conn.execute(f"PRAGMA user_version = {int(self.schema_version)}")
+        return conn
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- writes ---------------------------------------------------------
+
+    def create_job(
+        self,
+        submission_key: str,
+        grid: str = "",
+        label: str = "",
+        scenarios: int = 0,
+    ) -> int:
+        """Insert a new ``queued`` job; returns its id."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO jobs (submission_key, grid, label, scenarios, created_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (submission_key, grid, label, scenarios, _now()),
+            )
+            return int(cursor.lastrowid)
+
+    def create_deduped_job(
+        self,
+        submission_key: str,
+        source: Mapping[str, Any],
+        grid: str = "",
+        label: str = "",
+        scenarios: int = 0,
+    ) -> int:
+        """Insert a job served entirely from ``source``'s stored verdicts.
+
+        The new job is born ``done`` with **0 sessions simulated** — the
+        across-users dedup the store exists for. Its stats record the
+        source job id; its verdict rows are ``source``'s, by reference.
+        """
+        stats = dict(source.get("stats") or {})
+        stats.update(
+            sessions_simulated=0,
+            cache_hits=0,
+            cache_misses=0,
+            cache_disk_hits=0,
+            wall_clock_s=0.0,
+            deduped_from=source["id"],
+        )
+        now = _now()
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO jobs (submission_key, grid, label, state, scenarios,"
+                " sessions_total, sessions_done, ok, stats_json, deduped_from,"
+                " created_at, started_at, finished_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    submission_key,
+                    grid,
+                    label,
+                    DONE,
+                    scenarios,
+                    int(source.get("sessions_total") or 0),
+                    0,
+                    source.get("ok"),
+                    json.dumps(stats),
+                    source["id"],
+                    now,
+                    now,
+                    now,
+                ),
+            )
+            return int(cursor.lastrowid)
+
+    def mark_running(self, job_id: int, sessions_total: int) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, sessions_total = ?, started_at = ?"
+                " WHERE id = ?",
+                (RUNNING, sessions_total, _now(), job_id),
+            )
+
+    def bump_progress(self, job_id: int) -> None:
+        """One completed session (the batch runner's progress callback)."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET sessions_done = sessions_done + 1 WHERE id = ?",
+                (job_id,),
+            )
+
+    def finish_job(
+        self,
+        job_id: int,
+        rows: Sequence[Mapping[str, Any]],
+        stats: Mapping[str, Any],
+        ok: bool,
+    ) -> None:
+        """Store the sweep's verdict rows + stats and mark the job done."""
+        with self._lock:
+            self._conn.execute("BEGIN")
+            try:
+                self._conn.executemany(
+                    "INSERT INTO verdict_rows (job_id, seq, "
+                    + ", ".join(CSV_COLUMNS)
+                    + ") VALUES (?, ?, "
+                    + ", ".join("?" for _ in CSV_COLUMNS)
+                    + ")",
+                    [
+                        (job_id, seq) + tuple(row[col] for col in CSV_COLUMNS)
+                        for seq, row in enumerate(rows)
+                    ],
+                )
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, ok = ?, stats_json = ?,"
+                    " finished_at = ? WHERE id = ?",
+                    (DONE, int(bool(ok)), json.dumps(dict(stats)), _now(), job_id),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def fail_job(self, job_id: int, error: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, ok = 0, error = ?, finished_at = ?"
+                " WHERE id = ?",
+                (FAILED, error, _now(), job_id),
+            )
+
+    def fail_inflight(self, reason: str) -> int:
+        """Fail every queued/running job (crash recovery on service start)."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, ok = 0, error = ?, finished_at = ?"
+                " WHERE state IN (?, ?)",
+                (FAILED, reason, _now(), QUEUED, RUNNING),
+            )
+            return cursor.rowcount
+
+    # -- reads ----------------------------------------------------------
+
+    @staticmethod
+    def _job_dict(row: sqlite3.Row) -> Dict[str, Any]:
+        job = {key: row[key] for key in row.keys()}
+        stats_json = job.pop("stats_json", None)
+        job["stats"] = json.loads(stats_json) if stats_json else None
+        job["ok"] = None if job["ok"] is None else bool(job["ok"])
+        return job
+
+    def job(self, job_id: int) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return self._job_dict(row) if row is not None else None
+
+    def jobs(self, limit: int = 50) -> List[Dict[str, Any]]:
+        """The most recent jobs, newest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs ORDER BY id DESC LIMIT ?", (int(limit),)
+            ).fetchall()
+        return [self._job_dict(row) for row in rows]
+
+    def find_done(self, submission_key: str) -> Optional[Dict[str, Any]]:
+        """The newest *computed* done job for this key (dedup source).
+
+        Jobs that were themselves deduped are skipped so the verdict rows
+        are always fetched one hop away, and failed jobs never satisfy a
+        dedup probe — a resubmission after a failure recomputes.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE submission_key = ? AND state = ?"
+                " AND deduped_from IS NULL ORDER BY id DESC LIMIT 1",
+                (submission_key, DONE),
+            ).fetchone()
+        return self._job_dict(row) if row is not None else None
+
+    def rows(self, job_id: int) -> List[Dict[str, Any]]:
+        """The job's verdict rows (following a dedup reference one hop)."""
+        job = self.job(job_id)
+        if job is None:
+            return []
+        source = job["deduped_from"] if job["deduped_from"] is not None else job_id
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT "
+                + ", ".join(CSV_COLUMNS)
+                + " FROM verdict_rows WHERE job_id = ? ORDER BY seq",
+                (source,),
+            ).fetchall()
+        return [{key: row[key] for key in row.keys()} for row in rows]
+
+    def count(self) -> int:
+        with self._lock:
+            return int(self._conn.execute("SELECT COUNT(*) FROM jobs").fetchone()[0])

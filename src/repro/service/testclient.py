@@ -1,0 +1,105 @@
+"""In-process WSGI client: drive the service without sockets.
+
+Speaks the WSGI protocol directly against a :class:`ServiceApp` (or any
+WSGI callable), so tests and the CI smoke script exercise the real routing,
+serialization, and store layers with no server process, no port, and no
+HTTP client dependency. The surface mirrors the familiar requests/httpx
+shape (``client.get(...).json()``) to keep call sites readable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class ClientResponse:
+    """Materialized response: status, headers, body — plus json()/text sugar."""
+
+    def __init__(
+        self, status_code: int, headers: List[Tuple[str, str]], content: bytes
+    ) -> None:
+        self.status_code = status_code
+        self.headers = dict(headers)
+        self.content = content
+
+    @property
+    def text(self) -> str:
+        return self.content.decode("utf-8")
+
+    def json(self) -> Any:
+        return json.loads(self.content)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ClientResponse {self.status_code} {len(self.content)}B>"
+
+
+class ServiceClient:
+    """requests-like facade over a WSGI app, entirely in-process."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    # -- verb sugar -----------------------------------------------------
+
+    def get(self, path: str) -> ClientResponse:
+        return self.request("GET", path)
+
+    def post(self, path: str, json_body: Any = None) -> ClientResponse:
+        return self.request("POST", path, json_body=json_body)
+
+    def stream(self, path: str) -> Iterator[bytes]:
+        """Yield body chunks as the app produces them (for SSE endpoints)."""
+        environ = self._environ("GET", path)
+        _status, _headers, body = self._call(environ)
+        return iter(body)
+
+    # -- WSGI plumbing --------------------------------------------------
+
+    def request(
+        self, method: str, path: str, json_body: Any = None
+    ) -> ClientResponse:
+        environ = self._environ(method, path, json_body=json_body)
+        status, headers, body = self._call(environ)
+        content = b"".join(body)
+        close = getattr(body, "close", None)
+        if close is not None:
+            close()
+        return ClientResponse(int(status.split(" ", 1)[0]), headers, content)
+
+    @staticmethod
+    def _environ(method: str, path: str, json_body: Any = None) -> Dict[str, Any]:
+        path, _, query = path.partition("?")
+        raw = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+        return {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "CONTENT_TYPE": "application/json",
+            "CONTENT_LENGTH": str(len(raw)),
+            "SERVER_NAME": "testserver",
+            "SERVER_PORT": "80",
+            "SERVER_PROTOCOL": "HTTP/1.1",
+            "wsgi.version": (1, 0),
+            "wsgi.url_scheme": "http",
+            "wsgi.input": io.BytesIO(raw),
+            "wsgi.errors": io.StringIO(),
+            "wsgi.multithread": False,
+            "wsgi.multiprocess": False,
+            "wsgi.run_once": False,
+        }
+
+    def _call(self, environ) -> Tuple[str, List[Tuple[str, str]], Any]:
+        captured: Dict[str, Any] = {}
+
+        def start_response(
+            status: str,
+            headers: List[Tuple[str, str]],
+            exc_info: Optional[Any] = None,
+        ):
+            captured["status"] = status
+            captured["headers"] = headers
+
+        body = self.app(environ, start_response)
+        return captured["status"], captured["headers"], body
