@@ -9,7 +9,7 @@ export PYTHONPATH
 # the repo root (see .gitignore).
 REPRO_CI_CACHE_DIR ?= .repro-session-cache
 
-.PHONY: test lint lint-det bench sweep smoke smoke-service smoke-distrib speed-gate ci serve
+.PHONY: test lint lint-det lint-tests bench sweep smoke smoke-service smoke-distrib speed-gate ci serve
 
 test:
 	python -m pytest -x -q
@@ -26,10 +26,21 @@ lint:
 # DET001-DET004 guard the byte-identical-verdict contract (no builtin
 # hash() keying, no unseeded RNG, no wall clock in sim code, no bare set
 # iteration feeding serialization); WIRE001/WIRE002 guard the pickle wire
-# format (atomic writes via repro.util, vetted wire-class fields).
+# format (atomic writes via repro.util, vetted wire-class fields); the
+# cross-file contract rules (CACHE001 cache-key completeness, WIRE003
+# wire-schema drift vs. the committed .repro-wire-schema.json baseline,
+# CONC001 TOCTOU, CONC002 lock consistency, DET005 detector conformance)
+# check the project model as a whole. Non-baselined findings fail; entries
+# in .repro-lint-baseline.json warn (refresh: `repro lint --update-baseline`).
 # Rule docs: `python -m repro lint --rules`.
 lint-det:
-	python -m repro lint src scripts benchmarks
+	python -m repro lint
+
+# The test tree under the relaxed `tests` profile: wall-clock/RNG/set-order
+# rules off (tests measure wall time and use throwaway randomness on
+# purpose), atomic-write + TOCTOU + contract rules still on.
+lint-tests:
+	python -m repro lint --profile tests
 
 # Micro-benchmarks. With pytest-benchmark installed these report timing
 # stats; without it, benchmarks/conftest.py substitutes a pass-through
@@ -86,7 +97,7 @@ speed-gate:
 	python benchmarks/bench_session_speed.py --check
 
 # Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay in
-# lockstep: lint -> determinism lint -> tier-1 tests -> incremental smoke
-# sweep -> service smoke (HTTP parity + store dedup) -> distributed smoke
-# parity -> fast-path speed gate.
-ci: lint lint-det test smoke smoke-service smoke-distrib speed-gate
+# lockstep: lint -> determinism/contract lint (src + test profile) ->
+# tier-1 tests -> incremental smoke sweep -> service smoke (HTTP parity +
+# store dedup) -> distributed smoke parity -> fast-path speed gate.
+ci: lint lint-det lint-tests test smoke smoke-service smoke-distrib speed-gate

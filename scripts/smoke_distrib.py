@@ -158,13 +158,16 @@ def _merge_record(path: str, fresh: "dict[str, str]", workers: int) -> None:
     committed full-grid numbers.
     """
     sections: "dict[str, str]" = {}
-    if os.path.exists(path):
+    try:
         with open(path, encoding="utf-8") as handle:
-            for block in handle.read().split("\n\n"):
-                block = block.strip("\n")
-                match = re.match(r"^grid: (\S+)", block)
-                if match:
-                    sections[match.group(1)] = block
+            existing = handle.read()
+    except FileNotFoundError:
+        existing = ""
+    for block in existing.split("\n\n"):
+        block = block.strip("\n")
+        match = re.match(r"^grid: (\S+)", block)
+        if match:
+            sections[match.group(1)] = block
     sections.update(fresh)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

@@ -48,7 +48,10 @@ class ServiceSmokeFailure(Exception):
 
 def reference_csv(path: str, cache_dir: str, grid: str) -> bytes:
     """The `make smoke` CSV bytes, regenerating via the real CLI if absent."""
-    if not os.path.exists(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
         from repro.cli import main as repro_main
 
         print(f"reference {path} missing; generating via `repro sweep`")

@@ -7,6 +7,15 @@ non-atomic work-dir writes, unversioned pickles on the wire — so this
 package detects those patterns mechanically at commit time, before the
 dynamic parity harness ever runs.
 
+Since contract lint v2 the analyzer is two-pass: per-file rules run
+over each AST in isolation, then the parsed modules assemble into a
+:class:`ProjectModel` and the cross-file **contract rules** (cache-key
+completeness, wire-schema drift vs. version constants, TOCTOU, lock
+consistency, detector-protocol conformance) run over that. A committed
+findings baseline (``repro lint --update-baseline``) lets strict rules
+land without a flag-day, and ``--sarif`` emits SARIF 2.1.0 for CI
+annotations.
+
 Public surface:
 
 * :func:`run_lint` / :class:`LintResult` — lint paths, get findings;
@@ -25,29 +34,53 @@ directly above it::
 ``repro lint --rules`` prints the full catalog.
 """
 
+from repro.analysis.lint.baseline import BaselineEntry
+from repro.analysis.lint.contracts import (
+    CONTRACT_REGISTRY,
+    CONTRACTS_BY_CODE,
+    ProjectRule,
+)
 from repro.analysis.lint.engine import (
+    ALL_RULES_BY_CODE,
     JSON_SCHEMA_VERSION,
     LintConfig,
+    LintConfigError,
+    LintProfile,
     LintResult,
     load_config,
     render_json,
+    render_sarif_result,
     render_text,
     rule_catalog,
     run_lint,
+    update_baseline,
+    update_wire_baseline,
 )
+from repro.analysis.lint.project import ProjectModel
 from repro.analysis.lint.rules import REGISTRY, RULES_BY_CODE, Finding, Rule
 
 __all__ = [
+    "ALL_RULES_BY_CODE",
+    "BaselineEntry",
+    "CONTRACT_REGISTRY",
+    "CONTRACTS_BY_CODE",
     "JSON_SCHEMA_VERSION",
+    "ProjectModel",
+    "ProjectRule",
     "REGISTRY",
     "RULES_BY_CODE",
     "Finding",
     "LintConfig",
+    "LintConfigError",
+    "LintProfile",
     "LintResult",
     "Rule",
     "load_config",
     "render_json",
+    "render_sarif_result",
     "render_text",
     "rule_catalog",
     "run_lint",
+    "update_baseline",
+    "update_wire_baseline",
 ]

@@ -1,0 +1,147 @@
+"""The findings baseline: land strict rules without a flag-day.
+
+A new contract rule that fires on existing code forces a bad choice:
+weaken the rule, fix every site in the same PR, or not ship the rule.
+The baseline is the third way out — a committed JSON file
+(``.repro-lint-baseline.json`` by default, configured via
+``[tool.repro.lint] baseline``) listing findings that are *known and
+justified*. The lint run then splits findings three ways:
+
+* **new** findings (not in the baseline) fail the run — the gate stays
+  a gate for all code written after the rule landed;
+* **baselined** findings are reported as warnings, with the committed
+  justification, and never fail;
+* **stale** baseline entries (the finding no longer occurs — the debt
+  was paid) are reported so the file shrinks monotonically; they are
+  pruned by ``repro lint --update-baseline``.
+
+Identity is ``(rule, path, message)`` — deliberately *not* line/col, so
+unrelated edits above a baselined site do not resurrect it, while any
+change to what the rule actually says about the code does. Matching is
+multiset-style: three identical findings need three entries.
+
+``--update-baseline`` rewrites the file from the current run, carrying
+existing justifications forward and stamping new entries with a TODO
+marker that is meant to be replaced in review.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.lint.rules import Finding
+
+BASELINE_FORMAT = 1
+"""Bumped when the baseline file's JSON shape changes."""
+
+DEFAULT_JUSTIFICATION = "TODO: justify this debt or fix the finding"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged finding carried as known debt."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = DEFAULT_JUSTIFICATION
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+def finding_key(finding: Finding) -> Tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Entries from a committed baseline file ([] when absent).
+
+    A malformed file raises — silently treating garbage as "no baseline"
+    would flip every baselined finding back to failing with a confusing
+    message, or worse, --update-baseline would overwrite hand-written
+    justifications.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return []
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise ValueError(
+            f"malformed lint baseline {path!r}: expected "
+            '{"format": ..., "entries": [...]}'
+        )
+    entries = []
+    for raw in data["entries"]:
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                justification=str(
+                    raw.get("justification", DEFAULT_JUSTIFICATION)
+                ),
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[
+    List[Finding], List[Tuple[Finding, BaselineEntry]], List[BaselineEntry]
+]:
+    """Split ``findings`` against the baseline.
+
+    Returns ``(new, baselined, stale)``: findings not covered by any
+    entry, ``(finding, entry)`` pairs where an entry consumed the
+    finding (one entry covers one finding — multiset semantics), and
+    entries that matched nothing this run.
+    """
+    budget: Dict[Tuple[str, str, str], List[BaselineEntry]] = {}
+    for entry in entries:
+        budget.setdefault(entry.key(), []).append(entry)
+    new: List[Finding] = []
+    baselined: List[Tuple[Finding, BaselineEntry]] = []
+    for finding in findings:
+        remaining = budget.get(finding_key(finding))
+        if remaining:
+            baselined.append((finding, remaining.pop()))
+        else:
+            new.append(finding)
+    stale = [entry for leftovers in budget.values() for entry in leftovers]
+    stale.sort(key=lambda e: e.key())
+    return new, baselined, stale
+
+
+def render_baseline(
+    findings: Sequence[Finding], previous: Sequence[BaselineEntry]
+) -> str:
+    """The baseline file content acknowledging exactly ``findings``.
+
+    Justifications from ``previous`` are carried forward per matching
+    identity (again multiset-style); genuinely new entries get the TODO
+    marker.
+    """
+    carried: Dict[Tuple[str, str, str], List[str]] = {}
+    for entry in previous:
+        carried.setdefault(entry.key(), []).append(entry.justification)
+    entries = []
+    for finding in sorted(findings, key=finding_key):
+        justifications = carried.get(finding_key(finding))
+        justification = (
+            justifications.pop(0) if justifications else DEFAULT_JUSTIFICATION
+        )
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": justification,
+            }
+        )
+    payload = {"format": BASELINE_FORMAT, "entries": entries}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,21 +1,36 @@
 """The ``repro lint`` engine: discovery, config, suppressions, output.
 
-Wiring around the rule catalog (:mod:`repro.analysis.lint.rules`):
+Wiring around the rule catalog (:mod:`repro.analysis.lint.rules`) and
+the cross-file contract rules (:mod:`repro.analysis.lint.contracts`):
 
-* **Discovery** — walks the requested paths for ``.py`` files (skipping
-  hidden directories and ``__pycache__``), parses each once, and hands
-  the shared AST to every applicable rule.
+* **Two-pass run** — pass 1 walks the requested paths, parses each
+  ``.py`` file once, and hands the shared AST to every applicable
+  per-file rule; pass 2 assembles the parsed modules into a
+  :class:`~repro.analysis.lint.project.ProjectModel` and runs the
+  contract rules (CACHE001/WIRE003/CONC001/CONC002/DET005) over it.
+  Contract findings anchor to real lines, so suppressions and the
+  baseline apply to them unchanged.
 * **Config** — ``[tool.repro.lint]`` in ``pyproject.toml`` provides the
-  default path set and per-rule tables (``include``/``exempt`` path
-  scoping plus rule-specific options such as WIRE002's wire allowlist).
-  Paths in the config are relative to the pyproject's directory.
+  default path set, the findings-baseline location, per-rule tables
+  (``include``/``exempt`` scoping plus rule-specific options), and
+  named profiles (``[tool.repro.lint.profile.tests]``) that re-scope
+  and disable rules for other tree regions. The whole table is
+  *validated*: an unknown key or per-rule option raises
+  :class:`LintConfigError` listing the valid choices — a typo must
+  never silently disable a guard.
+* **Baseline** — when ``baseline`` names a committed findings file,
+  known findings warn instead of failing and stale entries are
+  reported; ``repro lint --update-baseline`` rewrites it (see
+  :mod:`repro.analysis.lint.baseline`).
 * **Suppressions** — ``# repro: lint-ignore[RULE]`` (comma-separate for
   several rules, ``*`` for all) on the offending line, or on a comment
   line directly above it, moves matching findings into the suppressed
   list instead of the failing one. Suppressions are expected to carry a
-  one-line justification after the bracket.
-* **Output** — stable text (``path:line:col: CODE message``) and JSON
-  (schema version pinned by tests) renderings, plus the rule catalog.
+  one-line justification after the bracket; unknown rule ids inside the
+  bracket are themselves a finding (LINT000).
+* **Output** — stable text (``path:line:col: CODE message``), JSON
+  (schema version pinned by tests), SARIF 2.1.0 (``--sarif``, see
+  :mod:`repro.analysis.lint.sarif`), and the rule catalog.
 """
 
 from __future__ import annotations
@@ -23,22 +38,62 @@ from __future__ import annotations
 import ast
 import json
 import os
-import re
 import tomllib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.analysis.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.lint.contracts import (
+    CONTRACT_REGISTRY,
+    CONTRACTS_BY_CODE,
+    ProjectRule,
+    WireSchemaDriftRule,
+    wire_schema_snapshot,
+)
+from repro.analysis.lint.project import ProjectModel
 from repro.analysis.lint.rules import (
     REGISTRY,
+    RULES_BY_CODE,
+    SUPPRESS_RE,
     Finding,
     ModuleContext,
     Rule,
 )
+from repro.util import atomic_write
 
-JSON_SCHEMA_VERSION = 1
-"""Bumped whenever the JSON rendering changes shape (CI consumers key on it)."""
+JSON_SCHEMA_VERSION = 2
+"""Bumped whenever the JSON rendering changes shape (CI consumers key on it).
 
-_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_*\s,]+)\]")
+v2: added ``baselined`` (with justifications) and ``stale_baseline``.
+"""
+
+WIRE_BASELINE_FORMAT = 1
+"""Shape version of the committed wire-schema baseline file."""
+
+_SUPPRESS_RE = SUPPRESS_RE
+
+ALL_RULES_BY_CODE: Dict[str, type] = {**RULES_BY_CODE, **CONTRACTS_BY_CODE}
+
+
+class LintConfigError(ValueError):
+    """A ``[tool.repro.lint]`` table that cannot mean what it says.
+
+    Raised instead of silently ignoring: a typo'd key or option would
+    otherwise disable a determinism guard without anyone noticing.
+    """
+
+
+@dataclass(frozen=True)
+class LintProfile:
+    """One named re-scoping of the rule set (``--profile NAME``)."""
+
+    paths: Tuple[str, ...] = ()
+    disable: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -46,20 +101,108 @@ class LintConfig:
     """The resolved ``[tool.repro.lint]`` table."""
 
     paths: Tuple[str, ...] = ()
+    baseline: Optional[str] = None
     rule_options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    profiles: Dict[str, LintProfile] = field(default_factory=dict)
 
     @classmethod
     def from_pyproject(cls, pyproject_path: str) -> "LintConfig":
         with open(pyproject_path, "rb") as handle:
             data = tomllib.load(handle)
         table = data.get("tool", {}).get("repro", {}).get("lint", {})
-        paths = tuple(table.get("paths", ()))
-        rule_options = {
-            key: dict(value)
-            for key, value in table.items()
-            if isinstance(value, dict)
-        }
-        return cls(paths=paths, rule_options=rule_options)
+        return cls.from_table(table)
+
+    @classmethod
+    def from_table(cls, table: Mapping[str, Any]) -> "LintConfig":
+        errors: List[str] = []
+        paths: Tuple[str, ...] = ()
+        baseline: Optional[str] = None
+        rule_options: Dict[str, Dict[str, Any]] = {}
+        profiles: Dict[str, LintProfile] = {}
+        valid_keys = (
+            "valid keys: paths, baseline, profile.<name>, or a rule table ("
+            + ", ".join(sorted(ALL_RULES_BY_CODE))
+            + ")"
+        )
+        for key, value in table.items():
+            if key == "paths":
+                paths = tuple(str(p) for p in value)
+            elif key == "baseline":
+                baseline = str(value)
+            elif key == "profile":
+                if not isinstance(value, Mapping):
+                    errors.append(
+                        "[tool.repro.lint.profile] must be a table of "
+                        "named profiles"
+                    )
+                    continue
+                for name, body in value.items():
+                    profile, profile_errors = cls._parse_profile(name, body)
+                    errors.extend(profile_errors)
+                    if profile is not None:
+                        profiles[name] = profile
+            elif key in ALL_RULES_BY_CODE:
+                if not isinstance(value, Mapping):
+                    errors.append(
+                        f"[tool.repro.lint.{key}] must be a table of options"
+                    )
+                    continue
+                allowed = ALL_RULES_BY_CODE[key].option_keys
+                unknown = sorted(set(value) - set(allowed))
+                if unknown:
+                    errors.append(
+                        f"[tool.repro.lint.{key}]: unknown option(s) "
+                        f"{', '.join(unknown)}; valid options for {key}: "
+                        + ", ".join(allowed)
+                    )
+                    continue
+                rule_options[key] = dict(value)
+            else:
+                errors.append(
+                    f"unknown key {key!r} under [tool.repro.lint]; "
+                    + valid_keys
+                )
+        if errors:
+            raise LintConfigError("\n".join(errors))
+        return cls(
+            paths=paths,
+            baseline=baseline,
+            rule_options=rule_options,
+            profiles=profiles,
+        )
+
+    @staticmethod
+    def _parse_profile(
+        name: str, body: Any
+    ) -> Tuple[Optional[LintProfile], List[str]]:
+        if not isinstance(body, Mapping):
+            return None, [
+                f"[tool.repro.lint.profile.{name}] must be a table"
+            ]
+        errors: List[str] = []
+        unknown = sorted(set(body) - {"paths", "disable"})
+        if unknown:
+            errors.append(
+                f"[tool.repro.lint.profile.{name}]: unknown option(s) "
+                f"{', '.join(unknown)}; valid options: paths, disable"
+            )
+        disable = tuple(str(code) for code in body.get("disable", ()))
+        bad_codes = sorted(set(disable) - set(ALL_RULES_BY_CODE))
+        if bad_codes:
+            errors.append(
+                f"[tool.repro.lint.profile.{name}]: disable names unknown "
+                f"rule(s) {', '.join(bad_codes)}; known rules: "
+                + ", ".join(sorted(ALL_RULES_BY_CODE))
+            )
+        if errors:
+            return None, errors
+        return (
+            LintProfile(
+                paths=tuple(str(p) for p in body.get("paths", ())),
+                disable=disable,
+            ),
+            [],
+        )
 
 
 @dataclass
@@ -70,21 +213,37 @@ class LintResult:
     suppressed: List[Finding]
     files: int
     root: str
+    baselined: List[Tuple[Finding, BaselineEntry]] = field(
+        default_factory=list
+    )
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
+        """Baselined findings warn, stale entries nudge; only NEW findings fail."""
         return not self.findings
+
+    def all_findings(self) -> List[Finding]:
+        """New + baselined findings (the raw pre-baseline view)."""
+        return sorted(
+            self.findings + [f for f, _ in self.baselined], key=_finding_sort
+        )
 
 
 def load_config(root: str) -> LintConfig:
-    """The config for ``root`` (its ``pyproject.toml``, or empty defaults)."""
+    """The config for ``root`` (its ``pyproject.toml``, or empty defaults).
+
+    A missing pyproject means defaults; a *broken* one (bad TOML, unknown
+    keys, unknown per-rule options) raises :class:`LintConfigError` —
+    config typos must not silently run the linter unconfigured.
+    """
     pyproject = os.path.join(root, "pyproject.toml")
-    if os.path.exists(pyproject):
-        try:
-            return LintConfig.from_pyproject(pyproject)
-        except (OSError, tomllib.TOMLDecodeError):
-            pass
-    return LintConfig()
+    try:
+        return LintConfig.from_pyproject(pyproject)
+    except FileNotFoundError:
+        return LintConfig()
+    except tomllib.TOMLDecodeError as exc:
+        raise LintConfigError(f"could not parse {pyproject}: {exc}") from exc
 
 
 def discover(paths: Sequence[str], root: str) -> List[str]:
@@ -130,26 +289,44 @@ def _suppressed(finding: Finding, covered: Dict[int, Set[str]]) -> bool:
     return finding.rule in codes or "*" in codes
 
 
-def build_rules(config: LintConfig) -> List[Rule]:
-    """Instantiate the whole registry with the config's per-rule options."""
-    return [cls(config.rule_options.get(cls.code, {})) for cls in REGISTRY]
+def build_rules(
+    config: LintConfig, disabled: Sequence[str] = ()
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """Instantiate both registries with the config's per-rule options.
+
+    Returns ``(per_file_rules, contract_rules)``. LINT000 gets the full
+    known-code set (per-file + contract codes) injected so it validates
+    suppressions against everything the engine can actually suppress.
+    """
+    off = set(disabled)
+    known_codes = sorted(ALL_RULES_BY_CODE)
+    file_rules: List[Rule] = []
+    for cls in REGISTRY:
+        if cls.code in off:
+            continue
+        options = dict(config.rule_options.get(cls.code, {}))
+        if cls.code == "LINT000":
+            options.setdefault("known-codes", known_codes)
+        file_rules.append(cls(options))
+    contract_rules: List[ProjectRule] = [
+        cls(config.rule_options.get(cls.code, {}))
+        for cls in CONTRACT_REGISTRY
+        if cls.code not in off
+    ]
+    return file_rules, contract_rules
 
 
-def run_lint(
-    paths: Optional[Sequence[str]] = None,
-    root: Optional[str] = None,
-    config: Optional[LintConfig] = None,
-) -> LintResult:
-    """Lint ``paths`` (or the config's default path set) under ``root``."""
-    root = os.path.abspath(root or os.getcwd())
-    if config is None:
-        config = load_config(root)
-    targets = list(paths) if paths else list(config.paths) or ["."]
-    rules = build_rules(config)
+def _finding_sort(f: Finding) -> Tuple[str, int, int, str]:
+    return (f.path, f.line, f.col, f.rule)
 
-    findings: List[Finding] = []
-    suppressed: List[Finding] = []
-    files = discover(targets, root)
+
+def _parse_files(
+    files: Sequence[str], root: str
+) -> Tuple[List[ModuleContext], List[Finding], Dict[str, Dict[int, Set[str]]]]:
+    """Parse every file once: (modules, syntax findings, suppression maps)."""
+    modules: List[ModuleContext] = []
+    syntax: List[Finding] = []
+    covered_by_path: Dict[str, Dict[int, Set[str]]] = {}
     for absolute in files:
         rel = os.path.relpath(absolute, root).replace(os.sep, "/")
         try:
@@ -157,7 +334,7 @@ def run_lint(
                 source = handle.read()
             tree = ast.parse(source, filename=rel)
         except (OSError, SyntaxError, ValueError) as exc:
-            findings.append(
+            syntax.append(
                 Finding(
                     rule="SYNTAX",
                     path=rel,
@@ -167,10 +344,51 @@ def run_lint(
                 )
             )
             continue
-        module = ModuleContext(path=rel, tree=tree, source=source)
-        covered = _suppressions(source)
-        for rule in rules:
-            if not rule.applies_to(rel):
+        modules.append(ModuleContext(path=rel, tree=tree, source=source))
+        covered_by_path[rel] = _suppressions(source)
+    return modules, syntax, covered_by_path
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    root: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+    profile: Optional[str] = None,
+) -> LintResult:
+    """Lint ``paths`` (or the config's default path set) under ``root``.
+
+    ``profile`` selects a named ``[tool.repro.lint.profile.<name>]``:
+    its ``paths`` become the default target set and its ``disable`` list
+    drops rules for the run. Baseline matching applies only to the
+    default (profile-less) scope — a profile run is a different contract
+    with its own clean expectation.
+    """
+    root = os.path.abspath(root or os.getcwd())
+    if config is None:
+        config = load_config(root)
+    disabled: Tuple[str, ...] = ()
+    default_paths = config.paths
+    if profile is not None:
+        selected = config.profiles.get(profile)
+        if selected is None:
+            known = ", ".join(sorted(config.profiles)) or "<none configured>"
+            raise LintConfigError(
+                f"unknown lint profile {profile!r}; configured profiles: {known}"
+            )
+        disabled = selected.disable
+        default_paths = selected.paths or config.paths
+    targets = list(paths) if paths else list(default_paths) or ["."]
+    file_rules, contract_rules = build_rules(config, disabled)
+
+    files = discover(targets, root)
+    modules, findings, covered_by_path = _parse_files(files, root)
+    suppressed: List[Finding] = []
+
+    # Pass 1: per-file rules over each module in isolation.
+    for module in modules:
+        covered = covered_by_path[module.path]
+        for rule in file_rules:
+            if not rule.applies_to(module.path):
                 continue
             for finding in rule.check(module):
                 if _suppressed(finding, covered):
@@ -178,15 +396,108 @@ def run_lint(
                 else:
                     findings.append(finding)
 
-    def key(f: Finding) -> Tuple[str, int, int, str]:
-        return (f.path, f.line, f.col, f.rule)
+    # Pass 2: contract rules over the assembled project model. Findings
+    # anchor to real lines, so in-source suppressions apply unchanged.
+    project = ProjectModel(modules)
+    for contract_rule in contract_rules:
+        for finding in contract_rule.project_check(project, root):
+            covered = covered_by_path.get(finding.path, {})
+            if _suppressed(finding, covered):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+
+    baselined: List[Tuple[Finding, BaselineEntry]] = []
+    stale: List[BaselineEntry] = []
+    if config.baseline and profile is None:
+        try:
+            entries = load_baseline(os.path.join(root, config.baseline))
+        except ValueError as exc:
+            raise LintConfigError(str(exc)) from exc
+        findings, baselined, stale = apply_baseline(findings, entries)
+        if paths:
+            stale = []  # a partial run cannot judge what it did not scan
 
     return LintResult(
-        findings=sorted(findings, key=key),
-        suppressed=sorted(suppressed, key=key),
+        findings=sorted(findings, key=_finding_sort),
+        suppressed=sorted(suppressed, key=_finding_sort),
         files=len(files),
         root=root,
+        baselined=sorted(baselined, key=lambda pair: _finding_sort(pair[0])),
+        stale_baseline=stale,
     )
+
+
+# ----------------------------------------------------------------------
+# Baseline refresh entry points (CLI --update-baseline / --update-wire-baseline)
+# ----------------------------------------------------------------------
+def update_baseline(
+    root: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> Tuple[str, int]:
+    """Rewrite the findings baseline from a full default-scope run.
+
+    Returns ``(path, entry_count)``. Justifications for entries that
+    survive are carried forward; new entries get the TODO marker.
+    """
+    root = os.path.abspath(root or os.getcwd())
+    if config is None:
+        config = load_config(root)
+    if not config.baseline:
+        raise LintConfigError(
+            "no findings baseline configured; set `baseline = "
+            '".repro-lint-baseline.json"` under [tool.repro.lint]'
+        )
+    baseline_path = os.path.join(root, config.baseline)
+    result = run_lint(root=root, config=config)
+    raw = result.all_findings()
+    try:
+        previous = load_baseline(baseline_path)
+    except ValueError:
+        previous = []  # malformed file: rewrite it wholesale
+    content = render_baseline(raw, previous)
+    atomic_write(baseline_path, lambda h: h.write(content.encode("utf-8")))
+    return baseline_path, len(raw)
+
+
+def update_wire_baseline(
+    root: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> Tuple[str, int]:
+    """Re-snapshot every configured wire protocol into the schema baseline.
+
+    Returns ``(path, protocol_count)``. Refuses a partial snapshot: if a
+    configured protocol's declaring files are missing from the default
+    scope, overwriting the committed baseline would erase its record.
+    """
+    root = os.path.abspath(root or os.getcwd())
+    if config is None:
+        config = load_config(root)
+    options = config.rule_options.get("WIRE003", {})
+    protocols = options.get("protocols", {})
+    if not protocols:
+        raise LintConfigError(
+            "no wire protocols configured; add "
+            "[tool.repro.lint.WIRE003.protocols.<name>] tables"
+        )
+    schema_path = os.path.join(
+        root,
+        options.get("schema-file", WireSchemaDriftRule.DEFAULT_SCHEMA_FILE),
+    )
+    targets = list(config.paths) or ["."]
+    modules, _syntax, _covered = _parse_files(discover(targets, root), root)
+    snapshot = wire_schema_snapshot(ProjectModel(modules), protocols)
+    missing = sorted(set(protocols) - set(snapshot))
+    if missing:
+        raise LintConfigError(
+            "cannot snapshot protocol(s) "
+            + ", ".join(missing)
+            + ": their declaring files are not under the configured lint paths"
+        )
+    payload = {"format": WIRE_BASELINE_FORMAT, "protocols": snapshot}
+    content = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write(schema_path, lambda h: h.write(content.encode("utf-8")))
+    return schema_path, len(snapshot)
 
 
 # ----------------------------------------------------------------------
@@ -194,25 +505,37 @@ def run_lint(
 # ----------------------------------------------------------------------
 def render_text(result: LintResult) -> str:
     lines = [finding.render() for finding in result.findings]
+    for finding, entry in result.baselined:
+        lines.append(
+            f"{finding.render()} [baselined: {entry.justification}]"
+        )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path} "
+            f"({entry.message!r} no longer occurs) — run "
+            "`repro lint --update-baseline` to prune it"
+        )
     by_rule: Dict[str, int] = {}
     for finding in result.findings:
         by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
     tally = ", ".join(f"{code} x{count}" for code, count in sorted(by_rule.items()))
+    extras = ""
+    if result.baselined:
+        extras += f", {len(result.baselined)} baselined"
+    if result.suppressed:
+        extras += f", {len(result.suppressed)} suppressed"
+    if result.stale_baseline:
+        extras += f", {len(result.stale_baseline)} stale baseline entr" + (
+            "y" if len(result.stale_baseline) == 1 else "ies"
+        )
     if result.findings:
         lines.append(
             f"{len(result.findings)} finding(s) in {result.files} file(s)"
             + (f" [{tally}]" if tally else "")
-            + (
-                f"; {len(result.suppressed)} suppressed"
-                if result.suppressed
-                else ""
-            )
+            + extras
         )
     else:
-        lines.append(
-            f"clean: {result.files} file(s), 0 findings"
-            + (f", {len(result.suppressed)} suppressed" if result.suppressed else "")
-        )
+        lines.append(f"clean: {result.files} file(s), 0 findings" + extras)
     return "\n".join(lines)
 
 
@@ -230,25 +553,57 @@ def render_json(result: LintResult) -> str:
         "schema": JSON_SCHEMA_VERSION,
         "files": result.files,
         "findings": [row(f) for f in result.findings],
+        "baselined": [
+            dict(row(f), justification=entry.justification)
+            for f, entry in result.baselined
+        ],
+        "stale_baseline": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "message": entry.message,
+                "justification": entry.justification,
+            }
+            for entry in result.stale_baseline
+        ],
         "suppressed": [row(f) for f in result.suppressed],
         "ok": result.ok,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def render_sarif_result(result: LintResult) -> str:
+    """The SARIF 2.1.0 document for one run (``repro lint --sarif``)."""
+    from repro.analysis.lint.sarif import render_sarif
+
+    return render_sarif(
+        findings=result.findings,
+        baselined=[f for f, _ in result.baselined],
+        suppressed=result.suppressed,
+        justifications={
+            i: entry.justification
+            for i, (_, entry) in enumerate(result.baselined)
+        },
+    )
+
+
 def rule_catalog() -> str:
     """The human-readable rule catalog (``repro lint --rules``)."""
     blocks = []
-    for cls in REGISTRY:
+    for cls in tuple(REGISTRY) + tuple(CONTRACT_REGISTRY):
         scope = (
             ", ".join(cls.default_include)
             if cls.default_include
             else "all checked paths (narrow via [tool.repro.lint.%s] include)" % cls.code
         )
+        kind = "contract rule (cross-file)" if issubclass(
+            cls, ProjectRule
+        ) else "per-file rule"
         blocks.append(
             "\n".join(
                 [
                     f"{cls.code} ({cls.name}) — {cls.summary}",
+                    f"  kind:  {kind}",
                     f"  why:   {cls.rationale}",
                     f"  fix:   {cls.fix}",
                     f"  scope: {scope}",

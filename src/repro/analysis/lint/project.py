@@ -1,0 +1,260 @@
+"""Pass 1 of the two-pass analyzer: the cross-file project model.
+
+The per-file rules (:mod:`repro.analysis.lint.rules`) see one AST at a
+time, which is exactly the wrong granularity for the bug classes that
+actually bit this repo: a ``SessionSpec`` field added in one hunk and
+forgotten by ``content_key()`` three hundred lines later, a wire-payload
+dataclass growing a field without the ``WIRE_FORMAT`` bump that lives in
+a different constant, a detector registered in ``DETECTOR_CLASSES``
+whose ``score()`` drifted from the :class:`~repro.detection.protocol.Detector`
+protocol. Those are *cross-file contracts*, and checking them needs a
+project-wide view.
+
+:class:`ProjectModel` is that view, built once per lint run from the
+already-parsed :class:`~repro.analysis.lint.rules.ModuleContext` list:
+
+* **class index** — every ``ClassDef`` in the project as a
+  :class:`ClassInfo`: declared (annotated) fields in declaration order,
+  methods, base-class names, and location;
+* **constant index** — every module-level ``NAME = <literal>``
+  assignment, so contract rules can read version constants
+  (``WIRE_FORMAT``, ``_CACHE_FORMAT``, ``PRAGMA user_version`` mirrors)
+  and schema tuples (``CSV_COLUMNS``) statically;
+* **function index** — module-level functions by name (``job_json`` and
+  friends);
+* **per-module import maps** — the same local-name → dotted-origin
+  resolution the per-file rules use, precomputed once.
+
+Everything is resolved by *simple name* with the defining module
+tracked, mirroring how this codebase actually links (one canonical
+definition per payload/contract class). Lookups are deliberately
+lenient: a partial lint run (``repro lint some_file.py``) yields a
+partial model, and contract rules treat "not in the model" as "not my
+business this run" rather than inventing findings about code that was
+never read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.lint.rules import ModuleContext, _walk_with_imports
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """One annotated field declaration (``name: Annotation [= default]``)."""
+
+    name: str
+    annotation: str
+    has_default: bool
+    line: int
+    col: int
+
+    def render(self) -> str:
+        """The canonical one-line form used in wire-schema fingerprints."""
+        suffix = " = ..." if self.has_default else ""
+        return f"{self.name}: {self.annotation}{suffix}"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition as the contract rules see it."""
+
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    fields: Tuple[FieldInfo, ...]
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+    def field_lines(self) -> List[str]:
+        """The declared-field shape, declaration order preserved.
+
+        Order is part of the fingerprint on purpose: reordering dataclass
+        fields changes positional construction and pickled tuple order.
+        """
+        return [f.render() for f in self.fields]
+
+
+@dataclass(frozen=True)
+class ConstantInfo:
+    """One module-level ``NAME = <literal>`` binding."""
+
+    name: str
+    path: str
+    value: object
+    line: int
+    col: int
+
+
+def _literal(node: ast.AST) -> Tuple[bool, object]:
+    """Evaluate a literal expression; ``(False, None)`` when not literal."""
+    try:
+        return True, ast.literal_eval(node)
+    except (ValueError, SyntaxError, TypeError, MemoryError):
+        return False, None
+
+
+def _class_info(path: str, node: ast.ClassDef) -> ClassInfo:
+    bases = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            bases.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            bases.append(base.attr)
+    fields: List[FieldInfo] = []
+    methods: Dict[str, ast.FunctionDef] = {}
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            fields.append(
+                FieldInfo(
+                    name=item.target.id,
+                    annotation=ast.unparse(item.annotation),
+                    has_default=item.value is not None,
+                    line=item.lineno,
+                    col=item.col_offset,
+                )
+            )
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(item, ast.FunctionDef):
+                methods[item.name] = item
+    return ClassInfo(
+        name=node.name,
+        path=path,
+        node=node,
+        bases=tuple(bases),
+        fields=tuple(fields),
+        methods=methods,
+    )
+
+
+class ProjectModel:
+    """The whole lint run's parsed modules, indexed for contract rules."""
+
+    def __init__(self, modules: List[ModuleContext]) -> None:
+        self.modules: Dict[str, ModuleContext] = {m.path: m for m in modules}
+        self.imports: Dict[str, Dict[str, str]] = {}
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        self.constants: Dict[str, List[ConstantInfo]] = {}
+        self.functions: Dict[str, List[Tuple[str, ast.FunctionDef]]] = {}
+        for module in modules:
+            self.imports[module.path] = _walk_with_imports(module.tree)
+            self._index_module(module)
+
+    def _index_module(self, module: ModuleContext) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                info = _class_info(module.path, node)
+                self.classes.setdefault(node.name, []).append(info)
+        # Constants and functions are *top-level only*: version constants
+        # and wire-shape functions are module API, not incidental locals.
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self.functions.setdefault(node.name, []).append(
+                    (module.path, node)
+                )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    ok, value = _literal(node.value)
+                    if ok:
+                        self.constants.setdefault(target.id, []).append(
+                            ConstantInfo(
+                                name=target.id,
+                                path=module.path,
+                                value=value,
+                                line=node.lineno,
+                                col=node.col_offset,
+                            )
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    ok, value = _literal(node.value)
+                    if ok:
+                        self.constants.setdefault(node.target.id, []).append(
+                            ConstantInfo(
+                                name=node.target.id,
+                                path=module.path,
+                                value=value,
+                                line=node.lineno,
+                                col=node.col_offset,
+                            )
+                        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def find_class(
+        self, name: str, path: Optional[str] = None
+    ) -> Optional[ClassInfo]:
+        """The class named ``name`` (optionally pinned to one module).
+
+        With several same-named definitions and no ``path`` hint, the one
+        under ``src/`` wins (fixture trees in tests shadow nothing).
+        """
+        infos = self.classes.get(name, [])
+        if path is not None:
+            for info in infos:
+                if info.path == path:
+                    return info
+            return None
+        if not infos:
+            return None
+        for info in infos:
+            if info.path.startswith("src/"):
+                return info
+        return infos[0]
+
+    def find_constant(
+        self, name: str, path: Optional[str] = None
+    ) -> Optional[ConstantInfo]:
+        infos = self.constants.get(name, [])
+        if path is not None:
+            for info in infos:
+                if info.path == path:
+                    return info
+            return None
+        return infos[0] if infos else None
+
+    def find_function(
+        self, name: str, path: Optional[str] = None
+    ) -> Optional[Tuple[str, ast.FunctionDef]]:
+        entries = self.functions.get(name, [])
+        if path is not None:
+            for entry in entries:
+                if entry[0] == path:
+                    return entry
+            return None
+        return entries[0] if entries else None
+
+    def resolve_method(
+        self, info: ClassInfo, method: str
+    ) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        """Find ``method`` on the class or (breadth-first) its base classes.
+
+        Base names resolve by simple name across the whole model — the
+        linker discipline this codebase actually uses. Cycles and
+        unresolvable bases (``Protocol``, ABCs from the stdlib) are
+        skipped silently.
+        """
+        seen = set()
+        queue = [info]
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if method in current.methods:
+                return current, current.methods[method]
+            for base in current.bases:
+                base_info = self.find_class(base)
+                if base_info is not None:
+                    queue.append(base_info)
+        return None

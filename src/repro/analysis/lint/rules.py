@@ -34,9 +34,16 @@ discovery, per-rule path scoping from ``[tool.repro.lint]``, and
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+#: the one suppression syntax: ``# repro: lint-ignore[RULE, ...]``.
+#: Shared with the engine so the LINT000 rule and the suppression
+#: machinery can never drift apart.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_*\s,]+)\]")
 
 
 @dataclass(frozen=True)
@@ -128,6 +135,9 @@ class Rule:
     #: path prefixes the rule applies to when the config does not say;
     #: ``None`` means every checked file.
     default_include: Optional[Tuple[str, ...]] = None
+    #: config keys the rule understands under ``[tool.repro.lint.<CODE>]``;
+    #: the engine fails loud on anything else (the silent-typo trap).
+    option_keys: Tuple[str, ...] = ("include", "exempt")
 
     def __init__(self, options: Optional[Dict[str, Any]] = None) -> None:
         self.options = dict(options or {})
@@ -571,6 +581,9 @@ class WireClassRule(Rule):
         "define __getstate__/__reduce__ on the class, or add it to "
         "[tool.repro.lint.WIRE002] wire-allowlist and keep its fields wire-safe"
     )
+    option_keys = (
+        "include", "exempt", "wire-classes", "wire-allowlist", "safe-types",
+    )
 
     _HOOKS = {
         "__getstate__",
@@ -692,6 +705,64 @@ class WireClassRule(Rule):
         return bad
 
 
+# ----------------------------------------------------------------------
+# LINT000 — unknown rule id inside a lint-ignore suppression
+# ----------------------------------------------------------------------
+class UnknownSuppressionRule(Rule):
+    code = "LINT000"
+    name = "unknown-suppression"
+    summary = "a lint-ignore suppression names a rule id that does not exist"
+    rationale = (
+        "`# repro: lint-ignore[DET03]` parses fine, matches nothing, and "
+        "suppresses nothing — the author believes a finding is waived while "
+        "the rule keeps firing, or worse, believes a rule is guarding a line "
+        "it never sees. A misspelled id in a suppression is always a bug in "
+        "the suppression, so it fails loud with the known rule set. Only "
+        "real comments are scanned (tokenize-level), so docstrings that "
+        "*describe* the suppression syntax do not trip it."
+    )
+    fix = "fix the rule id (see `repro lint --rules` for the catalog) or delete the dead suppression"
+    option_keys = ("include", "exempt", "known-codes")
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        known = set(self.options.get("known-codes", ()))
+        if not known:
+            known = set(RULES_BY_CODE)
+        known |= {"*", "SYNTAX"}
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(module.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return []
+        findings: List[Finding] = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            for match in SUPPRESS_RE.finditer(tok.string):
+                codes = {
+                    code.strip()
+                    for code in match.group(1).split(",")
+                    if code.strip()
+                }
+                for code in sorted(codes - known):
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=module.path,
+                            line=tok.start[0],
+                            col=tok.start[1] + match.start(),
+                            message=(
+                                f"unknown rule {code!r} in lint-ignore "
+                                "suppression — it suppresses nothing. Known "
+                                "rules: "
+                                + ", ".join(sorted(known - {"*", "SYNTAX"}))
+                            ),
+                        )
+                    )
+        return findings
+
+
 REGISTRY: Tuple[Type[Rule], ...] = (
     BuiltinHashRule,
     UnseededRandomRule,
@@ -699,6 +770,7 @@ REGISTRY: Tuple[Type[Rule], ...] = (
     SetOrderRule,
     AtomicWriteRule,
     WireClassRule,
+    UnknownSuppressionRule,
 )
 
 RULES_BY_CODE: Dict[str, Type[Rule]] = {cls.code: cls for cls in REGISTRY}

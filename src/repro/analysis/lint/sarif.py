@@ -1,0 +1,145 @@
+"""SARIF 2.1.0 rendering for ``repro lint`` (``--sarif``).
+
+SARIF is the one static-analysis interchange format CI platforms
+actually consume: uploading the file via ``github/codeql-action/
+upload-sarif`` turns lint findings into inline PR annotations at the
+offending line, with the rule's rationale a click away — no log
+spelunking.
+
+The mapping is deliberately minimal but complete:
+
+* one ``run`` with the full rule catalog (per-file + contract rules) in
+  ``tool.driver.rules``, so viewers can show summaries/rationale;
+* **new** findings are ``level: error`` with ``baselineState: "new"``;
+* **baselined** findings are ``level: warning`` with ``baselineState:
+  "unchanged"`` and the committed justification appended — visible debt,
+  not a failure;
+* in-source ``lint-ignore`` suppressions are emitted as ``level: note``
+  results carrying a ``suppressions`` entry (``kind: "inSource"``), the
+  SARIF-native way to say "found but waived".
+
+Only stable repo-relative paths and 1-based lines/columns go into
+locations, so the same tree produces the same SARIF bytes everywhere —
+the determinism contract applies to the linter's own output too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.lint.contracts import CONTRACT_REGISTRY
+from repro.analysis.lint.rules import REGISTRY, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptor(cls: Any) -> Dict[str, Any]:
+    return {
+        "id": cls.code,
+        "name": cls.name,
+        "shortDescription": {"text": cls.summary},
+        "fullDescription": {"text": cls.rationale},
+        "help": {"text": f"fix: {cls.fix}"},
+    }
+
+
+def _result(
+    finding: Finding,
+    level: str,
+    rule_index: Dict[str, int],
+    baseline_state: Optional[str] = None,
+    justification: Optional[str] = None,
+    suppressed: bool = False,
+) -> Dict[str, Any]:
+    message = finding.message
+    if justification:
+        message = f"{message} [baselined: {justification}]"
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": level,
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": "# repro: lint-ignore suppression",
+            }
+        ]
+    return result
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    suppressed: Sequence[Finding] = (),
+    justifications: Optional[Dict[int, str]] = None,
+) -> str:
+    """The SARIF 2.1.0 document for one lint run.
+
+    ``justifications`` maps an index into ``baselined`` to its committed
+    justification string (the engine threads these from the baseline).
+    """
+    rules = [
+        _rule_descriptor(cls)
+        for cls in tuple(REGISTRY) + tuple(CONTRACT_REGISTRY)
+    ]
+    rule_index = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append(_result(finding, "error", rule_index, "new"))
+    for i, finding in enumerate(baselined):
+        results.append(
+            _result(
+                finding,
+                "warning",
+                rule_index,
+                "unchanged",
+                justification=(justifications or {}).get(i),
+            )
+        )
+    for finding in suppressed:
+        results.append(_result(finding, "note", rule_index, suppressed=True))
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

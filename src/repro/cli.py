@@ -225,16 +225,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import (
+        LintConfigError,
         render_json,
+        render_sarif_result,
         render_text,
         rule_catalog,
         run_lint,
+        update_baseline,
+        update_wire_baseline,
     )
 
     if args.rules:
         print(rule_catalog())
         return 0
-    result = run_lint(paths=args.paths or None, root=args.root)
+    try:
+        if args.update_baseline:
+            path, count = update_baseline(root=args.root)
+            print(f"baseline -> {path} ({count} acknowledged finding(s))")
+            return 0
+        if args.update_wire_baseline:
+            path, count = update_wire_baseline(root=args.root)
+            print(f"wire-schema baseline -> {path} ({count} protocol(s))")
+            return 0
+        result = run_lint(
+            paths=args.paths or None, root=args.root, profile=args.profile
+        )
+    except LintConfigError as exc:
+        print(f"lint config error:\n{exc}", file=sys.stderr)
+        return 2
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif_result(result))
+        print(f"sarif -> {args.sarif}")
     print(render_json(result) if args.json else render_text(result))
     return 0 if result.ok else 1
 
@@ -416,6 +438,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--root",
         default=None,
         help="project root holding pyproject.toml (default: current directory)",
+    )
+    p.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write findings as a SARIF 2.1.0 document (for CI "
+        "annotation upload)",
+    )
+    p.add_argument(
+        "--profile",
+        default=None,
+        help="run a named [tool.repro.lint.profile.<name>] profile "
+        "(re-scoped paths, disabled rules) — e.g. `--profile tests`",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the committed findings baseline from the current "
+        "run (carries justifications forward) and exit",
+    )
+    p.add_argument(
+        "--update-wire-baseline",
+        action="store_true",
+        help="re-snapshot the configured wire protocols into the "
+        "committed wire-schema baseline and exit",
     )
     p.set_defaults(func=_cmd_lint)
 

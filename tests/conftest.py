@@ -155,3 +155,28 @@ def build_bench(sim: Simulator, config: MarlinConfig = None):
     ramps = RampsBoard(sim, harness, plant)
     firmware = MarlinFirmware(sim, config or MarlinConfig(), harness)
     return harness, plant, ramps, firmware
+
+
+def corrupt_file(path, data: bytes) -> None:
+    """Overwrite ``path`` with raw bytes, deliberately non-atomically.
+
+    Corruption-injection tests *simulate the torn write* WIRE001 exists
+    to prevent, so the in-place write is the point — this helper is the
+    one sanctioned place tests may do it.
+    """
+    # repro: lint-ignore[WIRE001, CONC001] simulating the torn write under test
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def corrupt_pickle(path, payload) -> None:
+    """Re-pickle ``payload`` over ``path`` in place (corruption injection).
+
+    Used by tests that load a valid cache/wire envelope, damage one field
+    (key, format version, shape), and write it straight back.
+    """
+    import pickle
+
+    # repro: lint-ignore[WIRE001, CONC001] writing a deliberately damaged payload
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)  # repro: lint-ignore[WIRE001] damaged on purpose

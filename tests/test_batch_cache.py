@@ -13,6 +13,8 @@ import pickle
 
 import pytest
 
+from tests.conftest import corrupt_file, corrupt_pickle
+
 from repro.experiments.batch import (
     _CACHE_FORMAT,
     BatchRunner,
@@ -128,8 +130,7 @@ class TestDiskPersistence:
             spec.content_key(), BatchRunner(workers=1).run([spec])[0]
         )
         path = os.path.join(str(tmp_path), f"{spec.content_key()}.summary.pkl")
-        with open(path, "wb") as handle:
-            handle.write(b"torn write garbage")
+        corrupt_file(path, b"torn write garbage")
         reader = GoldenPrintCache(directory=str(tmp_path))
         assert reader.probe(spec.content_key())
         assert reader.get(spec.content_key()) is None
@@ -148,8 +149,7 @@ class TestCorruptedEntries:
 
     def test_garbage_entry_is_a_miss_and_resimulates(self, populated, tmp_path):
         spec, key, path = populated
-        with open(path, "wb") as handle:
-            handle.write(b"not a pickle at all")
+        corrupt_file(path, b"not a pickle at all")
         fresh = GoldenPrintCache(directory=str(tmp_path))
         assert fresh.get(key) is None
         assert fresh.misses == 1
@@ -162,8 +162,7 @@ class TestCorruptedEntries:
         _, key, path = populated
         with open(path, "rb") as handle:
             blob = handle.read()
-        with open(path, "wb") as handle:
-            handle.write(blob[: len(blob) // 2])
+        corrupt_file(path, blob[: len(blob) // 2])
         fresh = GoldenPrintCache(directory=str(tmp_path))
         assert fresh.get(key) is None
 
@@ -172,8 +171,7 @@ class TestCorruptedEntries:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         payload["key"] = "0" * 64
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
+        corrupt_pickle(path, payload)
         fresh = GoldenPrintCache(directory=str(tmp_path))
         assert fresh.get(key) is None
 
@@ -182,15 +180,13 @@ class TestCorruptedEntries:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         payload["format"] = _CACHE_FORMAT + 1
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
+        corrupt_pickle(path, payload)
         fresh = GoldenPrintCache(directory=str(tmp_path))
         assert fresh.get(key) is None
 
     def test_non_dict_payload_is_a_miss(self, populated, tmp_path):
         _, key, path = populated
-        with open(path, "wb") as handle:
-            pickle.dump(["wrong", "shape"], handle)
+        corrupt_pickle(path, ["wrong", "shape"])
         fresh = GoldenPrintCache(directory=str(tmp_path))
         assert fresh.get(key) is None
 

@@ -28,6 +28,7 @@ import time
 import pytest
 
 from repro.detection.protocol import ScoreSpec
+from tests.conftest import corrupt_file, corrupt_pickle
 from repro.errors import ReproError
 from repro.experiments.batch import run_sessions
 from repro.experiments.distrib import (
@@ -202,15 +203,15 @@ class TestWorkDirProtocol:
     def test_corrupt_shard_is_dropped_not_executed(self, tmp_path):
         work = WorkDir(str(tmp_path))
         path = os.path.join(str(tmp_path), "pending", "shard-0001.pkl")
-        with open(path, "wb") as handle:
-            handle.write(b"torn write garbage")
+        corrupt_file(path, b"torn write garbage")
         assert work.claim("shard-0001.pkl", "w1") is None
         assert work.claims() == []  # the poisoned claim was not kept
 
     def test_corrupt_done_file_reads_as_absent(self, tmp_path):
         work = WorkDir(str(tmp_path))
-        with open(os.path.join(str(tmp_path), "done", "shard-0002.pkl"), "wb") as handle:
-            handle.write(b"\x80garbage")
+        corrupt_file(
+            os.path.join(str(tmp_path), "done", "shard-0002.pkl"), b"\x80garbage"
+        )
         assert work.done_ids() == [2]
         assert work.load_result(2) is None
 
@@ -255,8 +256,7 @@ class TestWireFormatSkew:
 
     @staticmethod
     def _write_envelope(path, fmt, payload=None):
-        with open(path, "wb") as handle:
-            pickle.dump({"format": fmt, "payload": payload}, handle)
+        corrupt_pickle(path, {"format": fmt, "payload": payload})
 
     def test_done_version_mismatch_raises(self, tmp_path):
         work = WorkDir(str(tmp_path))
@@ -282,10 +282,10 @@ class TestWireFormatSkew:
     def test_corrupt_done_degrades_to_requeue(self, spec, tmp_path):
         work = WorkDir(str(tmp_path))
         shards = {0: WorkShard(0, (spec(),))}
-        with open(
-            os.path.join(str(tmp_path), "done", "shard-0000.pkl"), "wb"
-        ) as handle:
-            handle.write(b"torn write garbage")
+        corrupt_file(
+            os.path.join(str(tmp_path), "done", "shard-0000.pkl"),
+            b"torn write garbage",
+        )
         done = {}
         Coordinator(hosts=1, spawn_local=False)._collect_done(
             work, shards, done, {}
@@ -851,8 +851,7 @@ class TestScoredDistribution:
         suspect_key = jobs[1].suspect.content_key()
         path = os.path.join(sweep_env.path("cache"), f"{suspect_key}.summary.pkl")
         assert os.path.exists(path)
-        with open(path, "wb") as handle:
-            handle.write(b"torn write garbage")
+        corrupt_file(path, b"torn write garbage")
         again = run_distributed_scored(
             jobs,
             hosts=2,

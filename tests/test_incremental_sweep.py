@@ -42,6 +42,7 @@ from repro.experiments.scenario import (
     trojan_attack_variant,
 )
 from repro.physics.quality import fan_deficit_fraction
+from tests.conftest import corrupt_file
 
 # The two-scenario / four-session reference grid lives in conftest.py as the
 # shared session-scoped ``tiny_grid`` fixture (it is also what the batch and
@@ -152,8 +153,7 @@ class TestIncrementalSweeps:
         suspect_key = compile_scenario(tiny_grid[1])[1].content_key()
         path = os.path.join(directory, f"{suspect_key}.summary.pkl")
         assert os.path.exists(path)
-        with open(path, "wb") as handle:
-            handle.write(b"torn write garbage")
+        corrupt_file(path, b"torn write garbage")
         counted = _count_simulations(monkeypatch)
         result = run_sweep(tiny_grid, cache=SessionCache(directory=directory))
         assert counted == ["T2@tiny/T2"]

@@ -324,7 +324,15 @@ def test_json_output_schema_is_stable(tmp_path):
         "c = time.time()  # repro: lint-ignore[DET003] demo\n",
     )
     payload = json.loads(render_json(result))
-    assert sorted(payload) == ["files", "findings", "ok", "schema", "suppressed"]
+    assert sorted(payload) == [
+        "baselined",
+        "files",
+        "findings",
+        "ok",
+        "schema",
+        "stale_baseline",
+        "suppressed",
+    ]
     assert payload["schema"] == JSON_SCHEMA_VERSION
     assert payload["files"] == 1
     assert payload["ok"] is False
@@ -375,6 +383,21 @@ def test_repo_is_lint_clean():
     # economics in distrib/scenario) are suppressed, not silently missed.
     assert len(result.suppressed) >= 5
     assert all(f.rule == "DET003" for f in result.suppressed)
+    # The committed baselines carry no outstanding debt and no stale
+    # entries: contract rules hold on the tree itself, not via waivers.
+    assert result.baselined == []
+    assert result.stale_baseline == []
+
+
+def test_repo_tests_profile_is_lint_clean():
+    """`repro lint --profile tests` must exit 0 on the merged tree."""
+    result = run_lint(root=REPO_ROOT, profile="tests")
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings
+    )
+    # The corruption-injection helpers in conftest.py carry the only
+    # sanctioned raw-write suppressions.
+    assert all(f.path == "tests/conftest.py" for f in result.suppressed)
 
 
 # ----------------------------------------------------------------------

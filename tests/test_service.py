@@ -36,6 +36,7 @@ import repro
 from repro.experiments.batch import SessionCache
 from repro.experiments.report import render_csv
 from repro.experiments.scenario import run_sweep
+from tests.conftest import corrupt_file
 from repro.service import (
     DONE,
     FAILED,
@@ -271,8 +272,7 @@ def test_schema_version_bump_invalidates_store(tmp_path):
 
 def test_corrupt_store_quarantined(tmp_path):
     db = str(tmp_path / "jobs.sqlite3")
-    with open(db, "wb") as handle:
-        handle.write(b"this is not a sqlite database at all\x00\xff")
+    corrupt_file(db, b"this is not a sqlite database at all\x00\xff")
     with pytest.warns(RuntimeWarning, match="quarantined"):
         store = JobStore(db)
     # Degraded to a fresh, working store; the bad bytes are preserved.
