@@ -9,7 +9,7 @@ export PYTHONPATH
 # the repo root (see .gitignore).
 REPRO_CI_CACHE_DIR ?= .repro-session-cache
 
-.PHONY: test lint lint-det lint-tests bench sweep smoke smoke-service smoke-distrib speed-gate ci serve
+.PHONY: test lint lint-det lint-tests bench sweep smoke smoke-service smoke-distrib smoke-steal speed-gate ci serve
 
 test:
 	python -m pytest -x -q
@@ -90,6 +90,15 @@ smoke-distrib:
 	python scripts/smoke_distrib.py --workers 2 \
 		--record benchmarks/out/distributed_sweep.txt
 
+# Elastic work-stealing smoke: the smoke grid over the HTTP shard-queue
+# transport (in-process service), two throttled straggler workers, and one
+# real late-joining `repro worker <url>` subprocess. The late joiner must
+# steal >= 1 shard and shorten the straggling sweep; verdict CSVs stay
+# byte-identical to serial and the warm repeat simulates 0 sessions.
+smoke-steal:
+	python scripts/smoke_steal.py \
+		--record benchmarks/out/steal_sweep.txt
+
 # Fast-path throughput non-regression gate: re-measures the smoke grid's
 # cold sessions/sec through the vectorized fast path and fails if it drops
 # below the floor recorded in benchmarks/bench_session_speed.py.
@@ -99,5 +108,6 @@ speed-gate:
 # Mirrors .github/workflows/ci.yml step for step so CI and dev runs stay in
 # lockstep: lint -> determinism/contract lint (src + test profile) ->
 # tier-1 tests -> incremental smoke sweep -> service smoke (HTTP parity +
-# store dedup) -> distributed smoke parity -> fast-path speed gate.
-ci: lint lint-det lint-tests test smoke smoke-service smoke-distrib speed-gate
+# store dedup) -> distributed smoke parity -> elastic work-stealing smoke
+# -> fast-path speed gate.
+ci: lint lint-det lint-tests test smoke smoke-service smoke-distrib smoke-steal speed-gate

@@ -171,3 +171,67 @@ def test_distributed_vs_serial_wall_clock(benchmark, out_dir, tmp_path):
     text = "\n".join(lines)
     write_artifact(out_dir, "distributed_bench.txt", text)
     print("\n" + text)
+
+
+def test_steal_vs_lpt_wall_clock(benchmark, out_dir, tmp_path):
+    """Record elastic (steal=True, many small shards) against classic LPT
+    (one balanced shard per host) on the same grid and host count.
+
+    Both topologies must produce identical verdicts; the wall clocks are
+    recorded, not asserted — with healthy equal-speed workers the two run
+    neck and neck (stealing's win appears under stragglers and late
+    joiners, which `make smoke-steal` exercises deterministically), so
+    this benchmark pins the *overhead* of finer sharding instead: the
+    steal run's extra shards must not cost more than the spawn-dominated
+    noise floor.
+    """
+    scenarios = grid_scenarios("smoke")
+
+    def lpt_run():
+        return run_sweep(
+            scenarios,
+            cache=SessionCache(directory=str(tmp_path / "lpt-cache")),
+            grid="smoke",
+            hosts=2,
+            work_dir=str(tmp_path / "lpt-work"),
+        )
+
+    t0 = time.perf_counter()
+    lpt = benchmark.pedantic(lpt_run, rounds=1, iterations=1)
+    lpt_s = time.perf_counter() - t0
+    assert lpt.ok
+
+    t0 = time.perf_counter()
+    steal = run_sweep(
+        scenarios,
+        cache=SessionCache(directory=str(tmp_path / "steal-cache")),
+        grid="smoke",
+        hosts=2,
+        steal=True,
+        work_dir=str(tmp_path / "steal-work"),
+    )
+    steal_s = time.perf_counter() - t0
+
+    # Parity: shard granularity must not change a single verdict.
+    for a, b in zip(lpt.outcomes, steal.outcomes):
+        assert {k: v.as_dict() for k, v in a.verdicts.items()} == {
+            k: v.as_dict() for k, v in b.verdicts.items()
+        }
+    assert steal.ok == lpt.ok
+    lpt_shards = sum(h["shards"] for h in lpt.host_stats)
+    steal_shards = sum(h["shards"] for h in steal.host_stats)
+    assert steal_shards >= lpt_shards
+
+    lines = [
+        f"grid: smoke ({len(scenarios)} scenarios, "
+        f"{lpt.sessions_total} unique sessions), hosts=2",
+        f"LPT (one shard per host):   {lpt_s:7.2f}s  ({lpt_shards} shards)",
+        f"steal (many small shards):  {steal_s:7.2f}s  ({steal_shards} shards)",
+        f"steal/LPT ratio: {steal_s / lpt_s:.2f}x (recorded, not asserted; "
+        "equal-speed workers tie — stealing pays off under stragglers, "
+        "see steal_sweep.txt)",
+        "verdict parity: identical across LPT / steal shard topologies",
+    ]
+    text = "\n".join(lines)
+    write_artifact(out_dir, "steal_bench.txt", text)
+    print("\n" + text)

@@ -1,0 +1,307 @@
+#!/usr/bin/env python
+"""Elastic work stealing smoke: late joiners must shorten a straggling sweep.
+
+Drives the smoke grid over the **HTTP shard-queue transport** against an
+in-process sweep service (threaded WSGI + SQLite, no external server),
+with ``steal=True`` carving many small shards, and checks four things:
+
+1. **Parity** — the verdict CSV of every distributed run below is
+   byte-identical to a serial reference sweep;
+2. **Straggler baseline** — two deliberately *throttled* workers (each
+   claim costs a built-in sleep, simulating slow hosts) finish the queue
+   alone in some wall clock T_straggle;
+3. **Elastic rebalance** — the same throttled pair *plus one unthrottled
+   late joiner* (a real ``repro worker <url>`` subprocess started after
+   the sweep is underway, knowing nothing but the queue URL) finishes in
+   T_elastic < T_straggle, and the late joiner demonstrably executed at
+   least one stolen shard;
+4. **Warm repeat** — repeating the elastic run over its shared cache
+   simulates zero sessions (the incremental invariant survives stealing).
+
+Exit code 0 means every check held; any drift exits 1 with a diagnostic.
+With ``--record PATH`` the measured numbers are written there (CI records
+``benchmarks/out/steal_sweep.txt``).
+
+Run from the repo root: ``python scripts/smoke_steal.py [--grid smoke]
+[--record PATH]``.
+"""
+
+import argparse
+import os
+import socketserver
+import subprocess
+import sys
+import tempfile
+import textwrap
+import threading
+import time
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+sys.path.insert(0, _SRC)
+
+import repro.experiments.distrib as distrib  # noqa: E402
+from repro.experiments.batch import SessionCache  # noqa: E402
+from repro.experiments.report import render_csv  # noqa: E402
+from repro.experiments.scenario import grid_scenarios, run_sweep  # noqa: E402
+from repro.service.app import create_app  # noqa: E402
+
+CLAIM_THROTTLE_S = 2.0
+LATE_JOIN_DELAY_S = 0.25
+
+# A worker whose every claim costs CLAIM_THROTTLE_S: the reproducible
+# stand-in for a straggling host, so the rebalance win is structural
+# (idle-time removal) and shows up even on a single-CPU CI container.
+_STRAGGLER_SOURCE = textwrap.dedent(
+    """
+    import sys, time
+
+    sys.path.insert(0, sys.argv[4])
+    from repro.experiments.distrib import Worker
+
+    class Straggler(Worker):
+        def _claim_next(self):
+            time.sleep(float(sys.argv[3]))
+            return super()._claim_next()
+
+    Straggler(
+        sys.argv[1], sys.argv[2], cache=sys.argv[5] or None,
+        poll_s=0.1, idle_timeout_s=300,
+    ).run()
+    """
+)
+
+
+class SmokeFailure(Exception):
+    pass
+
+
+class _ThreadedWSGI(socketserver.ThreadingMixIn, WSGIServer):
+    daemon_threads = True
+
+
+class _QuietWSGI(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref signature
+        pass
+
+
+def _start_server():
+    app = create_app(db=":memory:", background=True)
+    server = make_server(
+        "127.0.0.1", 0, app,
+        server_class=_ThreadedWSGI, handler_class=_QuietWSGI,
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_SRC, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def _throttled_worker_command(straggler_script, cache_dir):
+    def command(self, work, worker_id):
+        return [
+            sys.executable,
+            straggler_script,
+            work.worker_target(),
+            worker_id,
+            str(CLAIM_THROTTLE_S),
+            _SRC,
+            cache_dir,
+        ]
+
+    return command
+
+
+def _spawn_late_joiner(target, cache_dir, delay_s):
+    """A real `repro worker <url>` subprocess, started mid-sweep."""
+    holder = {}
+
+    def launch():
+        time.sleep(delay_s)
+        holder["proc"] = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker", target,
+                "--id", "late-joiner",
+                "--poll-s", "0.05",
+                "--idle-timeout-s", "120",
+                "--cache-dir", cache_dir,
+            ],
+            env=_subprocess_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+        )
+
+    thread = threading.Thread(target=launch)
+    thread.start()
+    return thread, holder
+
+
+def check_grid(grid, base_url, base):
+    scenarios = grid_scenarios(grid)
+    straggler_script = os.path.join(base, "straggler_worker.py")
+    with open(straggler_script, "w", encoding="utf-8") as handle:
+        handle.write(_STRAGGLER_SOURCE)
+
+    serial = run_sweep(
+        scenarios,
+        cache=SessionCache(directory=os.path.join(base, "serial-cache")),
+        grid=grid,
+    )
+    if not serial.ok:
+        raise SmokeFailure(f"serial {grid} sweep not ok:\n{serial.render()}")
+    reference_csv = render_csv(serial)
+
+    original_command = distrib.Coordinator._worker_command
+    # Straggler baseline: two throttled workers, nobody to help them.
+    straggle_cache = os.path.join(base, "straggle-cache")
+    distrib.Coordinator._worker_command = _throttled_worker_command(
+        straggler_script, straggle_cache
+    )
+    try:
+        straggle = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=straggle_cache),
+            grid=grid,
+            hosts=2,
+            steal=True,
+            transport=f"{base_url}/queues/steal-straggle",
+        )
+    finally:
+        distrib.Coordinator._worker_command = original_command
+    if render_csv(straggle) != reference_csv:
+        raise SmokeFailure("verdict drift on the straggler baseline run")
+    if straggle.requeues:
+        raise SmokeFailure(
+            f"straggler baseline forfeited {straggle.requeues} claim(s); "
+            "throttled workers should be slow, not condemned"
+        )
+
+    # Elastic run: same throttled pair + one real late-joining subprocess.
+    elastic_cache = os.path.join(base, "elastic-cache")
+    elastic_target = f"{base_url}/queues/steal-elastic"
+    distrib.Coordinator._worker_command = _throttled_worker_command(
+        straggler_script, elastic_cache
+    )
+    joiner_thread, joiner = _spawn_late_joiner(
+        elastic_target, elastic_cache, LATE_JOIN_DELAY_S
+    )
+    try:
+        elastic = run_sweep(
+            scenarios,
+            cache=SessionCache(directory=elastic_cache),
+            grid=grid,
+            hosts=2,
+            steal=True,
+            transport=elastic_target,
+        )
+    finally:
+        distrib.Coordinator._worker_command = original_command
+        joiner_thread.join(timeout=10)
+        proc = joiner.get("proc")
+        if proc is not None:
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    if render_csv(elastic) != reference_csv:
+        raise SmokeFailure("verdict drift on the elastic (late-joiner) run")
+    late = next(
+        (h for h in elastic.host_stats if h["worker"] == "late-joiner"), None
+    )
+    if late is None or late["shards"] < 1:
+        raise SmokeFailure(
+            "the late joiner never stole a shard; host stats: "
+            f"{elastic.host_stats}"
+        )
+    if elastic.wall_clock_s >= straggle.wall_clock_s:
+        raise SmokeFailure(
+            "the late joiner did not shorten the straggling sweep: "
+            f"elastic {elastic.wall_clock_s:.2f}s vs straggler baseline "
+            f"{straggle.wall_clock_s:.2f}s"
+        )
+
+    # Warm repeat over the elastic run's cache: stealing keeps the
+    # incremental invariant (nothing dispatched, nothing re-simulated).
+    repeat = run_sweep(
+        scenarios,
+        cache=SessionCache(directory=elastic_cache),
+        grid=grid,
+        hosts=2,
+        steal=True,
+        transport=f"{base_url}/queues/steal-repeat",
+    )
+    if repeat.sessions_simulated != 0 or repeat.cache_misses != 0:
+        raise SmokeFailure(
+            "warm repeat re-simulated "
+            f"{repeat.sessions_simulated} sessions; expected 0"
+        )
+    if render_csv(repeat) != reference_csv:
+        raise SmokeFailure("verdict drift on the warm repeat")
+
+    host_bits = "; ".join(
+        f"{h['worker']}: {h['shards']} shard(s)" for h in elastic.host_stats
+    )
+    return "\n".join(
+        [
+            f"grid: {grid} ({len(scenarios)} scenarios, "
+            f"{serial.sessions_total} unique sessions, "
+            f"{sum(h['shards'] for h in elastic.host_stats)} steal shards)",
+            f"serial (hosts=1):                    {serial.wall_clock_s:7.2f}s",
+            f"2 throttled stragglers (no help):    {straggle.wall_clock_s:7.2f}s",
+            f"stragglers + late joiner (elastic):  {elastic.wall_clock_s:7.2f}s"
+            f"  [{host_bits}]",
+            f"warm repeat:                         {repeat.wall_clock_s:7.2f}s"
+            "  (0 sessions simulated)",
+            "verdict parity: CSV rows byte-identical across serial / "
+            "straggler baseline / elastic / warm repeat (all over HTTP)",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--grid", default="smoke", help="grid to check (default: smoke)"
+    )
+    parser.add_argument(
+        "--record",
+        help="also write the measured numbers to this file "
+        "(CI records benchmarks/out/steal_sweep.txt)",
+    )
+    args = parser.parse_args(argv)
+
+    server, base_url = _start_server()
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-steal-") as base:
+            try:
+                section = check_grid(args.grid, base_url, base)
+            except SmokeFailure as failure:
+                print(f"smoke-steal: FAIL — {failure}")
+                return 1
+    finally:
+        server.shutdown()
+    print("smoke-steal: OK\n" + section)
+    if args.record:
+        os.makedirs(os.path.dirname(args.record) or ".", exist_ok=True)
+        with open(args.record, "w", encoding="utf-8") as handle:
+            handle.write(
+                "elastic work stealing: HTTP shard queue + late joiner\n"
+                "(scripts/smoke_steal.py; throttled stragglers make the\n"
+                "rebalance win structural, not CPU-count-dependent)\n\n"
+            )
+            handle.write(section)
+            handle.write("\n")
+        print(f"recorded -> {args.record}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,14 +15,17 @@ Mirrors the workflows of the paper's tooling:
   × seeds) into one flat batch and score it; with ``--cache-dir`` the sweep
   is incremental (repeats re-simulate nothing), ``--hosts N`` shards the
   pending scenarios across N worker hosts (subprocess workers over a shared
-  ``--work-dir``) which *score worker-side* and ship only verdict rows back
-  (``--ship-summaries`` restores the full-summary transport), ``--workers
-  M`` composes with ``--hosts`` for N×M total parallelism, and ``--csv`` /
-  ``--html`` emit report files alongside the text table;
-* ``worker``   — serve a distribution work dir: claim pending shards,
-  execute (and score) them, publish results. Run it by hand on any machine
-  that shares (or rsyncs) the coordinator's work dir and cache dir to join
-  a sweep; ``--workers M`` runs each shard as a parallel batch;
+  ``--work-dir``, or any ``--transport`` backend — an HTTP shard queue on a
+  ``repro serve`` instance crosses machine boundaries with no shared mount)
+  which *score worker-side* and ship only verdict rows back
+  (``--ship-summaries`` restores the full-summary payload), ``--steal``
+  carves many small shards so idle/late-joining hosts rebalance,
+  ``--workers M`` composes with ``--hosts`` for N×M total parallelism, and
+  ``--csv`` / ``--html`` emit report files alongside the text table;
+* ``worker``   — serve a sweep shard queue: claim pending shards, execute
+  (and score) them, publish results. Run it by hand on any machine that
+  shares the coordinator's work dir — or, over HTTP, just its network —
+  to join a sweep; ``--workers M`` runs each shard as a parallel batch;
 * ``lint``     — the determinism & wire-safety static analyzer
   (:mod:`repro.analysis.lint`): AST rules guarding the byte-identical-
   verdict contract (builtin ``hash()`` seeding, unseeded RNG draws,
@@ -213,6 +216,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         grid=args.grid,
         hosts=args.hosts,
         work_dir=args.work_dir,
+        transport=args.transport,
+        steal=args.steal,
         ship_summaries=args.ship_summaries,
         fast_path=not args.precise,
         **_batch_kwargs(args),
@@ -397,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
         "defaults to a temp dir. Point external `repro worker` hosts here.",
     )
     p.add_argument(
+        "--transport",
+        default=None,
+        help="shard-queue backend target: a filesystem path, "
+        "http://host:port/queues/<name> (a `repro serve` shard queue — "
+        "workers join over the network, no shared mount), or "
+        "memory://<name> (in-process; tests). Overrides --work-dir. "
+        "External hosts join with `repro worker <same target>`.",
+    )
+    p.add_argument(
+        "--steal",
+        action="store_true",
+        help="distributed sweeps: carve many small shards instead of one "
+        "per host, so idle and late-joining workers steal from the shared "
+        "queue (verdicts stay byte-identical; stragglers shed load)",
+    )
+    p.add_argument(
         "--precise",
         action="store_true",
         help="force the per-event precise simulation path instead of the "
@@ -507,9 +528,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "worker",
-        help="serve a distribution work dir (claim + execute pending shards)",
+        help="serve a sweep shard queue (claim + execute pending shards)",
     )
-    p.add_argument("work_dir", help="the coordinator's --work-dir")
+    p.add_argument(
+        "work_dir",
+        metavar="target",
+        help="the coordinator's shard queue: its --work-dir path, or an "
+        "http://host:port/queues/<name> target from --transport (join a "
+        "sweep over the network — late joiners steal work immediately)",
+    )
     p.add_argument(
         "--cache-dir",
         help="persistent session-cache directory (share the coordinator's)",

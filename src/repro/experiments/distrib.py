@@ -8,9 +8,16 @@ cannot serve) across worker hosts by :meth:`SessionSpec.estimated_cost`
 existing :class:`~repro.experiments.batch.BatchRunner`, and merges the
 returned :class:`SessionSummary`s back into one result.
 
-The first transport is a **file-based work-dir protocol** — any filesystem
-the coordinator and workers can both reach (one machine, NFS, or an
-rsync'd directory) is a cluster:
+The protocol surface itself —
+claim/requeue/done/heartbeat/STOP — is the pluggable
+:class:`~repro.experiments.transport.Transport` interface; this module
+owns the protocol's *participants* (coordinator and worker loops, both
+backend-agnostic) and its original backend, the **file-based work-dir
+protocol** — any filesystem the coordinator and workers can both reach
+(one machine, NFS, or an rsync'd directory) is a cluster. The HTTP
+backend (:mod:`~repro.experiments.transport_http`) extends that to hosts
+sharing nothing but a network; the same loops run unchanged over either.
+The filesystem layout:
 
 .. code-block:: text
 
@@ -36,7 +43,7 @@ local worker pool dies entirely, the coordinator drains the remaining
 shards inline, so a sweep completes as long as the coordinator itself
 survives.
 
-Two transports ride on the same protocol:
+Two payload modes ride on the same protocol:
 
 * **summary shipping** (:meth:`Coordinator.run`) — shards are flat
   :class:`SessionSpec` lists and workers ship back full
@@ -63,14 +70,25 @@ Entry points:
 * :func:`run_distributed` / :func:`run_distributed_scored` /
   :class:`Coordinator` — what ``repro sweep --hosts N`` drives;
 * :class:`Worker` — the claim/execute/report loop behind the standalone
-  ``repro worker <work-dir>`` command, which is how real remote hosts join
-  a sweep (point them at a shared work dir and cache dir).
+  ``repro worker <target>`` command, which is how real remote hosts join
+  a sweep (point them at a shared work dir — or the coordinator's
+  ``http://host:port/queues/...`` shard queue — plus a cache dir).
+
+Sharding has two modes. The default carves one LPT-balanced shard per
+host — minimal protocol traffic, but a straggler host strands its whole
+shard. With ``steal=True`` (``repro sweep --steal``) the coordinator
+instead enqueues **many small shards** (:data:`STEAL_SHARD_FACTOR` per
+host, goldens still grouped so shared golden sessions are simulated once)
+and lets elastic **work stealing** fall out of the greedy claim loop:
+whichever worker is idle — including a host that joined mid-sweep —
+claims the next shard, so stragglers shed load instead of stranding it.
+Merged results are keyed by job index either way, so verdict CSVs are
+byte-identical across every sharding × backend combination.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 import re
 import shutil
 import socket
@@ -90,8 +108,28 @@ from repro.experiments.batch import (
     SessionSummary,
     resolve_cache,
 )
+from repro.experiments.transport import (
+    WIRE_FORMAT,
+    Claim,
+    Transport,
+    WireFormatError,
+    create_transport,
+    decode_wire,
+)
 from repro.firmware.marlin import PrinterStatus
-from repro.util import atomic_pickle
+from repro.util import atomic_pickle, atomic_write
+
+__all__ = [  # re-exports: the wire layer moved to transport.py in PR 10
+    "WIRE_FORMAT",
+    "Claim",
+    "Transport",
+    "WireFormatError",
+    "WorkDir",
+    "Worker",
+    "Coordinator",
+    "run_distributed",
+    "run_distributed_scored",
+]
 
 PAYLOAD_SHRINK_FLOOR = 5.0
 """Verdict shipping must undercut summary shipping by at least this factor.
@@ -101,30 +139,13 @@ enforce; it lives here so retuning it (e.g. after a summary-schema change)
 cannot desynchronize the two checks.
 """
 
-WIRE_FORMAT = 2
-"""Work-dir payload format version.
+STEAL_SHARD_FACTOR = 4
+"""Shards per host when work stealing is on (``Coordinator(steal=True)``).
 
-Bumped whenever the pickled shard/result schema changes shape (2: shards
-may carry scenario jobs, results may carry verdict rows + digests). A
-payload whose envelope names a *different* version is a protocol-level
-incompatibility — some host is running different code — and raises
-:class:`WireFormatError` rather than being quietly re-queued: silent
-re-queueing of a version skew loops forever, and deserializing the payload
-anyway risks scoring garbage.
+Small enough that per-shard protocol overhead (claims, done payloads)
+stays negligible, large enough that a straggling host strands at most
+~1/4 of its fair share before an idle worker steals the rest.
 """
-
-
-class WireFormatError(ReproError):
-    """A work-dir payload was written by an incompatible protocol version."""
-
-    def __init__(self, path: str, found: Any) -> None:
-        super().__init__(
-            f"work-dir payload {os.path.basename(path)!r} has wire format "
-            f"{found!r}, but this process speaks {WIRE_FORMAT}; every host "
-            "sharing a work dir must run the same repro version"
-        )
-        self.path = path
-        self.found = found
 
 _PENDING, _CLAIMED, _DONE, _HEARTS, _LOGS = (
     "pending",
@@ -292,14 +313,6 @@ class ShardResult:
         return len(failed)
 
 
-@dataclass(frozen=True)
-class Claim:
-    """A successfully claimed shard and the claim file that records it."""
-
-    shard: WorkShard
-    path: str
-
-
 def _lpt_bins(items: Sequence[Any], bins: int, cost) -> List[List[Any]]:
     """Greedy LPT: descending-cost items onto the currently-lightest bin.
 
@@ -391,36 +404,34 @@ def _atomic_pickle(path: str, payload: Any) -> None:
 
 
 def _load_pickle(path: str) -> Optional[Any]:
-    """Read a wire payload.
+    """Read a wire payload file — :func:`decode_wire`'s semantics.
 
-    Corruption (a torn write, truncation, unpicklable bytes) reads as
-    absent — the worst outcome is a re-queue/re-simulation. A *cleanly
-    readable envelope carrying a different format version* is not
-    corruption, it is a host running different code, and silently treating
-    it as absent would either loop (coordinator re-enqueues, the skewed
-    worker "completes" again) or deserialize a payload whose schema this
-    process does not understand — so it raises :class:`WireFormatError`.
+    Corruption reads as ``None`` (worst outcome: a re-queue), a cleanly
+    readable envelope with a different format version raises
+    :class:`WireFormatError` — see
+    :func:`repro.experiments.transport.decode_wire` for the rationale.
     """
     try:
         with open(path, "rb") as handle:
-            envelope = pickle.load(handle)
-    except Exception:
+            data = handle.read()
+    except OSError:
         return None
-    if not isinstance(envelope, dict) or "format" not in envelope:
-        return None
-    if envelope["format"] != WIRE_FORMAT:
-        raise WireFormatError(path, envelope["format"])
-    return envelope.get("payload")
+    return decode_wire(data, path)
 
 
-class WorkDir:
-    """The shared directory both sides of the protocol operate on.
+class WorkDir(Transport):
+    """The filesystem transport: a shared directory both sides operate on.
 
     Every transition is an atomic rename (claim: ``pending/ → claimed/``;
     re-queue: ``claimed/ → pending/``) or an atomic write (enqueue, done),
     so concurrent workers — processes or hosts — never observe a torn file
-    and never double-execute a shard they both tried to claim.
+    and never double-execute a shard they both tried to claim. Claim
+    tokens are the claim-file paths, and the name-based helpers
+    (:meth:`pending_files`, string-named :meth:`claim`) remain alongside
+    the id-based :class:`~repro.experiments.transport.Transport` surface.
     """
+
+    scheme = "fs"
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -459,6 +470,20 @@ class WorkDir:
 
     def enqueue(self, shard: WorkShard) -> None:
         _atomic_pickle(self._sub(_PENDING, self.shard_file(shard.shard_id)), shard)
+
+    def put_pending(self, shard_id: int, data: bytes) -> None:
+        atomic_write(
+            self._sub(_PENDING, self.shard_file(shard_id)),
+            lambda handle: handle.write(data),
+            prefix=".wire.",
+        )
+
+    def put_result(self, shard_id: int, data: bytes) -> None:
+        atomic_write(
+            self._sub(_DONE, self.shard_file(shard_id)),
+            lambda handle: handle.write(data),
+            prefix=".wire.",
+        )
 
     def done_ids(self) -> List[int]:
         ids = []
@@ -536,14 +561,28 @@ class WorkDir:
             if _SHARD_RE.match(name)
         )
 
-    def claim(self, pending_name: str, worker_id: str) -> Optional[Claim]:
+    def pending_ids(self) -> List[int]:
+        ids = []
+        for name in self.pending_files():
+            match = _SHARD_RE.match(name)
+            if match and not match.group(2):
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    def claim(
+        self, pending_name: Union[int, str], worker_id: str
+    ) -> Optional[Claim]:
         """Try to claim one pending shard; ``None`` if another worker won.
 
-        Raises :class:`WireFormatError` — after renaming the shard *back*
-        to pending, so a compatible worker can still take it — when the
-        shard was enqueued by an incompatible coordinator; executing a
-        payload whose schema this worker does not speak is never an option.
+        Accepts a shard id (the transport-interface spelling) or a pending
+        file name (the original work-dir spelling). Raises
+        :class:`WireFormatError` — after renaming the shard *back* to
+        pending, so a compatible worker can still take it — when the shard
+        was enqueued by an incompatible coordinator; executing a payload
+        whose schema this worker does not speak is never an option.
         """
+        if isinstance(pending_name, int):
+            pending_name = self.shard_file(pending_name)
         match = _SHARD_RE.match(pending_name)
         if not match or match.group(2):
             return None
@@ -570,7 +609,7 @@ class WorkDir:
             except OSError:
                 pass
             return None
-        return Claim(shard=payload, path=claim_path)
+        return Claim(shard=payload, token=claim_path)
 
     def complete(self, claim: Claim, result: ShardResult) -> None:
         _atomic_pickle(self._sub(_DONE, self.shard_file(claim.shard.shard_id)), result)
@@ -609,6 +648,12 @@ class WorkDir:
     def log_path(self, worker_id: str) -> str:
         return self._sub(_LOGS, f"{worker_id}.log")
 
+    def worker_target(self) -> str:
+        return self.root
+
+    def describe(self) -> str:
+        return f"fs transport ({self.root})"
+
 
 class Worker:
     """The claim → execute → report loop one host runs.
@@ -629,21 +674,28 @@ class Worker:
 
     def __init__(
         self,
-        work_dir: Union[str, WorkDir],
+        work_dir: Union[str, Transport],
         worker_id: Optional[str] = None,
         cache: CacheOption = None,
         poll_s: float = 0.2,
         idle_timeout_s: Optional[float] = None,
         workers: Optional[int] = 1,
     ) -> None:
-        self.work = work_dir if isinstance(work_dir, WorkDir) else WorkDir(work_dir)
+        # A Transport instance joins as-is; a string resolves by scheme —
+        # a filesystem path, http://host/queues/..., or memory://name —
+        # which is also how `repro worker <target>` accepts any backend.
+        self.work = (
+            work_dir
+            if isinstance(work_dir, Transport)
+            else create_transport(work_dir)
+        )
         self.worker_id = sanitize_worker_id(worker_id or default_worker_id())
         self.poll_s = poll_s
         self.idle_timeout_s = idle_timeout_s
         self.runner = BatchRunner(workers=workers, cache=cache)
         # Pending shards whose wire format this worker cannot speak: left in
         # the queue for a compatible worker, never re-claimed, never executed.
-        self._incompatible: Set[str] = set()
+        self._incompatible: Set[int] = set()
 
     def run(self) -> int:
         """Serve the queue until STOP (or idle timeout); returns shards done."""
@@ -671,16 +723,19 @@ class Worker:
         return executed
 
     def _claim_next(self) -> Optional[Claim]:
-        for name in self.work.pending_files():
-            if name in self._incompatible:
+        for shard_id in self.work.pending_ids():
+            if shard_id in self._incompatible:
                 continue
             try:
-                claim = self.work.claim(name, self.worker_id)
+                claim = self.work.claim(shard_id, self.worker_id)
             except WireFormatError as exc:
                 # The shard went back to pending; remember it so this loop
                 # doesn't spin on it, and say so in the worker log.
-                self._incompatible.add(name)
-                print(f"worker {self.worker_id}: skipping {name}: {exc}", flush=True)
+                self._incompatible.add(shard_id)
+                print(
+                    f"worker {self.worker_id}: skipping shard {shard_id}: {exc}",
+                    flush=True,
+                )
                 continue
             if claim is not None:
                 return claim
@@ -800,6 +855,8 @@ class Coordinator:
         max_respawns: Optional[int] = None,
         timeout_s: Optional[float] = None,
         workers: Optional[int] = 1,
+        transport: Optional[Union[str, Transport]] = None,
+        steal: bool = False,
     ) -> None:
         self.hosts = max(1, hosts)
         self.cache = resolve_cache(cache)
@@ -810,6 +867,15 @@ class Coordinator:
         self.max_respawns = self.hosts if max_respawns is None else max_respawns
         self.timeout_s = timeout_s
         self.workers = workers
+        # Backend precedence: an explicit transport (instance or target
+        # string) wins; else work_dir names a filesystem transport; else a
+        # throwaway temp work dir is created per batch.
+        self.transport = transport
+        self.steal = steal
+
+    def _bins(self) -> int:
+        """How many shards to carve: 1/host, or many small ones to steal."""
+        return self.hosts * (STEAL_SHARD_FACTOR if self.steal else 1)
 
     # ------------------------------------------------------------------
     # Public API
@@ -966,7 +1032,7 @@ class Coordinator:
             shards = {
                 index: WorkShard(shard_id=index, jobs=tuple(group))
                 for index, group in enumerate(
-                    scenario_shards(remote, self.hosts)
+                    scenario_shards(remote, self._bins())
                 )
             }
             shard_count = len(shards)
@@ -994,14 +1060,14 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Spawning
     # ------------------------------------------------------------------
-    def _worker_command(self, work: WorkDir, worker_id: str) -> List[str]:
+    def _worker_command(self, work: Transport, worker_id: str) -> List[str]:
         """The subprocess command line for one spawned local worker."""
         command = [
             sys.executable,
             "-m",
             "repro",
             "worker",
-            work.root,
+            work.worker_target(),
             "--id",
             worker_id,
             "--poll-s",
@@ -1017,7 +1083,7 @@ class Coordinator:
             command += ["--cache-dir", self.cache.directory]
         return command
 
-    def _spawn(self, work: WorkDir, worker_id: str) -> subprocess.Popen:
+    def _spawn(self, work: Transport, worker_id: str) -> subprocess.Popen:
         env = dict(os.environ)
         # The spawned interpreter must resolve this very repro package no
         # matter what the caller's cwd-relative PYTHONPATH said.
@@ -1042,7 +1108,7 @@ class Coordinator:
         """Summary-shipping mode: shard flat specs, merge full summaries."""
         shards = {
             index: WorkShard(shard_id=index, specs=tuple(group))
-            for index, group in enumerate(balanced_shards(specs, self.hosts))
+            for index, group in enumerate(balanced_shards(specs, self._bins()))
         }
         done, host_stats, requeues, payload_bytes = self._drive(shards)
         executed: Dict[str, SessionSummary] = {}
@@ -1067,11 +1133,27 @@ class Coordinator:
         dead-worker re-queue count, and the total ``done/`` payload bytes
         that travelled back (the number verdict shipping exists to shrink).
         """
-        root = self.work_dir
-        created_tmp = root is None
-        if created_tmp:
-            root = tempfile.mkdtemp(prefix="repro-distrib-")
-        work = WorkDir(root)
+        created_tmp = False
+        tmp_root: Optional[str] = None
+        if isinstance(self.transport, Transport):
+            work: Transport = self.transport
+        elif self.transport is not None:
+            work = create_transport(self.transport)
+        elif self.work_dir is not None:
+            work = WorkDir(self.work_dir)
+        else:
+            tmp_root = tempfile.mkdtemp(prefix="repro-distrib-")
+            created_tmp = True
+            work = WorkDir(tmp_root)
+        if self.spawn_local and work.scheme == "memory":
+            # A spawned `repro worker memory://...` would resolve a fresh,
+            # empty registry in its own process and idle forever while the
+            # coordinator waits — fail loud instead of deadlocking.
+            raise ReproError(
+                "the memory:// transport is in-process only; drive it with "
+                "spawn_local=False and in-process workers, or use a "
+                "filesystem/HTTP transport for subprocess workers"
+            )
         work.reset()
         for shard in shards.values():
             work.enqueue(shard)
@@ -1114,18 +1196,18 @@ class Coordinator:
                     raise ReproError(
                         f"distributed batch timed out after {self.timeout_s:.0f}s: "
                         f"{len(done)}/{len(shards)} shards done, "
-                        f"{len(work.pending_files())} pending, "
+                        f"{len(work.pending_ids())} pending, "
                         f"{len(work.claims())} claimed"
                     )
                 time.sleep(self.poll_s)
         finally:
             work.stop()
             self._shutdown(procs)
-            if created_tmp:
+            if created_tmp and tmp_root is not None:
                 # The throwaway work dir (pickled specs include whole G-code
                 # programs) must not outlive the run, success or failure;
                 # every result that matters is already merged in memory.
-                shutil.rmtree(root, ignore_errors=True)
+                shutil.rmtree(tmp_root, ignore_errors=True)
 
         per_host: Dict[str, Dict[str, Any]] = {}
         for result in done.values():
@@ -1145,7 +1227,7 @@ class Coordinator:
 
     def _collect_done(
         self,
-        work: WorkDir,
+        work: Transport,
         shards: Dict[int, WorkShard],
         done: Dict[int, ShardResult],
         payload_sizes: Dict[int, int],
@@ -1165,8 +1247,8 @@ class Coordinator:
                     f"shard {shard_id} was completed by an incompatible "
                     f"worker: {exc}"
                 ) from exc
-            if result is None:
-                # Torn/stale done file: burn it and re-enqueue from memory.
+            if not isinstance(result, ShardResult):
+                # Torn/stale done payload: burn it and re-enqueue from memory.
                 work.discard_done(shard_id)
                 work.enqueue(shards[shard_id])
                 continue
@@ -1175,7 +1257,7 @@ class Coordinator:
 
     def _worker_dead(
         self,
-        work: WorkDir,
+        work: Transport,
         worker_id: str,
         procs: Dict[str, subprocess.Popen],
         dead_workers: set,
@@ -1205,7 +1287,7 @@ class Coordinator:
 
     def _requeue_dead_claims(
         self,
-        work: WorkDir,
+        work: Transport,
         done: Dict[int, ShardResult],
         procs: Dict[str, subprocess.Popen],
         dead_workers: set,
@@ -1223,21 +1305,17 @@ class Coordinator:
 
     def _reenqueue_lost(
         self,
-        work: WorkDir,
+        work: Transport,
         shards: Dict[int, WorkShard],
         done: Dict[int, ShardResult],
     ) -> None:
         """Restore shards that fell out of the protocol entirely.
 
         A shard is *lost* when it is neither pending, claimed, nor done —
-        e.g. its claim file was dropped as corrupt. The coordinator's
+        e.g. its claim was dropped as corrupt. The coordinator's
         in-memory copy is authoritative, so it simply enqueues again.
         """
-        visible = set()
-        for name in work.pending_files():
-            match = _SHARD_RE.match(name)
-            if match:
-                visible.add(int(match.group(1)))
+        visible = set(work.pending_ids())
         visible.update(shard_id for shard_id, _, _ in work.claims())
         # The on-disk done listing, not just the collected dict: a shard
         # completed since the last _collect_done is *not* lost.
@@ -1249,7 +1327,7 @@ class Coordinator:
 
     def _tend_pool(
         self,
-        work: WorkDir,
+        work: Transport,
         shards: Dict[int, WorkShard],
         done: Dict[int, ShardResult],
         procs: Dict[str, subprocess.Popen],
@@ -1270,7 +1348,7 @@ class Coordinator:
                 respawns += 1
                 replacement = f"local-r{respawns}"
                 procs[replacement] = self._spawn(work, replacement)
-        if not procs and outstanding > 0 and work.pending_files():
+        if not procs and outstanding > 0 and work.pending_ids():
             # The whole pool is gone and the budget is spent: finish the
             # queue ourselves rather than failing the sweep. A *separate*
             # cache instance over the same directory keeps the coordinator's

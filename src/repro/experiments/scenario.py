@@ -664,6 +664,8 @@ def run_sweep(
     grid: str = "",
     hosts: int = 1,
     work_dir: Optional[str] = None,
+    transport: Optional[str] = None,
+    steal: bool = False,
     ship_summaries: bool = False,
     fast_path: bool = True,
     progress: Optional[Callable[[SessionSummary], None]] = None,
@@ -677,10 +679,16 @@ def run_sweep(
     that the CSV/HTML reports (:mod:`repro.experiments.report`) surface.
 
     With ``hosts > 1`` the sweep distributes via
-    :mod:`repro.experiments.distrib` (subprocess workers over a file-based
-    work dir — ``work_dir``, or a temp dir), and ``workers`` becomes the
-    *per-host* parallelism: each worker runs its shard through a parallel
-    ``BatchRunner``, so total parallelism is ``hosts × workers``. By
+    :mod:`repro.experiments.distrib` (subprocess workers over a pluggable
+    shard-queue backend: ``transport`` names it — a filesystem path,
+    ``http://host:port/queues/name``, or ``memory://name``; else
+    ``work_dir`` or a temp dir selects the filesystem backend), and
+    ``workers`` becomes the *per-host* parallelism: each worker runs its
+    shard through a parallel ``BatchRunner``, so total parallelism is
+    ``hosts × workers``. ``steal=True`` carves many small shards instead
+    of one per host, so idle and late-joining workers rebalance a
+    straggling sweep by claiming from the shared queue — verdicts are
+    byte-identical either way. By
     default the workers also *score* their scenarios and ship back only
     verdict rows + session digests (full summaries persist in the shared
     cache directory, written by the workers); ``ship_summaries=True``
@@ -712,7 +720,7 @@ def run_sweep(
     started = time.perf_counter()
     host_stats: List[Dict[str, Any]] = []
     requeues = 0
-    transport = ""
+    payload_mode = ""
     payload_bytes = 0
     simulated_override: Optional[int] = None
     if hosts and hosts > 1 and not ship_summaries:
@@ -731,7 +739,8 @@ def run_sweep(
             )
         ]
         scored = run_distributed_scored(
-            jobs, hosts=hosts, cache=resolved, work_dir=work_dir, workers=workers
+            jobs, hosts=hosts, cache=resolved, work_dir=work_dir,
+            workers=workers, transport=transport, steal=steal,
         )
         outcomes = [
             ScenarioOutcome(scenario, row.golden, row.suspect, row.verdicts)
@@ -739,7 +748,7 @@ def run_sweep(
         ]
         host_stats = scored.host_stats
         requeues = scored.requeues
-        transport = "verdict rows"
+        payload_mode = "verdict rows"
         payload_bytes = scored.payload_bytes
         # The coordinator probes the cache (no miss accounting) and loads
         # only what it scores locally, so "sessions simulated" is its
@@ -751,12 +760,12 @@ def run_sweep(
 
             distributed = run_distributed(
                 specs, hosts=hosts, cache=resolved, work_dir=work_dir,
-                workers=workers,
+                workers=workers, transport=transport, steal=steal,
             )
             summaries = distributed.summaries
             host_stats = distributed.host_stats
             requeues = distributed.requeues
-            transport = "summaries"
+            payload_mode = "summaries"
             payload_bytes = distributed.payload_bytes
         else:
             summaries = run_sessions(
@@ -790,7 +799,7 @@ def run_sweep(
         grid=grid,
         host_stats=host_stats,
         requeues=requeues,
-        transport=transport,
+        transport=payload_mode,
         payload_bytes=payload_bytes,
     )
 

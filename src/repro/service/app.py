@@ -21,6 +21,30 @@ GET      ``/jobs/{id}/report.csv``       verdict rows as CSV — byte-identical
 GET      ``/jobs/{id}/report.html``      self-contained HTML report
 =======  ==============================  =====================================
 
+plus the **shard-queue surface** — the HTTP backend of the distributed
+sweep transport (:mod:`repro.experiments.transport_http`), one endpoint
+per :class:`~repro.experiments.transport.Transport` operation. Shard
+bodies are opaque wire-envelope bytes (``application/octet-stream``); the
+service stores and serves them without deserializing:
+
+=======  ========================================  =========================
+method   path                                      meaning
+=======  ========================================  =========================
+GET      ``/queues/{q}``                           queue status snapshot
+POST     ``/queues/{q}/reset``                     clear shards/beats/STOP
+POST     ``/queues/{q}/stop``                      raise the STOP flag
+PUT      ``/queues/{q}/shards/{id}``               enqueue payload bytes
+POST     ``/queues/{q}/shards/{id}/claim``         claim (``?worker=``);
+                                                   200 payload | 409 lost
+POST     ``/queues/{q}/shards/{id}/requeue``       forfeit back to pending
+POST     ``/queues/{q}/shards/{id}/abandon``       drop a corrupt claim
+PUT      ``/queues/{q}/shards/{id}/result``        publish result bytes
+GET      ``/queues/{q}/shards/{id}/result``        fetch result | 404
+DELETE   ``/queues/{q}/shards/{id}/result``        discard a done result
+POST     ``/queues/{q}/workers/{w}/beat``          advance heartbeat counter
+GET      ``/queues/{q}/workers/{w}``               read heartbeat counter
+=======  ========================================  =========================
+
 Routes are deliberately *thin*: every one of them is a line or two over
 :class:`~repro.service.jobs.JobManager`, which in turn drives the same
 :func:`~repro.experiments.scenario.run_sweep` the CLI uses — the service
@@ -42,7 +66,7 @@ from urllib.parse import parse_qs
 from repro.errors import ReproError
 from repro.experiments.report import render_csv_rows, render_html_rows
 from repro.service.jobs import JobManager
-from repro.service.schemas import SchemaError, grid_listing
+from repro.service.schemas import SchemaError, grid_listing, queue_status_json
 from repro.service.store import JobStore
 
 _STATUS_REASONS = {
@@ -113,6 +137,62 @@ class ServiceApp:
             ("GET", re.compile(r"^/jobs/(\d+)/report\.csv$"), self._report_csv),
             ("GET", re.compile(r"^/jobs/(\d+)/report\.html$"), self._report_html),
         ]
+        # Shard-queue routes: queue and worker names are validated by the
+        # route pattern itself (the same [A-Za-z0-9_.-] alphabet worker-id
+        # sanitization guarantees), so nothing path-unsafe reaches the store.
+        name = r"([A-Za-z0-9_.-]+)"
+        self._routes.extend(
+            [
+                ("GET", re.compile(rf"^/queues/{name}$"), self._queue_status),
+                ("POST", re.compile(rf"^/queues/{name}/reset$"), self._queue_reset),
+                ("POST", re.compile(rf"^/queues/{name}/stop$"), self._queue_stop),
+                (
+                    "PUT",
+                    re.compile(rf"^/queues/{name}/shards/(\d+)$"),
+                    self._queue_put_shard,
+                ),
+                (
+                    "POST",
+                    re.compile(rf"^/queues/{name}/shards/(\d+)/claim$"),
+                    self._queue_claim,
+                ),
+                (
+                    "POST",
+                    re.compile(rf"^/queues/{name}/shards/(\d+)/requeue$"),
+                    self._queue_requeue,
+                ),
+                (
+                    "POST",
+                    re.compile(rf"^/queues/{name}/shards/(\d+)/abandon$"),
+                    self._queue_abandon,
+                ),
+                (
+                    "PUT",
+                    re.compile(rf"^/queues/{name}/shards/(\d+)/result$"),
+                    self._queue_put_result,
+                ),
+                (
+                    "GET",
+                    re.compile(rf"^/queues/{name}/shards/(\d+)/result$"),
+                    self._queue_get_result,
+                ),
+                (
+                    "DELETE",
+                    re.compile(rf"^/queues/{name}/shards/(\d+)/result$"),
+                    self._queue_delete_result,
+                ),
+                (
+                    "POST",
+                    re.compile(rf"^/queues/{name}/workers/{name}/beat$"),
+                    self._queue_beat,
+                ),
+                (
+                    "GET",
+                    re.compile(rf"^/queues/{name}/workers/{name}$"),
+                    self._queue_worker,
+                ),
+            ]
+        )
 
     # -- WSGI entry -----------------------------------------------------
 
@@ -168,6 +248,25 @@ class ServiceApp:
             return json.loads(raw)
         except ValueError as exc:
             raise _HttpError(400, f"invalid JSON body: {exc}") from None
+
+    @staticmethod
+    def _read_bytes(environ) -> bytes:
+        """A raw request body (shard payloads), size-capped like JSON ones."""
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(400, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return environ["wsgi.input"].read(length) if length else b""
+
+    def _worker_param(self, environ) -> str:
+        values = self._query(environ).get("worker", [])
+        if len(values) != 1 or not re.fullmatch(r"[A-Za-z0-9_.-]+", values[0]):
+            raise _HttpError(
+                400, "claim operations need exactly one well-formed ?worker="
+            )
+        return values[0]
 
     def _require_job(self, job_id: str) -> dict:
         job = self.manager.job(int(job_id))
@@ -246,6 +345,78 @@ class ServiceApp:
             render_html_rows(rows, job["stats"] or {}, title=title),
             "text/html; charset=utf-8",
         )
+
+    # -- shard-queue handlers (the HTTP sweep transport) ----------------
+
+    def _queue_status(self, environ, queue: str) -> Response:
+        return _json_response(
+            200, queue_status_json(self.manager.store.queue_status(queue))
+        )
+
+    def _queue_reset(self, environ, queue: str) -> Response:
+        self.manager.store.queue_reset(queue)
+        return _json_response(200, {"queue": queue, "reset": True})
+
+    def _queue_stop(self, environ, queue: str) -> Response:
+        self.manager.store.queue_stop(queue)
+        return _json_response(200, {"queue": queue, "stop": True})
+
+    def _queue_put_shard(self, environ, queue: str, shard_id: str) -> Response:
+        data = self._read_bytes(environ)
+        if not data:
+            raise _HttpError(400, "empty shard payload")
+        self.manager.store.queue_put_pending(queue, int(shard_id), data)
+        return _json_response(200, {"queue": queue, "shard": int(shard_id)})
+
+    def _queue_claim(self, environ, queue: str, shard_id: str) -> Response:
+        worker = self._worker_param(environ)
+        payload = self.manager.store.queue_claim(queue, int(shard_id), worker)
+        if payload is None:
+            raise _HttpError(409, f"shard {shard_id} is not pending")
+        return Response(
+            200, [payload], "application/octet-stream", content_length=len(payload)
+        )
+
+    def _queue_requeue(self, environ, queue: str, shard_id: str) -> Response:
+        worker = self._worker_param(environ)
+        if not self.manager.store.queue_requeue(queue, int(shard_id), worker):
+            raise _HttpError(409, f"shard {shard_id} is not claimed by {worker}")
+        return _json_response(200, {"queue": queue, "requeued": int(shard_id)})
+
+    def _queue_abandon(self, environ, queue: str, shard_id: str) -> Response:
+        worker = self._worker_param(environ)
+        if not self.manager.store.queue_abandon(queue, int(shard_id), worker):
+            raise _HttpError(409, f"shard {shard_id} is not claimed by {worker}")
+        return _json_response(200, {"queue": queue, "abandoned": int(shard_id)})
+
+    def _queue_put_result(self, environ, queue: str, shard_id: str) -> Response:
+        data = self._read_bytes(environ)
+        if not data:
+            raise _HttpError(400, "empty result payload")
+        self.manager.store.queue_put_result(queue, int(shard_id), data)
+        return _json_response(200, {"queue": queue, "done": int(shard_id)})
+
+    def _queue_get_result(self, environ, queue: str, shard_id: str) -> Response:
+        data = self.manager.store.queue_result(queue, int(shard_id))
+        if data is None:
+            raise _HttpError(404, f"no result for shard {shard_id}")
+        return Response(
+            200, [data], "application/octet-stream", content_length=len(data)
+        )
+
+    def _queue_delete_result(self, environ, queue: str, shard_id: str) -> Response:
+        self.manager.store.queue_discard_done(queue, int(shard_id))
+        return _json_response(200, {"queue": queue, "discarded": int(shard_id)})
+
+    def _queue_beat(self, environ, queue: str, worker: str) -> Response:
+        beats = self.manager.store.queue_beat(queue, worker)
+        return _json_response(200, {"queue": queue, "worker": worker, "beats": beats})
+
+    def _queue_worker(self, environ, queue: str, worker: str) -> Response:
+        beats = self.manager.store.queue_beats(queue, worker)
+        if beats is None:
+            raise _HttpError(404, f"no heartbeats from {worker}")
+        return _json_response(200, {"queue": queue, "worker": worker, "beats": beats})
 
 
 def create_app(

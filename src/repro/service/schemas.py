@@ -191,6 +191,22 @@ def job_json(job: Mapping[str, Any]) -> dict:
     }
 
 
+def queue_status_json(status: Mapping[str, Any]) -> dict:
+    """A shard queue's status snapshot shaped for the wire (stable order).
+
+    What ``GET /queues/{q}`` serves and what the HTTP transport's
+    coordinator-side polls parse — registered in the WIRE003 shard-queue
+    protocol table, so reshaping it demands a service schema bump.
+    """
+    return {
+        "queue": status["queue"],
+        "stop": status["stop"],
+        "pending": status["pending"],
+        "claims": status["claims"],
+        "done": status["done"],
+    }
+
+
 def grid_listing() -> list:
     """The registered grids as JSON (name, description, scenario count)."""
     from repro.experiments.scenario import GRIDS

@@ -1,6 +1,6 @@
-"""The persistent job store: sweeps and their verdict rows in SQLite.
+"""The persistent job store: sweeps, verdict rows, and shard queues in SQLite.
 
-One SQLite file holds two tables:
+One SQLite file holds four tables:
 
 * ``jobs`` — one row per submission: its content-derived
   ``submission_key``, lifecycle state (``queued → running → done`` or
@@ -11,7 +11,15 @@ One SQLite file holds two tables:
   (``deduped_from``);
 * ``verdict_rows`` — one row per scenario × detector, exactly the
   :data:`repro.experiments.report.CSV_COLUMNS` schema, so a report fetched
-  from the store renders byte-identical to the CSV the CLI writes.
+  from the store renders byte-identical to the CSV the CLI writes;
+* ``shards`` + ``shard_workers`` — the HTTP shard-queue backend of the
+  distributed sweep transport (:mod:`repro.experiments.transport_http`):
+  one row per shard carrying its wire payload through
+  ``pending → claimed → done``, plus per-worker heartbeat counters and a
+  per-queue STOP flag. Claims are **conditional UPDATEs** (``WHERE state =
+  'pending'``) so exactly one of any number of concurrent claimers wins —
+  the SQL twin of the filesystem backend's atomic rename, with no
+  check-then-act window.
 
 Durability discipline mirrors the session cache's: the worst failure mode
 must be recomputation, never a wrong answer.
@@ -27,8 +35,11 @@ must be recomputation, never a wrong answer.
 
 All methods are thread-safe (one connection guarded by a lock —
 submissions arrive on request threads while the executor thread writes
-progress), and everything stored is plain JSON/SQL scalars: no pickles
-cross this boundary.
+progress), and everything in the job tables is plain JSON/SQL scalars.
+Shard payloads are the one exception: they are opaque BLOBs carrying the
+transport's versioned wire envelope, and the store never deserializes
+them — version skew and corruption are the *transport's* contract
+(:func:`repro.experiments.transport.decode_wire`), enforced at the edges.
 """
 
 from __future__ import annotations
@@ -43,8 +54,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.report import CSV_COLUMNS
 
-SERVICE_SCHEMA_VERSION = 1
-"""Bump when the jobs/verdict_rows schema (or their semantics) change.
+SERVICE_SCHEMA_VERSION = 2
+"""Bump when any stored schema (or its semantics) changes.
+
+2: shard-queue tables (``shards``, ``shard_workers``) — the HTTP transport
+for distributed sweeps rides the job store.
 
 A mismatched on-disk version invalidates the whole store: cheap (verdicts
 recompute from the session cache, which has its own versioning) and safe
@@ -93,7 +107,31 @@ CREATE TABLE IF NOT EXISTS verdict_rows (
     duration_s REAL NOT NULL,
     PRIMARY KEY (job_id, seq)
 );
+CREATE TABLE IF NOT EXISTS shard_queues (
+    queue TEXT PRIMARY KEY,
+    stop INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS shards (
+    queue TEXT NOT NULL,
+    shard_id INTEGER NOT NULL,
+    state TEXT NOT NULL,
+    worker TEXT NOT NULL DEFAULT '',
+    payload BLOB NOT NULL,
+    result BLOB,
+    PRIMARY KEY (queue, shard_id)
+);
+CREATE INDEX IF NOT EXISTS idx_shards_queue_state ON shards (queue, state);
+CREATE TABLE IF NOT EXISTS shard_workers (
+    queue TEXT NOT NULL,
+    worker TEXT NOT NULL,
+    beats INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (queue, worker)
+);
 """
+
+PENDING = "pending"
+CLAIMED = "claimed"
+SHARD_DONE = "done"
 
 
 def _now() -> float:
@@ -156,6 +194,8 @@ class JobStore:
             # semantics. Verdicts recompute from the session cache.
             conn.executescript(
                 "DROP TABLE IF EXISTS jobs; DROP TABLE IF EXISTS verdict_rows;"
+                " DROP TABLE IF EXISTS shard_queues; DROP TABLE IF EXISTS shards;"
+                " DROP TABLE IF EXISTS shard_workers;"
             )
         conn.executescript(_SCHEMA)
         conn.execute(f"PRAGMA user_version = {int(self.schema_version)}")
@@ -355,3 +395,213 @@ class JobStore:
     def count(self) -> int:
         with self._lock:
             return int(self._conn.execute("SELECT COUNT(*) FROM jobs").fetchone()[0])
+
+    # -- shard queues (the HTTP sweep transport) ------------------------
+
+    def queue_reset(self, queue: str) -> None:
+        """Clear a previous sweep's shards/heartbeats/STOP from a queue."""
+        with self._lock:
+            self._conn.execute("BEGIN")
+            try:
+                self._conn.execute("DELETE FROM shards WHERE queue = ?", (queue,))
+                self._conn.execute(
+                    "DELETE FROM shard_workers WHERE queue = ?", (queue,)
+                )
+                self._conn.execute(
+                    "INSERT INTO shard_queues (queue, stop) VALUES (?, 0)"
+                    " ON CONFLICT (queue) DO UPDATE SET stop = 0",
+                    (queue,),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def queue_put_pending(self, queue: str, shard_id: int, payload: bytes) -> None:
+        """Enqueue (or re-enqueue) one shard's wire payload as pending."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO shard_queues (queue) VALUES (?)", (queue,)
+            )
+            self._conn.execute(
+                "INSERT INTO shards (queue, shard_id, state, worker, payload)"
+                f" VALUES (?, ?, '{PENDING}', '', ?)"
+                " ON CONFLICT (queue, shard_id) DO UPDATE SET"
+                f" state = '{PENDING}', worker = '', payload = excluded.payload,"
+                " result = NULL",
+                (queue, shard_id, sqlite3.Binary(payload)),
+            )
+
+    def queue_pending_ids(self, queue: str) -> List[int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard_id FROM shards WHERE queue = ? AND state = ?"
+                " ORDER BY shard_id",
+                (queue, PENDING),
+            ).fetchall()
+        return [int(row[0]) for row in rows]
+
+    def queue_claim(self, queue: str, shard_id: int, worker: str) -> Optional[bytes]:
+        """Atomically claim a pending shard; its payload, or ``None`` if lost.
+
+        The conditional UPDATE (``WHERE state = 'pending'``) is the whole
+        claim protocol: of N concurrent claimers exactly one flips the row
+        to ``claimed`` (rowcount 1) and reads the payload; the rest see
+        rowcount 0. No separate existence check precedes the write.
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE shards SET state = ?, worker = ?"
+                " WHERE queue = ? AND shard_id = ? AND state = ?",
+                (CLAIMED, worker, queue, shard_id, PENDING),
+            )
+            if cursor.rowcount != 1:
+                return None
+            row = self._conn.execute(
+                "SELECT payload FROM shards WHERE queue = ? AND shard_id = ?",
+                (queue, shard_id),
+            ).fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def queue_requeue(self, queue: str, shard_id: int, worker: str) -> bool:
+        """Return a claimed shard to pending — only while ``worker`` holds it.
+
+        The worker condition makes forfeiture race-safe: a worker that
+        completed (or lost the claim to an earlier forfeit) no-ops here,
+        so a finished shard is never double-queued.
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE shards SET state = ?, worker = ''"
+                " WHERE queue = ? AND shard_id = ? AND state = ? AND worker = ?",
+                (PENDING, queue, shard_id, CLAIMED, worker),
+            )
+            return cursor.rowcount == 1
+
+    def queue_abandon(self, queue: str, shard_id: int, worker: str) -> bool:
+        """Drop a claimed shard entirely (corrupt payload: force re-enqueue)."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM shards"
+                " WHERE queue = ? AND shard_id = ? AND state = ? AND worker = ?",
+                (queue, shard_id, CLAIMED, worker),
+            )
+            return cursor.rowcount == 1
+
+    def queue_claims(self, queue: str) -> List[Any]:
+        """Live claims as ``(shard_id, worker)`` pairs, shard order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard_id, worker FROM shards"
+                " WHERE queue = ? AND state = ? ORDER BY shard_id",
+                (queue, CLAIMED),
+            ).fetchall()
+        return [(int(row[0]), str(row[1])) for row in rows]
+
+    def queue_put_result(self, queue: str, shard_id: int, result: bytes) -> None:
+        """Publish a shard's result — done unconditionally wins.
+
+        Mirrors the filesystem backend: a worker declared dead that
+        finishes anyway still lands its result, and the coordinator
+        prefers it over re-running the shard.
+        """
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO shard_queues (queue) VALUES (?)", (queue,)
+            )
+            self._conn.execute(
+                "INSERT INTO shards (queue, shard_id, state, worker, payload, result)"
+                f" VALUES (?, ?, '{SHARD_DONE}', '', X'', ?)"
+                " ON CONFLICT (queue, shard_id) DO UPDATE SET"
+                f" state = '{SHARD_DONE}', worker = '', result = excluded.result",
+                (queue, shard_id, sqlite3.Binary(result)),
+            )
+
+    def queue_done_ids(self, queue: str) -> List[int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard_id FROM shards WHERE queue = ? AND state = ?"
+                " ORDER BY shard_id",
+                (queue, SHARD_DONE),
+            ).fetchall()
+        return [int(row[0]) for row in rows]
+
+    def queue_result(self, queue: str, shard_id: int) -> Optional[bytes]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM shards"
+                " WHERE queue = ? AND shard_id = ? AND state = ?",
+                (queue, shard_id, SHARD_DONE),
+            ).fetchone()
+        return bytes(row[0]) if row is not None and row[0] is not None else None
+
+    def queue_discard_done(self, queue: str, shard_id: int) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM shards WHERE queue = ? AND shard_id = ? AND state = ?",
+                (queue, shard_id, SHARD_DONE),
+            )
+
+    def queue_stop(self, queue: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO shard_queues (queue, stop) VALUES (?, 1)"
+                " ON CONFLICT (queue) DO UPDATE SET stop = 1",
+                (queue,),
+            )
+
+    def queue_stop_requested(self, queue: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT stop FROM shard_queues WHERE queue = ?", (queue,)
+            ).fetchone()
+        return bool(row[0]) if row is not None else False
+
+    def queue_beat(self, queue: str, worker: str) -> int:
+        """Advance a worker's heartbeat counter; the new count.
+
+        A monotonic counter, never a wall-clock timestamp: the coordinator
+        only watches the value *advance* against its own clock, so hosts
+        with skewed clocks still heartbeat correctly.
+        """
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO shard_workers (queue, worker, beats) VALUES (?, ?, 1)"
+                " ON CONFLICT (queue, worker) DO UPDATE SET beats = beats + 1",
+                (queue, worker),
+            )
+            row = self._conn.execute(
+                "SELECT beats FROM shard_workers WHERE queue = ? AND worker = ?",
+                (queue, worker),
+            ).fetchone()
+        return int(row[0])
+
+    def queue_beats(self, queue: str, worker: str) -> Optional[int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT beats FROM shard_workers WHERE queue = ? AND worker = ?",
+                (queue, worker),
+            ).fetchone()
+        return int(row[0]) if row is not None else None
+
+    def queue_status(self, queue: str) -> Dict[str, Any]:
+        """One snapshot of a queue's protocol state (the status endpoint)."""
+        with self._lock:
+            stop = self._conn.execute(
+                "SELECT stop FROM shard_queues WHERE queue = ?", (queue,)
+            ).fetchone()
+            shards = self._conn.execute(
+                "SELECT shard_id, state, worker FROM shards WHERE queue = ?"
+                " ORDER BY shard_id",
+                (queue,),
+            ).fetchall()
+        pending = [int(r[0]) for r in shards if r[1] == PENDING]
+        claims = [[int(r[0]), str(r[2])] for r in shards if r[1] == CLAIMED]
+        done = [int(r[0]) for r in shards if r[1] == SHARD_DONE]
+        return {
+            "queue": queue,
+            "stop": bool(stop[0]) if stop is not None else False,
+            "pending": pending,
+            "claims": claims,
+            "done": done,
+        }

@@ -21,9 +21,12 @@ The properties that make ``repro sweep --hosts N [--workers M]`` trustworthy:
 
 import os
 import pickle
+import socketserver
 import sys
 import textwrap
+import threading
 import time
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 import pytest
 
@@ -47,6 +50,8 @@ from repro.experiments.distrib import (
     sanitize_worker_id,
     scenario_shards,
 )
+from repro.experiments.transport import InMemoryTransport
+from repro.experiments.transport_http import HttpTransport
 
 
 @pytest.fixture
@@ -568,6 +573,211 @@ class TestHeartbeatUnderParallelism:
         result = coordinator.run(specs)
         assert time.monotonic() - started < 200  # finished well before timeout
         assert result.requeues >= 1
+        for expected, got in zip(serial, result.summaries):
+            assert got.transactions == expected.transactions
+            assert got.status is expected.status
+
+
+class _ThreadedWSGI(socketserver.ThreadingMixIn, WSGIServer):
+    daemon_threads = True
+
+
+class _QuietWSGI(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref signature
+        pass
+
+
+@pytest.fixture(scope="module")
+def shard_server():
+    """A live threaded shard server (SQLite-backed) for HTTP fault tests."""
+    from repro.service.app import create_app
+
+    app = create_app(db=":memory:", background=True)
+    server = make_server(
+        "127.0.0.1", 0, app,
+        server_class=_ThreadedWSGI, handler_class=_QuietWSGI,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+
+
+class TestTransportFaultInjection:
+    """Queue faults beyond one filesystem: kills, races, forfeits, steals.
+
+    The liveness machinery (`_worker_dead`, `_requeue_dead_claims`) takes
+    any :class:`~repro.experiments.transport.Transport`; these tests pin
+    that a dead claimer's shard re-queues identically on every backend,
+    that the HTTP backend's conditional-UPDATE claims stay exclusive under
+    a real multi-connection race, and that heartbeat forfeiture works when
+    "heartbeat mtime" is a server-side beat counter rather than a file.
+    """
+
+    @pytest.fixture(params=["fs", "memory", "http"])
+    def any_transport(self, request, tmp_path, shard_server):
+        if request.param == "fs":
+            backend = WorkDir(str(tmp_path / "work"))
+        elif request.param == "memory":
+            backend = InMemoryTransport.named(f"faults-{request.node.name}")
+        else:
+            queue = request.node.name.replace("[", ".").replace("]", "")
+            backend = HttpTransport(f"{shard_server}/queues/{queue}")
+        backend.reset()
+        return backend
+
+    def test_killed_claimer_requeues_identically(self, spec, any_transport):
+        """A claim whose worker's process exit was observed is forfeit."""
+        work = any_transport
+        work.enqueue(WorkShard(0, (spec(),)))
+        work.beat("ghost")
+        claim = work.claim(0, "ghost")
+        assert claim is not None
+        coordinator = Coordinator(hosts=1, spawn_local=False)
+        requeued = coordinator._requeue_dead_claims(work, {}, {}, {"ghost"}, {})
+        assert requeued == 1
+        assert work.pending_ids() == [0]
+        assert work.claims() == []
+        # The shard round-trips intact: the next claimer gets the same work.
+        again = work.claim(0, "w2")
+        assert again is not None
+        assert again.shard.shard_id == 0
+        assert len(again.shard.specs) == 1
+
+    def test_claimer_that_never_beat_is_forfeited(self, spec, any_transport):
+        """External workers beat before their first claim, so a claim with
+        no heartbeat at all has outlived its owner — on every backend."""
+        work = any_transport
+        work.enqueue(WorkShard(1, (spec(),)))
+        assert work.claim(1, "vanished") is not None
+        coordinator = Coordinator(hosts=1, spawn_local=False)
+        requeued = coordinator._requeue_dead_claims(work, {}, {}, set(), {})
+        assert requeued == 1
+        assert work.pending_ids() == [1]
+
+    def test_duplicate_claim_race_over_http(self, spec, shard_server):
+        """Distinct client connections racing one shard: the SQLite
+        conditional UPDATE lets exactly one win, same as a rename."""
+        claimers = [
+            HttpTransport(f"{shard_server}/queues/dup-race") for _ in range(8)
+        ]
+        claimers[0].reset()
+        claimers[0].enqueue(WorkShard(0, (spec(),)))
+        barrier = threading.Barrier(len(claimers))
+        wins, errors = [], []
+
+        def race(index):
+            barrier.wait()
+            try:
+                claim = claimers[index].claim(0, f"host{index}")
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+                return
+            if claim is not None:
+                wins.append(index)
+
+        threads = [
+            threading.Thread(target=race, args=(index,))
+            for index in range(len(claimers))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(wins) == 1
+        assert [
+            (sid, worker) for sid, worker, _ in claimers[0].claims()
+        ] == [(0, f"host{wins[0]}")]
+
+    def test_heartbeat_forfeiture_over_http(
+        self, spec, shard_server, monkeypatch
+    ):
+        """Beat counters advance like mtimes: a beating worker is never
+        condemned however long it runs, a frozen one forfeits its claim
+        after heartbeat_timeout_s of *coordinator* clock."""
+        import repro.experiments.distrib as distrib
+
+        work = HttpTransport(f"{shard_server}/queues/hb-forfeit")
+        work.reset()
+        work.enqueue(WorkShard(0, (spec(),)))
+        clock = [0.0]
+        monkeypatch.setattr(distrib.time, "monotonic", lambda: clock[0])
+        coordinator = Coordinator(
+            hosts=1, spawn_local=False, heartbeat_timeout_s=5.0
+        )
+        hb_seen = {}
+        work.beat("w1")
+        assert work.claim(0, "w1") is not None
+        assert not coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+        # Hours of coordinator time, but the counter advances: never dead.
+        for _ in range(3):
+            clock[0] += 3600.0
+            work.beat("w1")
+            assert not coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+        # Frozen counter: condemned only once the timeout elapses.
+        clock[0] += 4.9
+        assert not coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+        clock[0] += 0.2
+        assert coordinator._worker_dead(work, "w1", {}, set(), hb_seen)
+        assert (
+            coordinator._requeue_dead_claims(work, {}, {}, set(), hb_seen) == 1
+        )
+        assert work.pending_ids() == [0]
+
+    @pytest.mark.slow
+    def test_late_joiner_steals_from_straggling_sweep(self, spec, sweep_env):
+        """Elastic rebalance, end to end: a straggler works a many-shard
+        queue slowly; a worker that joins mid-sweep claims from the same
+        queue and demonstrably takes shards off the straggler's plate —
+        and the merged result still matches the serial run."""
+        specs = [
+            spec(noise_sigma=0.0005, noise_seed=100 + i, label=f"s{i}")
+            for i in range(8)
+        ]
+        serial = run_sessions(specs)
+        queue = InMemoryTransport.named("steal-late-joiner")
+        queue.reset()
+        cache = sweep_env.cache()
+
+        class Straggler(Worker):
+            def _claim_next(self):
+                time.sleep(0.4)  # every claim costs: a slow host
+                return super()._claim_next()
+
+        executed = {}
+
+        def run_worker(cls, worker_id, delay_s=0.0):
+            time.sleep(delay_s)
+            worker = cls(queue, worker_id, cache=cache, poll_s=0.05)
+            executed[worker_id] = worker.run()
+
+        coordinator = Coordinator(
+            hosts=2,
+            steal=True,
+            spawn_local=False,
+            transport=queue,
+            cache=cache,
+            timeout_s=240,
+        )
+        threads = [
+            threading.Thread(target=run_worker, args=(Straggler, "straggler")),
+            threading.Thread(target=run_worker, args=(Worker, "late", 1.2)),
+        ]
+        for thread in threads:
+            thread.start()
+        result = coordinator.run(specs)
+        for thread in threads:
+            thread.join(timeout=120)
+        # Steal sharding actually split the work finer than one-per-host.
+        assert result.shards > 2
+        assert executed["straggler"] >= 1
+        assert executed["late"] >= 1, "the late joiner never stole a shard"
+        workers_seen = {h["worker"] for h in result.host_stats}
+        assert {"straggler", "late"} <= workers_seen
         for expected, got in zip(serial, result.summaries):
             assert got.transactions == expected.transactions
             assert got.status is expected.status

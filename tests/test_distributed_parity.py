@@ -1,11 +1,16 @@
 """Randomized fast/precise/distributed parity: invariants that rot silently.
 
-Two byte-identity contracts, one harness:
+Three byte-identity contracts, one harness:
 
 * **Topology parity** — serial in-process, ``--hosts 2`` (verdict shipping,
   worker-side scoring), ``--hosts 2 --workers 2`` (per-host parallel batches
   on top) must produce **byte-identical** verdict CSV rows for the same
   scenarios.
+* **Transport parity** — the same distributed sweep over the filesystem
+  work dir, over an HTTP shard queue (real spawned worker subprocesses
+  talking to a live server), and with elastic work stealing enabled must
+  all reproduce the serial rows byte for byte: how bytes travel and how
+  finely work is sharded can never leak into verdicts.
 * **Execution-path parity** — the vectorized/batched fast path and the
   per-step precise path must produce **byte-identical** verdict CSV rows,
   serially and across the distributed topologies.
@@ -21,6 +26,9 @@ shift from seed to seed instead of pinning one lucky configuration.
 """
 
 import random
+import socketserver
+import threading
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 import pytest
 
@@ -79,6 +87,84 @@ def test_random_subset_parity_across_topologies(seed, sweep_env):
     assert _csv_rows(composed) == reference
     # Same independent executions → same simulation economics.
     for distributed in (hosts_only, composed):
+        assert distributed.ok == serial.ok
+        assert distributed.sessions_simulated == serial.sessions_simulated
+        assert distributed.transport == "verdict rows"
+
+
+class _ThreadedWSGI(socketserver.ThreadingMixIn, WSGIServer):
+    daemon_threads = True
+
+
+class _QuietWSGI(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref signature
+        pass
+
+
+@pytest.fixture(scope="module")
+def shard_server():
+    """A live threaded shard server for the HTTP-transport parity runs."""
+    from repro.service.app import create_app
+
+    app = create_app(db=":memory:", background=True)
+    server = make_server(
+        "127.0.0.1", 0, app,
+        server_class=_ThreadedWSGI, handler_class=_QuietWSGI,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", (7719, 8821))
+def test_random_subset_parity_across_transports(seed, sweep_env, shard_server):
+    """Serial vs filesystem vs HTTP vs steal-enabled: identical rows.
+
+    The HTTP runs spawn real ``repro worker`` subprocesses whose only link
+    to the coordinator is the queue URL — actual machine-boundary wiring,
+    not an in-process shortcut.
+    """
+    pool = _scenario_pool()
+    rng = random.Random(seed)
+    subset = rng.sample(pool, k=rng.randint(2, 3))
+
+    serial = run_sweep(
+        subset,
+        cache=sweep_env.cache("serial-cache"),
+        grid=f"tparity-{seed}",
+    )
+    filesystem = run_sweep(
+        subset,
+        cache=sweep_env.cache("fs-cache"),
+        grid=f"tparity-{seed}",
+        hosts=2,
+        work_dir=sweep_env.work_dir("fs-work"),
+    )
+    http = run_sweep(
+        subset,
+        cache=sweep_env.cache("http-cache"),
+        grid=f"tparity-{seed}",
+        hosts=2,
+        transport=f"{shard_server}/queues/tparity-{seed}",
+    )
+    steal = run_sweep(
+        subset,
+        cache=sweep_env.cache("steal-cache"),
+        grid=f"tparity-{seed}",
+        hosts=2,
+        steal=True,
+        transport=f"{shard_server}/queues/tparity-steal-{seed}",
+    )
+
+    reference = _csv_rows(serial)
+    assert reference
+    for distributed in (filesystem, http, steal):
+        assert _csv_rows(distributed) == reference
         assert distributed.ok == serial.ok
         assert distributed.sessions_simulated == serial.sessions_simulated
         assert distributed.transport == "verdict rows"

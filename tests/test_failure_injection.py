@@ -113,3 +113,51 @@ class TestHostileConditions:
         firmware.kill("first")
         firmware.kill("second")
         assert firmware.kill_reason == "first"
+
+
+class TestDistributedQueueFaults:
+    """Faults injected into the sweep's shard queue rather than the machine.
+
+    The distributed sweep shares the simulator's fail-safe posture: bytes
+    torn in flight must degrade to re-work, never to garbage verdicts. The
+    backend-agnostic versions of these properties live in
+    ``tests/test_transport_contract.py``; here they are injected *mid
+    sweep* against the live coordinator/worker loop.
+    """
+
+    def test_torn_pending_shard_mid_sweep_recovers(self, spec_factory, tmp_path):
+        """Corrupt a shard after the coordinator enqueues it: the claiming
+        worker drops it, the coordinator re-enqueues from its in-memory
+        copy, and the merged batch still matches the serial run."""
+        import threading
+        import time as _time
+
+        from repro.experiments.batch import run_sessions
+        from repro.experiments.distrib import Coordinator, WorkDir, Worker
+
+        spec = spec_factory(noise_sigma=0.0, cacheable=False)
+        specs = [spec(label="a"), spec(noise_sigma=0.0005, noise_seed=7, label="b")]
+        serial = run_sessions(specs)
+        work = WorkDir(str(tmp_path / "work"))
+        coordinator = Coordinator(
+            hosts=2, spawn_local=False, work_dir=work.root, timeout_s=240
+        )
+        outcome = {}
+
+        def drive():
+            outcome["result"] = coordinator.run(specs)
+
+        driver = threading.Thread(target=drive)
+        driver.start()
+        deadline = _time.monotonic() + 30
+        while len(work.pending_ids()) < 2 and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        torn = work.pending_ids()[0]
+        work.put_pending(torn, b"\x00torn mid-flight")
+        Worker(work, "w1", poll_s=0.05).run()
+        driver.join(timeout=120)
+        result = outcome["result"]
+        assert [s.label for s in result.summaries] == ["a", "b"]
+        for expected, got in zip(serial, result.summaries):
+            assert got.transactions == expected.transactions
+            assert got.status is expected.status
